@@ -1,0 +1,78 @@
+"""Ablations A1/A2: the design choices DESIGN.md calls out.
+
+* A1 — cross-query memoisation in the deterministic subtype engine.
+  Within one ground query the explicit-stack evaluation always memoises
+  (that is the algorithm); the ``memoize`` flag controls whether results
+  persist *across* queries on the same engine.  A batch of related
+  membership queries (shared element types, shared tails) should
+  amortise with the flag on.
+* A2 — first-argument indexing in the SLD database.  Append-style
+  predicates have constructor-disjoint clause heads; indexing halves the
+  head-unification attempts.
+
+Run:  pytest benchmarks/bench_ablation.py --benchmark-only
+"""
+
+import pytest
+
+from repro.core import SubtypeEngine
+from repro.lang import parse_term as T
+from repro.lp import Database, solve
+from repro.terms import Struct, Var
+from repro.workloads import load, nat_list, paper_universe
+
+LENGTHS = [16, 64, 128]
+
+
+# -- A1: cross-query subtype-engine memoisation ------------------------------------------
+
+BATCH = [nat_list(length, element_depth=4) for length in range(1, 33)]
+
+
+def _query_batch(engine) -> bool:
+    goal_type = T("list(nat)")
+    return all(engine.contains(goal_type, term) for term in BATCH)
+
+
+@pytest.mark.parametrize("memoize", [True, False], ids=["memo_on", "memo_off"])
+def test_a1_query_batch(benchmark, memoize):
+    cset = paper_universe()
+    engine = SubtypeEngine(cset, memoize=memoize)
+
+    assert benchmark(lambda: _query_batch(engine))
+
+
+# -- A2: first-argument indexing --------------------------------------------------------
+
+
+def nil_list(length: int):
+    term = Struct("nil", ())
+    for _ in range(length):
+        term = Struct("cons", (Struct("nil", ()), term))
+    return term
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_a2_indexing_on(benchmark, length):
+    module = load("append")
+    database = Database(module.program, first_arg_indexing=True)
+    goal = Struct("app", (nil_list(length), nil_list(1), Var("R")))
+
+    def run():
+        return solve(database, [goal])
+
+    result = benchmark(run)
+    assert len(result.answers) == 1
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_a2_indexing_off(benchmark, length):
+    module = load("append")
+    database = Database(module.program, first_arg_indexing=False)
+    goal = Struct("app", (nil_list(length), nil_list(1), Var("R")))
+
+    def run():
+        return solve(database, [goal])
+
+    result = benchmark(run)
+    assert len(result.answers) == 1

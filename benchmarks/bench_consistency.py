@@ -1,0 +1,89 @@
+"""Experiment E7: the cost of observing Theorem 6.
+
+Theorem 6 makes run-time checks redundant for well-typed programs; the
+typed interpreter re-checks every resolvent anyway so the theorem can be
+*observed*.  These benchmarks measure what that observation costs: plain
+SLD execution versus execution with per-resolvent Definition 16 checks,
+across derivation lengths.  Expected shape: a constant factor per
+resolution step (each re-check is one clause-sized match + solve).
+
+Run:  pytest benchmarks/bench_consistency.py --benchmark-only
+"""
+
+import pytest
+
+from repro.core import TypedInterpreter
+from repro.lp import Query
+from repro.terms import Struct, Var
+from repro.workloads import load
+
+LENGTHS = [4, 16, 64]
+
+
+def nil_list(length: int):
+    term = Struct("nil", ())
+    for _ in range(length):
+        term = Struct("cons", (Struct("nil", ()), term))
+    return term
+
+
+def append_query(length: int) -> Query:
+    return Query((Struct("app", (nil_list(length), nil_list(1), Var("R"))),))
+
+
+@pytest.fixture(scope="module")
+def append_interpreter():
+    module = load("append")
+    return TypedInterpreter(module.checker, module.program, check_program=False)
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_plain_execution(benchmark, append_interpreter, length):
+    query = append_query(length)
+
+    def run():
+        return append_interpreter.run(
+            query, check_resolvents=False, check_answers=False, check_query=False
+        )
+
+    result = benchmark(run)
+    assert len(result.answers) == 1
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_checked_execution(benchmark, append_interpreter, length):
+    query = append_query(length)
+
+    def run():
+        return append_interpreter.run(query, check_query=False)
+
+    result = benchmark(run)
+    assert len(result.answers) == 1
+    assert result.consistent
+    assert result.resolvents_checked >= length
+
+
+def test_nondeterministic_checked(benchmark, append_interpreter):
+    """Backwards append: every split's derivation is checked."""
+    query = Query((Struct("app", (Var("X"), Var("Y"), nil_list(8))),))
+
+    def run():
+        return append_interpreter.run(query, check_query=False)
+
+    result = benchmark(run)
+    assert len(result.answers) == 9
+    assert result.consistent
+
+
+def test_arithmetic_checked(benchmark):
+    module = load("naturals_arithmetic")
+    interpreter = TypedInterpreter(module.checker, module.program, check_program=False)
+    from repro.lang import parse_query
+
+    query = Query(parse_query(":- times(succ(succ(succ(0))), succ(succ(0)), R).").body)
+
+    def run():
+        return interpreter.run(query, check_query=False)
+
+    result = benchmark(run)
+    assert result.consistent

@@ -1,0 +1,62 @@
+"""Experiment E14: cost of the typed-unification constraint store.
+
+Compares plain SLD against constrained execution whose store must check
+every candidate binding, across generator sizes — the run-time price of
+the dynamic alternative versus the compile-time discipline.
+
+Run:  pytest benchmarks/bench_constrained.py --benchmark-only
+"""
+
+import pytest
+
+from repro.core import SubtypeEngine
+from repro.lang import parse_clause, parse_query
+from repro.lp import Clause, ConstrainedInterpreter, Database, solve
+from repro.workloads import naturals
+
+SIZES = [8, 32, 128]
+
+
+def generator_program(size: int):
+    """``gen/1`` holding every nat up to ``size`` and every unnat down to
+    ``-size`` — 2·size+1 facts."""
+    clauses = []
+    term = "0"
+    clauses.append(Clause(parse_clause(f"gen({term}).").head, ()))
+    for _ in range(size):
+        term = f"succ({term})"
+        clauses.append(Clause(parse_clause(f"gen({term}).").head, ()))
+    term = "0"
+    for _ in range(size):
+        term = f"pred({term})"
+        clauses.append(Clause(parse_clause(f"gen({term}).").head, ()))
+    return clauses
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_plain_enumeration(benchmark, size):
+    database = Database(generator_program(size))
+    goals = parse_query(":- gen(X).").body
+
+    def run():
+        return solve(database, goals)
+
+    result = benchmark(run)
+    assert len(result.answers) == 2 * size + 1
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_constrained_enumeration(benchmark, size):
+    """Same enumeration with an ``X : nat`` store: every binding gets a
+    membership check, half the candidates are pruned."""
+    database = Database(generator_program(size))
+    engine = SubtypeEngine(naturals())
+    interpreter = ConstrainedInterpreter(database, engine)
+    goals = parse_query(":- gen(X), X : nat.").body
+
+    def run():
+        return interpreter.run(goals)
+
+    result = benchmark(run)
+    assert len(result.answers) == size + 1
+    assert result.pruned_by_constraints == size

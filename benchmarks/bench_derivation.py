@@ -1,0 +1,66 @@
+"""Experiments E11/E13: proof objects and the bounded least model.
+
+* Derivation construction + replay verification scale with derivation
+  length (each step is one unification at verification time).
+* The bounded least model costs |U|²-ish per fixpoint pass; the benchmark
+  tracks universe size.
+
+Run:  pytest benchmarks/bench_derivation.py --benchmark-only
+"""
+
+import pytest
+
+from repro.core import LeastModel, expansion_closed_universe
+from repro.core.derivation import DerivationBuilder, verify_derivation
+from repro.lang import parse_term as T
+from repro.workloads import deep_nat, paper_universe
+
+
+@pytest.mark.parametrize("depth", [4, 16, 64])
+def test_derive_nat_tower(benchmark, depth):
+    builder = DerivationBuilder(paper_universe())
+    term = deep_nat(depth)
+
+    def run():
+        return builder.derive(T("nat"), term)
+
+    derivation = benchmark(run)
+    assert derivation is not None
+
+
+@pytest.mark.parametrize("depth", [4, 16, 64])
+def test_verify_nat_tower(benchmark, depth):
+    builder = DerivationBuilder(paper_universe())
+    derivation = builder.derive(T("nat"), deep_nat(depth))
+    assert derivation is not None
+
+    def run():
+        return verify_derivation(derivation)
+
+    assert benchmark(run)
+
+
+def test_derive_paper_example(benchmark):
+    builder = DerivationBuilder(paper_universe())
+
+    def run():
+        return builder.derive(T("list(A)"), T("cons(foo,nil)"))
+
+    assert benchmark(run) is not None
+
+
+@pytest.mark.parametrize("tower", [2, 4, 8])
+def test_least_model_construction(benchmark, tower):
+    """Universe seeded with nat towers up to the given height — universe
+    size (and fixpoint cost) grows with the seeds."""
+    cset = paper_universe()
+    seeds = [T("int"), T("list(nat)"), T("cons(0, nil)")] + [
+        deep_nat(i) for i in range(tower + 1)
+    ]
+    universe = expansion_closed_universe(cset, seeds)
+
+    def run():
+        return LeastModel(cset, universe)
+
+    model = benchmark(run)
+    assert model.holds(T("int"), deep_nat(tower))

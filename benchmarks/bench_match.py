@@ -1,0 +1,98 @@
+"""Experiment E4: ``match`` cost as a function of term size.
+
+Theorem 5 guarantees termination; these benchmarks characterise the
+constant: ``match`` should scale ~linearly in the size of the matched
+term on the paper's list/naturals types.
+
+Run:  pytest benchmarks/bench_match.py --benchmark-only
+"""
+
+import pytest
+
+from repro.core import Matcher
+from repro.lang import parse_term as T
+from repro.terms import Struct, Var
+from repro.workloads import deep_nat, nat_list, paper_universe
+
+DEPTHS = [8, 32, 128, 512]
+LENGTHS = [4, 16, 64, 256]
+
+
+def open_list(length: int):
+    """cons(X0, cons(X1, ... L)) — a list skeleton full of variables, so
+    match produces a large typing rather than the empty one."""
+    term = Var("L")
+    for index in range(length):
+        term = Struct("cons", (Var(f"X{index}"), term))
+    return term
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_match_deep_nat(benchmark, depth):
+    term = deep_nat(depth)
+    cset = paper_universe()
+
+    def run():
+        return Matcher(cset).match(T("nat"), term)
+
+    result = benchmark(run)
+    assert result is not None
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_match_ground_list(benchmark, length):
+    term = nat_list(length)
+    cset = paper_universe()
+
+    def run():
+        return Matcher(cset).match(T("list(nat)"), term)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_match_open_list_polymorphic(benchmark, length):
+    """The checker's hot path: matching a variable-filled pattern against
+    a polymorphic type, producing a typing for every variable."""
+    term = open_list(length)
+    cset = paper_universe()
+
+    def run():
+        return Matcher(cset).match(T("list(A)"), term)
+
+    result = benchmark(run)
+    assert len(result) == length + 1  # every Xi plus the tail L
+
+
+@pytest.mark.parametrize("length", [16, 64])
+def test_match_memoization_ablation_off(benchmark, length):
+    term = nat_list(length)
+    cset = paper_universe()
+
+    def run():
+        return Matcher(cset, memoize=False).match(T("list(nat)"), term)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("length", [16, 64])
+def test_match_memoization_ablation_on(benchmark, length):
+    term = nat_list(length)
+    cset = paper_universe()
+
+    def run():
+        return Matcher(cset, memoize=True).match(T("list(nat)"), term)
+
+    benchmark(run)
+
+
+def test_match_fail_fast(benchmark):
+    """A failing match (wrong constructor) must be cheap."""
+    cset = paper_universe()
+    matcher = Matcher(cset)
+    term = T("cons(X, Y)")
+
+    def run():
+        return matcher.match(T("int"), term)
+
+    benchmark(run)

@@ -1,0 +1,86 @@
+"""Experiment E3: declaration-restriction analysis scaling.
+
+Uniform-polymorphism checking is linear in the number of constraints;
+guardedness (the direct-dependence graph plus its transitive closure) is
+the interesting one — these benchmarks measure it against constraint-set
+size for both generated sets and wide hierarchies.
+
+Run:  pytest benchmarks/bench_restrictions.py --benchmark-only
+"""
+
+import random
+
+import pytest
+
+from repro.checker import check_text
+from repro.core import (
+    direct_dependence_graph,
+    is_guarded,
+    is_uniform_polymorphic,
+    validate_restrictions,
+)
+from repro.workloads import random_guarded_constraint_set, wide_type_hierarchy
+
+SIZES = [8, 32, 128]
+WIDTHS = [16, 64, 256]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_guardedness_random_sets(benchmark, size):
+    cset = random_guarded_constraint_set(
+        random.Random(size), type_count=size, constraints_per_type=2
+    )
+
+    def run():
+        return is_guarded(cset)
+
+    assert benchmark(run)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_uniformity_random_sets(benchmark, size):
+    cset = random_guarded_constraint_set(
+        random.Random(size), type_count=size, constraints_per_type=2
+    )
+
+    def run():
+        return is_uniform_polymorphic(cset)
+
+    assert benchmark(run)
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_guardedness_wide_hierarchy(benchmark, width):
+    module = check_text(wide_type_hierarchy(width))
+    cset = module.constraints
+
+    def run():
+        return is_guarded(cset)
+
+    assert benchmark(run)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_dependence_graph_construction(benchmark, size):
+    cset = random_guarded_constraint_set(
+        random.Random(size), type_count=size, constraints_per_type=2
+    )
+
+    def run():
+        return direct_dependence_graph(cset)
+
+    graph = benchmark(run)
+    assert not graph.self_dependent()
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_full_validation(benchmark, size):
+    cset = random_guarded_constraint_set(
+        random.Random(size), type_count=size, constraints_per_type=2
+    )
+
+    def run():
+        validate_restrictions(cset)
+        return True
+
+    assert benchmark(run)

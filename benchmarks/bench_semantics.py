@@ -1,0 +1,75 @@
+"""Experiment E1 (semantics half): inhabitant-enumeration scaling.
+
+Bounded enumeration of ``M_C[[τ]]`` grows with the depth bound (the set
+itself grows exponentially for branching constructors); the memoised
+recursion should stay proportional to the *output* size.
+
+Run:  pytest benchmarks/bench_semantics.py --benchmark-only
+"""
+
+import pytest
+
+from repro.core import GeneralTypeSemantics, TypeSemantics
+from repro.lang import parse_term as T
+from repro.workloads import ids_nonuniform, paper_universe, rich_universe
+
+DEPTHS = [3, 5, 7]
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_enumerate_nat(benchmark, depth):
+    cset = paper_universe()
+
+    def run():
+        return GeneralTypeSemantics(cset).inhabitants(T("nat"), depth)
+
+    members = benchmark(run)
+    assert len(members) == depth  # 0, succ(0), ..., succ^{depth-1}(0)
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_enumerate_list_nat(benchmark, depth):
+    cset = paper_universe()
+
+    def run():
+        return GeneralTypeSemantics(cset).inhabitants(T("list(nat)"), depth)
+
+    members = benchmark(run)
+    assert members
+
+
+@pytest.mark.parametrize("depth", [3, 4])
+def test_enumerate_tree(benchmark, depth):
+    """Branching constructor: the output set grows quadratically per
+    level (|T(d)| ≈ 2·|T(d-1)|²), so depth stops at 4 (~200 terms)."""
+    cset = rich_universe()
+
+    def run():
+        return GeneralTypeSemantics(cset).inhabitants(T("tree(bool)"), depth)
+
+    benchmark(run)
+
+
+def test_enumerate_nonuniform_ids(benchmark):
+    cset = ids_nonuniform()
+
+    def run():
+        return GeneralTypeSemantics(cset).inhabitants(T("id(person)"), 4)
+
+    members = benchmark(run)
+    assert members
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_membership_vs_enumeration(benchmark, depth):
+    """Membership via the engine should beat enumerate-and-test."""
+    cset = paper_universe()
+    semantics = TypeSemantics(cset)
+    from repro.workloads import deep_nat
+
+    term = deep_nat(depth - 1)
+
+    def run():
+        return semantics.member(T("nat"), term)
+
+    assert benchmark(run)

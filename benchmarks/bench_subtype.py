@@ -1,0 +1,152 @@
+"""Experiments E1/E2: subtype derivation cost — deterministic strategy
+versus the naive definitional prover.
+
+The paper proves (Theorems 1–3) that clause selection can be made
+deterministic; these benchmarks supply the numbers the paper never had
+to print.  Expected shape:
+
+* the deterministic engine scales ~linearly in derivation length
+  (``nat`` towers, list length, hierarchy width);
+* the naive SLD prover over ``H_C`` explodes within single-digit depths
+  (the ``naive_*`` rows, kept tiny on purpose), and cannot refute at all.
+
+Run:  pytest benchmarks/bench_subtype.py --benchmark-only
+"""
+
+import pytest
+
+from repro.checker import check_text
+from repro.core import NaiveSubtypeProver, SubtypeEngine
+from repro.lang import parse_term as T
+from repro.workloads import (
+    deep_int,
+    deep_nat,
+    nat_list,
+    paper_universe,
+    wide_type_hierarchy,
+)
+
+DEPTHS = [8, 32, 128, 512]
+LIST_LENGTHS = [4, 16, 64, 256]
+WIDTHS = [4, 16, 64, 256]
+NAIVE_DEPTHS = [1, 2, 3]
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_engine_nat_membership(benchmark, depth):
+    """Deterministic engine: succ^depth(0) ∈ nat (fresh engine per call
+    so memoisation cannot amortise across rounds)."""
+    term = deep_nat(depth)
+    cset = paper_universe()
+
+    def run():
+        return SubtypeEngine(cset).contains(T("nat"), term)
+
+    assert benchmark(run)
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_engine_nat_rejection(benchmark, depth):
+    """Deterministic engine refuting pred^depth(0) ∈ nat — the direction
+    the naive prover cannot decide at all."""
+    term = deep_int(depth)
+    cset = paper_universe()
+
+    def run():
+        return SubtypeEngine(cset).contains(T("nat"), term)
+
+    assert not benchmark(run)
+
+
+@pytest.mark.parametrize("length", LIST_LENGTHS)
+def test_engine_list_membership(benchmark, length):
+    term = nat_list(length)
+    cset = paper_universe()
+
+    def run():
+        return SubtypeEngine(cset).contains(T("list(nat)"), term)
+
+    assert benchmark(run)
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_engine_wide_hierarchy(benchmark, width):
+    """Membership of the last constant in a width-N union hierarchy."""
+    module = check_text(wide_type_hierarchy(width))
+    assert module.ok
+    cset = module.constraints
+    goal_sub = T(f"k{width - 1}")
+
+    def run():
+        return SubtypeEngine(cset).contains(T("top"), goal_sub)
+
+    assert benchmark(run)
+
+
+@pytest.mark.parametrize("depth", NAIVE_DEPTHS)
+def test_naive_nat_membership(benchmark, depth):
+    """Naive SLD over H_C on the same family — note the tiny depths, and
+    the pinned round count (a single call can take seconds)."""
+    term = deep_nat(depth)
+    cset = paper_universe()
+    prover = NaiveSubtypeProver(cset)
+
+    result = benchmark.pedantic(
+        lambda: prover.holds(T("nat"), term), rounds=3, iterations=1
+    )
+    assert result is True
+
+
+@pytest.mark.parametrize("depth", NAIVE_DEPTHS)
+def test_engine_nat_membership_tiny(benchmark, depth):
+    """The deterministic engine on the naive rows' inputs, for the
+    head-to-head factor."""
+    term = deep_nat(depth)
+    cset = paper_universe()
+
+    def run():
+        return SubtypeEngine(cset).contains(T("nat"), term)
+
+    assert benchmark(run)
+
+
+@pytest.mark.parametrize("length", [1, 2, 3])
+def test_naive_list_membership(benchmark, length):
+    """The paper's own Section 2 goal family (list membership) is where
+    naive SLD search visibly explodes: compare against
+    ``test_engine_list_membership_tiny`` on identical inputs.  Length 4
+    does not terminate in minutes at any depth bound — the series stops
+    where the baseline stops."""
+    term = nat_list(length, element_depth=0)
+    cset = paper_universe()
+    # The refutation for length k needs ~26 + 10k steps; depth 40 admits
+    # lengths up to 3 (a too-small bound makes DFS thrash, a larger one
+    # explodes the failing subtrees).
+    prover = NaiveSubtypeProver(cset, max_depth=40, step_limit=4_000_000)
+
+    result = benchmark.pedantic(
+        lambda: prover.holds(T("list(nat)"), term), rounds=3, iterations=1
+    )
+    assert result is True
+
+
+@pytest.mark.parametrize("length", [1, 2, 3])
+def test_engine_list_membership_tiny(benchmark, length):
+    term = nat_list(length, element_depth=0)
+    cset = paper_universe()
+
+    def run():
+        return SubtypeEngine(cset).contains(T("list(nat)"), term)
+
+    assert benchmark(run)
+
+
+def test_engine_more_general_paper_pair(benchmark):
+    """Definition 5 check (list(A) more general than nelist(int))."""
+    cset = paper_universe()
+    engine = SubtypeEngine(cset)
+
+    def run():
+        return engine.more_general(T("list(A)"), T("nelist(int)"))
+
+    assert benchmark(run)

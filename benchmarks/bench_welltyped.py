@@ -1,0 +1,75 @@
+"""Experiments E6/P1: well-typedness checker throughput.
+
+Measures whole-file checking (parse → declarations → restriction checks →
+Definition 16 per clause) and the per-clause checker alone, against
+program size.  Expected shape: ~linear in the number of clauses.
+
+Run:  pytest benchmarks/bench_welltyped.py --benchmark-only
+"""
+
+import pytest
+
+from repro.checker import check_text
+from repro.core import WellTypedChecker
+from repro.workloads import LIST_LIBRARY, load, synthetic_list_program
+
+PREDICATE_COUNTS = [4, 16, 64, 128]
+
+
+@pytest.mark.parametrize("count", PREDICATE_COUNTS)
+def test_whole_file_check(benchmark, count):
+    source = synthetic_list_program(count)
+
+    def run():
+        return check_text(source)
+
+    module = benchmark(run)
+    assert module.ok
+
+
+@pytest.mark.parametrize("count", PREDICATE_COUNTS)
+def test_clause_checking_only(benchmark, count):
+    """Definition 16 checking alone, re-using a parsed module."""
+    module = check_text(synthetic_list_program(count))
+    assert module.ok
+    checker = WellTypedChecker(module.constraints, module.predicate_types)
+
+    def run():
+        return checker.check_program(module.program)
+
+    report = benchmark(run)
+    assert report.well_typed
+
+
+def test_list_library_check(benchmark):
+    def run():
+        return check_text(LIST_LIBRARY)
+
+    module = benchmark(run)
+    assert module.ok
+
+
+def test_single_clause_check(benchmark):
+    """The paper's recursive append clause — the canonical unit."""
+    module = load("append")
+    checker = module.checker
+    clause = module.program.clauses[1]
+
+    def run():
+        return checker.check_clause(clause)
+
+    report = benchmark(run)
+    assert report.well_typed
+
+
+def test_rejection_is_cheap(benchmark):
+    """Rejecting an ill-typed clause should cost no more than accepting."""
+    from repro.workloads import ILL_TYPED_EXAMPLES
+
+    source = ILL_TYPED_EXAMPLES["clause_two_contexts"]
+
+    def run():
+        return check_text(source)
+
+    module = benchmark(run)
+    assert not module.ok

@@ -1,0 +1,153 @@
+"""One-shot experiment summary — regenerates the EXPERIMENTS.md numbers.
+
+Runs a curated subset of every experiment family with single measurements
+(no pytest-benchmark statistics) and prints a compact table.  Use the
+pytest-benchmark files for rigorous statistics; use this for a quick
+paper-vs-measured check:
+
+    python benchmarks/summary.py
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Tuple
+
+from repro.checker import check_text
+from repro.core import (
+    Matcher,
+    NaiveSubtypeProver,
+    SubtypeEngine,
+    TypedInterpreter,
+    WellTypedChecker,
+)
+from repro.core.derivation import DerivationBuilder, verify_derivation
+from repro.lang import parse_query, parse_term as T
+from repro.lp import Query
+from repro.terms import Struct, Var
+from repro.workloads import (
+    ILL_TYPED_EXAMPLES,
+    deep_int,
+    deep_nat,
+    load,
+    nat_list,
+    paper_universe,
+    synthetic_list_program,
+)
+
+Row = Tuple[str, str]
+
+
+def timed(thunk: Callable[[], object]) -> Tuple[object, float]:
+    start = time.perf_counter()
+    value = thunk()
+    return value, time.perf_counter() - start
+
+
+def fmt(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}µs"
+    if seconds < 1:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def main() -> None:
+    rows: List[Row] = []
+    cset = paper_universe()
+
+    # -- E1/E2: subtype derivation, deterministic vs naive -----------------
+    engine = SubtypeEngine(cset)
+    for depth in (512, 4096, 32768):
+        _, dt = timed(lambda: SubtypeEngine(cset).contains(T("nat"), deep_nat(depth)))
+        rows.append((f"E1 engine: succ^{depth}(0) ∈ nat", fmt(dt)))
+    for depth in (512, 4096):
+        _, dt = timed(lambda: SubtypeEngine(cset).contains(T("nat"), deep_int(depth)))
+        rows.append((f"E1 engine: refute pred^{depth}(0) ∈ nat", fmt(dt)))
+    for length in (256, 4096):
+        _, dt = timed(lambda: SubtypeEngine(cset).contains(T("list(nat)"), nat_list(length)))
+        rows.append((f"E1 engine: {length}-element list ∈ list(nat)", fmt(dt)))
+    naive = NaiveSubtypeProver(cset, max_depth=40, step_limit=4_000_000)
+    for length in (1, 2, 3):
+        verdict, dt = timed(
+            lambda: naive.holds(T("list(nat)"), nat_list(length, element_depth=0))
+        )
+        rows.append(
+            (f"E2 naive SLD: {length}-element list ∈ list(nat) -> {verdict}", fmt(dt))
+        )
+    rows.append(("E2 naive SLD: 4-element list", "diverges (>240s, budget-capped)"))
+
+    # -- E3: restriction analysis ------------------------------------------
+    from repro.core import validate_restrictions
+    from repro.workloads import random_guarded_constraint_set
+    import random
+
+    big = random_guarded_constraint_set(random.Random(7), type_count=128)
+    _, dt = timed(lambda: validate_restrictions(big))
+    rows.append(("E3 uniform+guarded analysis, 258 constraints", fmt(dt)))
+
+    # -- E4: match ------------------------------------------------------------
+    matcher = Matcher(cset)
+    for length in (256, 2048):
+        _, dt = timed(lambda: Matcher(cset).match(T("list(nat)"), nat_list(length)))
+        rows.append((f"E4 match(list(nat), {length}-element list)", fmt(dt)))
+
+    # -- E6/P1: checker throughput --------------------------------------------
+    source = synthetic_list_program(128)
+    module, dt = timed(lambda: check_text(source))
+    assert module.ok
+    clause_count = len(module.program)
+    rows.append(
+        (
+            f"P1 whole-file check, {clause_count} clauses",
+            f"{fmt(dt)} ({clause_count / dt:,.0f} clauses/s)",
+        )
+    )
+
+    # -- E7: consistency overhead ------------------------------------------------
+    append_module = load("append")
+    interpreter = TypedInterpreter(append_module.checker, append_module.program, check_program=False)
+
+    def nil_list(n):
+        t = Struct("nil", ())
+        for _ in range(n):
+            t = Struct("cons", (Struct("nil", ()), t))
+        return t
+
+    query = Query((Struct("app", (nil_list(64), nil_list(1), Var("R"))),))
+    _, plain_dt = timed(
+        lambda: interpreter.run(query, check_resolvents=False, check_answers=False, check_query=False)
+    )
+    result, checked_dt = timed(lambda: interpreter.run(query, check_query=False))
+    rows.append(("E7 plain SLD, 64-element append", fmt(plain_dt)))
+    rows.append(
+        (
+            f"E7 + per-resolvent re-check ({result.resolvents_checked} resolvents, "
+            f"{len(result.violations)} violations)",
+            f"{fmt(checked_dt)} ({checked_dt / plain_dt:.1f}x)",
+        )
+    )
+
+    # -- E11: the worked derivation ------------------------------------------------
+    builder = DerivationBuilder(cset)
+    derivation, dt = timed(lambda: builder.derive(T("list(A)"), T("cons(foo,nil)")))
+    assert derivation is not None and verify_derivation(derivation)
+    rows.append(
+        (f"E11 Section 2 refutation regenerated+verified ({derivation.length} steps)", fmt(dt))
+    )
+
+    # -- E6: paper verdicts -----------------------------------------------------------
+    rejected = sum(1 for s in ILL_TYPED_EXAMPLES.values() if not check_text(s).ok)
+    rows.append(
+        (f"E6 paper's ill-typed examples rejected", f"{rejected}/{len(ILL_TYPED_EXAMPLES)}")
+    )
+
+    width = max(len(label) for label, _ in rows) + 2
+    print("experiment".ljust(width) + "measured")
+    print("-" * (width + 24))
+    for label, value in rows:
+        print(label.ljust(width) + value)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,174 @@
+"""The subtype information-flow problem and filtering (Section 7).
+
+Walks through the paper's concluding discussion with running code:
+
+1. ``PRED p(nat)`` / ``PRED q(int)`` — the query ``:- p(X), q(X).`` is
+   rejected even though sub→super flow would be fine, because the
+   non-directional semantics also allows ``q`` to bind ``X`` to
+   ``pred(0)``.
+2. Modes (the [DH88] remedy): ``p(OUT nat), q(IN int)`` makes the flow
+   direction explicit and the mode checker accepts it, while the reversed
+   direction is flagged.
+3. Conversion predicates: the paper's ``int2nat`` (generated mechanically
+   as a *shallow filter*) is well-typed but only checks the outermost
+   constructor; the exact *deep filter* really decides membership in
+   ``M[nat]`` but its recursive clause is itself ill-typed — the open
+   problem, executable.
+4. Typed unification: the paper's third alternative — the literal query
+   ``:- p(X), X:nat, q(X).`` — run through the constrained interpreter,
+   whose runtime store admits exactly the nat flows.
+
+Run:  python examples/naturals.py
+"""
+
+from repro import check_text, pretty
+from repro.core import (
+    IN,
+    OUT,
+    GeneralTypeSemantics,
+    ModeChecker,
+    ModeEnv,
+    PredicateTypeEnv,
+    WellTypedChecker,
+    deep_filter,
+    shallow_filter,
+)
+from repro.lang import parse_atom, parse_query, parse_term
+from repro.lp import Database, Query, solve
+from repro.terms import Var, struct
+from repro.workloads import naturals
+
+
+def section_1_rejection() -> None:
+    print("== 1. the unmoded query is rejected ==")
+    module = check_text(
+        """
+        FUNC 0, succ, pred.
+        TYPE nat, unnat, int.
+        nat >= 0 + succ(nat).
+        unnat >= 0 + pred(unnat).
+        int >= nat + unnat.
+        PRED p(nat).
+        PRED q(int).
+        p(0).
+        q(0).
+        :- p(X), q(X).
+        """
+    )
+    for diagnostic in module.diagnostics:
+        print(f"  {diagnostic}")
+
+
+def section_2_modes() -> None:
+    print("\n== 2. modes make the direction explicit ==")
+    cset = naturals()
+    predicate_types = PredicateTypeEnv(cset)
+    predicate_types.declare(parse_atom("p(nat)"))
+    predicate_types.declare(parse_atom("q(int)"))
+
+    safe = ModeEnv()
+    safe.declare("p", [OUT])
+    safe.declare("q", [IN])
+    checker = ModeChecker(cset, predicate_types, safe)
+    query = Query(parse_query(":- p(X), q(X).").body)
+    report = checker.check_query(query)
+    print(f"  p(OUT nat), q(IN int)  :- p(X), q(X).   ->  ok={report.ok}")
+
+    unsafe = ModeEnv()
+    unsafe.declare("p", [IN])
+    unsafe.declare("q", [OUT])
+    checker = ModeChecker(cset, predicate_types, unsafe)
+    report = checker.check_query(Query(parse_query(":- q(X), p(X).").body))
+    print(f"  p(IN nat),  q(OUT int) :- q(X), p(X).   ->  ok={report.ok}")
+    for violation in report.violations:
+        print(f"    {violation}")
+
+
+def section_3_filters() -> None:
+    print("\n== 3. conversion predicates: shallow (paper) vs deep (exact) ==")
+    cset = naturals()
+
+    shallow = shallow_filter(cset, "int2nat", parse_term("int"), parse_term("nat"))
+    print("  generated int2nat (the paper's, verbatim):")
+    for clause in shallow.program:
+        print(f"    {clause}")
+    predicate_types = PredicateTypeEnv(cset)
+    for declared in shallow.predicate_types:
+        predicate_types.declare(declared)
+    checker = WellTypedChecker(cset, predicate_types)
+    print(f"  well-typed: {checker.check_program(shallow.program).well_typed}")
+
+    database = Database(shallow.program)
+    for text in ["succ(0)", "pred(0)", "succ(pred(0))"]:
+        result = solve(database, [struct("int2nat", parse_term(text), Var("R"))])
+        verdict = "passes" if result.answers else "filtered out"
+        print(f"    int2nat({text}, R) -> {verdict}")
+    print("    note: succ(pred(0)) is NOT a nat — the shallow filter leaks.")
+
+    deep = deep_filter(cset, "to_nat", parse_term("nat"))
+    print("\n  deep filter clauses (semantically exact):")
+    for clause in deep.program:
+        print(f"    {clause}")
+    deep_types = PredicateTypeEnv(cset)
+    for declared in deep.predicate_types:
+        deep_types.declare(declared)
+    deep_checker = WellTypedChecker(cset, deep_types)
+    report = deep_checker.check_program(deep.program)
+    print(f"  well-typed: {report.well_typed}  (the paper's open problem)")
+    for clause, clause_report in report.failures():
+        print(f"    rejected: {clause} — {clause_report.reason}")
+
+    database = Database(deep.program)
+    semantics = GeneralTypeSemantics(cset)
+    members = semantics.inhabitants(parse_term("nat"), 4)
+    print("  deep filter agrees with M[nat] on every int of depth <= 4:")
+    universe = sorted(semantics.inhabitants(parse_term("int"), 4), key=repr)
+    agree = all(
+        bool(solve(database, [struct("to_nat", term, Var("R"))]).answers)
+        == (term in members)
+        for term in universe
+    )
+    print(f"    {len(universe)} terms checked, agreement: {agree}")
+
+
+def section_4_typed_unification() -> None:
+    print("\n== 4. typed unification: :- p(X), X:nat, q(X). ==")
+    from repro.checker import check_text
+    from repro.lp import ConstrainedInterpreter
+    from repro.core import SubtypeEngine
+
+    module = check_text(
+        """
+        FUNC 0, succ, pred.
+        TYPE nat, unnat, int.
+        nat >= 0 + succ(nat).
+        unnat >= 0 + pred(unnat).
+        int >= nat + unnat.
+        PRED p(int).
+        p(0).  p(succ(0)).  p(pred(0)).
+        PRED q(int).
+        q(0).  q(succ(0)).  q(pred(0)).
+        :- p(X), X : nat, q(X).
+        """
+    )
+    assert module.ok, module.diagnostics.render()
+    interpreter = ConstrainedInterpreter(
+        Database(module.program), SubtypeEngine(module.constraints)
+    )
+    result = interpreter.run(module.queries[0].goals)
+    print("  answers (the X : nat store keeps only the nats):")
+    for answer in result.answers:
+        for variable, value in sorted(answer.substitution.items(), key=lambda p: p[0].name):
+            print(f"    {variable} = {pretty(value)}")
+    print(f"  branches pruned by the store: {result.pruned_by_constraints}")
+
+
+def main() -> None:
+    section_1_rejection()
+    section_2_modes()
+    section_3_filters()
+    section_4_typed_unification()
+
+
+if __name__ == "__main__":
+    main()

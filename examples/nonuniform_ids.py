@@ -1,0 +1,70 @@
+"""Non-uniform polymorphic types: the Section 1 ``id`` example.
+
+The paper: "the declaration
+
+    FUNC m, f.
+    TYPE id.
+    id(males) >= m(nat).
+    id(females) >= f(nat).
+
+introduces a non-uniform polymorphic type id. ... given the declaration
+``person >= male + female.`` the type id(person) contains the elements of
+id(males) and id(females).  This paper assigns meaning to all types,
+however, for simplicity, our well-typedness conditions are defined only
+for uniform polymorphic types."
+
+This example shows both halves: the definitional semantics handles the
+non-uniform set (enumeration + the naive SLD prover), while the
+deterministic machinery correctly *refuses* it (Definition 6).
+
+Run:  python examples/nonuniform_ids.py
+"""
+
+from repro.core import (
+    GeneralTypeSemantics,
+    NaiveSubtypeProver,
+    RestrictionViolation,
+    SubtypeEngine,
+    non_uniform_constraints,
+)
+from repro.lang import parse_term
+from repro.workloads import ids_nonuniform
+
+
+def main() -> None:
+    cset = ids_nonuniform()
+
+    print("== declarations ==")
+    for constraint in cset.constraints_for("id") + cset.constraints_for("person"):
+        print(f"  {constraint}")
+
+    print("\n== the set is not uniform polymorphic (Definition 6) ==")
+    for constraint in non_uniform_constraints(cset):
+        print(f"  non-uniform: {constraint}")
+    try:
+        SubtypeEngine(cset)
+    except RestrictionViolation as error:
+        print(f"  deterministic engine refuses: {error}")
+
+    print("\n== but the semantics covers it (Definition 4) ==")
+    semantics = GeneralTypeSemantics(cset)
+    for text in ["id(males)", "id(females)", "id(person)", "id(nat)"]:
+        inhabitants = sorted(semantics.inhabitants(parse_term(text), 3), key=repr)
+        rendered = ", ".join(str(t) for t in inhabitants) or "(empty)"
+        print(f"  M[{text}] up to depth 3 = {{{rendered}}}")
+
+    males = semantics.inhabitants(parse_term("id(males)"), 3)
+    females = semantics.inhabitants(parse_term("id(females)"), 3)
+    person = semantics.inhabitants(parse_term("id(person)"), 3)
+    print(f"\n  id(person) ⊇ id(males) ∪ id(females): {males | females <= person}")
+    print(f"  id(person) = id(males) ∪ id(females): {males | females == person}")
+
+    print("\n== spot check against the definitional SLD prover ==")
+    prover = NaiveSubtypeProver(cset)
+    for sup, sub in [("id(males)", "m(0)"), ("id(person)", "m(succ(0))")]:
+        verdict = prover.holds(parse_term(sup), parse_term(sub))
+        print(f"  {sup} >= {sub}: {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Whole-file type checker: frontend, diagnostics, CLI."""
+
+from .diagnostics import Diagnostic, DiagnosticBag, Severity
+from .frontend import CheckedModule, check_source, check_text
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticBag",
+    "Severity",
+    "CheckedModule",
+    "check_source",
+    "check_text",
+]

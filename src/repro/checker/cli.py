@@ -1,0 +1,141 @@
+"""Command-line driver: ``tlp-check file.tlp``.
+
+Checks each file and prints diagnostics; with ``--run`` it additionally
+executes the file's queries through the typed interpreter and prints the
+answers (with per-resolvent consistency checking, Theorem 6 style).
+Exit status: 0 when every file is well-typed, 1 otherwise, 2 on usage
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..core.subtype import SubtypeEngine
+from ..core.typed_resolution import TypedInterpreter
+from ..lp.constrained import ConstrainedInterpreter
+from ..lp.database import Database
+from ..terms.pretty import pretty
+from .frontend import check_text
+
+__all__ = ["main"]
+
+
+def _build_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tlp-check",
+        description=(
+            "Type-check (and optionally run) typed logic programs in the "
+            "declaration language of Jacobs, PLDI 1990."
+        ),
+    )
+    parser.add_argument("files", nargs="+", help="source files to check")
+    parser.add_argument(
+        "--run",
+        action="store_true",
+        help="execute the queries of well-typed files through the typed interpreter",
+    )
+    parser.add_argument(
+        "--max-answers",
+        type=int,
+        default=10,
+        help="answers to print per query with --run (default 10)",
+    )
+    parser.add_argument(
+        "--depth-limit",
+        type=int,
+        default=10_000,
+        help="resolution depth bound with --run (default 10000)",
+    )
+    return parser
+
+
+def _run_queries(module, max_answers: int, depth_limit: int) -> int:
+    """Execute queries; returns the number of consistency violations."""
+    assert module.checker is not None
+    # For moded modules the directional checker judges resolvents, so
+    # moded-but-not-strictly-well-typed resolvents are not false alarms.
+    checker = module.moded_checker or module.checker
+    interpreter = TypedInterpreter(checker, module.program, check_program=False)
+    constrained: Optional[ConstrainedInterpreter] = None
+    violations = 0
+    for query in module.queries:
+        print(f"?- {', '.join(pretty(g) for g in query.goals)}.")
+        if any(g.functor == ":" and len(g.args) == 2 for g in query.goals):
+            # Typed-unification query: the constrained interpreter
+            # enforces the ``X : τ`` store at run time (Section 7).
+            if constrained is None:
+                constrained = ConstrainedInterpreter(
+                    Database(module.program), SubtypeEngine(module.constraints)
+                )
+            c_result = constrained.run(
+                query.goals, max_answers=max_answers, depth_limit=depth_limit
+            )
+            if not c_result.answers:
+                print("   no.")
+            for c_answer in c_result.answers:
+                _print_answer(c_answer.substitution)
+                for residue in c_answer.residual:
+                    print(f"     | {residue}")
+            continue
+        result = interpreter.run(
+            query,
+            max_answers=max_answers,
+            depth_limit=depth_limit,
+            check_query=False,
+        )
+        if not result.answers:
+            print("   no.")
+        for answer in result.answers:
+            _print_answer(answer)
+        if not result.consistent:
+            violations += len(result.violations) + len(result.answer_violations)
+            print(f"   !! {len(result.violations)} resolvent consistency violations")
+    return violations
+
+
+def _print_answer(answer) -> None:
+    if len(answer) == 0:
+        print("   yes.")
+        return
+    bindings = ", ".join(
+        f"{var} = {pretty(value)}"
+        for var, value in sorted(answer.items(), key=lambda pair: pair[0].name)
+    )
+    print(f"   {bindings}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (also installed as the ``tlp-check`` console script)."""
+    parser = _build_argument_parser()
+    arguments = parser.parse_args(argv)
+    exit_code = 0
+    for path in arguments.files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            print(f"{path}: cannot read: {error}", file=sys.stderr)
+            return 2
+        module = check_text(text)
+        if len(module.diagnostics):
+            for diagnostic in module.diagnostics:
+                print(f"{path}:{diagnostic}")
+        if module.ok:
+            print(f"{path}: well-typed ({len(module.program)} clauses, "
+                  f"{len(module.queries)} queries)")
+            if arguments.run and module.queries:
+                violations = _run_queries(
+                    module, arguments.max_answers, arguments.depth_limit
+                )
+                if violations:
+                    exit_code = 1
+        else:
+            exit_code = 1
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Structured diagnostics for the whole-file type checker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..lang.ast import Position
+
+__all__ = ["Severity", "Diagnostic", "DiagnosticBag"]
+
+
+class Severity:
+    """Diagnostic severities (errors make the module ill-typed)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One message, optionally anchored to a source position."""
+
+    severity: str
+    message: str
+    position: Optional[Position] = None
+
+    def __str__(self) -> str:
+        where = f"{self.position}: " if self.position else ""
+        return f"{where}{self.severity}: {self.message}"
+
+
+@dataclass
+class DiagnosticBag:
+    """An append-only collection of diagnostics."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def error(self, message: str, position: Optional[Position] = None) -> None:
+        self.diagnostics.append(Diagnostic(Severity.ERROR, message, position))
+
+    def warning(self, message: str, position: Optional[Position] = None) -> None:
+        self.diagnostics.append(Diagnostic(Severity.WARNING, message, position))
+
+    def note(self, message: str, position: Optional[Position] = None) -> None:
+        self.diagnostics.append(Diagnostic(Severity.NOTE, message, position))
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.ERROR]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == Severity.ERROR for d in self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def render(self) -> str:
+        """All diagnostics, one per line."""
+        return "\n".join(str(d) for d in self.diagnostics)

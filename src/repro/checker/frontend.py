@@ -1,0 +1,301 @@
+"""Whole-file type checker: the artifact Section 7 says the authors were
+building ("We are currently implementing a type checker that determines
+whether a program satisfies these conditions").
+
+Pipeline, in source order over a parsed :class:`~repro.lang.ast.SourceFile`:
+
+1. **Arity inference.**  ``FUNC``/``TYPE`` declarations introduce names
+   without arities (as in the paper's examples); each name's arity is
+   inferred from its uses across the whole file and must be consistent.
+   Unused symbols default to arity 0.
+2. **Declaration processing.**  Build the :class:`SymbolTable`, the
+   :class:`ConstraintSet` (with the predefined ``+``), the
+   :class:`PredicateTypeEnv` and the :class:`ModeEnv`, diagnosing
+   malformed items instead of crashing.
+3. **Restriction checks.**  Uniform polymorphism (Definition 6) and
+   guardedness (Definition 9); violations are errors because the
+   well-typedness algorithm is only defined under them.
+4. **Clause/query checks.**  Every program clause and query goes through
+   the Definition 16 checker; rejections become positioned errors carrying
+   the checker's reason.  If mode declarations are present, the Section 7
+   mode checker runs too.
+
+The result object bundles everything later stages need (constraint set,
+predicate types, program, queries, a ready :class:`WellTypedChecker`) so
+callers can go straight from source text to typed execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..core.declarations import ConstraintSet, DeclarationError, SubtypeConstraint, SymbolTable
+from ..core.moded_welltyped import ModedWellTypedChecker
+from ..core.modes import ModeChecker, ModeEnv
+from ..core.predicate_types import PredicateTypeEnv
+from ..core.restrictions import non_uniform_constraints, unguarded_constructors
+from ..core.welltyped import WellTypedChecker
+from ..lang.ast import (
+    ClauseDecl,
+    ConstraintDecl,
+    FuncDecl,
+    ModeDecl,
+    PredDecl,
+    QueryDecl,
+    SourceFile,
+    TypeDecl,
+)
+from ..lang.lexer import LexError
+from ..lang.parser import ParseError, parse_file
+from ..lp.clause import Clause, Program, Query
+from ..terms.term import Struct, Term, subterms
+from .diagnostics import DiagnosticBag
+
+__all__ = ["CheckedModule", "check_source", "check_text"]
+
+
+@dataclass
+class CheckedModule:
+    """Everything produced by checking one source file."""
+
+    diagnostics: DiagnosticBag = field(default_factory=DiagnosticBag)
+    symbols: Optional[SymbolTable] = None
+    constraints: Optional[ConstraintSet] = None
+    predicate_types: Optional[PredicateTypeEnv] = None
+    modes: Optional[ModeEnv] = None
+    program: Program = field(default_factory=Program)
+    queries: List[Query] = field(default_factory=list)
+    checker: Optional[WellTypedChecker] = None
+    moded_checker: Optional[ModedWellTypedChecker] = None
+
+    @property
+    def ok(self) -> bool:
+        """True iff no errors were diagnosed."""
+        return not self.diagnostics.has_errors
+
+
+def _infer_arities(source: SourceFile, bag: DiagnosticBag) -> Dict[str, int]:
+    """Infer each declared symbol's arity from its uses (paper style)."""
+    uses: Dict[str, Set[int]] = {}
+
+    def record(term: Term) -> None:
+        for sub in subterms(term):
+            if isinstance(sub, Struct):
+                uses.setdefault(sub.functor, set()).add(len(sub.args))
+
+    for item in source.items:
+        if isinstance(item, ConstraintDecl):
+            record(item.lhs)
+            record(item.rhs)
+        elif isinstance(item, PredDecl):
+            for arg in item.head.args:
+                record(arg)
+        elif isinstance(item, ClauseDecl):
+            for atom in (item.head,) + item.body:
+                for arg in atom.args:
+                    record(arg)
+        elif isinstance(item, QueryDecl):
+            for atom in item.body:
+                for arg in atom.args:
+                    record(arg)
+
+    arities: Dict[str, int] = {}
+    for item in source.items:
+        if isinstance(item, (FuncDecl, TypeDecl)):
+            for name in item.names:
+                observed = uses.get(name, set())
+                if len(observed) > 1:
+                    bag.error(
+                        f"symbol {name} used with multiple arities "
+                        f"{sorted(observed)}",
+                        item.position,
+                    )
+                    continue
+                arities[name] = next(iter(observed)) if observed else 0
+    return arities
+
+
+def _is_constraint_goal(goal: Struct) -> bool:
+    """True for Section 7 typed-unification constraints ``':'(t, τ)``."""
+    return goal.functor == ":" and len(goal.args) == 2
+
+
+def check_source(source: SourceFile) -> CheckedModule:
+    """Run the full pipeline over a parsed source file."""
+    module = CheckedModule()
+    bag = module.diagnostics
+
+    # Step 1: arities.
+    arities = _infer_arities(source, bag)
+
+    # Step 2: symbol table.
+    symbols = SymbolTable()
+    for item in source.items:
+        names_kind = None
+        if isinstance(item, FuncDecl):
+            names_kind = "function"
+        elif isinstance(item, TypeDecl):
+            names_kind = "type"
+        if names_kind is None:
+            continue
+        for name in item.names:
+            if name not in arities:
+                continue  # arity error already diagnosed
+            try:
+                if names_kind == "function":
+                    symbols.declare_function(name, arities[name])
+                else:
+                    symbols.declare_type_constructor(name, arities[name])
+            except DeclarationError as error:
+                bag.error(str(error), item.position)
+    module.symbols = symbols
+
+    # Step 2b: constraints.
+    constraints = ConstraintSet(symbols)
+    for item in source.of_kind(ConstraintDecl):
+        assert isinstance(item, ConstraintDecl)
+        if not isinstance(item.lhs, Struct):
+            bag.error("constraint left-hand side must be c(τ1,...,τn)", item.position)
+            continue
+        try:
+            constraints.add(SubtypeConstraint(item.lhs, item.rhs))
+        except DeclarationError as error:
+            bag.error(str(error), item.position)
+    module.constraints = constraints
+
+    # Step 2c: predicate types and modes.
+    predicate_types = PredicateTypeEnv(constraints)
+    for item in source.of_kind(PredDecl):
+        assert isinstance(item, PredDecl)
+        try:
+            predicate_types.declare(item.head)
+        except DeclarationError as error:
+            bag.error(str(error), item.position)
+    module.predicate_types = predicate_types
+
+    modes = ModeEnv()
+    for item in source.of_kind(ModeDecl):
+        assert isinstance(item, ModeDecl)
+        try:
+            modes.declare(item.name, item.modes)
+        except DeclarationError as error:
+            bag.error(str(error), item.position)
+    module.modes = modes
+
+    # Step 2d: clauses and queries (object-level syntax checks).
+    for item in source.of_kind(ClauseDecl):
+        assert isinstance(item, ClauseDecl)
+        ok = True
+        for atom in (item.head,) + item.body:
+            if atom is not item.head and _is_constraint_goal(atom):
+                term_side, type_side = atom.args
+                try:
+                    constraints.symbols.check_object_term(term_side)
+                    constraints.symbols.check_type(type_side)
+                except DeclarationError as error:
+                    bag.error(str(error), item.position)
+                    ok = False
+                continue
+            for arg in atom.args:
+                try:
+                    constraints.symbols.check_object_term(arg)
+                except DeclarationError as error:
+                    bag.error(str(error), item.position)
+                    ok = False
+        if ok:
+            module.program.add(Clause(item.head, item.body))
+    for item in source.of_kind(QueryDecl):
+        assert isinstance(item, QueryDecl)
+        ok = True
+        for goal in item.body:
+            if goal.functor == ":" and len(goal.args) == 2:
+                # Section 7 typed-unification constraint: object term on
+                # the left (variables allowed), a type on the right.
+                term_side, type_side = goal.args
+                try:
+                    constraints.symbols.check_object_term(term_side)
+                    constraints.symbols.check_type(type_side)
+                except DeclarationError as error:
+                    bag.error(str(error), item.position)
+                    ok = False
+                continue
+            for arg in goal.args:
+                try:
+                    constraints.symbols.check_object_term(arg)
+                except DeclarationError as error:
+                    bag.error(str(error), item.position)
+                    ok = False
+        if ok:
+            module.queries.append(Query(item.body))
+
+    # Step 3: restrictions.
+    offenders = non_uniform_constraints(constraints)
+    for constraint in offenders:
+        bag.error(
+            f"constraint is not uniform polymorphic (Definition 6): {constraint}"
+        )
+    cyclic = unguarded_constructors(constraints)
+    if cyclic:
+        bag.error(
+            "declarations are not guarded (Definition 9): "
+            f"self-dependent constructors {', '.join(cyclic)}"
+        )
+    if bag.has_errors:
+        return module
+
+    # Step 4: well-typedness of every clause and query.  With MODE
+    # declarations present the [DH88]-style directional fallback applies
+    # (``repro.core.moded_welltyped``); otherwise strict Definition 16.
+    checker = WellTypedChecker(constraints, predicate_types)
+    module.checker = checker
+    moded: Optional[ModedWellTypedChecker] = None
+    if len(modes):
+        moded = ModedWellTypedChecker(constraints, predicate_types, modes)
+        module.moded_checker = moded
+    clause_items = source.of_kind(ClauseDecl)
+    for clause, item in zip(module.program, clause_items):
+        if any(_is_constraint_goal(goal) for goal in clause.body):
+            continue  # constrained-model clause: checked dynamically
+        report = moded.check_clause(clause) if moded else checker.check_clause(clause)
+        if not report.well_typed:
+            bag.error(f"clause is not well-typed: {clause} — {report.reason}", item.position)
+    query_items = source.of_kind(QueryDecl)
+    for query, item in zip(module.queries, query_items):
+        if any(_is_constraint_goal(goal) for goal in query.goals):
+            # A query with ``X : τ`` constraints opts into the
+            # typed-unification execution model (Section 7): Definition 16
+            # does not apply — well-typedness is enforced dynamically by
+            # the constraint store of the constrained interpreter.
+            continue
+        report = moded.check_query(query) if moded else checker.check_query(query)
+        if not report.well_typed:
+            bag.error(f"query is not well-typed: {query} — {report.reason}", item.position)
+
+    # Step 4b: modes, when declared.
+    if len(modes):
+        mode_checker = ModeChecker(constraints, predicate_types, modes)
+        for clause, item in zip(module.program, clause_items):
+            if any(_is_constraint_goal(goal) for goal in clause.body):
+                continue
+            mode_report = mode_checker.check_clause(clause)
+            for violation in mode_report.violations:
+                bag.error(f"mode violation: {violation}", item.position)
+        for query, item in zip(module.queries, query_items):
+            if any(_is_constraint_goal(goal) for goal in query.goals):
+                continue  # constrained queries live outside the mode system
+            mode_report = mode_checker.check_query(query)
+            for violation in mode_report.violations:
+                bag.error(f"mode violation: {violation}", item.position)
+    return module
+
+
+def check_text(text: str) -> CheckedModule:
+    """Parse and check source ``text`` (parse errors become diagnostics)."""
+    module = CheckedModule()
+    try:
+        source = parse_file(text)
+    except (ParseError, LexError) as error:
+        module.diagnostics.error(str(error))
+        return module
+    return check_source(source)

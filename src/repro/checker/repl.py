@@ -1,0 +1,266 @@
+"""An interactive typed-Prolog REPL.
+
+Loads a declaration file and answers queries under the type discipline:
+every query is checked (Definition 16, with the directional fallback when
+the file declares modes) before it is executed, and execution re-checks
+every resolvent (Theorem 6 observation).  Meta-commands expose the type
+system itself:
+
+* ``app(X, Y, cons(nil,nil)).`` — run a (type-checked) query;
+* ``:sub τ1 >= τ2`` — ask the deterministic subtype engine;
+* ``:member τ term`` — ground-term membership ``t ∈ M[τ]``;
+* ``:types term`` — which declared constructors can type a ground term;
+* ``:why goal, goal...`` — explain a query's well-typedness check
+  (per-atom typings, commitments, or the rejection reason);
+* ``:help`` / ``:quit``.
+
+Run:  python -m repro.checker.repl examples/programs/append.tlp
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, List, Optional
+
+from ..core.subtype import SubtypeEngine
+from ..core.typed_resolution import TypedInterpreter
+from ..lang.lexer import LexError
+from ..lang.parser import ParseError, parse_query, parse_term
+from ..lp.clause import Query
+from ..terms.pretty import pretty
+from ..terms.term import Struct, fresh_variable, is_ground
+from .frontend import CheckedModule, check_text
+
+__all__ = ["Repl", "run_session", "main"]
+
+_HELP = """commands:
+  <goal>, <goal>... .      run a type-checked query
+  :sub  T1 >= T2           subtype test (deterministic engine)
+  :member  T  TERM         ground-term membership t in M[T]
+  :types  TERM             declared constructors able to type a ground term
+  :why  <goal>, ...        explain the query's well-typedness check
+  :help                    this message
+  :quit                    leave"""
+
+
+class Repl:
+    """One loaded module plus the machinery to answer queries about it."""
+
+    def __init__(self, module: CheckedModule, max_answers: int = 10) -> None:
+        if not module.ok:
+            raise ValueError(
+                f"module has errors:\n{module.diagnostics.render()}"
+            )
+        self.module = module
+        self.max_answers = max_answers
+        checker = module.moded_checker or module.checker
+        self.interpreter = TypedInterpreter(checker, module.program, check_program=False)
+        self.engine = SubtypeEngine(module.constraints)
+
+    # -- command dispatch ---------------------------------------------------------
+
+    def execute(self, line: str) -> List[str]:
+        """Process one input line; returns the output lines."""
+        line = line.strip()
+        if not line or line.startswith("%"):
+            return []
+        if line.startswith(":") and not line.startswith(":-"):
+            return self._meta(line)
+        return self._query(line)
+
+    def _meta(self, line: str) -> List[str]:
+        command, _, rest = line.partition(" ")
+        rest = rest.strip()
+        if command in (":quit", ":q", ":exit"):
+            raise EOFError
+        if command in (":help", ":h", ":?"):
+            return _HELP.splitlines()
+        if command == ":sub":
+            return self._subtype(rest)
+        if command == ":member":
+            return self._member(rest)
+        if command == ":types":
+            return self._types(rest)
+        if command == ":why":
+            return self._why(rest)
+        return [f"unknown command {command!r} — try :help"]
+
+    def _why(self, rest: str) -> List[str]:
+        text = rest if rest.startswith(":-") else f":- {rest}"
+        if not text.rstrip().endswith("."):
+            text += "."
+        try:
+            parsed = parse_query(text)
+        except (ParseError, LexError) as error:
+            return [f"syntax error: {error}"]
+        checker = self.module.moded_checker or self.module.checker
+        report = checker.check_query(Query(parsed.body))
+        explain = getattr(report, "explain", None)
+        if explain is not None:
+            return explain().splitlines()
+        verdict = "well-typed" if report.well_typed else f"NOT well-typed: {report.reason}"
+        return [verdict]
+
+    # -- queries ---------------------------------------------------------------------
+
+    def _query(self, line: str) -> List[str]:
+        text = line if line.startswith(":-") else f":- {line}"
+        if not text.rstrip().endswith("."):
+            text += "."
+        try:
+            parsed = parse_query(text)
+        except (ParseError, LexError) as error:
+            return [f"syntax error: {error}"]
+        if any(g.functor == ":" and len(g.args) == 2 for g in parsed.body):
+            return self._constrained_query(parsed.body)
+        query = Query(parsed.body)
+        checker = self.module.moded_checker or self.module.checker
+        report = checker.check_query(query)
+        if not report.well_typed:
+            return [f"ill-typed query: {report.reason}"]
+        result = self.interpreter.run(
+            query, max_answers=self.max_answers, check_query=False
+        )
+        out: List[str] = []
+        if not result.answers:
+            out.append("no.")
+        for answer in result.answers:
+            if len(answer) == 0:
+                out.append("yes.")
+            else:
+                bindings = ", ".join(
+                    f"{var} = {pretty(value)}"
+                    for var, value in sorted(answer.items(), key=lambda p: p[0].name)
+                )
+                out.append(bindings)
+        if not result.consistent:
+            out.append(
+                f"!! {len(result.violations)} resolvent consistency violations"
+            )
+        return out
+
+    def _constrained_query(self, goals) -> List[str]:
+        """Run a typed-unification query (Section 7): ``X : τ`` goals are
+        enforced by the constraint store, not Definition 16."""
+        from ..lp.constrained import ConstrainedInterpreter
+        from ..lp.database import Database
+
+        interpreter = ConstrainedInterpreter(
+            Database(self.module.program), self.engine
+        )
+        # Constraints can prune every answer of an infinite search, so the
+        # interactive depth budget is kept modest.
+        result = interpreter.run(goals, max_answers=self.max_answers, depth_limit=300)
+        out: List[str] = []
+        if not result.answers:
+            out.append("no.")
+        for answer in result.answers:
+            if len(answer.substitution) == 0:
+                line = "yes."
+            else:
+                line = ", ".join(
+                    f"{var} = {pretty(value)}"
+                    for var, value in sorted(
+                        answer.substitution.items(), key=lambda p: p[0].name
+                    )
+                )
+            if answer.residual:
+                line += "   | " + ", ".join(str(c) for c in answer.residual)
+            out.append(line)
+        return out
+
+    # -- type-system meta-commands -------------------------------------------------------
+
+    def _parse_term(self, text: str):
+        try:
+            return parse_term(text), None
+        except (ParseError, LexError) as error:
+            return None, [f"syntax error: {error}"]
+
+    def _subtype(self, rest: str) -> List[str]:
+        left, sep, right = rest.partition(">=")
+        if not sep:
+            return ["usage: :sub T1 >= T2"]
+        sup, errors = self._parse_term(left.strip())
+        if errors:
+            return errors
+        sub, errors = self._parse_term(right.strip())
+        if errors:
+            return errors
+        verdict = self.engine.holds(sup, sub)
+        return [f"{pretty(sup)} >= {pretty(sub)}: {'yes' if verdict else 'no'}"]
+
+    def _member(self, rest: str) -> List[str]:
+        parts = rest.split(None, 1)
+        if len(parts) != 2:
+            return ["usage: :member T TERM"]
+        type_term, errors = self._parse_term(parts[0])
+        if errors:
+            return errors
+        term, errors = self._parse_term(parts[1])
+        if errors:
+            return errors
+        if not is_ground(term):
+            return ["membership needs a ground term"]
+        verdict = self.engine.contains(type_term, term)
+        return [f"{pretty(term)} in M[{pretty(type_term)}]: {'yes' if verdict else 'no'}"]
+
+    def _types(self, rest: str) -> List[str]:
+        term, errors = self._parse_term(rest)
+        if errors:
+            return errors
+        if term is None or not is_ground(term):
+            return ["usage: :types GROUND-TERM"]
+        symbols = self.module.constraints.symbols
+        found: List[str] = []
+        for name, arity in symbols.type_constructors.items():
+            candidate = Struct(name, tuple(fresh_variable("_R") for _ in range(arity)))
+            if self.engine.holds(candidate, term):
+                found.append(pretty(candidate) if arity == 0 else f"{name}(...)")
+        if not found:
+            return [f"no declared constructor types {pretty(term)}"]
+        return [f"{pretty(term)} : " + ", ".join(found)]
+
+
+def run_session(source_text: str, commands: Iterable[str]) -> List[str]:
+    """Non-interactive session driver (used by the tests): check the
+    source, feed each command, collect all output lines."""
+    module = check_text(source_text)
+    repl = Repl(module)
+    out: List[str] = []
+    for command in commands:
+        try:
+            out.extend(repl.execute(command))
+        except EOFError:
+            break
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Interactive entry point: ``python -m repro.checker.repl file.tlp``."""
+    arguments = argv if argv is not None else sys.argv[1:]
+    if len(arguments) != 1:
+        print("usage: python -m repro.checker.repl FILE", file=sys.stderr)
+        return 2
+    with open(arguments[0], "r", encoding="utf-8") as handle:
+        module = check_text(handle.read())
+    if not module.ok:
+        print(module.diagnostics.render(), file=sys.stderr)
+        return 1
+    repl = Repl(module)
+    print(f"loaded {arguments[0]} ({len(module.program)} clauses); :help for help")
+    while True:
+        try:
+            line = input("?- ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        try:
+            for output in repl.execute(line):
+                print(output)
+        except EOFError:
+            return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

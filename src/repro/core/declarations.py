@@ -1,0 +1,289 @@
+"""Type declarations: symbol tables, subtype constraints, constraint sets.
+
+This module implements Section 2 of the paper.
+
+* A :class:`SymbolTable` holds the disjoint symbol alphabets ``F``
+  (function symbols) and ``T`` (type constructor symbols), each with a
+  fixed arity.  Predicate symbols live in ``repro.core.predicate_types``.
+* A :class:`SubtypeConstraint` is ``c(τ1,...,τn) >= τ`` with the
+  Definition 2 side condition ``var(τ) ⊆ var(c(τ1,...,τn))``.
+* A :class:`ConstraintSet` is the paper's ``C``: the declared constraints
+  plus (by default) the predefined polymorphic union type ``+`` with its
+  two constraints ``A+B >= A.`` and ``A+B >= B.``
+
+The constraint set also provides the one-step expansion relation
+``c(τ1,...,τn) →_C σ`` used by Definition 13's fourth clause and by the
+deterministic subtype engine: ``σ = τ{α_i ↦ τ_i}`` for some constraint
+``c(α_1,...,α_n) >= τ`` in ``C``.  That notation only makes sense for
+*uniform polymorphic* constraints (Definition 6); for non-uniform ones
+(which the paper assigns meaning to but excludes from the algorithms) the
+expansion falls back to unification against a renamed-apart left-hand
+side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..terms.pretty import UNION_TYPE, pretty
+from ..terms.substitution import Substitution
+from ..terms.term import Struct, Term, Var, rename_apart, subterms, variables_of
+from ..terms.unify import unify
+
+__all__ = [
+    "DeclarationError",
+    "SymbolKind",
+    "SymbolTable",
+    "SubtypeConstraint",
+    "ConstraintSet",
+    "UNION_CONSTRAINTS",
+]
+
+
+class DeclarationError(Exception):
+    """Raised for malformed declarations (arity clashes, unknown symbols,
+    violated Definition 2 side conditions, ...)."""
+
+
+class SymbolKind:
+    """Classification of a symbol occurrence."""
+
+    FUNCTION = "function"
+    TYPE_CONSTRUCTOR = "type"
+
+
+class SymbolTable:
+    """The alphabets ``F`` and ``T`` with fixed arities.
+
+    The paper keeps ``V``, ``F`` and ``T`` disjoint; we enforce that a
+    name is declared in at most one alphabet and always with the same
+    arity.
+    """
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, int] = {}
+        self.type_constructors: Dict[str, int] = {}
+
+    # -- declaration -------------------------------------------------------
+
+    def declare_function(self, name: str, arity: int) -> None:
+        """Add ``name/arity`` to ``F``."""
+        self._declare(self.functions, self.type_constructors, name, arity, "function symbol")
+
+    def declare_type_constructor(self, name: str, arity: int) -> None:
+        """Add ``name/arity`` to ``T``."""
+        self._declare(self.type_constructors, self.functions, name, arity, "type constructor")
+
+    @staticmethod
+    def _declare(
+        target: Dict[str, int], other: Dict[str, int], name: str, arity: int, what: str
+    ) -> None:
+        if arity < 0:
+            raise DeclarationError(f"negative arity for {what} {name}")
+        if name in other:
+            raise DeclarationError(f"{name} already declared in the other alphabet")
+        existing = target.get(name)
+        if existing is not None and existing != arity:
+            raise DeclarationError(
+                f"{what} {name} redeclared with arity {arity} (was {existing})"
+            )
+        target[name] = arity
+
+    # -- queries -----------------------------------------------------------
+
+    def kind_of(self, name: str) -> Optional[str]:
+        """``SymbolKind`` of ``name``, or ``None`` if undeclared."""
+        if name in self.functions:
+            return SymbolKind.FUNCTION
+        if name in self.type_constructors:
+            return SymbolKind.TYPE_CONSTRUCTOR
+        return None
+
+    def is_function(self, name: str) -> bool:
+        """True iff ``name ∈ F``."""
+        return name in self.functions
+
+    def is_type_constructor(self, name: str) -> bool:
+        """True iff ``name ∈ T``."""
+        return name in self.type_constructors
+
+    def arity_of(self, name: str) -> int:
+        """Declared arity of ``name`` (in either alphabet)."""
+        if name in self.functions:
+            return self.functions[name]
+        if name in self.type_constructors:
+            return self.type_constructors[name]
+        raise DeclarationError(f"undeclared symbol {name}")
+
+    def check_type(self, term: Term) -> None:
+        """Check ``term`` is a well-formed type: a term over ``F ∪ T``
+        (Definition 1) respecting declared arities."""
+        for sub in subterms(term):
+            if isinstance(sub, Var):
+                continue
+            kind = self.kind_of(sub.functor)
+            if kind is None:
+                raise DeclarationError(f"undeclared symbol {sub.functor} in type {pretty(term)}")
+            if self.arity_of(sub.functor) != len(sub.args):
+                raise DeclarationError(
+                    f"symbol {sub.functor} used with arity {len(sub.args)} "
+                    f"but declared with arity {self.arity_of(sub.functor)}"
+                )
+
+    def check_object_term(self, term: Term) -> None:
+        """Check ``term`` is a term over ``F`` only (the object language)."""
+        for sub in subterms(term):
+            if isinstance(sub, Var):
+                continue
+            if not self.is_function(sub.functor):
+                raise DeclarationError(
+                    f"symbol {sub.functor} is not a declared function symbol"
+                )
+            if self.functions[sub.functor] != len(sub.args):
+                raise DeclarationError(
+                    f"function symbol {sub.functor} used with arity {len(sub.args)} "
+                    f"but declared with arity {self.functions[sub.functor]}"
+                )
+
+    def copy(self) -> "SymbolTable":
+        """An independent copy."""
+        out = SymbolTable()
+        out.functions = dict(self.functions)
+        out.type_constructors = dict(self.type_constructors)
+        return out
+
+
+@dataclass(frozen=True)
+class SubtypeConstraint:
+    """``lhs >= rhs`` where ``lhs = c(τ1,...,τn)`` for some ``c ∈ T``.
+
+    Definition 2 requires ``var(rhs) ⊆ var(lhs)``; the constructor checks
+    it, so an ill-formed constraint cannot be built.
+    """
+
+    lhs: Struct
+    rhs: Term
+
+    def __post_init__(self) -> None:
+        if not variables_of(self.rhs) <= variables_of(self.lhs):
+            raise DeclarationError(
+                f"constraint {self} violates var(rhs) ⊆ var(lhs) (Definition 2)"
+            )
+
+    @property
+    def constructor(self) -> str:
+        """The defined type constructor ``c``."""
+        return self.lhs.functor
+
+    @property
+    def is_uniform(self) -> bool:
+        """Definition 6: the lhs arguments are distinct variables."""
+        args = self.lhs.args
+        return all(isinstance(a, Var) for a in args) and len(set(args)) == len(args)
+
+    def __str__(self) -> str:
+        return f"{pretty(self.lhs)} >= {pretty(self.rhs)}."
+
+
+def _union_constraints() -> Tuple[SubtypeConstraint, ...]:
+    a, b = Var("A"), Var("B")
+    union = Struct(UNION_TYPE, (a, b))
+    return (SubtypeConstraint(union, a), SubtypeConstraint(union, b))
+
+
+UNION_CONSTRAINTS = _union_constraints()
+
+
+class ConstraintSet:
+    """The paper's ``C``: a set of subtype constraints over a symbol table."""
+
+    def __init__(
+        self,
+        symbols: SymbolTable,
+        constraints: Iterable[SubtypeConstraint] = (),
+        include_union: bool = True,
+    ) -> None:
+        self.symbols = symbols.copy()
+        self.constraints: List[SubtypeConstraint] = []
+        self._by_constructor: Dict[str, List[SubtypeConstraint]] = {}
+        if include_union and not self.symbols.is_type_constructor(UNION_TYPE):
+            self.symbols.declare_type_constructor(UNION_TYPE, 2)
+        for constraint in constraints:
+            self.add(constraint)
+        if include_union:
+            for constraint in UNION_CONSTRAINTS:
+                if constraint not in self.constraints:
+                    self.add(constraint)
+
+    def add(self, constraint: SubtypeConstraint) -> None:
+        """Add ``constraint``, checking both sides against the alphabets."""
+        if not self.symbols.is_type_constructor(constraint.constructor):
+            raise DeclarationError(
+                f"constraint head {constraint.constructor} is not a declared type constructor"
+            )
+        self.symbols.check_type(constraint.lhs)
+        self.symbols.check_type(constraint.rhs)
+        self.constraints.append(constraint)
+        self._by_constructor.setdefault(constraint.constructor, []).append(constraint)
+
+    def __iter__(self) -> Iterator[SubtypeConstraint]:
+        return iter(self.constraints)
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def constraints_for(self, constructor: str) -> List[SubtypeConstraint]:
+        """All constraints whose lhs constructor is ``constructor``."""
+        return self._by_constructor.get(constructor, [])
+
+    def defined_constructors(self) -> Set[str]:
+        """Type constructors with at least one constraint."""
+        return set(self._by_constructor)
+
+    # -- the one-step expansion relation →_C --------------------------------
+
+    def expansions(self, type_term: Struct) -> List[Term]:
+        """All ``σ`` with ``type_term →_C σ``.
+
+        For a uniform constraint ``c(α1,...,αn) >= τ`` this is the direct
+        substitution ``τ{α_i ↦ τ_i}`` of Definition 13.  For a non-uniform
+        constraint the lhs is renamed apart and unified with ``type_term``
+        (this is exactly the "two-step application" resolvent in the
+        general case); expansions that would instantiate variables of
+        ``type_term`` itself are skipped, conservatively — the algorithms
+        of Sections 3-6 are only defined for uniform sets anyway.
+        """
+        out: List[Term] = []
+        for constraint in self.constraints_for(type_term.functor):
+            expansion = self.expand_with(type_term, constraint)
+            if expansion is not None:
+                out.append(expansion)
+        return out
+
+    def expand_with(
+        self, type_term: Struct, constraint: SubtypeConstraint
+    ) -> Optional[Term]:
+        """``σ`` with ``type_term →_C σ`` via ``constraint``, or ``None``."""
+        if constraint.constructor != type_term.functor:
+            return None
+        if len(constraint.lhs.args) != len(type_term.args):
+            return None
+        if constraint.is_uniform:
+            mapping = {
+                alpha: actual
+                for alpha, actual in zip(constraint.lhs.args, type_term.args)
+                if isinstance(alpha, Var)
+            }
+            return Substitution(mapping).apply(constraint.rhs)
+        renamed_lhs, mapping = rename_apart(constraint.lhs)
+        renamed_rhs = Substitution(dict(mapping)).apply(constraint.rhs)
+        theta = unify(renamed_lhs, type_term)
+        if theta is None:
+            return None
+        if any(var in theta for var in variables_of(type_term)):
+            return None
+        return theta.apply(renamed_rhs)
+
+    def __str__(self) -> str:
+        return "\n".join(str(c) for c in self.constraints)

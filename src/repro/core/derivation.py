@@ -1,0 +1,323 @@
+"""Explicit SLD-refutations for subtype goals.
+
+Definition 3 says ``τ1 ⪰_C τ2`` *means* there is an SLD-refutation of
+``H_C ∪ {:- τ1 >= τ2}``, and Section 2 displays one such refutation for
+``cons(foo, nil) ∈ M[[list(A)]]``.  The deterministic engine of
+``repro.core.subtype`` only answers yes/no; this module produces the
+*evidence*: a step-by-step refutation in which every step names the
+``H_C`` clause applied (a constraint fact, a substitution axiom, or the
+transitivity axiom) and shows the resolvent it produces — exactly the
+paper's display format.
+
+The builder searches with the same strategy as the engine (supertype-
+directed clause selection, Theorems 1–2; two-step applications become the
+two SLD steps they abbreviate), so a derivation exists whenever the
+engine says yes.  :func:`verify_derivation` independently replays a
+derivation against ``H_C`` with nothing but unification — each step must
+be a legal SLD-resolution step and the final resolvent must be empty —
+giving the tests an end-to-end check that the strategy really produces
+refutations of the paper's Horn theory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..lp.clause import Clause, rename_clause_apart
+from ..terms.pretty import pretty
+from ..terms.term import Struct, Term, Var, fresh_variable, variables_of
+from ..terms.unify import unify
+from .declarations import ConstraintSet
+from .horn import SUBTYPE_PREDICATE, subtype_goal
+from .recursion import ensure_recursion_capacity
+from .restrictions import validate_restrictions
+
+__all__ = ["DerivationStep", "Derivation", "DerivationBuilder", "verify_derivation"]
+
+
+@dataclass(frozen=True)
+class DerivationStep:
+    """One SLD-resolution step: the clause applied and the resolvent."""
+
+    rule: str  # "constraint" | "substitution" | "transitivity"
+    clause: Clause  # the H_C clause (unrenamed, as in the theory)
+    resolvent: Tuple[Struct, ...]  # goals after the step, fully instantiated
+
+    def describe(self) -> str:
+        goals = ", ".join(_render_goal(g) for g in self.resolvent) or "□"
+        return f"[{self.rule}: {self.clause}]  :- {goals}."
+
+
+@dataclass
+class Derivation:
+    """A complete refutation of ``:- goal.`` from ``H_C``."""
+
+    goal: Struct
+    steps: List[DerivationStep]
+
+    @property
+    def length(self) -> int:
+        return len(self.steps)
+
+    def render(self) -> str:
+        """The paper's display: the initial goal, then each resolvent."""
+        lines = [f":- {_render_goal(self.goal)}."]
+        for step in self.steps:
+            lines.append(step.describe())
+        return "\n".join(lines)
+
+
+def _render_goal(goal: Struct) -> str:
+    if goal.functor == SUBTYPE_PREDICATE and len(goal.args) == 2:
+        return f"{pretty(goal.args[0])} >= {pretty(goal.args[1])}"
+    return pretty(goal)
+
+
+class DerivationBuilder:
+    """Search for refutations with the Theorem 1–2 strategy, recording
+    every SLD step taken on the successful branch."""
+
+    def __init__(self, constraints: ConstraintSet, validate: bool = True) -> None:
+        if validate:
+            validate_restrictions(constraints)
+        self.constraints = constraints
+        self.symbols = constraints.symbols
+        self._bindings: Dict[Var, Term] = {}
+        self._trail: List[Var] = []
+
+    # -- public -------------------------------------------------------------------
+
+    def derive(self, supertype: Term, subtype: Term) -> Optional[Derivation]:
+        """A refutation of ``:- supertype >= subtype.``, or ``None``."""
+        ensure_recursion_capacity(supertype, subtype)
+        self._bindings.clear()
+        self._trail.clear()
+        goal = subtype_goal(supertype, subtype)
+        for steps in self._prove_goals((goal,)):
+            # Resolve all recorded resolvents under the final bindings so
+            # the displayed derivation is fully instantiated (the paper
+            # shows the composed answer substitution applied).
+            resolved_steps = [
+                DerivationStep(
+                    step.rule,
+                    step.clause,
+                    tuple(self._deep_resolve(g) for g in step.resolvent),  # type: ignore[misc]
+                )
+                for step in steps
+            ]
+            return Derivation(self._deep_resolve(goal), resolved_steps)  # type: ignore[arg-type]
+        return None
+
+    # -- bindings ----------------------------------------------------------------------
+
+    def _walk(self, term: Term) -> Term:
+        while isinstance(term, Var) and term in self._bindings:
+            term = self._bindings[term]
+        return term
+
+    def _deep_resolve(self, term: Term) -> Term:
+        term = self._walk(term)
+        if isinstance(term, Var):
+            return term
+        if not term.args:
+            return term
+        return Struct(term.functor, tuple(self._deep_resolve(a) for a in term.args))
+
+    def _occurs(self, var: Var, term: Term) -> bool:
+        stack = [term]
+        while stack:
+            current = self._walk(stack.pop())
+            if current == var:
+                return True
+            if isinstance(current, Struct):
+                stack.extend(current.args)
+        return False
+
+    def _bind(self, var: Var, term: Term) -> bool:
+        if self._occurs(var, term):
+            return False
+        self._bindings[var] = term
+        self._trail.append(var)
+        return True
+
+    def _undo_to(self, mark: int) -> None:
+        while len(self._trail) > mark:
+            del self._bindings[self._trail.pop()]
+
+    # -- H_C clause constructors (for the step records) ------------------------------------
+
+    def _substitution_axiom(self, name: str, arity: int) -> Clause:
+        if arity == 0:
+            constant = Struct(name, ())
+            return Clause(subtype_goal(constant, constant))
+        alphas = tuple(Var(f"A{i}") for i in range(arity))
+        betas = tuple(Var(f"B{i}") for i in range(arity))
+        head = subtype_goal(Struct(name, alphas), Struct(name, betas))
+        return Clause(head, tuple(subtype_goal(a, b) for a, b in zip(alphas, betas)))
+
+    def _transitivity_axiom(self) -> Clause:
+        a, b, c = Var("A"), Var("B"), Var("C")
+        return Clause(subtype_goal(a, c), (subtype_goal(a, b), subtype_goal(b, c)))
+
+    # -- the strategy, with step recording ----------------------------------------------------
+
+    def _prove_goals(
+        self, goals: Tuple[Struct, ...]
+    ) -> Iterator[List[DerivationStep]]:
+        """Yield step lists refuting ``goals`` (leftmost selection)."""
+        if not goals:
+            yield []
+            return
+        first, rest = goals[0], goals[1:]
+        supertype = self._walk(first.args[0])
+        subtype = self._walk(first.args[1])
+        for head_steps in self._prove_one(supertype, subtype, rest):
+            yield head_steps
+
+    def _prove_one(
+        self, supertype: Term, subtype: Term, rest: Tuple[Struct, ...]
+    ) -> Iterator[List[DerivationStep]]:
+        # Variable cases: apply the substitution axiom of the other side's
+        # outermost symbol (binding the variable), mirroring the engine.
+        if isinstance(supertype, Var) or isinstance(subtype, Var):
+            yield from self._prove_variable(supertype, subtype, rest)
+            return
+        assert isinstance(supertype, Struct) and isinstance(subtype, Struct)
+        if not self.symbols.is_type_constructor(supertype.functor):
+            # Theorem 1: only the substitution axiom for this symbol.
+            if (
+                supertype.functor == subtype.functor
+                and len(supertype.args) == len(subtype.args)
+            ):
+                yield from self._apply_substitution(supertype, subtype, rest)
+            return
+        # Theorem 2: substitution axiom (same constructor) ...
+        if (
+            supertype.functor == subtype.functor
+            and len(supertype.args) == len(subtype.args)
+        ):
+            yield from self._apply_substitution(supertype, subtype, rest)
+        # ... and the two-step application of each constraint.
+        for constraint in self.constraints.constraints_for(supertype.functor):
+            expansion = self.constraints.expand_with(
+                Struct(supertype.functor, tuple(self._deep_resolve(a) for a in supertype.args)),
+                constraint,
+            )
+            if expansion is None:
+                continue
+            transitivity = self._transitivity_axiom()
+            fact = Clause(subtype_goal(constraint.lhs, constraint.rhs))
+            bridge = fresh_variable("_B")
+            step_one = DerivationStep(
+                "transitivity",
+                transitivity,
+                (subtype_goal(supertype, bridge), subtype_goal(bridge, subtype))
+                + rest,
+            )
+            new_goal = subtype_goal(expansion, subtype)
+            step_two = DerivationStep("constraint", fact, (new_goal,) + rest)
+            for tail_steps in self._prove_goals((new_goal,) + rest):
+                yield [step_one, step_two] + tail_steps
+
+    def _prove_variable(
+        self, supertype: Term, subtype: Term, rest: Tuple[Struct, ...]
+    ) -> Iterator[List[DerivationStep]]:
+        variable, other = (
+            (supertype, subtype) if isinstance(supertype, Var) else (subtype, supertype)
+        )
+        assert isinstance(variable, Var)
+        if isinstance(other, Var):
+            # Both variables: bind them together; any reflexivity fact
+            # would do, use transitivity-free binding via the substitution
+            # axiom of a fresh constant is overkill — record as the
+            # degenerate substitution axiom of the bound value once known.
+            mark = len(self._trail)
+            if variable == other or self._bind(variable, other):
+                # A >= A succeeds by the substitution axiom of whatever A
+                # becomes; record nothing extra by resolving it as a
+                # reflexivity application on a fresh constant.
+                constant = Struct("'$any", ())
+                if isinstance(self._walk(other), Var):
+                    self._bind(other if isinstance(other, Var) else variable, constant)
+                axiom = self._substitution_axiom(constant.functor, 0)
+                step = DerivationStep("substitution", axiom, rest)
+                for tail in self._prove_goals(rest):
+                    yield [step] + tail
+            self._undo_to(mark)
+            return
+        assert isinstance(other, Struct)
+        mark = len(self._trail)
+        if self._bind(variable, other):
+            # The goal is now other >= other (or the symmetric); refute it
+            # through the substitution axiom chain.
+            resolved = self._deep_resolve(other)
+            yield from self._apply_substitution(resolved, resolved, rest)  # type: ignore[arg-type]
+        self._undo_to(mark)
+
+    def _apply_substitution(
+        self, supertype: Struct, subtype: Struct, rest: Tuple[Struct, ...]
+    ) -> Iterator[List[DerivationStep]]:
+        axiom = self._substitution_axiom(supertype.functor, len(supertype.args))
+        component_goals = tuple(
+            subtype_goal(sup_arg, sub_arg)
+            for sup_arg, sub_arg in zip(supertype.args, subtype.args)
+        )
+        step = DerivationStep("substitution", axiom, component_goals + rest)
+        for tail in self._prove_goals(component_goals + rest):
+            yield [step] + tail
+
+
+# -- independent verification ------------------------------------------------------------------
+
+
+def _canonical(goals: Tuple[Struct, ...]) -> Tuple:
+    numbering: Dict[Var, int] = {}
+
+    def walk(term: Term) -> Tuple:
+        if isinstance(term, Var):
+            if term not in numbering:
+                numbering[term] = len(numbering)
+            return ("v", numbering[term])
+        assert isinstance(term, Struct)
+        return (term.functor, tuple(walk(a) for a in term.args))
+
+    return tuple(walk(g) for g in goals)
+
+
+def verify_derivation(derivation: Derivation) -> bool:
+    """Replay ``derivation`` as plain SLD-resolution.
+
+    Each step must resolve the current leftmost goal against a
+    renamed-apart copy of the step's clause, and the recorded resolvent
+    must be an *instance* of the computed one (the builder records
+    resolvents with the final answer substitution applied, which is a
+    legal instance of every intermediate resolvent).  The last resolvent
+    must be empty.
+    """
+    current: Tuple[Struct, ...] = (derivation.goal,)
+    for step in derivation.steps:
+        if not current:
+            return False
+        renamed = rename_clause_apart(step.clause)
+        theta = unify(current[0], renamed.head)
+        if theta is None:
+            return False
+        computed = tuple(theta.apply(g) for g in renamed.body + current[1:])
+        if len(computed) != len(step.resolvent):
+            return False
+        # The recorded resolvent must be a simultaneous instance of the
+        # computed one.
+        instance = unify(
+            Struct("'$goals", computed), Struct("'$goals", tuple(step.resolvent))
+        )
+        if instance is None:
+            return False
+        # Only variables of the *computed* resolvent may be instantiated.
+        recorded_vars = set()
+        for goal in step.resolvent:
+            recorded_vars |= variables_of(goal)
+        if any(var in instance for var in recorded_vars):
+            return False
+        current = tuple(step.resolvent)
+    return not current

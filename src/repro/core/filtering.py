@@ -1,0 +1,190 @@
+"""Type conversion / filter predicates — Section 7's proposed remedy.
+
+In the paper's system the only way to send a value across a subtype
+boundary in the "wrong" direction is an explicit conversion predicate::
+
+    PRED int2nat(int,nat).
+    int2nat(0,0).
+    int2nat(succ(X),succ(X)).
+
+"This predicate filters out all ints that are not nats.  We are currently
+exploring a more general solution to this problem based on this notion of
+filtering."  This module generates such filters mechanically from the
+constraint set, in two flavours that make the design space of that future
+work concrete:
+
+* :func:`shallow_filter` — the paper's own shape: one fact-like clause per
+  *constructor shape* of the target type, with both arguments sharing the
+  same pattern.  These filters are **well-typed** under Definition 16
+  (which is why the paper writes them this way), but they only check the
+  outermost constructor — ``int2nat(succ(pred(0)), succ(pred(0)))``
+  succeeds even though ``succ(pred(0))`` is not a ``nat``.
+* :func:`deep_filter` — structurally recursive clauses that check
+  membership in ``M_C[[τ]]`` completely.  These are semantically exact
+  (a deep filter succeeds on ``t`` iff ``t ∈ M_C[[τ]]``, tested against
+  the enumeration semantics) but their recursive clauses are **not
+  well-typed**: the recursive call types the argument variable at the
+  source type while the head pattern types it at the target type, exactly
+  the same-variable-two-contexts situation Definition 16 exists to
+  reject.  The tests assert both halves of this trade-off — it is the
+  clearest executable statement of why the paper calls the problem open.
+
+A *constructor shape* of ``τ`` is a function-headed type reachable from
+``τ`` by constraint expansions alone: ``nat`` has shapes ``0`` and
+``succ(nat)``; ``list(A)`` has shapes ``nil`` and ``cons(A, list(A))``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from ..lp.clause import Clause, Program
+from ..terms.pretty import pretty
+from ..terms.term import Struct, Term, Var, fresh_variable
+from .declarations import ConstraintSet
+from .restrictions import validate_restrictions
+
+__all__ = ["FilterDefinition", "constructor_shapes", "shallow_filter", "deep_filter"]
+
+
+@dataclass
+class FilterDefinition:
+    """A generated filter: its clauses plus the PRED declarations needed."""
+
+    name: str
+    predicate_types: List[Struct] = field(default_factory=list)
+    program: Program = field(default_factory=Program)
+
+    @property
+    def main_predicate_type(self) -> Struct:
+        return self.predicate_types[0]
+
+
+def constructor_shapes(constraints: ConstraintSet, type_term: Term) -> List[Term]:
+    """All function-headed (or variable) types reachable from ``type_term``
+    by constraint expansion, in first-reached order.
+
+    A variable in the result means the type includes *everything* (it can
+    expand to a bare type variable, as ``A + B`` does).  Requires a
+    guarded set so the expansion closure is finite (Theorem 3).
+    """
+    validate_restrictions(constraints, require_uniform=True, require_guarded=True)
+    shapes: List[Term] = []
+    seen: Set[Term] = set()
+    queue: List[Term] = [type_term]
+    while queue:
+        current = queue.pop(0)
+        if current in seen:
+            continue
+        seen.add(current)
+        if isinstance(current, Var):
+            if current not in shapes:
+                shapes.append(current)
+            continue
+        assert isinstance(current, Struct)
+        if constraints.symbols.is_type_constructor(current.functor):
+            queue.extend(constraints.expansions(current))
+        else:
+            if current not in shapes:
+                shapes.append(current)
+    return shapes
+
+
+def _pattern_for(shape: Struct) -> Struct:
+    """A fresh-variable pattern ``f(X1,...,Xn)`` for shape ``f(σ1,...,σn)``."""
+    return Struct(shape.functor, tuple(fresh_variable("X") for _ in shape.args))
+
+
+def shallow_filter(
+    constraints: ConstraintSet,
+    name: str,
+    source_type: Term,
+    target_type: Term,
+) -> FilterDefinition:
+    """The paper-style filter: one clause per constructor shape of
+    ``target_type``, both arguments sharing the pattern.
+
+    ``shallow_filter(C, "int2nat", int, nat)`` reproduces the paper's
+    ``int2nat`` verbatim (modulo variable names).
+    """
+    definition = FilterDefinition(name)
+    definition.predicate_types.append(Struct(name, (source_type, target_type)))
+    for shape in constructor_shapes(constraints, target_type):
+        if isinstance(shape, Var):
+            variable = fresh_variable("X")
+            definition.program.add(Clause(Struct(name, (variable, variable))))
+            continue
+        pattern = _pattern_for(shape)
+        definition.program.add(Clause(Struct(name, (pattern, pattern))))
+    return definition
+
+
+def _mangle(type_term: Term) -> str:
+    """A predicate-name-safe rendering of a type term."""
+    text = pretty(type_term).replace("+", "or")
+    return re.sub(r"[^0-9a-zA-Z]+", "_", text).strip("_").lower()
+
+
+def deep_filter(
+    constraints: ConstraintSet,
+    name: str,
+    target_type: Term,
+) -> FilterDefinition:
+    """A structurally recursive, semantically exact membership filter.
+
+    For every constructor shape ``f(σ1,...,σn)`` of the target a clause ::
+
+        name(f(X1,...,Xn), f(Y1,...,Yn)) :- sub_σ1(X1,Y1), ..., sub_σn(Xn,Yn).
+
+    is generated, with one helper filter per distinct argument type (a
+    variable argument type needs no check and shares the variable between
+    the two patterns).  The source type of every generated predicate is a
+    fresh type variable: the filter accepts *any* term and succeeds
+    exactly on members of the target type.
+    """
+    definition = FilterDefinition(name)
+    filter_names: Dict[Term, str] = {}
+
+    def filter_for(type_term: Term) -> str:
+        existing = filter_names.get(type_term)
+        if existing is not None:
+            return existing
+        filter_name = name if not filter_names else f"{name}_{_mangle(type_term)}"
+        # Reserve the name before generating clauses: recursive types
+        # (nat's succ(nat) shape) call back into themselves.
+        filter_names[type_term] = filter_name
+        definition.predicate_types.append(
+            Struct(filter_name, (fresh_variable("S"), type_term))
+        )
+        for shape in constructor_shapes(constraints, type_term):
+            if isinstance(shape, Var):
+                variable = fresh_variable("X")
+                definition.program.add(Clause(Struct(filter_name, (variable, variable))))
+                continue
+            sources: List[Term] = []
+            targets: List[Term] = []
+            body: List[Struct] = []
+            for argument_type in shape.args:
+                if isinstance(argument_type, Var):
+                    shared = fresh_variable("X")
+                    sources.append(shared)
+                    targets.append(shared)
+                    continue
+                source_var = fresh_variable("X")
+                target_var = fresh_variable("Y")
+                sources.append(source_var)
+                targets.append(target_var)
+                body.append(
+                    Struct(filter_for(argument_type), (source_var, target_var))
+                )
+            head = Struct(
+                filter_name,
+                (Struct(shape.functor, tuple(sources)), Struct(shape.functor, tuple(targets))),
+            )
+            definition.program.add(Clause(head, tuple(body)))
+        return filter_name
+
+    filter_for(target_type)
+    return definition

@@ -1,0 +1,151 @@
+"""The least model of ``H_C``, computed bottom-up (Section 2's other half).
+
+The paper assigns meaning to types by reading the declarations as Horn
+clauses: "This technique provides a (least) model for types and, at the
+same time, a sound and complete proof system for deriving subtypes."  The
+proof-system half is ``repro.core.subtype_sld`` (top-down SLD) and
+``repro.core.subtype`` (the deterministic strategy); this module is the
+*model* half: the least fixpoint of the immediate-consequence operator
+``T_{H_C}``, restricted to a finite universe of ground types.
+
+The universe must be **subterm- and expansion-closed**
+(:func:`expansion_closed_universe`): every argument of a universe term
+and every one-step constraint expansion of a universe term is again in
+the universe.  Under that closure the deterministic derivation of any
+``a ⪰ b`` with ``a, b`` in the universe only ever visits universe terms
+(expansions for the supertype, subterms for the subtype), so the bounded
+least model agrees *exactly* with ``⪰_C`` on universe pairs — which the
+tests verify against both provers, closing the triangle
+
+    bottom-up fixpoint  ==  top-down SLD  ==  deterministic strategy.
+
+Iteration rules (the clauses of ``H_C``, applied as consequences):
+
+* **constraint facts** — every instantiation of ``c(α…) >= τ`` whose
+  both sides land in the universe;
+* **substitution axioms** — ``s(a…) >= s(b…)`` once every ``a_i >= b_i``
+  holds (reflexivity of constants is the 0-ary case);
+* **transitivity** — relational composition.
+
+Everything is finite and monotone, so the loop terminates at the least
+fixpoint.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from ..terms.substitution import Substitution
+from ..terms.term import Struct, Term, Var, variables_of
+from .declarations import ConstraintSet
+from .restrictions import validate_restrictions
+
+__all__ = ["expansion_closed_universe", "LeastModel"]
+
+
+def expansion_closed_universe(
+    constraints: ConstraintSet,
+    seeds: Iterable[Term],
+    max_size: int = 2000,
+) -> FrozenSet[Struct]:
+    """The smallest subterm- and expansion-closed set of ground types
+    containing ``seeds``.
+
+    Requires a uniform, guarded set (Theorem 3 bounds the expansion
+    closure).  ``max_size`` is a safety valve against accidentally huge
+    universes.
+    """
+    validate_restrictions(constraints)
+    universe: Set[Struct] = set()
+    worklist: List[Term] = list(seeds)
+    while worklist:
+        term = worklist.pop()
+        if isinstance(term, Var):
+            raise ValueError("the bounded least model is defined over ground types")
+        if term in universe:
+            continue
+        if len(universe) >= max_size:
+            raise ValueError(f"universe exceeded max_size={max_size}")
+        universe.add(term)
+        worklist.extend(term.args)
+        if constraints.symbols.is_type_constructor(term.functor):
+            worklist.extend(constraints.expansions(term))  # ground: direct
+    return frozenset(universe)
+
+
+class LeastModel:
+    """``lfp(T_{H_C})`` restricted to ``universe × universe``."""
+
+    def __init__(self, constraints: ConstraintSet, universe: FrozenSet[Struct]) -> None:
+        self.constraints = constraints
+        self.universe = universe
+        # supertype -> set of subtypes currently known below it.
+        self.below: Dict[Struct, Set[Struct]] = {term: set() for term in universe}
+        self.iterations = 0
+        self._compute()
+
+    # -- queries -----------------------------------------------------------------
+
+    def holds(self, supertype: Struct, subtype: Struct) -> bool:
+        """``supertype >= subtype`` is in the least model (both must be
+        universe members)."""
+        if supertype not in self.below or subtype not in self.universe:
+            raise KeyError("both terms must belong to the model's universe")
+        return supertype == subtype or subtype in self.below[supertype]
+
+    def pairs(self) -> Set[Tuple[Struct, Struct]]:
+        """All strict pairs of the model (reflexive pairs omitted)."""
+        return {
+            (sup, sub)
+            for sup, subs in self.below.items()
+            for sub in subs
+            if sup != sub
+        }
+
+    # -- the fixpoint ----------------------------------------------------------------
+
+    def _compute(self) -> None:
+        self._seed_constraint_facts()
+        by_indicator: Dict[Tuple[str, int], List[Struct]] = {}
+        for term in self.universe:
+            by_indicator.setdefault(term.indicator, []).append(term)
+        changed = True
+        while changed:
+            changed = False
+            self.iterations += 1
+            # Substitution axioms (reflexivity falls out at arity 0).
+            for group in by_indicator.values():
+                for sup, sub in product(group, group):
+                    if sub in self.below[sup]:
+                        continue
+                    if all(
+                        sup_arg == sub_arg or sub_arg in self.below.get(sup_arg, ())
+                        for sup_arg, sub_arg in zip(sup.args, sub.args)
+                    ):
+                        self.below[sup].add(sub)
+                        changed = True
+            # Transitivity: below[sup] ⊇ below of everything below sup.
+            for sup in self.universe:
+                current = self.below[sup]
+                additions: Set[Struct] = set()
+                for middle in current:
+                    additions |= self.below[middle] - current
+                if additions:
+                    current |= additions
+                    changed = True
+
+    def _seed_constraint_facts(self) -> None:
+        for constraint in self.constraints:
+            parameters = sorted(variables_of(constraint.lhs), key=lambda v: v.name)
+            candidates: List[Tuple[Term, ...]] = (
+                list(product(self.universe, repeat=len(parameters)))
+                if parameters
+                else [()]
+            )
+            for values in candidates:
+                theta = Substitution(dict(zip(parameters, values)))
+                lhs = theta.apply(constraint.lhs)
+                rhs = theta.apply(constraint.rhs)
+                if lhs in self.below and isinstance(rhs, Struct) and rhs in self.universe:
+                    self.below[lhs].add(rhs)  # type: ignore[index]

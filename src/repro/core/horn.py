@@ -1,0 +1,81 @@
+"""The Horn theory ``H_C`` of the subtype predicate ``>=`` (Section 2).
+
+Given a set ``C`` of subtype constraints, the paper defines the meaning of
+types through the Horn-clause program ``H_C`` containing
+
+* each constraint of ``C`` as a fact ``lhs >= rhs.``;
+* a **substitution axiom** for every symbol ``s/n ∈ F ∪ T``::
+
+      s(α1,...,αn) >= s(β1,...,βn) :- α1 >= β1, ..., αn >= βn.
+
+  with the degenerate fact ``s >= s.`` when ``n = 0``;
+* the **transitivity axiom** ``A >= C :- A >= B, B >= C.``
+
+Subtyping (Definition 3) is then SLD-refutability of ``:- τ1 >= τ2`` from
+``H_C``, which ``repro.core.subtype_sld`` implements literally.
+
+``extra_constants`` lets callers extend the alphabet with the fresh
+constants produced by :func:`repro.terms.freeze.freeze` — the paper's
+``τ̄`` operation introduces "unique constants not appearing in any type",
+and those constants need their degenerate ``s >= s.`` axioms to be
+reflexive like every other symbol.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..lp.clause import Clause, Program
+from ..terms.term import Struct, Term, Var
+from .declarations import ConstraintSet
+
+__all__ = ["SUBTYPE_PREDICATE", "subtype_goal", "horn_program"]
+
+SUBTYPE_PREDICATE = ">="
+
+
+def subtype_goal(supertype: Term, subtype: Term) -> Struct:
+    """The atom ``supertype >= subtype`` as a goal for the SLD engine."""
+    return Struct(SUBTYPE_PREDICATE, (supertype, subtype))
+
+
+def _substitution_axiom(name: str, arity: int) -> Clause:
+    """``s(α...) >= s(β...) :- α1 >= β1, ..., αn >= βn.`` (fact when n=0)."""
+    if arity == 0:
+        constant = Struct(name, ())
+        return Clause(subtype_goal(constant, constant))
+    alphas = tuple(Var(f"A{i}") for i in range(arity))
+    betas = tuple(Var(f"B{i}") for i in range(arity))
+    head = subtype_goal(Struct(name, alphas), Struct(name, betas))
+    body = tuple(subtype_goal(a, b) for a, b in zip(alphas, betas))
+    return Clause(head, body)
+
+
+def _transitivity_axiom() -> Clause:
+    a, b, c = Var("A"), Var("B"), Var("C")
+    return Clause(subtype_goal(a, c), (subtype_goal(a, b), subtype_goal(b, c)))
+
+
+def horn_program(
+    constraints: ConstraintSet,
+    extra_constants: Iterable[str] = (),
+) -> Program:
+    """Build ``H_C`` for ``constraints`` (plus axioms for ``extra_constants``).
+
+    Clause order: constraint facts first (in declaration order), then
+    substitution axioms, then transitivity — the order is semantically
+    irrelevant but fixed for reproducibility of the naive prover's
+    search statistics.
+    """
+    program = Program()
+    for constraint in constraints:
+        program.add(Clause(subtype_goal(constraint.lhs, constraint.rhs)))
+    symbols = constraints.symbols
+    for name, arity in sorted(symbols.functions.items()):
+        program.add(_substitution_axiom(name, arity))
+    for name, arity in sorted(symbols.type_constructors.items()):
+        program.add(_substitution_axiom(name, arity))
+    for name in sorted(set(extra_constants)):
+        program.add(_substitution_axiom(name, 0))
+    program.add(_transitivity_axiom())
+    return program

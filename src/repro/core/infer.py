@@ -1,0 +1,152 @@
+"""Common-type inference for committed type variables.
+
+When the checker solves a clause's constraints (Definition 16 via the
+Section 7 constraint-collecting ``match``), a body atom's renamed type
+variable ``α`` may end up constrained only by *covers* requirements:
+``η(α)`` must be a type under which each of several ground terms has a
+typing.  Example: ``:- member(X, cons(0, cons(succ(0), nil)))`` with
+``PRED member(A, list(A))`` needs ``η(A)`` to type both ``0`` and
+``succ(0)`` — the natural commitment is ``nat``.
+
+This is the corner the paper flags as needing "some form of name-based
+type union": there is no principal solution in general (``nat`` and
+``int`` both work above; ``0`` alone is typed by ``nat`` *and*
+``unnat``).  Definition 16 only asks for *existence* of the ``η_i``, so
+any covering type makes the clause well-typed; we search deterministically
+and document the preference order:
+
+1. **singleton** — a single distinct term is covered by itself read as a
+   type (function symbols are type constructors, Definition 1);
+2. **declared constructors** — each type constructor ``c``, in
+   declaration order, applied to holes; a term is checked against
+   ``c(h1,...,hn)`` with the constraint-collecting match, which reports
+   which subterms each hole must cover, and the holes are inferred
+   recursively (so ``list(·)`` covers ``{nil, cons(0,nil)}`` with the
+   hole inferred from ``{0}``);
+3. **common functor** — terms sharing an outermost function symbol are
+   covered componentwise;
+4. **union fallback** — the predefined ``+`` of the terms' singleton
+   types (``t1 + t2 + …``), which covers *any* finite set of ground
+   terms: for ground cover constraints a commitment therefore always
+   exists, and the named rules above only make it prettier.
+
+``None`` is still possible for non-ground inputs (those go through shape
+equations instead); the checker then rejects conservatively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..terms.substitution import Substitution
+from ..terms.term import Struct, Term, Var, fresh_variable, is_ground, term_depth
+from .constraint_match import ConstraintMatcher
+from .declarations import ConstraintSet
+from ..terms.pretty import UNION_TYPE
+
+__all__ = ["CommonTypeInference"]
+
+
+class CommonTypeInference:
+    """Deterministic search for a type covering a set of ground terms."""
+
+    def __init__(self, constraints: ConstraintSet, matcher: Optional[ConstraintMatcher] = None) -> None:
+        self.constraints = constraints
+        self.matcher = matcher or ConstraintMatcher(constraints, validate=False)
+
+    def infer(self, terms: Sequence[Term]) -> Optional[Term]:
+        """A type whose ``M_C`` covers every term in ``terms`` and under
+        which each has a (plain-``match``) typing, or ``None``."""
+        distinct: List[Term] = []
+        for term in terms:
+            if term not in distinct:
+                distinct.append(term)
+        if not distinct:
+            return None
+        if any(not is_ground(t) for t in distinct):
+            return None
+        fuel = max(term_depth(t) for t in distinct) + 2
+        return self._infer(distinct, fuel)
+
+    def _infer(self, terms: List[Term], fuel: int) -> Optional[Term]:
+        if fuel <= 0:
+            # Constraints like c(A) >= A can make a hole cover the whole
+            # term again; fuel bounds that regress.
+            return None
+        # Rule 1: singleton — the term itself is a (singleton) type.
+        if len(terms) == 1:
+            return terms[0]
+        # Rule 2: a declared type constructor applied to inferred holes.
+        for name, arity in self.constraints.symbols.type_constructors.items():
+            if name == UNION_TYPE:
+                continue  # h1 + h2 is never informative: ⊥ by branching
+            candidate = self._try_constructor(name, arity, terms, fuel)
+            if candidate is not None:
+                return candidate
+        # Rule 3: common outermost function symbol, componentwise.
+        first = terms[0]
+        if isinstance(first, Struct) and all(
+            isinstance(t, Struct) and t.indicator == first.indicator for t in terms
+        ):
+            if not first.args:
+                return first
+            inferred_args: List[Term] = []
+            for position in range(len(first.args)):
+                arg = self._infer(
+                    _distinct([t.args[position] for t in terms]),  # type: ignore[union-attr]
+                    fuel - 1,
+                )
+                if arg is not None:
+                    inferred_args.append(arg)
+                else:
+                    break
+            else:
+                return Struct(first.functor, tuple(inferred_args))
+        # Rule 4: the name-based union of the terms' singleton types — the
+        # predefined ``+`` covers any finite set of ground terms, so a
+        # commitment always exists (this is exactly the "name-based type
+        # union" the paper says match itself lacks).
+        union: Term = terms[0]
+        for term in terms[1:]:
+            union = Struct(UNION_TYPE, (union, term))
+        return union
+
+    def _try_constructor(
+        self, name: str, arity: int, terms: List[Term], fuel: int
+    ) -> Optional[Term]:
+        holes = tuple(fresh_variable("_H") for _ in range(arity))
+        candidate = Struct(name, holes)
+        solvable: Set[Var] = set(holes)
+        hole_covers: Dict[Var, List[Term]] = {hole: [] for hole in holes}
+        for term in terms:
+            outcome = self.matcher.match(candidate, term, solvable)
+            if not isinstance(outcome.result, Substitution):
+                return None
+            if outcome.equations:
+                # A ground term can only produce covers; equations would
+                # mean a hole leaked into a non-ground context.
+                return None
+            for var, covered in outcome.covers:
+                if var in hole_covers:
+                    hole_covers[var].append(covered)
+                else:
+                    # A nested hole (from deeper machinery): be conservative.
+                    return None
+        filled: Dict[Var, Term] = {}
+        for hole in holes:
+            covered = _distinct(hole_covers[hole])
+            if not covered:
+                continue  # unconstrained hole: stays a fresh variable
+            inferred = self._infer(covered, fuel - 1)
+            if inferred is None:
+                return None
+            filled[hole] = inferred
+        return Substitution(filled).apply(candidate)
+
+
+def _distinct(terms: Sequence[Term]) -> List[Term]:
+    out: List[Term] = []
+    for term in terms:
+        if term not in out:
+            out.append(term)
+    return out

@@ -1,0 +1,158 @@
+"""The ``match`` function (Definition 13, Theorems 4–5).
+
+``match(τ, t)`` computes a most general *respectful* typing for the
+variables of ``t`` under ``τ``, or reports that none exists (``fail``) or
+that it cannot tell (``⊥``).  It is the basis of the well-typedness
+conditions of Section 6.  The four defining clauses, transcribed:
+
+1. ``match(τ, x) = {x ↦ τ}`` — a variable takes the whole type.
+2. ``match(x, f(t1,...,tn)) = ⊥`` — a bare type variable against a
+   compound term: the most general typing exists but is not respectful,
+   so the answer is "don't know".
+3. ``match(g(τ1,...,τn), f(t1,...,tm))`` with ``g ∈ F``:
+   ``fail`` on a symbol clash, ``{}`` for matching constants, otherwise
+   match componentwise; ``fail`` dominates, then ``⊥``/disagreement,
+   otherwise the union of the component typings.
+4. ``match(c(τ1,...,τn), f(t1,...,tm))`` with ``c ∈ T``: compute the
+   *set* ``S`` of results over all one-step expansions ``c(…) →_C σ``;
+   ``S = {fail}`` gives ``fail``; a unique non-fail result gives that
+   result; anything else gives ``⊥``.
+
+Note the set semantics in clause 4: two constraints producing the *same*
+typing collapse to one element, while genuinely different typings (the
+paper's ``match(f(int)+f(list(A)), f(X))`` example) yield ``⊥`` because
+neither is most general.  An empty ``S`` (a constructor with no
+constraints) also yields ``⊥`` by the letter of the definition — the
+definition's ``else`` branch — even though ``fail`` would be sound; we
+follow the paper.
+
+Preconditions: the constraint set must be uniform polymorphic and guarded;
+Theorem 5's termination argument (and clause 4's direct-substitution
+expansion) depend on both.  The :class:`Matcher` validates this once at
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..terms.substitution import Substitution
+from ..terms.term import Struct, Term, Var
+from .declarations import ConstraintSet
+from .recursion import ensure_recursion_capacity
+from .restrictions import validate_restrictions
+from .typing import in_agreement, merge_typings
+
+__all__ = ["MATCH_FAIL", "MATCH_BOTTOM", "MatchResult", "Matcher", "is_typing_result"]
+
+
+class _MatchFail:
+    """Singleton: no typing exists (Theorem 4.2 guarantees this claim)."""
+
+    _instance: Optional["_MatchFail"] = None
+
+    def __new__(cls) -> "_MatchFail":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "fail"
+
+
+class _MatchBottom:
+    """Singleton: ``match`` cannot produce a verdict (the paper's ``⊥``)."""
+
+    _instance: Optional["_MatchBottom"] = None
+
+    def __new__(cls) -> "_MatchBottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+
+MATCH_FAIL = _MatchFail()
+MATCH_BOTTOM = _MatchBottom()
+
+MatchResult = Union[Substitution, _MatchFail, _MatchBottom]
+
+
+def is_typing_result(result: MatchResult) -> bool:
+    """True iff ``result`` is an actual typing (not ``fail`` / ``⊥``)."""
+    return isinstance(result, Substitution)
+
+
+class Matcher:
+    """``match`` over a fixed uniform, guarded constraint set."""
+
+    def __init__(
+        self,
+        constraints: ConstraintSet,
+        validate: bool = True,
+        memoize: bool = True,
+    ) -> None:
+        if validate:
+            validate_restrictions(constraints)
+        self.constraints = constraints
+        self.symbols = constraints.symbols
+        self.memoize = memoize
+        self._memo: Dict[Tuple[Term, Term], MatchResult] = {}
+
+    def match(self, type_term: Term, term: Term) -> MatchResult:
+        """``match(τ, t)`` per Definition 13."""
+        ensure_recursion_capacity(type_term, term)
+        return self._match(type_term, term)
+
+    def _match(self, type_term: Term, term: Term) -> MatchResult:
+        # Clause 1: a variable term takes the whole type.
+        if isinstance(term, Var):
+            return Substitution({term: type_term})
+        # Clause 2: a type variable against a compound term.
+        if isinstance(type_term, Var):
+            return MATCH_BOTTOM
+        if self.memoize:
+            key = (type_term, term)
+            cached = self._memo.get(key)
+            if cached is None:
+                cached = self._match_struct(type_term, term)
+                self._memo[key] = cached
+            return cached
+        return self._match_struct(type_term, term)
+
+    def _match_struct(self, type_term: Struct, term: Struct) -> MatchResult:
+        if self.symbols.is_type_constructor(type_term.functor):
+            return self._match_constructor(type_term, term)
+        return self._match_function(type_term, term)
+
+    def _match_function(self, type_term: Struct, term: Struct) -> MatchResult:
+        """Clause 3: the type is headed by a function symbol ``g ∈ F``."""
+        if type_term.functor != term.functor or len(type_term.args) != len(term.args):
+            return MATCH_FAIL
+        if not type_term.args:
+            return Substitution()
+        results = [self._match(tau, t) for tau, t in zip(type_term.args, term.args)]
+        if any(r is MATCH_FAIL for r in results):
+            return MATCH_FAIL
+        if any(r is MATCH_BOTTOM for r in results):
+            return MATCH_BOTTOM
+        typings: List[Substitution] = results  # type: ignore[assignment]
+        if not in_agreement(typings):
+            return MATCH_BOTTOM
+        return merge_typings(typings)
+
+    def _match_constructor(self, type_term: Struct, term: Struct) -> MatchResult:
+        """Clause 4: the type is headed by a type constructor ``c ∈ T``."""
+        outcomes: List[MatchResult] = []
+        for expansion in self.constraints.expansions(type_term):
+            result = self._match(expansion, term)
+            if result not in outcomes:
+                outcomes.append(result)
+        if outcomes == [MATCH_FAIL]:
+            return MATCH_FAIL
+        non_fail = [r for r in outcomes if r is not MATCH_FAIL]
+        if len(non_fail) == 1 and len(outcomes) <= 2:
+            return non_fail[0]
+        return MATCH_BOTTOM

@@ -1,0 +1,309 @@
+"""Moded well-typedness — the [DH88] direction, made concrete.
+
+Section 7 of the paper observes that Definition 16 must *reject* queries
+like ``:- p(X), q(X).`` with ``PRED p(nat)`` / ``PRED q(int)`` even
+though sub→supertype flow would be harmless, because nothing stops the
+information flowing the other way.  "One solution to this problem,
+proposed in [DH88], is to require input/output modes which ensure that
+information flows in the appropriate direction, e.g. ``PRED p(OUT nat).
+PRED q(IN int).``"
+
+This module is a faithful reconstruction of that proposal on top of the
+machinery already built:
+
+* A clause is checked with the strict Definition 16 checker first; if it
+  accepts, done (strict well-typedness implies moded well-typedness).
+* Otherwise, if every atom involved with a shared clause variable has a
+  mode declaration, the *directional* conditions are checked instead:
+
+  1. every argument position of every atom must individually have a
+     typing under its declared position type (via the
+     constraint-collecting ``match``; type-variable commitments are
+     solved from the shape equations and cover constraints exactly as in
+     the strict checker — only the *agreement* requirement is replaced);
+  2. processing the head's ``IN`` positions, then the body left to right
+     (each goal consumes its ``IN`` positions before producing its
+     ``OUT`` positions), then the head's ``OUT`` positions: every
+     consumer occurrence of a variable at type ``τ`` must see only
+     producer occurrences at types ``σ`` with ``τ ⪰_C σ`` — information
+     flows sub → supertype only — and no variable may be consumed before
+     it was produced.
+
+The reward is real expressiveness: the widening clause
+
+    PRED nat2int(nat, int).
+    MODE nat2int(IN, OUT).
+    nat2int(X, X).
+
+is ill-typed under Definition 16 (``X`` in two type contexts) but moded
+well-typed here — the coercion the paper could only express by copying
+the term through a filter becomes a no-op predicate.  No analogue of
+Theorem 6 is claimed for the moded system (the paper leaves it open;
+[DH88] prove their own variant for their language).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..lp.clause import Clause, Program, Query
+from ..terms.pretty import pretty
+from ..terms.substitution import Substitution
+from ..terms.term import Struct, Term, Var, fresh_variable, variables_of
+from .constraint_match import ConstraintMatcher
+from .declarations import ConstraintSet, DeclarationError
+from .infer import CommonTypeInference
+from .match import MATCH_BOTTOM, MATCH_FAIL
+from .modes import IN, OUT, ModeEnv
+from .predicate_types import PredicateTypeEnv
+from .subtype import SubtypeEngine
+from .welltyped import ClauseReport, WellTypedChecker
+
+__all__ = ["ModedClauseReport", "ModedWellTypedChecker"]
+
+
+@dataclass
+class ModedClauseReport:
+    """Verdict plus how it was reached (``strict`` or ``directional``)."""
+
+    well_typed: bool
+    via: Optional[str] = None  # "strict" | "directional"
+    reason: Optional[str] = None
+    strict_report: Optional[ClauseReport] = None
+
+    def __bool__(self) -> bool:
+        return self.well_typed
+
+
+@dataclass
+class _Occurrence:
+    """One argument-position occurrence of a clause variable."""
+
+    atom: Struct
+    position: int
+    mode: str  # IN or OUT
+    stage: int  # 0 = head inputs, i = body goal i, last = head outputs
+    type_term: Term  # the committed position type
+
+
+class ModedWellTypedChecker:
+    """Strict Definition 16 with a directional (moded) fallback."""
+
+    def __init__(
+        self,
+        constraints: ConstraintSet,
+        predicate_types: PredicateTypeEnv,
+        modes: ModeEnv,
+    ) -> None:
+        self.constraints = constraints
+        self.predicate_types = predicate_types
+        self.modes = modes
+        self.strict = WellTypedChecker(constraints, predicate_types)
+        self.engine = SubtypeEngine(constraints)
+        self.constraint_matcher = ConstraintMatcher(constraints, validate=False)
+        self.inference = CommonTypeInference(constraints, self.constraint_matcher)
+
+    # -- public API ---------------------------------------------------------------
+
+    def check_clause(self, clause: Clause) -> ModedClauseReport:
+        strict_report = self.strict.check_clause(clause)
+        if strict_report.well_typed:
+            return ModedClauseReport(True, via="strict", strict_report=strict_report)
+        return self._directional(clause.head, clause.body, strict_report)
+
+    def check_query(self, query: Query) -> ModedClauseReport:
+        strict_report = self.strict.check_query(query)
+        if strict_report.well_typed:
+            return ModedClauseReport(True, via="strict", strict_report=strict_report)
+        return self._directional(None, query.goals, strict_report)
+
+    def check_resolvent(self, goals: Tuple[Struct, ...]) -> ModedClauseReport:
+        """Well-typedness of a resolvent — lets the typed interpreter use
+        this checker for its Theorem 6-style re-checking on moded
+        programs."""
+        return self.check_query(Query(tuple(goals)))
+
+    def check_program(self, program: Program) -> List[Tuple[Clause, ModedClauseReport]]:
+        return [(clause, self.check_clause(clause)) for clause in program]
+
+    # -- the directional conditions ---------------------------------------------------
+
+    def _directional(
+        self,
+        head: Optional[Struct],
+        body: Tuple[Struct, ...],
+        strict_report: ClauseReport,
+    ) -> ModedClauseReport:
+        def rejected(reason: str) -> ModedClauseReport:
+            return ModedClauseReport(
+                False, via="directional", reason=reason, strict_report=strict_report
+            )
+
+        atoms: List[Struct] = ([head] if head is not None else []) + list(body)
+        # Shared variables demand modes on every atom they touch.
+        variable_atoms: Dict[Var, List[Struct]] = {}
+        for atom in atoms:
+            for var in variables_of(atom):
+                variable_atoms.setdefault(var, []).append(atom)
+        for var, touching in variable_atoms.items():
+            multi_atom = len(touching) > 1
+            multi_position = any(
+                sum(1 for arg in atom.args for v in variables_of(arg) if v == var) > 1
+                for atom in touching
+            )
+            if multi_atom or multi_position:
+                for atom in touching:
+                    if self.modes.modes_of(atom) is None:
+                        return rejected(
+                            f"strict check failed ({strict_report.reason}) and "
+                            f"predicate {atom.functor}/{len(atom.args)} carrying "
+                            f"shared variable {var} has no mode declaration"
+                        )
+
+        # Condition 1: every position types individually; collect the
+        # commitment constraints exactly as the strict checker does.
+        solvable: Set[Var] = set()
+        rigid: Set[Var] = set()
+        equations: List[Tuple[Var, Term]] = []
+        covers: List[Tuple[Var, Term]] = []
+        position_types: List[List[Term]] = []  # per atom, per position
+        for index, atom in enumerate(atoms):
+            is_head = head is not None and index == 0
+            try:
+                declared = self.predicate_types.type_of(atom)
+            except DeclarationError as error:
+                return rejected(str(error))
+            if is_head:
+                working = declared
+                rigid |= variables_of(declared)
+            else:
+                renaming = {v: fresh_variable("_E") for v in variables_of(declared)}
+                solvable.update(renaming.values())
+                working_term = Substitution(dict(renaming)).apply(declared)
+                assert isinstance(working_term, Struct)
+                working = working_term
+            atom_position_types: List[Term] = []
+            for position, (pos_type, arg) in enumerate(zip(working.args, atom.args)):
+                outcome = self.constraint_matcher.match(pos_type, arg, solvable)
+                if outcome.result is MATCH_FAIL or outcome.result is MATCH_BOTTOM:
+                    return rejected(
+                        f"argument {position + 1} of {pretty(atom)} has no typing "
+                        f"under {pretty(pos_type)} ({outcome.result!r})"
+                    )
+                equations.extend(outcome.equations)
+                covers.extend(outcome.covers)
+                atom_position_types.append(pos_type)
+            position_types.append(atom_position_types)
+
+        solution = self._solve_commitments(equations, covers, rigid)
+        if solution is None:
+            return rejected("type-variable commitment constraints are unsolvable")
+
+        # Condition 2: the dataflow pass.
+        occurrences = self._occurrences(head, atoms, position_types, solution)
+        produced: Dict[Var, List[Term]] = {}
+        ordered = sorted(occurrences, key=lambda o: (o.stage, o.mode == OUT))
+        for occurrence in ordered:
+            for var in self._variables_at(occurrence):
+                if occurrence.mode == IN and occurrence.stage > 0:
+                    # A body goal (or the head's OUT epilogue, encoded as
+                    # the final stage) consumes before it produces.
+                    failure = self._consume(var, occurrence, produced)
+                    if failure is not None:
+                        return rejected(failure)
+                else:
+                    produced.setdefault(var, []).append(occurrence.type_term)
+        return ModedClauseReport(True, via="directional", strict_report=strict_report)
+
+    # -- helpers -------------------------------------------------------------------------
+
+    def _solve_commitments(
+        self,
+        equations: List[Tuple[Var, Term]],
+        covers: List[Tuple[Var, Term]],
+        rigid: Set[Var],
+    ) -> Optional[Substitution]:
+        """Shape equations by unification, cover constraints by common-type
+        inference — the strict checker's steps 3/3b without the agreement
+        equations."""
+        from ..terms.unify import unify
+
+        current = Substitution()
+        for left, right in equations:
+            theta = unify(current.apply(left), current.apply(right))
+            if theta is None:
+                return None
+            current = current.compose(theta)
+        groups: Dict[Var, List[Term]] = {}
+        for var, term in covers:
+            representative = current.apply(var)
+            if isinstance(representative, Var):
+                if representative in rigid:
+                    return None
+                groups.setdefault(representative, []).append(term)
+            else:
+                # Bound: verified implicitly by the flow conditions.
+                continue
+        inferred: Dict[Var, Term] = {}
+        for var, terms in groups.items():
+            candidate = self.inference.infer(terms)
+            if candidate is None:
+                return None
+            inferred[var] = candidate
+        return current.compose(Substitution(inferred))
+
+    def _occurrences(
+        self,
+        head: Optional[Struct],
+        atoms: List[Struct],
+        position_types: List[List[Term]],
+        solution: Substitution,
+    ) -> List[_Occurrence]:
+        out: List[_Occurrence] = []
+        final_stage = len(atoms) + 1
+        for index, atom in enumerate(atoms):
+            is_head = head is not None and index == 0
+            declared_modes = self.modes.modes_of(atom)
+            for position, arg_type in enumerate(position_types[index]):
+                committed = solution.apply(arg_type)
+                if is_head:
+                    mode = declared_modes[position] if declared_modes else IN
+                    # Head INs enter at stage 0; head OUTs are consumed
+                    # after the whole body (the final stage), flagged IN
+                    # so the dataflow treats them as consumers.
+                    if mode == IN:
+                        out.append(_Occurrence(atom, position, OUT, 0, committed))
+                    else:
+                        out.append(_Occurrence(atom, position, IN, final_stage, committed))
+                else:
+                    # Body goal i is stage i (atoms[0] is the head) or
+                    # stage i+1 in a query (no head at index 0).
+                    stage = index if head is not None else index + 1
+                    mode = declared_modes[position] if declared_modes else OUT
+                    out.append(_Occurrence(atom, position, mode, stage, committed))
+        return out
+
+    def _variables_at(self, occurrence: _Occurrence) -> Set[Var]:
+        return variables_of(occurrence.atom.args[occurrence.position])
+
+    def _consume(
+        self,
+        var: Var,
+        occurrence: _Occurrence,
+        produced: Dict[Var, List[Term]],
+    ) -> Optional[str]:
+        productions = produced.get(var)
+        if not productions:
+            return (
+                f"variable {var} consumed at {pretty(occurrence.atom)} "
+                f"argument {occurrence.position + 1} before being produced"
+            )
+        for sigma in productions:
+            if not self.engine.more_general(occurrence.type_term, sigma):
+                return (
+                    f"variable {var}: produced at {pretty(sigma)}, which does not "
+                    f"flow into consumer type {pretty(occurrence.type_term)} at "
+                    f"{pretty(occurrence.atom)}"
+                )
+        return None

@@ -1,0 +1,220 @@
+"""Input/output modes — the Section 7 extension, after [DH88].
+
+The concluding remarks observe that subtypes and logic programming mix
+uneasily: with ``PRED p(nat)`` and ``PRED q(int)``, the query
+``:- p(X), q(X).`` would be fine when information flows sub→supertype
+(``p`` binds ``X`` to a ``nat`` which ``q`` accepts) but unsound the
+other way (``q`` binds ``X`` to ``pred(0)`` which ``p`` must never see).
+One proposed solution is mode declarations ensuring information flows in
+the appropriate direction::
+
+    PRED p(OUT nat).
+    PRED q(IN int).
+
+This module is a faithful *reconstruction* of that sketch (the paper only
+gives the example above; [DH88] is the reference design).  The rules:
+
+* Goals are processed left to right (the standard computation rule).
+* An ``OUT`` argument position of a body goal *produces* its variables at
+  the position's declared type; an ``IN`` position *consumes* them.
+* In a clause, the head's ``IN`` positions produce (the caller supplies
+  well-typed inputs) and its ``OUT`` positions consume at the end of the
+  body (the clause must deliver them).
+* A consumer occurrence of ``x`` at declared type ``τ`` is direction-safe
+  iff ``x`` was already produced and **every** production type ``σ`` of
+  ``x`` satisfies ``τ ⪰_C σ`` — information only ever flows from a
+  subtype to a supertype.
+
+The check is per-variable and per-argument-position; non-variable
+argument terms are treated as produced/consumed atomically using the
+clause's typing for their variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..lp.clause import Clause, Program, Query
+from ..terms.pretty import pretty
+from ..terms.term import Struct, Term, Var, variables_of
+from .declarations import ConstraintSet, DeclarationError
+from .predicate_types import PredicateTypeEnv
+from .subtype import SubtypeEngine
+
+__all__ = ["IN", "OUT", "ModeEnv", "ModeViolation", "ModeChecker", "ModeReport"]
+
+IN = "IN"
+OUT = "OUT"
+
+_Indicator = Tuple[str, int]
+
+
+class ModeEnv:
+    """Mode declarations ``MODE p(IN, ..., OUT).`` — one per predicate."""
+
+    def __init__(self) -> None:
+        self._modes: Dict[_Indicator, Tuple[str, ...]] = {}
+
+    def declare(self, name: str, modes: Sequence[str]) -> None:
+        for mode in modes:
+            if mode not in (IN, OUT):
+                raise DeclarationError(f"mode must be IN or OUT, got {mode}")
+        indicator = (name, len(modes))
+        existing = self._modes.get(indicator)
+        if existing is not None and existing != tuple(modes):
+            raise DeclarationError(f"conflicting mode declarations for {name}/{len(modes)}")
+        self._modes[indicator] = tuple(modes)
+
+    def modes_of(self, atom: Struct) -> Optional[Tuple[str, ...]]:
+        """Declared modes for ``atom``'s predicate, or ``None``."""
+        return self._modes.get(atom.indicator)
+
+    def items(self) -> List[Tuple[_Indicator, Tuple[str, ...]]]:
+        """All declarations as ``((name, arity), modes)`` pairs."""
+        return list(self._modes.items())
+
+    def __len__(self) -> int:
+        return len(self._modes)
+
+
+@dataclass
+class ModeViolation:
+    """One direction-safety failure."""
+
+    atom: Struct
+    position: int  # 0-based argument position
+    variable: Var
+    reason: str
+
+    def __str__(self) -> str:
+        return (
+            f"{pretty(self.atom)} argument {self.position + 1}: "
+            f"variable {self.variable}: {self.reason}"
+        )
+
+
+@dataclass
+class ModeReport:
+    """All violations found in one clause/query (empty means mode-correct)."""
+
+    violations: List[ModeViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+class ModeChecker:
+    """Direction-safety of clauses and queries under mode declarations.
+
+    Predicates without a mode declaration default to all-``OUT`` on body
+    occurrences and all-``IN`` on head occurrences — the permissive
+    reading that reproduces the unmoded system's behaviour.
+    """
+
+    def __init__(
+        self,
+        constraints: ConstraintSet,
+        predicate_types: PredicateTypeEnv,
+        modes: ModeEnv,
+        engine: Optional[SubtypeEngine] = None,
+    ) -> None:
+        self.constraints = constraints
+        self.predicate_types = predicate_types
+        self.modes = modes
+        self.engine = engine or SubtypeEngine(constraints)
+
+    # -- public API ---------------------------------------------------------
+
+    def check_query(self, query: Query) -> ModeReport:
+        """Direction-safety of a query's left-to-right execution."""
+        report = ModeReport()
+        produced: Dict[Var, List[Term]] = {}
+        for goal in query.goals:
+            self._process_goal(goal, produced, report)
+        return report
+
+    def check_clause(self, clause: Clause) -> ModeReport:
+        """Direction-safety of one clause: head INs produce, body runs
+        left-to-right, head OUTs consume at the end."""
+        report = ModeReport()
+        produced: Dict[Var, List[Term]] = {}
+        head_modes = self.modes.modes_of(clause.head)
+        declared = self.predicate_types.type_of(clause.head)
+        # Head IN positions produce at their declared types.
+        for position, (arg, arg_type) in enumerate(zip(clause.head.args, declared.args)):
+            mode = head_modes[position] if head_modes else IN
+            if mode == IN:
+                for var in variables_of(arg):
+                    produced.setdefault(var, []).append(arg_type)
+        for goal in clause.body:
+            self._process_goal(goal, produced, report)
+        # Head OUT positions consume at the end.
+        for position, (arg, arg_type) in enumerate(zip(clause.head.args, declared.args)):
+            mode = head_modes[position] if head_modes else IN
+            if mode == OUT:
+                self._consume(clause.head, position, arg, arg_type, produced, report)
+        return report
+
+    def check_program(self, program: Program) -> List[Tuple[Clause, ModeReport]]:
+        """Check every clause; returns (clause, report) pairs."""
+        return [(clause, self.check_clause(clause)) for clause in program]
+
+    # -- the dataflow pass -----------------------------------------------------
+
+    def _process_goal(
+        self,
+        goal: Struct,
+        produced: Dict[Var, List[Term]],
+        report: ModeReport,
+    ) -> None:
+        goal_modes = self.modes.modes_of(goal)
+        declared = self.predicate_types.type_of(goal)
+        # Consumers first: the goal reads its IN arguments before binding
+        # its OUT arguments.
+        for position, (arg, arg_type) in enumerate(zip(goal.args, declared.args)):
+            mode = goal_modes[position] if goal_modes else OUT
+            if mode == IN:
+                self._consume(goal, position, arg, arg_type, produced, report)
+        for position, (arg, arg_type) in enumerate(zip(goal.args, declared.args)):
+            mode = goal_modes[position] if goal_modes else OUT
+            if mode == OUT:
+                for var in variables_of(arg):
+                    produced.setdefault(var, []).append(arg_type)
+
+    def _consume(
+        self,
+        atom: Struct,
+        position: int,
+        arg: Term,
+        arg_type: Term,
+        produced: Dict[Var, List[Term]],
+        report: ModeReport,
+    ) -> None:
+        for var in variables_of(arg):
+            productions = produced.get(var)
+            if not productions:
+                report.violations.append(
+                    ModeViolation(
+                        atom,
+                        position,
+                        var,
+                        "consumed in an IN position before being produced",
+                    )
+                )
+                continue
+            for sigma in productions:
+                if not self.engine.more_general(arg_type, sigma):
+                    report.violations.append(
+                        ModeViolation(
+                            atom,
+                            position,
+                            var,
+                            f"produced at type {pretty(sigma)}, which does not "
+                            f"flow into consumer type {pretty(arg_type)}",
+                        )
+                    )

@@ -1,0 +1,70 @@
+"""Predicate types (Definitions 14–15).
+
+A predicate type for ``p ∈ P`` has the form ``p(τ1,...,τn)``; a fixed set
+``D`` assigns one to every predicate symbol.  ``type(A)`` of an atom ``A``
+is the member of ``D`` for ``A``'s predicate symbol.
+
+Section 6 treats predicate symbols as function symbols so that ``match``
+can be applied to whole atoms — which requires ``P`` to stay disjoint
+from ``F`` and ``T``; :class:`PredicateTypeEnv` enforces the disjointness
+against the constraint set's symbol table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from ..terms.pretty import pretty
+from ..terms.term import Struct
+from .declarations import ConstraintSet, DeclarationError
+
+__all__ = ["PredicateTypeEnv"]
+
+_Indicator = Tuple[str, int]
+
+
+class PredicateTypeEnv:
+    """The set ``D``: one declared type per predicate indicator."""
+
+    def __init__(self, constraints: ConstraintSet) -> None:
+        self.constraints = constraints
+        self._types: Dict[_Indicator, Struct] = {}
+
+    def declare(self, predicate_type: Struct) -> None:
+        """Record ``PRED p(τ1,...,τn).``; argument types are checked to be
+        well-formed types over ``F ∪ T``."""
+        symbols = self.constraints.symbols
+        name = predicate_type.functor
+        if symbols.kind_of(name) is not None:
+            raise DeclarationError(
+                f"predicate symbol {name} collides with a declared function/type symbol"
+            )
+        indicator = predicate_type.indicator
+        existing = self._types.get(indicator)
+        if existing is not None and existing != predicate_type:
+            raise DeclarationError(
+                f"predicate {name}/{indicator[1]} declared twice "
+                f"({pretty(existing)} vs {pretty(predicate_type)})"
+            )
+        for arg in predicate_type.args:
+            symbols.check_type(arg)
+        self._types[indicator] = predicate_type
+
+    def type_of(self, atom: Struct) -> Struct:
+        """Definition 15: ``type(A)`` for the atom ``A``."""
+        declared = self._types.get(atom.indicator)
+        if declared is None:
+            raise DeclarationError(
+                f"no predicate type declared for {atom.functor}/{len(atom.args)}"
+            )
+        return declared
+
+    def has_type_for(self, atom: Struct) -> bool:
+        """True iff a ``PRED`` declaration covers ``atom``'s predicate."""
+        return atom.indicator in self._types
+
+    def __iter__(self) -> Iterator[Struct]:
+        return iter(self._types.values())
+
+    def __len__(self) -> int:
+        return len(self._types)

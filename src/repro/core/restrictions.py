@@ -1,0 +1,170 @@
+"""Syntactic restrictions on type declarations (Definitions 6–9).
+
+Section 3 of the paper introduces two restrictions under which subtype
+derivations can be carried out deterministically and terminate:
+
+* **Uniform polymorphism** (Definition 6): every constraint has the form
+  ``c(α1,...,αn) >= τ`` with the ``α_i`` distinct variables.
+* **Guardedness** (Definitions 8–9): no type constructor *directly
+  depends* on itself, where ``c`` directly depends on ``d`` iff some
+  constraint for ``c`` has an occurrence of ``d`` on its right-hand side
+  that is not inside an argument of a *function* symbol (occurrences under
+  type constructors still count), closed transitively.
+
+Guardedness is what makes chains of "two-step applications" finite
+(Theorem 3); the deterministic subtype engine and ``match`` refuse to run
+on unguarded or non-uniform sets.
+
+The direct-dependence relation is exposed as an explicit graph for the
+restriction-analysis benchmarks (experiment E3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from ..terms.term import Struct, Term, Var
+from .declarations import ConstraintSet, SubtypeConstraint
+
+__all__ = [
+    "RestrictionViolation",
+    "DependenceGraph",
+    "non_uniform_constraints",
+    "is_uniform_polymorphic",
+    "direct_dependence_graph",
+    "unguarded_constructors",
+    "is_guarded",
+    "validate_restrictions",
+]
+
+
+class RestrictionViolation(Exception):
+    """Raised when a constraint set violates Definition 6 or Definition 9."""
+
+
+def non_uniform_constraints(constraints: ConstraintSet) -> List[SubtypeConstraint]:
+    """The constraints violating Definition 6, in declaration order."""
+    return [c for c in constraints if not c.is_uniform]
+
+
+def is_uniform_polymorphic(constraints: ConstraintSet) -> bool:
+    """Definition 6 for the whole set."""
+    return not non_uniform_constraints(constraints)
+
+
+@dataclass
+class DependenceGraph:
+    """The direct-dependence relation over type constructors.
+
+    ``edges[c]`` is the set of constructors ``d`` such that ``c`` directly
+    depends on ``d`` by clause 1 of Definition 8 (clause 2 — transitivity
+    — is computed on demand by :meth:`reaches` / :meth:`transitive_closure`).
+    """
+
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def add_edge(self, source: str, target: str) -> None:
+        self.edges.setdefault(source, set()).add(target)
+
+    def successors(self, node: str) -> Set[str]:
+        """Direct (one-step) dependencies of ``node``."""
+        return self.edges.get(node, set())
+
+    def reaches(self, source: str, target: str) -> bool:
+        """True iff ``source`` (transitively) directly depends on ``target``."""
+        seen: Set[str] = set()
+        stack = [source]
+        while stack:
+            node = stack.pop()
+            for succ in self.edges.get(node, ()):
+                if succ == target:
+                    return True
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return False
+
+    def transitive_closure(self) -> Dict[str, Set[str]]:
+        """The full Definition 8 relation: each node's reachable set."""
+        closure: Dict[str, Set[str]] = {}
+        for node in self.edges:
+            seen: Set[str] = set()
+            stack = list(self.edges.get(node, ()))
+            while stack:
+                current = stack.pop()
+                if current in seen:
+                    continue
+                seen.add(current)
+                stack.extend(self.edges.get(current, ()))
+            closure[node] = seen
+        return closure
+
+    def self_dependent(self) -> List[str]:
+        """Constructors that directly depend on themselves (Definition 9)."""
+        return sorted(node for node, seen in self.transitive_closure().items() if node in seen)
+
+
+def _unguarded_occurrences(constraints: ConstraintSet, rhs: Term) -> Set[str]:
+    """Type constructors occurring in ``rhs`` not under any function symbol.
+
+    The walk descends through type-constructor applications (and stops at
+    the arguments of function symbols), which is exactly the "occurrence
+    of d in τ that is not in an argument to a function symbol" condition.
+    """
+    symbols = constraints.symbols
+    found: Set[str] = set()
+    stack: List[Term] = [rhs]
+    while stack:
+        term = stack.pop()
+        if isinstance(term, Var):
+            continue
+        assert isinstance(term, Struct)
+        if symbols.is_type_constructor(term.functor):
+            found.add(term.functor)
+            stack.extend(term.args)
+        # Function symbol: its arguments are guarded — do not descend.
+    return found
+
+
+def direct_dependence_graph(constraints: ConstraintSet) -> DependenceGraph:
+    """Clause 1 of Definition 8 as an explicit graph."""
+    graph = DependenceGraph()
+    for constraint in constraints:
+        for target in _unguarded_occurrences(constraints, constraint.rhs):
+            graph.add_edge(constraint.constructor, target)
+    return graph
+
+
+def unguarded_constructors(constraints: ConstraintSet) -> List[str]:
+    """Constructors whose recursion is not guarded (empty iff guarded)."""
+    return direct_dependence_graph(constraints).self_dependent()
+
+
+def is_guarded(constraints: ConstraintSet) -> bool:
+    """Definition 9 for the whole set."""
+    return not unguarded_constructors(constraints)
+
+
+def validate_restrictions(
+    constraints: ConstraintSet,
+    require_uniform: bool = True,
+    require_guarded: bool = True,
+) -> None:
+    """Raise :class:`RestrictionViolation` unless the set satisfies the
+    requested restrictions.  Called by the deterministic subtype engine and
+    by ``match`` before doing any work."""
+    if require_uniform:
+        offenders = non_uniform_constraints(constraints)
+        if offenders:
+            listing = "; ".join(str(c) for c in offenders)
+            raise RestrictionViolation(
+                f"constraint set is not uniform polymorphic (Definition 6): {listing}"
+            )
+    if require_guarded:
+        cyclic = unguarded_constructors(constraints)
+        if cyclic:
+            raise RestrictionViolation(
+                "constraint set is not guarded (Definition 9): "
+                f"self-dependent constructors {', '.join(cyclic)}"
+            )

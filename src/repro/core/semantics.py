@@ -1,0 +1,199 @@
+"""Type semantics ``M_C`` (Definition 4) made executable.
+
+``M_C[[τ]] = { t ∈ H | τ ⪰_C t }`` — the set of ground terms (over ``F``)
+below ``τ``.  Two executable views are provided:
+
+* **membership** — delegate ``τ ⪰_C t`` to the deterministic engine
+  (or any oracle with a ``contains`` method);
+* **bounded enumeration** — compute *all* inhabitants of ``τ`` up to a
+  term-depth bound, by structural recursion over the type:
+
+  - a type variable denotes the whole Herbrand universe ``H`` (any ground
+    term: ``A ⪰_C t`` always holds by instantiating ``A``),
+  - ``f(τ1,...,τn)`` with ``f ∈ F`` denotes ``{f(t1,...,tn) | t_i ∈ M[[τ_i]]}``
+    (the paper's fixed interpretation of function symbols as type
+    constructors),
+  - ``c(τ1,...,τn)`` with ``c ∈ T`` collects, for every constraint
+    ``c(l1,...,ln) >= ρ`` in ``C``, the inhabitants of ``ρθ`` for the most
+    general ``θ`` with ``τ_i ⪰_C l_iθ`` — the two SLD steps "substitution
+    axiom for c, then the constraint" folded into one.  For a *uniform*
+    constraint the ``l_i`` are distinct variables and ``θ = {l_i ↦ τ_i}``
+    (monotonicity makes that choice most general); for the non-uniform
+    ``id(males) >= m(nat)`` style the ``l_i`` are checked against the
+    ``τ_i`` with the (naive, definitional) subtype prover, so
+    ``M[[id(person)]]`` correctly includes ``M[[id(males)]]`` via
+    ``person >= males``.
+
+Enumeration requires guarded expansion chains (Theorem 3) to terminate —
+guardedness is orthogonal to uniformity, and the paper's non-uniform
+example is guarded, so :class:`GeneralTypeSemantics` accepts it.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..terms.substitution import Substitution
+from ..terms.term import Struct, Term, Var, rename_apart, variables_of
+from ..terms.unify import unify
+from .declarations import ConstraintSet, SubtypeConstraint
+from .subtype import SubtypeEngine
+
+__all__ = ["herbrand_universe", "TypeSemantics", "GeneralTypeSemantics"]
+
+
+def herbrand_universe(symbols_functions: Dict[str, int], max_depth: int) -> Set[Term]:
+    """All ground terms over ``F`` of depth at most ``max_depth``."""
+    by_depth: List[Set[Term]] = [set()]
+    for depth in range(1, max_depth + 1):
+        layer: Set[Term] = set()
+        shallower = by_depth[depth - 1]
+        for name, arity in symbols_functions.items():
+            if arity == 0:
+                layer.add(Struct(name, ()))
+            elif shallower:
+                for args in product(sorted(shallower, key=repr), repeat=arity):
+                    layer.add(Struct(name, args))
+        layer |= shallower
+        by_depth.append(layer)
+    return by_depth[max_depth]
+
+
+class GeneralTypeSemantics:
+    """Bounded enumeration of ``M_C[[τ]]`` by structural recursion.
+
+    Works for any guarded constraint set, uniform or not.
+    """
+
+    def __init__(self, constraints: ConstraintSet, max_expansion_chain: int = 64) -> None:
+        self.constraints = constraints
+        self.max_expansion_chain = max_expansion_chain
+        self._memo: Dict[Tuple[Term, int], FrozenSet[Term]] = {}
+        self._oracle = None  # lazily built naive prover for non-uniform lhs
+
+    def inhabitants(self, type_term: Term, max_depth: int) -> FrozenSet[Term]:
+        """All ground terms of depth ≤ ``max_depth`` in ``M_C[[type_term]]``."""
+        return self._inhabit(type_term, max_depth, 0)
+
+    # -- constraint application ----------------------------------------------
+
+    def _subtype_oracle_holds(self, wider: Term, narrower: Term) -> bool:
+        """``wider ⪰_C narrower`` via the definitional prover (bounded).
+
+        Only consulted for non-uniform constraint left-hand sides; an
+        unknown (budget-exhausted) answer is treated as *no* — the
+        enumeration stays a sound under-approximation.
+        """
+        if self._oracle is None:
+            from .subtype_sld import NaiveSubtypeProver
+
+            self._oracle = NaiveSubtypeProver(self.constraints)
+        return self._oracle.holds(wider, narrower) is True
+
+    def _apply_constraint(
+        self, type_term: Struct, constraint: SubtypeConstraint
+    ) -> Optional[Term]:
+        """The most general ``ρθ`` with ``τ_i ⪰_C l_iθ``, or ``None``."""
+        renamed_lhs, mapping = rename_apart(constraint.lhs)
+        renamed_rhs = Substitution(dict(mapping)).apply(constraint.rhs)
+        assert isinstance(renamed_lhs, Struct)
+        if len(renamed_lhs.args) != len(type_term.args):
+            return None
+        theta: Dict[Var, Term] = {}
+        for pattern, actual in zip(renamed_lhs.args, type_term.args):
+            if isinstance(pattern, Var):
+                existing = theta.get(pattern)
+                if existing is None:
+                    theta[pattern] = actual
+                elif existing != actual:
+                    return None  # repeated lhs variable with clashing args
+                continue
+            if pattern == actual:
+                continue
+            if not variables_of(pattern):
+                if self._subtype_oracle_holds(actual, pattern):
+                    continue
+                return None
+            # Mixed pattern (non-ground, non-variable): fall back to
+            # unification — covers instantiating the pattern to the actual
+            # argument, the most common remaining case.
+            bound = Substitution(theta).apply(pattern)
+            unifier = unify(bound, actual)
+            if unifier is None or any(v in unifier for v in variables_of(actual)):
+                return None
+            for var, value in unifier.items():
+                theta[var] = value
+        return Substitution(theta).apply(renamed_rhs)
+
+    def constraint_images(self, type_term: Struct) -> List[Term]:
+        """All right-hand-side instances reachable from ``type_term`` in one
+        (generalised) constraint application."""
+        images: List[Term] = []
+        for constraint in self.constraints.constraints_for(type_term.functor):
+            image = self._apply_constraint(type_term, constraint)
+            if image is not None:
+                images.append(image)
+        return images
+
+    # -- the enumeration --------------------------------------------------------
+
+    def _inhabit(self, type_term: Term, depth: int, chain: int) -> FrozenSet[Term]:
+        if depth <= 0:
+            return frozenset()
+        if chain > self.max_expansion_chain:
+            raise RecursionError(
+                "expansion chain exceeded bound — is the constraint set guarded?"
+            )
+        key = (type_term, depth)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        symbols = self.constraints.symbols
+        if isinstance(type_term, Var):
+            result = frozenset(herbrand_universe(symbols.functions, depth))
+        else:
+            assert isinstance(type_term, Struct)
+            if symbols.is_type_constructor(type_term.functor):
+                collected: Set[Term] = set()
+                for image in self.constraint_images(type_term):
+                    collected |= self._inhabit(image, depth, chain + 1)
+                result = frozenset(collected)
+            else:
+                if not type_term.args:
+                    result = frozenset({type_term})
+                else:
+                    argument_sets = [
+                        sorted(self._inhabit(arg, depth - 1, 0), key=repr)
+                        for arg in type_term.args
+                    ]
+                    result = frozenset(
+                        Struct(type_term.functor, combo)
+                        for combo in product(*argument_sets)
+                    )
+        self._memo[key] = result
+        return result
+
+
+class TypeSemantics(GeneralTypeSemantics):
+    """Semantics over a uniform, guarded set, with a membership oracle."""
+
+    def __init__(
+        self,
+        constraints: ConstraintSet,
+        engine: Optional[SubtypeEngine] = None,
+    ) -> None:
+        super().__init__(constraints)
+        self.engine = engine or SubtypeEngine(constraints)
+
+    def member(self, type_term: Term, ground_term: Term) -> bool:
+        """``ground_term ∈ M_C[[type_term]]`` via the deterministic engine."""
+        return self.engine.contains(type_term, ground_term)
+
+    def subset_upto(self, wider: Term, narrower: Term, max_depth: int) -> bool:
+        """``M[[narrower]] ⊆ M[[wider]]`` restricted to depth ≤ ``max_depth``.
+
+        Soundness check used by the property tests: whenever
+        ``wider ⪰_C narrower`` this must hold at every depth.
+        """
+        return self.inhabitants(narrower, max_depth) <= self.inhabitants(wider, max_depth)

@@ -1,0 +1,342 @@
+"""Deterministic subtype derivation (Section 3, Theorems 1–3).
+
+This engine decides ``τ1 ⪰_C τ2`` without searching the full SLD tree of
+``H_C``.  It selects "clauses" by the outermost symbol of the *supertype*,
+exactly as the paper's refutation strategy prescribes:
+
+* **Theorem 1** (supertype headed by ``f ∈ F``): a refutation exists iff
+  the subtype is headed by the same ``f`` and each argument pair is in the
+  subtype relation (the substitution axiom, applied componentwise).
+  Undeclared constants — the frozen constants of ``τ̄`` — behave like
+  0-ary function symbols here.
+* **Theorem 2** (supertype headed by ``c ∈ T``): try the substitution
+  axiom when the subtype is also ``c``-headed, and the *two-step
+  application* of each constraint ``c(α1,...,αn) >= τ ∈ C``, which
+  rewrites the supertype to ``τ{α_i ↦ τ_i}`` and recurses.
+* **Theorem 3**: guardedness (checked up front via
+  ``repro.core.restrictions``) makes every chain of two-step applications
+  finite, so the recursion terminates.
+
+Variables are handled by binding (with occurs check): a variable on
+either side is unified with the other side, which suffices for the
+*existential* question ⪰ asks.  This is complete for the goals the paper
+needs (in particular the ``more general`` checks of Definitions 5/10/11,
+whose right side is frozen), but deliberately does not enumerate every
+answer substitution — when a variable is constrained from two sides whose
+least upper bound would require a name-based union the engine, like the
+paper's ``match``, can miss solutions.  The differential tests against
+the naive prover pin down exactly the regime where both agree.
+
+Ground subgoals are memoised per engine (ablation A1 measures the effect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..terms.freeze import freeze
+from ..terms.term import Struct, Term, Var
+from .declarations import ConstraintSet
+from .recursion import ensure_recursion_capacity
+from .restrictions import validate_restrictions
+
+__all__ = ["SubtypeStats", "SubtypeEngine"]
+
+
+@dataclass
+class SubtypeStats:
+    """Work counters for one engine instance."""
+
+    substitution_steps: int = 0
+    constraint_expansions: int = 0
+    variable_bindings: int = 0
+    memo_hits: int = 0
+    memo_entries: int = 0
+
+
+class SubtypeEngine:
+    """Decision procedure for ``⪰_C`` over a uniform, guarded set ``C``."""
+
+    def __init__(
+        self,
+        constraints: ConstraintSet,
+        memoize: bool = True,
+        validate: bool = True,
+    ) -> None:
+        if validate:
+            validate_restrictions(constraints)
+        self.constraints = constraints
+        self.symbols = constraints.symbols
+        self.memoize = memoize
+        self.stats = SubtypeStats()
+        self._memo: Dict[Tuple[Term, Term], bool] = {}
+        self._bindings: Dict[Var, Term] = {}
+        self._trail: List[Var] = []
+
+    # -- public queries ------------------------------------------------------
+
+    def holds(self, supertype: Term, subtype: Term) -> bool:
+        """``τ1 ⪰_C τ2`` — existence of a refutation (Definition 3)."""
+        if (
+            isinstance(supertype, Struct)
+            and isinstance(subtype, Struct)
+            and supertype.ground
+            and subtype.ground
+        ):
+            # Variable-free goals — the membership/frozen-comparison case,
+            # where terms can be arbitrarily deep — are decided with an
+            # explicit-stack AND-OR evaluation: recursive generators would
+            # consume C stack per nesting level and cannot survive terms
+            # tens of thousands of symbols deep.
+            return self._holds_ground(supertype, subtype)
+        ensure_recursion_capacity(supertype, subtype)
+        self._bindings.clear()
+        self._trail.clear()
+        for _ in self._prove(supertype, subtype):
+            return True
+        return False
+
+    def contains(self, type_term: Term, ground_term: Term) -> bool:
+        """``t ∈ M_C[[τ]]`` (Definition 4)."""
+        return self.holds(type_term, ground_term)
+
+    def more_general(self, general: Term, specific: Term) -> bool:
+        """Definition 5: ``τ1 ⪰_C τ̄2``."""
+        return self.holds(general, freeze(specific))
+
+    def equivalent(self, left: Term, right: Term) -> bool:
+        """Mutual generality (each side more general than the other)."""
+        return self.more_general(left, right) and self.more_general(right, left)
+
+    # -- ground goals: iterative AND-OR evaluation --------------------------------
+
+    def _ground_alternatives(
+        self, supertype: Struct, subtype: Struct
+    ) -> List[Tuple[Tuple[Term, Term], ...]]:
+        """The disjuncts for a ground goal, each a conjunction of subgoals.
+
+        Theorem 1 (function symbol): one alternative — componentwise via
+        the substitution axiom — or none on a symbol clash.  Theorem 2
+        (type constructor): the substitution axiom (same constructor)
+        plus one alternative per constraint's two-step application.
+        """
+        alternatives: List[Tuple[Tuple[Term, Term], ...]] = []
+        same_symbol = (
+            supertype.functor == subtype.functor
+            and len(supertype.args) == len(subtype.args)
+        )
+        if not self.symbols.is_type_constructor(supertype.functor):
+            if same_symbol:
+                self.stats.substitution_steps += 1
+                alternatives.append(tuple(zip(supertype.args, subtype.args)))
+            return alternatives
+        if same_symbol:
+            self.stats.substitution_steps += 1
+            alternatives.append(tuple(zip(supertype.args, subtype.args)))
+        for constraint in self.constraints.constraints_for(supertype.functor):
+            expansion = self.constraints.expand_with(supertype, constraint)
+            if expansion is None:
+                continue
+            self.stats.constraint_expansions += 1
+            alternatives.append(((expansion, subtype),))
+        return alternatives
+
+    def _holds_ground(self, supertype: Struct, subtype: Struct) -> bool:
+        """Decide a variable-free goal without Python recursion.
+
+        Evaluates the AND-OR dag rooted at ``(supertype, subtype)`` with
+        an explicit stack; guardedness (Theorem 3) makes the dag acyclic,
+        and results are memoised across calls when ``memoize`` is set.
+        """
+        memo = self._memo if self.memoize else {}
+
+        class _GFrame:
+            __slots__ = ("key", "alternatives", "alt_index", "pair_index")
+
+            def __init__(self, key: Tuple[Term, Term], alternatives) -> None:
+                self.key = key
+                self.alternatives = alternatives
+                self.alt_index = 0
+                self.pair_index = 0
+
+        root = (supertype, subtype)
+        if supertype == subtype:
+            return True
+        cached = memo.get(root)
+        if cached is not None:
+            self.stats.memo_hits += 1
+            return cached
+        stack = [_GFrame(root, self._ground_alternatives(supertype, subtype))]
+        while stack:
+            frame = stack[-1]
+            if frame.alt_index >= len(frame.alternatives):
+                memo[frame.key] = False
+                self.stats.memo_entries += 1
+                stack.pop()
+                continue
+            alternative = frame.alternatives[frame.alt_index]
+            if frame.pair_index >= len(alternative):
+                memo[frame.key] = True
+                self.stats.memo_entries += 1
+                stack.pop()
+                continue
+            child_sup, child_sub = alternative[frame.pair_index]
+            if child_sup == child_sub:
+                frame.pair_index += 1
+                continue
+            child_key = (child_sup, child_sub)
+            value = memo.get(child_key)
+            if value is None:
+                assert isinstance(child_sup, Struct) and isinstance(child_sub, Struct)
+                stack.append(
+                    _GFrame(
+                        child_key,
+                        self._ground_alternatives(child_sup, child_sub),
+                    )
+                )
+                continue
+            self.stats.memo_hits += 1
+            if value:
+                frame.pair_index += 1
+            else:
+                frame.alt_index += 1
+                frame.pair_index = 0
+        return memo[root]
+
+    # -- bindings ------------------------------------------------------------
+
+    def _walk(self, term: Term) -> Term:
+        while isinstance(term, Var) and term in self._bindings:
+            term = self._bindings[term]
+        return term
+
+    def _resolve(self, term: Term) -> Tuple[Term, bool]:
+        """Deep-apply current bindings; also report groundness.
+
+        A ground term (O(1) check, cached on the Struct) needs no walk;
+        with no bindings at all nothing can change either.  These two
+        short-circuits keep the memo path linear on ground queries.
+        """
+        term = self._walk(term)
+        if isinstance(term, Var):
+            return term, False
+        if term.ground:
+            return term, True
+        if not self._bindings:
+            return term, False
+        if not term.args:
+            return term, True
+        ground = True
+        new_args: List[Term] = []
+        for arg in term.args:
+            resolved, arg_ground = self._resolve(arg)
+            ground = ground and arg_ground
+            new_args.append(resolved)
+        return Struct(term.functor, tuple(new_args)), ground
+
+    def _occurs(self, var: Var, term: Term) -> bool:
+        stack = [term]
+        while stack:
+            current = self._walk(stack.pop())
+            if current == var:
+                return True
+            if isinstance(current, Struct):
+                stack.extend(current.args)
+        return False
+
+    def _bind(self, var: Var, term: Term) -> bool:
+        if self._occurs(var, term):
+            return False
+        self._bindings[var] = term
+        self._trail.append(var)
+        self.stats.variable_bindings += 1
+        return True
+
+    def _undo_to(self, mark: int) -> None:
+        while len(self._trail) > mark:
+            del self._bindings[self._trail.pop()]
+
+    # -- the strategy ----------------------------------------------------------
+
+    def _prove(self, supertype: Term, subtype: Term) -> Iterator[None]:
+        supertype = self._walk(supertype)
+        subtype = self._walk(subtype)
+
+        # Reflexivity fast path: t >= t is always derivable from the
+        # substitution axioms alone.
+        if supertype == subtype:
+            yield
+            return
+
+        # A variable on either side: unify (existential semantics).
+        if isinstance(supertype, Var):
+            mark = len(self._trail)
+            if self._bind(supertype, subtype):
+                yield
+            self._undo_to(mark)
+            return
+        if isinstance(subtype, Var):
+            mark = len(self._trail)
+            if self._bind(subtype, supertype):
+                yield
+            self._undo_to(mark)
+            return
+
+        # Both sides are structs now.
+        if self.memoize:
+            resolved_sup, sup_ground = self._resolve(supertype)
+            resolved_sub, sub_ground = self._resolve(subtype)
+            if sup_ground and sub_ground:
+                key = (resolved_sup, resolved_sub)
+                cached = self._memo.get(key)
+                if cached is not None:
+                    self.stats.memo_hits += 1
+                    if cached:
+                        yield
+                    return
+                found = False
+                for _ in self._prove_struct(resolved_sup, resolved_sub):
+                    found = True
+                    break
+                self._memo[key] = found
+                self.stats.memo_entries += 1
+                if found:
+                    yield
+                return
+        yield from self._prove_struct(supertype, subtype)
+
+    def _prove_struct(self, supertype: Struct, subtype: Struct) -> Iterator[None]:
+        if not self.symbols.is_type_constructor(supertype.functor):
+            # Theorem 1: function symbol (or frozen constant) at the top —
+            # only the substitution axiom for that very symbol applies.
+            if (
+                subtype.functor != supertype.functor
+                or len(subtype.args) != len(supertype.args)
+            ):
+                return
+            self.stats.substitution_steps += 1
+            yield from self._prove_pairs(tuple(zip(supertype.args, subtype.args)))
+            return
+        # Theorem 2: type constructor at the top.
+        if (
+            subtype.functor == supertype.functor
+            and len(subtype.args) == len(supertype.args)
+        ):
+            self.stats.substitution_steps += 1
+            yield from self._prove_pairs(tuple(zip(supertype.args, subtype.args)))
+        for constraint in self.constraints.constraints_for(supertype.functor):
+            expansion = self.constraints.expand_with(supertype, constraint)
+            if expansion is None:
+                continue
+            self.stats.constraint_expansions += 1
+            yield from self._prove(expansion, subtype)
+
+    def _prove_pairs(self, pairs: Tuple[Tuple[Term, Term], ...]) -> Iterator[None]:
+        if not pairs:
+            yield
+            return
+        (sup, sub) = pairs[0]
+        rest = pairs[1:]
+        for _ in self._prove(sup, sub):
+            yield from self._prove_pairs(rest)

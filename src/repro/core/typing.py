@@ -1,0 +1,106 @@
+"""Variable typings (Definitions 10–12).
+
+A *typing* for a term ``t`` under a type ``τ`` is a substitution mapping
+each variable of ``t`` to a type such that ``τ ⪰_C t̄θ`` — i.e. freezing
+the typed term still leaves it below ``τ`` (possibly after instantiating
+``τ``'s own variables).  The typing is *respectful* when even the frozen
+``τ̄`` is above ``t̄θ`` (no instantiation of ``τ`` needed), where the bar
+freezes variables consistently across both terms.
+
+The paper's Section 4 examples, which the tests replay verbatim:
+
+* ``{X ↦ list(A)}``, ``{X ↦ nelist(A)}``, ``{X ↦ list(int)}`` and
+  ``{X ↦ list(B)}`` are all typings for ``X`` under ``list(A)``; only the
+  first two are respectful.
+* every substitution over ``{X}`` is a typing for ``f(X)`` under a type
+  variable ``A``, but none is respectful.
+
+Definition 11 lifts "more general" (Definition 5) pointwise to typings,
+and Definition 12 defines *agreement*: typings agree when they give
+syntactically equal types to common variables (type equivalence is
+name-based, hence syntactic).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterable
+
+from ..terms.freeze import freeze, freeze_many
+from ..terms.substitution import Substitution
+from ..terms.term import Term, Var, variables_of
+from .subtype import SubtypeEngine
+
+__all__ = [
+    "is_typing",
+    "is_respectful_typing",
+    "more_general_typing",
+    "in_agreement",
+    "merge_typings",
+]
+
+
+def is_typing(
+    engine: SubtypeEngine, type_term: Term, term: Term, theta: Substitution
+) -> bool:
+    """Definition 10: ``θ`` types ``t`` under ``τ`` iff ``τ ⪰_C t̄θ``.
+
+    ``θ`` must cover every variable of ``t`` (it "maps each variable in t
+    to a type"); a partial substitution is not a typing.
+    """
+    if not variables_of(term) <= theta.domain:
+        return False
+    return engine.holds(type_term, freeze(theta.apply(term)))
+
+
+def is_respectful_typing(
+    engine: SubtypeEngine, type_term: Term, term: Term, theta: Substitution
+) -> bool:
+    """Definition 10 (second half): respectful iff ``τ̄ ⪰_C t̄θ``.
+
+    The two bars share one variable → constant mapping: a type variable
+    occurring both in ``τ`` and in ``tθ`` freezes to the same constant
+    (otherwise ``{X ↦ list(A)}`` would not be respectful for ``X`` under
+    ``list(A)``, contradicting the paper's own example).
+    """
+    if not variables_of(term) <= theta.domain:
+        return False
+    frozen_tau, frozen_t_theta = freeze_many([type_term, theta.apply(term)])
+    return engine.holds(frozen_tau, frozen_t_theta)
+
+
+def more_general_typing(
+    engine: SubtypeEngine, general: Substitution, specific: Substitution, term: Term
+) -> bool:
+    """Definition 11: ``θ1`` is more general than ``θ2`` for ``t`` iff for
+    all ``x ∈ var(t)``, ``xθ1`` is more general than ``xθ2`` (Definition 5,
+    checked per variable)."""
+    for var in variables_of(term):
+        if not engine.more_general(general.apply(var), specific.apply(var)):
+            return False
+    return True
+
+
+def in_agreement(typings: Iterable[Substitution]) -> bool:
+    """Definition 12: pairwise agreement — syntactically equal types for
+    common variables."""
+    typings = list(typings)
+    for first, second in combinations(typings, 2):
+        for var in first.domain & second.domain:
+            if first[var] != second[var]:
+                return False
+    return True
+
+
+def merge_typings(typings: Iterable[Substitution]) -> Substitution:
+    """``∪S`` for a set of typings in agreement (Definition 13, clause 3)."""
+    merged: Dict[Var, Term] = {}
+    for typing in typings:
+        for var, value in typing.items():
+            existing = merged.get(var)
+            if existing is not None and existing != value:
+                raise ValueError(
+                    f"cannot merge typings: {var} mapped to both {existing} and {value}"
+                )
+            merged[var] = value
+    return Substitution(merged)

@@ -1,0 +1,122 @@
+"""Abstract syntax of typed-logic-program source files.
+
+A source file is a sequence of items in the paper's concrete syntax:
+
+* ``FUNC f1, ..., fn.`` — introduce function symbols (arities inferred
+  from use, as in the paper's examples, and cross-checked by the frontend);
+* ``TYPE c1, ..., cn.`` — introduce type constructor symbols;
+* ``τ_lhs >= τ_rhs.`` — a subtype constraint (Definition 2);
+* ``PRED p(τ1, ..., τn).`` — a predicate type (Definition 14);
+* ``MODE p(IN, OUT, ...).`` — Section 7 modes extension;
+* ``h :- b1, ..., bk.`` / ``h.`` — program clauses;
+* ``:- b1, ..., bk.`` — queries (negative clauses).
+
+The AST keeps source positions so the checker can point at offending
+items.  Semantic objects (constraint sets, programs, predicate-type
+environments) live in ``repro.core`` / ``repro.lp``; this module is pure
+syntax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple, Union
+
+from ..terms.term import Struct, Term
+
+__all__ = [
+    "Position",
+    "FuncDecl",
+    "TypeDecl",
+    "ConstraintDecl",
+    "PredDecl",
+    "ModeDecl",
+    "ClauseDecl",
+    "QueryDecl",
+    "Item",
+    "SourceFile",
+]
+
+
+@dataclass(frozen=True)
+class Position:
+    """1-based line/column of an item's first token."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+@dataclass(frozen=True)
+class FuncDecl:
+    """``FUNC f1, ..., fn.``"""
+
+    names: Tuple[str, ...]
+    position: Position
+
+
+@dataclass(frozen=True)
+class TypeDecl:
+    """``TYPE c1, ..., cn.``"""
+
+    names: Tuple[str, ...]
+    position: Position
+
+
+@dataclass(frozen=True)
+class ConstraintDecl:
+    """``lhs >= rhs.`` — a subtype constraint (Definition 2)."""
+
+    lhs: Term
+    rhs: Term
+    position: Position
+
+
+@dataclass(frozen=True)
+class PredDecl:
+    """``PRED p(τ1, ..., τn).`` — a predicate type (Definition 14)."""
+
+    head: Struct
+    position: Position
+
+
+@dataclass(frozen=True)
+class ModeDecl:
+    """``MODE p(IN, ..., OUT).`` — the Section 7 modes extension."""
+
+    name: str
+    modes: Tuple[str, ...]  # each "IN" or "OUT"
+    position: Position
+
+
+@dataclass(frozen=True)
+class ClauseDecl:
+    """A program clause ``head :- body.`` (empty body for facts)."""
+
+    head: Struct
+    body: Tuple[Struct, ...]
+    position: Position
+
+
+@dataclass(frozen=True)
+class QueryDecl:
+    """A negative clause / query ``:- body.``"""
+
+    body: Tuple[Struct, ...]
+    position: Position
+
+
+Item = Union[FuncDecl, TypeDecl, ConstraintDecl, PredDecl, ModeDecl, ClauseDecl, QueryDecl]
+
+
+@dataclass
+class SourceFile:
+    """A parsed source file: the item sequence in source order."""
+
+    items: List[Item] = field(default_factory=list)
+
+    def of_kind(self, kind: type) -> List[Item]:
+        """All items of the given AST class, in source order."""
+        return [item for item in self.items if isinstance(item, kind)]

@@ -1,0 +1,168 @@
+"""Lexer for the paper's concrete syntax.
+
+The token language covers everything appearing in the paper:
+
+* declarations keywords ``FUNC``, ``TYPE``, ``PRED`` plus the ``MODE`` /
+  ``IN`` / ``OUT`` extension of Section 7;
+* names (lowercase-initial identifiers and numerals — ``0`` is an ordinary
+  function symbol in the paper);
+* variables (uppercase- or underscore-initial identifiers);
+* punctuation ``( ) , .`` and the operators ``:-`` ``>=`` ``+`` ``:``
+  (the last for Section 7's typed-unification constraints ``X : nat``);
+* ``%`` line comments.
+
+Keywords are spelled in all caps in the paper, which collides with the
+uppercase-initial convention for variables.  We resolve the collision the
+way the paper's examples implicitly do: the *exact* words ``FUNC``,
+``TYPE``, ``PRED``, ``MODE``, ``IN``, ``OUT`` are keywords, every other
+uppercase-initial identifier is a variable.
+
+Tokens carry line/column positions for the checker's diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+__all__ = ["Token", "TokenKind", "LexError", "tokenize", "KEYWORDS"]
+
+
+class TokenKind:
+    """Token kind constants (plain strings, grouped for discoverability)."""
+
+    NAME = "NAME"  # lowercase-initial identifier or numeral
+    VARIABLE = "VARIABLE"  # uppercase/underscore-initial identifier
+    KEYWORD = "KEYWORD"  # FUNC TYPE PRED MODE IN OUT
+    LPAREN = "LPAREN"
+    RPAREN = "RPAREN"
+    COMMA = "COMMA"
+    DOT = "DOT"
+    IMPLIES = "IMPLIES"  # :-
+    GEQ = "GEQ"  # >=
+    PLUS = "PLUS"
+    COLON = "COLON"  # type constraints in queries: X : nat
+    EOF = "EOF"
+
+
+KEYWORDS = frozenset({"FUNC", "TYPE", "PRED", "MODE", "IN", "OUT"})
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexeme with its source position (1-based line/column)."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.text!r} at {self.line}:{self.column}"
+
+
+class LexError(Exception):
+    """Raised on characters outside the token language."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.islower() or ch.isdigit()
+
+
+def _is_variable_start(ch: str) -> bool:
+    return ch.isupper() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``; the result always ends with an ``EOF`` token."""
+    return list(iter_tokens(text))
+
+
+def iter_tokens(text: str) -> Iterator[Token]:
+    """Yield tokens of ``text``, terminated by an ``EOF`` token."""
+    i = 0
+    line = 1
+    col = 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch.isspace():
+            i += 1
+            col += 1
+            continue
+        if ch == "%":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        start_line, start_col = line, col
+        if ch == "(":
+            yield Token(TokenKind.LPAREN, "(", start_line, start_col)
+            i += 1
+            col += 1
+            continue
+        if ch == ")":
+            yield Token(TokenKind.RPAREN, ")", start_line, start_col)
+            i += 1
+            col += 1
+            continue
+        if ch == ",":
+            yield Token(TokenKind.COMMA, ",", start_line, start_col)
+            i += 1
+            col += 1
+            continue
+        if ch == ".":
+            yield Token(TokenKind.DOT, ".", start_line, start_col)
+            i += 1
+            col += 1
+            continue
+        if ch == "+":
+            yield Token(TokenKind.PLUS, "+", start_line, start_col)
+            i += 1
+            col += 1
+            continue
+        if text.startswith(":-", i):
+            yield Token(TokenKind.IMPLIES, ":-", start_line, start_col)
+            i += 2
+            col += 2
+            continue
+        if ch == ":":
+            yield Token(TokenKind.COLON, ":", start_line, start_col)
+            i += 1
+            col += 1
+            continue
+        if text.startswith(">=", i):
+            yield Token(TokenKind.GEQ, ">=", start_line, start_col)
+            i += 2
+            col += 2
+            continue
+        if _is_name_start(ch) or _is_variable_start(ch):
+            j = i
+            while j < n and _is_ident_char(text[j]):
+                j += 1
+            word = text[i:j]
+            length = j - i
+            i = j
+            col += length
+            if word in KEYWORDS:
+                yield Token(TokenKind.KEYWORD, word, start_line, start_col)
+            elif _is_variable_start(word[0]):
+                yield Token(TokenKind.VARIABLE, word, start_line, start_col)
+            else:
+                yield Token(TokenKind.NAME, word, start_line, start_col)
+            continue
+        raise LexError(f"unexpected character {ch!r}", line, col)
+    yield Token(TokenKind.EOF, "", line, col)

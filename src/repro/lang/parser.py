@@ -1,0 +1,290 @@
+"""Recursive-descent parser for the paper's concrete syntax.
+
+Grammar (items end with ``.``):
+
+.. code-block:: text
+
+   file        := item* EOF
+   item        := 'FUNC' namelist '.'
+                | 'TYPE' namelist '.'
+                | 'PRED' atom '.'
+                | 'MODE' name '(' mode (',' mode)* ')' '.'
+                | ':-' atoms '.'                     (query)
+                | union '>=' union '.'               (subtype constraint)
+                | atom (':-' atoms)? '.'             (program clause)
+   namelist    := name (',' name)*
+   atoms       := atom (',' atom)*
+   atom        := name ( '(' union (',' union)* ')' )?
+   union       := primary ('+' primary)*             (left associative)
+   primary     := variable
+                | atom
+                | '(' union ')'
+   mode        := 'IN' | 'OUT'
+
+``union`` builds the predefined binary ``+`` type constructor; it is
+accepted in every term position (the core layer rejects ``+`` where it is
+not meaningful).  Clause heads and body atoms must be plain applications —
+a union or a variable head is a parse error.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..terms.term import Struct, Term, Var
+from ..terms.pretty import UNION_TYPE
+from .ast import (
+    ClauseDecl,
+    ConstraintDecl,
+    FuncDecl,
+    Item,
+    ModeDecl,
+    Position,
+    PredDecl,
+    QueryDecl,
+    SourceFile,
+    TypeDecl,
+)
+from .lexer import Token, TokenKind, tokenize
+
+__all__ = [
+    "ParseError",
+    "parse_file",
+    "parse_term",
+    "parse_type",
+    "parse_atom",
+    "parse_clause",
+    "parse_query",
+]
+
+
+class ParseError(Exception):
+    """Raised on any syntax error; carries the offending position."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{token.line}:{token.column}: {message} (found {token.text!r})")
+        self.token = token
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def check(self, kind: str, text: str = "") -> bool:
+        token = self.current
+        return token.kind == kind and (not text or token.text == text)
+
+    def accept(self, kind: str, text: str = "") -> bool:
+        if self.check(kind, text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, kind: str, what: str) -> Token:
+        if not self.check(kind):
+            raise ParseError(f"expected {what}", self.current)
+        return self.advance()
+
+    # -- terms -------------------------------------------------------------
+
+    def union(self) -> Term:
+        term = self.primary()
+        while self.accept(TokenKind.PLUS):
+            right = self.primary()
+            term = Struct(UNION_TYPE, (term, right))
+        return term
+
+    def primary(self) -> Term:
+        token = self.current
+        if token.kind == TokenKind.VARIABLE:
+            self.advance()
+            return Var(token.text)
+        if token.kind == TokenKind.NAME:
+            return self.application()
+        if self.accept(TokenKind.LPAREN):
+            inner = self.union()
+            self.expect(TokenKind.RPAREN, "')'")
+            return inner
+        raise ParseError("expected a term", token)
+
+    def application(self) -> Struct:
+        name = self.expect(TokenKind.NAME, "a name").text
+        if not self.accept(TokenKind.LPAREN):
+            return Struct(name, ())
+        args: List[Term] = [self.union()]
+        while self.accept(TokenKind.COMMA):
+            args.append(self.union())
+        self.expect(TokenKind.RPAREN, "')'")
+        return Struct(name, tuple(args))
+
+    def atom(self) -> Struct:
+        token = self.current
+        if token.kind != TokenKind.NAME:
+            raise ParseError("expected an atom (predicate application)", token)
+        return self.application()
+
+    def atoms(self) -> Tuple[Struct, ...]:
+        out = [self.atom()]
+        while self.accept(TokenKind.COMMA):
+            out.append(self.atom())
+        return tuple(out)
+
+    def query_goal(self) -> Struct:
+        """An atom or a Section 7 type constraint ``term : type``.
+
+        Constraints travel as ``':'(term, type)`` structs; they are only
+        legal in queries — clause bodies use :meth:`atoms`.
+        """
+        lhs = self.union()
+        if self.accept(TokenKind.COLON):
+            rhs = self.union()
+            return Struct(":", (lhs, rhs))
+        if not isinstance(lhs, Struct) or lhs.functor == UNION_TYPE:
+            raise ParseError("expected an atom or a ':' type constraint", self.current)
+        return lhs
+
+    def query_goals(self) -> Tuple[Struct, ...]:
+        out = [self.query_goal()]
+        while self.accept(TokenKind.COMMA):
+            out.append(self.query_goal())
+        return tuple(out)
+
+    # -- items -------------------------------------------------------------
+
+    def namelist(self) -> Tuple[str, ...]:
+        names = [self.expect(TokenKind.NAME, "a symbol name").text]
+        while self.accept(TokenKind.COMMA):
+            names.append(self.expect(TokenKind.NAME, "a symbol name").text)
+        return tuple(names)
+
+    def item(self) -> Item:
+        token = self.current
+        position = Position(token.line, token.column)
+        if token.kind == TokenKind.KEYWORD:
+            if token.text == "FUNC":
+                self.advance()
+                names = self.namelist()
+                self.expect(TokenKind.DOT, "'.'")
+                return FuncDecl(names, position)
+            if token.text == "TYPE":
+                self.advance()
+                names = self.namelist()
+                self.expect(TokenKind.DOT, "'.'")
+                return TypeDecl(names, position)
+            if token.text == "PRED":
+                self.advance()
+                head = self.atom()
+                self.expect(TokenKind.DOT, "'.'")
+                return PredDecl(head, position)
+            if token.text == "MODE":
+                self.advance()
+                name = self.expect(TokenKind.NAME, "a predicate name").text
+                modes: List[str] = []
+                if self.accept(TokenKind.LPAREN):
+                    modes.append(self.mode())
+                    while self.accept(TokenKind.COMMA):
+                        modes.append(self.mode())
+                    self.expect(TokenKind.RPAREN, "')'")
+                self.expect(TokenKind.DOT, "'.'")
+                return ModeDecl(name, tuple(modes), position)
+            raise ParseError("keyword not allowed here", token)
+        if self.accept(TokenKind.IMPLIES):
+            body = self.query_goals()
+            self.expect(TokenKind.DOT, "'.'")
+            return QueryDecl(body, position)
+        # Constraint or clause: both start with a term.
+        lhs = self.union()
+        if self.accept(TokenKind.GEQ):
+            rhs = self.union()
+            self.expect(TokenKind.DOT, "'.'")
+            return ConstraintDecl(lhs, rhs, position)
+        if not isinstance(lhs, Struct) or lhs.functor == UNION_TYPE:
+            raise ParseError("clause head must be a predicate application", token)
+        body: Tuple[Struct, ...] = ()
+        if self.accept(TokenKind.IMPLIES):
+            # Clause bodies may carry ':' constraints too (they then opt
+            # into the constrained execution model, like queries).
+            body = self.query_goals()
+        self.expect(TokenKind.DOT, "'.'")
+        return ClauseDecl(lhs, body, position)
+
+    def mode(self) -> str:
+        token = self.current
+        if token.kind == TokenKind.KEYWORD and token.text in ("IN", "OUT"):
+            self.advance()
+            return token.text
+        raise ParseError("expected IN or OUT", token)
+
+    def file(self) -> SourceFile:
+        source = SourceFile()
+        while not self.check(TokenKind.EOF):
+            source.items.append(self.item())
+        return source
+
+    def expect_eof(self) -> None:
+        if not self.check(TokenKind.EOF):
+            raise ParseError("trailing input", self.current)
+
+
+# -- public entry points ----------------------------------------------------
+
+
+def parse_file(text: str) -> SourceFile:
+    """Parse a whole source file (declarations, clauses, queries)."""
+    parser = _Parser(text)
+    return parser.file()
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single term (variables allowed, infix ``+`` allowed)."""
+    parser = _Parser(text)
+    term = parser.union()
+    parser.expect_eof()
+    return term
+
+
+def parse_type(text: str) -> Term:
+    """Parse a type expression — alias of :func:`parse_term` (Definition 1:
+    a type is just a term over ``F ∪ T``)."""
+    return parse_term(text)
+
+
+def parse_atom(text: str) -> Struct:
+    """Parse a single atom (predicate application)."""
+    parser = _Parser(text)
+    result = parser.atom()
+    parser.expect_eof()
+    return result
+
+
+def parse_clause(text: str) -> ClauseDecl:
+    """Parse a single program clause ``h :- b.`` or fact ``h.``"""
+    parser = _Parser(text)
+    item = parser.item()
+    parser.expect_eof()
+    if not isinstance(item, ClauseDecl):
+        raise ParseError("expected a program clause", parser.current)
+    return item
+
+
+def parse_query(text: str) -> QueryDecl:
+    """Parse a single query ``:- b1, ..., bk.``"""
+    parser = _Parser(text)
+    item = parser.item()
+    parser.expect_eof()
+    if not isinstance(item, QueryDecl):
+        raise ParseError("expected a query", parser.current)
+    return item

@@ -1,0 +1,96 @@
+"""Rendering semantic objects back to the paper's concrete syntax.
+
+The inverse of the frontend: given a symbol table, constraint set,
+predicate types, modes and a program, produce source text that parses
+and checks back to an equivalent module.  Used by the filter generator
+(to show generated predicates as source), by tooling that wants to save
+a programmatically built module, and by the round-trip tests that pin
+the parser and the printer against each other.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..core.declarations import ConstraintSet, SymbolTable
+from ..core.modes import ModeEnv
+from ..core.predicate_types import PredicateTypeEnv
+from ..lp.clause import Program, Query
+from ..terms.pretty import UNION_TYPE, pretty
+
+__all__ = [
+    "render_symbols",
+    "render_constraints",
+    "render_predicate_types",
+    "render_modes",
+    "render_program",
+    "render_queries",
+    "render_module",
+]
+
+
+def render_symbols(symbols: SymbolTable) -> str:
+    """``FUNC``/``TYPE`` declaration lines (arities are re-inferred on
+    parse, so only the names are listed)."""
+    lines: List[str] = []
+    functions = sorted(symbols.functions)
+    if functions:
+        lines.append(f"FUNC {', '.join(functions)}.")
+    constructors = sorted(name for name in symbols.type_constructors if name != UNION_TYPE)
+    if constructors:
+        lines.append(f"TYPE {', '.join(constructors)}.")
+    return "\n".join(lines)
+
+
+def render_constraints(constraints: ConstraintSet) -> str:
+    """The declared constraints, one per line (the predefined ``+``
+    constraints are implicit and skipped)."""
+    lines: List[str] = []
+    for constraint in constraints:
+        if constraint.constructor == UNION_TYPE:
+            continue
+        lines.append(f"{pretty(constraint.lhs)} >= {pretty(constraint.rhs)}.")
+    return "\n".join(lines)
+
+
+def render_predicate_types(predicate_types: PredicateTypeEnv) -> str:
+    return "\n".join(
+        f"PRED {pretty(declared)}." for declared in sorted(predicate_types, key=str)
+    )
+
+
+def render_modes(modes: ModeEnv) -> str:
+    lines: List[str] = []
+    for (name, _), declared in sorted(modes.items()):
+        lines.append(f"MODE {name}({', '.join(declared)}).")
+    return "\n".join(lines)
+
+
+def render_program(program: Program) -> str:
+    return "\n".join(str(clause) for clause in program)
+
+
+def render_queries(queries: Iterable[Query]) -> str:
+    return "\n".join(str(query) for query in queries)
+
+
+def render_module(
+    constraints: ConstraintSet,
+    predicate_types: Optional[PredicateTypeEnv] = None,
+    program: Optional[Program] = None,
+    queries: Iterable[Query] = (),
+    modes: Optional[ModeEnv] = None,
+) -> str:
+    """A complete source file for the given pieces, in declaration order:
+    symbols, constraints, predicate types, modes, clauses, queries."""
+    sections = [render_symbols(constraints.symbols), render_constraints(constraints)]
+    if predicate_types is not None and len(predicate_types):
+        sections.append(render_predicate_types(predicate_types))
+    if modes is not None and len(modes):
+        sections.append(render_modes(modes))
+    if program is not None and len(program):
+        sections.append(render_program(program))
+    queries = list(queries)
+    if queries:
+        sections.append(render_queries(queries))
+    return "\n\n".join(section for section in sections if section) + "\n"

@@ -1,0 +1,28 @@
+"""Logic-programming substrate: clauses, indexed database, SLD-resolution."""
+
+from .clause import Clause, Program, Query, rename_clause_apart
+from .constrained import (
+    ConstrainedAnswer,
+    ConstrainedInterpreter,
+    ConstrainedResult,
+    TypeConstraint,
+)
+from .database import Database
+from .resolution import SLDEngine, SLDResult, SLDStats, solve, solve_iterative_deepening
+
+__all__ = [
+    "Clause",
+    "Query",
+    "Program",
+    "rename_clause_apart",
+    "Database",
+    "SLDEngine",
+    "SLDResult",
+    "SLDStats",
+    "solve",
+    "solve_iterative_deepening",
+    "ConstrainedInterpreter",
+    "ConstrainedResult",
+    "ConstrainedAnswer",
+    "TypeConstraint",
+]

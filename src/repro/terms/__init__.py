@@ -1,0 +1,64 @@
+"""First-order term substrate: terms, substitutions, unification, freezing."""
+
+from .freeze import (
+    FROZEN_PREFIX,
+    freeze,
+    freeze_many,
+    freeze_with_mapping,
+    is_frozen_constant,
+    melt,
+)
+from .pretty import UNION_TYPE, pretty
+from .substitution import EMPTY_SUBSTITUTION, Substitution
+from .term import (
+    Struct,
+    Term,
+    Var,
+    atom,
+    fresh_variable,
+    functors_of,
+    is_ground,
+    occurs_in,
+    rename_apart,
+    struct,
+    subterms,
+    symbols_of,
+    term_depth,
+    term_size,
+    variables_in_order,
+    variables_of,
+)
+from .unify import UnificationError, mgu, unifiable, unify
+
+__all__ = [
+    "Var",
+    "Struct",
+    "Term",
+    "atom",
+    "struct",
+    "subterms",
+    "variables_of",
+    "variables_in_order",
+    "is_ground",
+    "term_size",
+    "term_depth",
+    "occurs_in",
+    "symbols_of",
+    "functors_of",
+    "fresh_variable",
+    "rename_apart",
+    "Substitution",
+    "EMPTY_SUBSTITUTION",
+    "unify",
+    "mgu",
+    "unifiable",
+    "UnificationError",
+    "freeze",
+    "freeze_many",
+    "freeze_with_mapping",
+    "melt",
+    "is_frozen_constant",
+    "FROZEN_PREFIX",
+    "pretty",
+    "UNION_TYPE",
+]

@@ -1,0 +1,99 @@
+"""Skolemization — the paper's bar operation ``τ̄``.
+
+Definition 5 ("more general type") and Definition 10 ("respectful typing")
+both use ``τ̄``: *"Let τ̄ be τ with each variable replaced by a unique
+constant not appearing in any type."*  Replacing variables with fresh
+constants turns an existentially quantified subtype question into a
+universally quantified one: a refutation of ``:- τ1 >= τ̄2`` cannot
+instantiate the (frozen) variables of ``τ2``, so success means ``τ1`` can
+be specialised to cover *every* instance of ``τ2``.
+
+Frozen constants are nullary structs with a reserved name prefix that the
+parsers reject in user programs, so they genuinely "do not appear in any
+type".  :func:`melt` inverts the operation, which the test-suite uses to
+round-trip.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Tuple
+
+from .term import Struct, Term, Var
+
+__all__ = ["FROZEN_PREFIX", "freeze", "freeze_many", "melt", "is_frozen_constant"]
+
+FROZEN_PREFIX = "'$frozen"
+
+_freeze_counter = itertools.count()
+
+
+def is_frozen_constant(term: Term) -> bool:
+    """True iff ``term`` is a constant produced by :func:`freeze`."""
+    return isinstance(term, Struct) and not term.args and term.functor.startswith(FROZEN_PREFIX)
+
+
+def freeze(term: Term) -> Term:
+    """``t̄``: replace each variable of ``term`` with a unique fresh constant.
+
+    Distinct variables map to distinct constants; repeated occurrences of
+    the same variable map to the same constant (the paper's ``τ̄`` requires
+    exactly this — e.g. the frozen ``f(X, X)`` must stay unifiable only
+    with terms whose two arguments are equal).
+    """
+    frozen, _ = freeze_with_mapping(term)
+    return frozen
+
+
+def freeze_with_mapping(term: Term) -> Tuple[Term, Dict[Var, Struct]]:
+    """Like :func:`freeze` but also return the variable → constant mapping."""
+    mapping: Dict[Var, Struct] = {}
+
+    def walk(t: Term) -> Term:
+        if isinstance(t, Var):
+            if t not in mapping:
+                mapping[t] = Struct(f"{FROZEN_PREFIX}{next(_freeze_counter)}", ())
+            return mapping[t]
+        if not t.args:
+            return t
+        return Struct(t.functor, tuple(walk(a) for a in t.args))
+
+    return walk(term), mapping
+
+
+def freeze_many(terms: "list[Term]") -> "list[Term]":
+    """Freeze several terms with one *shared* variable → constant mapping.
+
+    Definition 10's respectfulness check compares ``τ̄`` with ``t̄θ`` where
+    the two terms may share type variables; the bar operation assigns each
+    *variable* a unique constant, so a variable shared between the terms
+    must freeze to the same constant in both.  This helper provides that
+    consistent freezing.
+    """
+    mapping: Dict[Var, Struct] = {}
+
+    def walk(t: Term) -> Term:
+        if isinstance(t, Var):
+            if t not in mapping:
+                mapping[t] = Struct(f"{FROZEN_PREFIX}{next(_freeze_counter)}", ())
+            return mapping[t]
+        if not t.args:
+            return t
+        return Struct(t.functor, tuple(walk(a) for a in t.args))
+
+    return [walk(term) for term in terms]
+
+
+def melt(term: Term, mapping: Dict[Var, Struct]) -> Term:
+    """Invert :func:`freeze_with_mapping`: constants back to their variables."""
+    inverse = {const: var for var, const in mapping.items()}
+
+    def walk(t: Term) -> Term:
+        if isinstance(t, Struct):
+            if t in inverse:
+                return inverse[t]
+            if t.args:
+                return Struct(t.functor, tuple(walk(a) for a in t.args))
+        return t
+
+    return walk(term)

@@ -1,0 +1,52 @@
+"""Pretty printing of terms, types, and clause parts.
+
+The printer emits the paper's concrete syntax: infix ``+`` for the
+predefined union type constructor (left associative, as the parser reads
+it) and ordinary ``name(arg, ...)`` application everywhere else.  Output
+round-trips through ``repro.lang.parser``: for every term ``t``,
+``parse_term(pretty(t)) == t`` (tested property).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .term import Struct, Term, Var
+
+__all__ = ["pretty", "pretty_args", "UNION_TYPE"]
+
+UNION_TYPE = "+"
+
+
+def pretty(term: Term) -> str:
+    """Render ``term`` in the paper's concrete syntax."""
+    if isinstance(term, Var):
+        return term.name
+    if term.functor == ">=" and len(term.args) == 2:
+        # Subtype atoms of the Horn theory H_C display infix.
+        return f"{pretty(term.args[0])} >= {pretty(term.args[1])}"
+    if term.functor == ":" and len(term.args) == 2:
+        # Typed-unification constraints display infix too.
+        return f"{pretty(term.args[0])} : {pretty(term.args[1])}"
+    if term.functor == UNION_TYPE and len(term.args) == 2:
+        left, right = term.args
+        left_str = pretty(left)
+        # ``+`` is left associative: a right operand that is itself a union
+        # must be parenthesised to round-trip.
+        if isinstance(right, Struct) and right.functor == UNION_TYPE and len(right.args) == 2:
+            right_str = f"({pretty(right)})"
+        else:
+            right_str = pretty(right)
+        return f"{left_str} + {right_str}"
+    if not term.args:
+        return term.functor
+    return f"{term.functor}({pretty_args(term.args)})"
+
+
+def pretty_args(args: Iterable[Term]) -> str:
+    """Comma-join pretty-printed ``args``, parenthesising top-level unions."""
+    rendered = []
+    for arg in args:
+        text = pretty(arg)
+        rendered.append(text)
+    return ", ".join(rendered)

@@ -1,0 +1,229 @@
+"""First-order terms.
+
+This module provides the term language shared by every layer of the
+reproduction: object-level terms of logic programs, *types* (terms over
+``F ∪ T`` in the paper's Definition 1) and atoms of clauses (predicate
+symbols applied to terms, which Section 6 of the paper deliberately treats
+as function symbols so that ``match`` can be applied to atoms).
+
+A term is either
+
+* a :class:`Var` — a logical variable, identified by name, or
+* a :class:`Struct` — a symbol applied to zero or more argument terms.
+
+Nullary structs double as constants/atoms; the paper "abuses the notation
+slightly by treating 0-ary symbols as if they were arbitrary n-ary
+symbols", and so do we.
+
+Terms are immutable and hashable, so they can live in sets, dict keys and
+memo tables.  All structural traversals (variables, size, depth, ground
+test) are iterative to stay robust on the deep terms produced by the
+benchmark generators.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Set, Tuple, Union
+
+__all__ = [
+    "Var",
+    "Struct",
+    "Term",
+    "atom",
+    "struct",
+    "variables_of",
+    "is_ground",
+    "term_size",
+    "term_depth",
+    "subterms",
+    "occurs_in",
+    "rename_apart",
+    "fresh_variable",
+    "symbols_of",
+    "functors_of",
+]
+
+
+@dataclass(frozen=True)
+class Var:
+    """A logical variable.
+
+    Variables are compared by name: two ``Var("X")`` objects are the same
+    variable.  Scoping (keeping the variables of two clauses apart) is the
+    caller's job and is normally done with :func:`rename_apart`.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Struct:
+    """A compound term ``functor(arg1, ..., argn)``.
+
+    ``args`` is a tuple; a nullary struct (``args == ()``) is a constant.
+    The hash and the groundness flag are computed once at construction:
+    terms are used heavily as dictionary keys in the subtype engine's memo
+    tables, and the engine asks "is this ground?" at every recursion step
+    — both must be O(1).
+    """
+
+    functor: str
+    args: Tuple["Term", ...] = ()
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+    ground: bool = field(init=False, repr=False, compare=False, default=True)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.functor, self.args)))
+        object.__setattr__(
+            self,
+            "ground",
+            all(isinstance(a, Struct) and a.ground for a in self.args),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    @property
+    def arity(self) -> int:
+        """Number of arguments."""
+        return len(self.args)
+
+    @property
+    def indicator(self) -> Tuple[str, int]:
+        """The ``name/arity`` pair identifying this symbol."""
+        return (self.functor, len(self.args))
+
+    def __repr__(self) -> str:
+        if not self.args:
+            return f"Struct({self.functor!r})"
+        return f"Struct({self.functor!r}, {self.args!r})"
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.functor
+        return f"{self.functor}({', '.join(str(a) for a in self.args)})"
+
+
+Term = Union[Var, Struct]
+
+
+def atom(name: str) -> Struct:
+    """Build a constant (nullary struct)."""
+    return Struct(name, ())
+
+
+def struct(functor: str, *args: Term) -> Struct:
+    """Build a compound term from varargs (convenience constructor)."""
+    return Struct(functor, tuple(args))
+
+
+def subterms(term: Term) -> Iterator[Term]:
+    """Yield every subterm of ``term`` (including ``term`` itself), pre-order."""
+    stack: List[Term] = [term]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, Struct):
+            stack.extend(reversed(current.args))
+
+
+def variables_of(term: Term) -> Set[Var]:
+    """The set of variables occurring in ``term`` (``var(t)`` in the paper)."""
+    return {t for t in subterms(term) if isinstance(t, Var)}
+
+
+def variables_in_order(term: Term) -> List[Var]:
+    """Variables of ``term`` in first-occurrence (left-to-right) order."""
+    seen: Set[Var] = set()
+    ordered: List[Var] = []
+    for sub in subterms(term):
+        if isinstance(sub, Var) and sub not in seen:
+            seen.add(sub)
+            ordered.append(sub)
+    return ordered
+
+
+def is_ground(term: Term) -> bool:
+    """True iff ``term`` contains no variables (O(1): cached on Struct)."""
+    return isinstance(term, Struct) and term.ground
+
+
+def term_size(term: Term) -> int:
+    """Number of symbol/variable occurrences in ``term``."""
+    return sum(1 for _ in subterms(term))
+
+
+def term_depth(term: Term) -> int:
+    """Height of the term tree; a variable or constant has depth 1."""
+    depth = 0
+    stack: List[Tuple[Term, int]] = [(term, 1)]
+    while stack:
+        current, level = stack.pop()
+        if level > depth:
+            depth = level
+        if isinstance(current, Struct):
+            stack.extend((arg, level + 1) for arg in current.args)
+    return depth
+
+
+def occurs_in(var: Var, term: Term) -> bool:
+    """True iff ``var`` occurs in ``term`` (the occurs check)."""
+    return any(sub == var for sub in subterms(term))
+
+
+def symbols_of(term: Term) -> Set[Tuple[str, int]]:
+    """All ``name/arity`` indicators of structs occurring in ``term``."""
+    return {t.indicator for t in subterms(term) if isinstance(t, Struct)}
+
+
+def functors_of(term: Term) -> Set[str]:
+    """All functor names occurring in ``term``."""
+    return {t.functor for t in subterms(term) if isinstance(t, Struct)}
+
+
+_fresh_counter = itertools.count()
+
+
+def fresh_variable(stem: str = "_G") -> Var:
+    """A globally fresh variable.
+
+    Freshness is process-wide: names drawn here never collide with each
+    other.  User-written variables conventionally do not start with ``_G``
+    (the parsers enforce nothing, but the workload generators avoid it).
+    """
+    return Var(f"{stem}{next(_fresh_counter)}")
+
+
+def rename_apart(term: Term, taken: Iterable[Var] = ()) -> Tuple[Term, Dict[Var, Var]]:
+    """Rename the variables of ``term`` to globally fresh ones.
+
+    Returns the renamed term and the renaming used.  ``taken`` is accepted
+    for API symmetry but freshness is global, so no collision with *any*
+    existing variable is possible.
+
+    Renaming a clause apart before resolution is the standard way to get
+    standardized-apart variants (see ``repro.lp.resolution``); the
+    well-typedness checker uses it to produce the per-atom renamings
+    ``η_i`` of predicate-type variables (Definition 16).
+    """
+    del taken  # freshness is global; parameter kept for call-site clarity
+    mapping: Dict[Var, Var] = {}
+
+    def walk(t: Term) -> Term:
+        if isinstance(t, Var):
+            if t not in mapping:
+                mapping[t] = fresh_variable()
+            return mapping[t]
+        if not t.args:
+            return t
+        return Struct(t.functor, tuple(walk(a) for a in t.args))
+
+    return walk(term), mapping

@@ -1,0 +1,59 @@
+"""Workloads: the paper's declarations, canonical programs, generators."""
+
+from .generators import (
+    deep_int,
+    deep_nat,
+    nat_list,
+    random_ground_member,
+    random_guarded_constraint_set,
+    random_subtype_pair,
+    random_type,
+    synthetic_list_program,
+    wide_type_hierarchy,
+)
+from .programs import (
+    APPEND,
+    EXPRESSION_INTERPRETER,
+    ILL_TYPED_EXAMPLES,
+    INSERTION_SORT,
+    LIST_LIBRARY,
+    NATURALS_ARITHMETIC,
+    SOURCES,
+    load,
+    load_all,
+)
+from .stdlib import (
+    constraint,
+    ids_nonuniform,
+    lists,
+    naturals,
+    paper_universe,
+    rich_universe,
+)
+
+__all__ = [
+    "constraint",
+    "naturals",
+    "lists",
+    "paper_universe",
+    "ids_nonuniform",
+    "rich_universe",
+    "APPEND",
+    "NATURALS_ARITHMETIC",
+    "LIST_LIBRARY",
+    "EXPRESSION_INTERPRETER",
+    "INSERTION_SORT",
+    "ILL_TYPED_EXAMPLES",
+    "SOURCES",
+    "load",
+    "load_all",
+    "random_guarded_constraint_set",
+    "random_type",
+    "random_ground_member",
+    "random_subtype_pair",
+    "deep_nat",
+    "deep_int",
+    "nat_list",
+    "synthetic_list_program",
+    "wide_type_hierarchy",
+]

@@ -1,0 +1,275 @@
+"""Seeded random workload generators for property tests and benchmarks.
+
+Three families:
+
+* **Constraint sets** — :func:`random_guarded_constraint_set` builds
+  uniform polymorphic, guarded-by-construction declaration sets of a
+  requested size: type constructors are generated in a fixed order and a
+  constraint for constructor ``i`` may mention constructors ``j < i`` at
+  unguarded (not-under-a-function-symbol) positions, so no constructor can
+  ever directly depend on itself (Definition 9 holds by construction —
+  the tests verify it through the analysis anyway).
+* **Terms and types** — random ground terms of a type (sampled through
+  the enumeration semantics), random types over a constraint set, and
+  random subtype goals biased toward derivable pairs.
+* **Programs** — scalable well-typed programs built from list/naturals
+  templates (for checker-throughput and typed-execution benchmarks) whose
+  shape mirrors the canonical library but whose size is a parameter.
+
+Everything takes an explicit :class:`random.Random` so runs reproduce.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.declarations import ConstraintSet, SubtypeConstraint, SymbolTable
+from ..core.semantics import GeneralTypeSemantics
+from ..terms.term import Struct, Term, Var
+
+__all__ = [
+    "random_guarded_constraint_set",
+    "random_type",
+    "random_ground_member",
+    "random_subtype_pair",
+    "deep_nat",
+    "deep_int",
+    "nat_list",
+    "synthetic_list_program",
+    "wide_type_hierarchy",
+]
+
+
+def random_guarded_constraint_set(
+    rng: random.Random,
+    type_count: int = 6,
+    function_count: int = 6,
+    constraints_per_type: int = 2,
+    max_constructor_arity: int = 2,
+    max_rhs_depth: int = 3,
+) -> ConstraintSet:
+    """A uniform polymorphic, guarded constraint set of the given size."""
+    symbols = SymbolTable()
+    function_names: List[Tuple[str, int]] = []
+    for index in range(function_count):
+        arity = rng.randint(0, max_constructor_arity)
+        # Always keep at least one constant so every type is inhabited.
+        if index == 0:
+            arity = 0
+        name = f"g{index}"
+        symbols.declare_function(name, arity)
+        function_names.append((name, arity))
+    type_names: List[Tuple[str, int]] = []
+    for index in range(type_count):
+        arity = rng.randint(0, max_constructor_arity)
+        name = f"t{index}"
+        symbols.declare_type_constructor(name, arity)
+        type_names.append((name, arity))
+
+    constraints: List[SubtypeConstraint] = []
+    for index, (name, arity) in enumerate(type_names):
+        parameters = tuple(Var(f"P{i}") for i in range(arity))
+        lhs = Struct(name, parameters)
+        earlier = type_names[:index]
+        for _ in range(constraints_per_type):
+            rhs = _random_rhs(
+                rng,
+                parameters,
+                function_names,
+                earlier,
+                type_names,
+                depth=max_rhs_depth,
+                guarded=True,
+            )
+            constraints.append(SubtypeConstraint(lhs, rhs))
+    return ConstraintSet(symbols, constraints)
+
+
+def _random_rhs(
+    rng: random.Random,
+    parameters: Sequence[Var],
+    functions: Sequence[Tuple[str, int]],
+    earlier_types: Sequence[Tuple[str, int]],
+    all_types: Sequence[Tuple[str, int]],
+    depth: int,
+    guarded: bool,
+) -> Term:
+    """A random right-hand side; while ``guarded`` holds, only earlier
+    type constructors may appear (the guard drops under function symbols,
+    where any constructor is allowed)."""
+    choices = ["function"]
+    if parameters:
+        choices.append("parameter")
+    available_types = earlier_types if guarded else all_types
+    if available_types:
+        choices.append("type")
+    kind = rng.choice(choices) if depth > 0 else "leaf"
+    if kind == "parameter":
+        return rng.choice(list(parameters))
+    if kind == "type" and depth > 0:
+        name, arity = rng.choice(list(available_types))
+        args = tuple(
+            _random_rhs(
+                rng, parameters, functions, earlier_types, all_types, depth - 1, guarded
+            )
+            for _ in range(arity)
+        )
+        return Struct(name, args)
+    # Function symbol (or forced leaf): recursion below is guarded.
+    if depth > 0:
+        name, arity = rng.choice(list(functions))
+    else:
+        constants = [(n, a) for n, a in functions if a == 0]
+        name, arity = rng.choice(constants)
+    args = tuple(
+        _random_rhs(rng, parameters, functions, earlier_types, all_types, depth - 1, False)
+        for _ in range(arity)
+    )
+    return Struct(name, args)
+
+
+def random_type(
+    rng: random.Random,
+    constraints: ConstraintSet,
+    depth: int = 3,
+    variables: Sequence[Var] = (),
+    allow_variables: bool = True,
+) -> Term:
+    """A random well-formed type over the constraint set's alphabets."""
+    symbols = constraints.symbols
+    options = ["function", "type"]
+    if allow_variables and variables:
+        options.append("variable")
+    kind = rng.choice(options)
+    if kind == "variable":
+        return rng.choice(list(variables))
+    if kind == "type":
+        pool = list(symbols.type_constructors.items())
+    else:
+        pool = list(symbols.functions.items())
+    if depth <= 1:
+        constants = [(n, a) for n, a in pool if a == 0]
+        if not constants:
+            constants = [(n, a) for n, a in symbols.functions.items() if a == 0]
+        name, arity = rng.choice(constants)
+    else:
+        name, arity = rng.choice(pool)
+    args = tuple(
+        random_type(rng, constraints, depth - 1, variables, allow_variables)
+        for _ in range(arity)
+    )
+    return Struct(name, args)
+
+
+def random_ground_member(
+    rng: random.Random,
+    constraints: ConstraintSet,
+    type_term: Term,
+    max_depth: int = 4,
+) -> Optional[Term]:
+    """A random inhabitant of ``type_term`` (depth ≤ ``max_depth``), or
+    ``None`` when the bounded enumeration is empty."""
+    semantics = GeneralTypeSemantics(constraints)
+    members = sorted(semantics.inhabitants(type_term, max_depth), key=repr)
+    if not members:
+        return None
+    return rng.choice(members)
+
+
+def random_subtype_pair(
+    rng: random.Random,
+    constraints: ConstraintSet,
+    depth: int = 3,
+    member_depth: int = 4,
+) -> Tuple[Term, Term]:
+    """A random ``(supertype, candidate)`` goal.
+
+    Half the time the candidate is drawn from the supertype's inhabitants
+    (so the goal should hold), half the time it is an unrelated random
+    ground term (usually it should not) — a useful mix for differential
+    testing of the two provers.
+    """
+    supertype = random_type(rng, constraints, depth=depth, allow_variables=False)
+    if rng.random() < 0.5:
+        member = random_ground_member(rng, constraints, supertype, member_depth)
+        if member is not None:
+            return supertype, member
+    other = random_type(rng, constraints, depth=depth, allow_variables=False)
+    candidate = random_ground_member(rng, constraints, other, member_depth)
+    if candidate is None:
+        candidate = Struct("g0", ())
+    return supertype, candidate
+
+
+# -- deterministic scaling families (benchmarks) --------------------------------
+
+
+def deep_nat(depth: int) -> Term:
+    """``succ^depth(0)`` — a ``nat`` of derivation length ~depth."""
+    term: Term = Struct("0", ())
+    for _ in range(depth):
+        term = Struct("succ", (term,))
+    return term
+
+
+def deep_int(depth: int) -> Term:
+    """``pred^depth(0)`` — an ``unnat``/``int`` of derivation length ~depth."""
+    term: Term = Struct("0", ())
+    for _ in range(depth):
+        term = Struct("pred", (term,))
+    return term
+
+
+def nat_list(length: int, element_depth: int = 1) -> Term:
+    """``cons(succ^k(0), ... nil)`` — a ``list(nat)`` of the given length."""
+    term: Term = Struct("nil", ())
+    for _ in range(length):
+        term = Struct("cons", (deep_nat(element_depth), term))
+    return term
+
+
+def synthetic_list_program(predicate_count: int, clauses_per_predicate: int = 2) -> str:
+    """Source text of a well-typed program with many predicates.
+
+    Predicate ``p0`` is plain append; each later ``p_i`` delegates through
+    ``p_{i-1}``, giving a program whose size scales linearly in
+    ``predicate_count`` while staying well-typed — the checker-throughput
+    benchmark family (P1).
+    """
+    lines: List[str] = [
+        "FUNC nil, cons.",
+        "TYPE elist, nelist, list.",
+        "elist >= nil.",
+        "nelist(A) >= cons(A,list(A)).",
+        "list(A) >= elist + nelist(A).",
+        "PRED p0(list(A),list(A),list(A)).",
+        "p0(nil,L,L).",
+        "p0(cons(X,L),M,cons(X,N)) :- p0(L,M,N).",
+    ]
+    for index in range(1, predicate_count):
+        previous = f"p{index - 1}"
+        current = f"p{index}"
+        lines.append(f"PRED {current}(list(A),list(A),list(A)).")
+        lines.append(f"{current}(nil,L,L).")
+        for _ in range(max(1, clauses_per_predicate - 1)):
+            lines.append(
+                f"{current}(cons(X,L),M,cons(X,N)) :- {previous}(L,M,N)."
+            )
+    return "\n".join(lines) + "\n"
+
+
+def wide_type_hierarchy(width: int, depth: int = 1) -> str:
+    """Source text declaring a wide subtype hierarchy (for the
+    restriction-analysis and subtype benchmarks): ``top >= s0 + ... +
+    s{width-1}`` with each ``s_i`` owning one constant."""
+    lines: List[str] = []
+    constants = ", ".join(f"k{i}" for i in range(width))
+    lines.append(f"FUNC {constants}.")
+    names = ", ".join(f"s{i}" for i in range(width))
+    lines.append(f"TYPE top, {names}.")
+    for i in range(width):
+        lines.append(f"s{i} >= k{i}.")
+    union = " + ".join(f"s{i}" for i in range(width))
+    lines.append(f"top >= {union}.")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,264 @@
+"""Canonical typed logic programs used by examples, tests and benchmarks.
+
+Each program is written in the paper's concrete syntax and goes through
+the full checker frontend, so these sources double as end-to-end tests of
+the pipeline.  ``APPEND`` is the paper's own Section 1 example, verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..checker.frontend import CheckedModule, check_text
+
+__all__ = [
+    "APPEND",
+    "NATURALS_ARITHMETIC",
+    "LIST_LIBRARY",
+    "EXPRESSION_INTERPRETER",
+    "INSERTION_SORT",
+    "ILL_TYPED_EXAMPLES",
+    "SOURCES",
+    "load",
+    "load_all",
+]
+
+_NAT_DECLS = """\
+FUNC 0, succ, pred.
+TYPE nat, unnat, int.
+nat >= 0 + succ(nat).
+unnat >= 0 + pred(unnat).
+int >= nat + unnat.
+"""
+
+_LIST_DECLS = """\
+FUNC nil, cons.
+TYPE elist, nelist, list.
+elist >= nil.
+nelist(A) >= cons(A,list(A)).
+list(A) >= elist + nelist(A).
+"""
+
+APPEND = (
+    _LIST_DECLS
+    + """\
+PRED app(list(A),list(A),list(A)).
+app(nil,L,L).
+app(cons(X,L),M,cons(X,N)) :- app(L,M,N).
+"""
+)
+"""The paper's append example (Section 1/5), verbatim."""
+
+NATURALS_ARITHMETIC = (
+    _NAT_DECLS
+    + """\
+PRED plus(nat,nat,nat).
+plus(0,N,N).
+plus(succ(M),N,succ(K)) :- plus(M,N,K).
+
+PRED times(nat,nat,nat).
+times(0,N,0).
+times(succ(M),N,K) :- times(M,N,P), plus(P,N,K).
+
+PRED le(nat,nat).
+le(0,N).
+le(succ(M),succ(N)) :- le(M,N).
+
+PRED even(nat).
+even(0).
+even(succ(succ(N))) :- even(N).
+
+PRED int2nat(int,nat).
+int2nat(0,0).
+int2nat(succ(X),succ(X)).
+"""
+)
+"""Peano arithmetic over ``nat`` plus the paper's ``int2nat`` filter."""
+
+LIST_LIBRARY = (
+    _NAT_DECLS
+    + _LIST_DECLS
+    + """\
+PRED app(list(A),list(A),list(A)).
+app(nil,L,L).
+app(cons(X,L),M,cons(X,N)) :- app(L,M,N).
+
+PRED member(A,list(A)).
+member(X,cons(X,L)).
+member(X,cons(Y,L)) :- member(X,L).
+
+PRED len(list(A),nat).
+len(nil,0).
+len(cons(X,L),succ(N)) :- len(L,N).
+
+PRED revacc(list(A),list(A),list(A)).
+revacc(nil,Acc,Acc).
+revacc(cons(X,L),Acc,R) :- revacc(L,cons(X,Acc),R).
+
+PRED reverse(list(A),list(A)).
+reverse(L,R) :- revacc(L,nil,R).
+
+PRED last(list(A),A).
+last(cons(X,nil),X).
+last(cons(X,L),Y) :- last(L,Y).
+
+PRED sum(list(nat),nat).
+sum(nil,0).
+sum(cons(X,L),N) :- sum(L,M), plus(X,M,N).
+
+PRED plus(nat,nat,nat).
+plus(0,N,N).
+plus(succ(M),N,succ(K)) :- plus(M,N,K).
+"""
+)
+"""A small typed list library layered over the paper's declarations."""
+
+INSERTION_SORT = (
+    _NAT_DECLS
+    + _LIST_DECLS
+    + """\
+PRED le(nat,nat).
+le(0,N).
+le(succ(M),succ(N)) :- le(M,N).
+
+PRED gt(nat,nat).
+gt(succ(N),0).
+gt(succ(M),succ(N)) :- gt(M,N).
+
+PRED insert(nat,list(nat),list(nat)).
+insert(X,nil,cons(X,nil)).
+insert(X,cons(Y,L),cons(X,cons(Y,L))) :- le(X,Y).
+insert(X,cons(Y,L),cons(Y,M)) :- gt(X,Y), insert(X,L,M).
+
+PRED isort(list(nat),list(nat)).
+isort(nil,nil).
+isort(cons(X,L),S) :- isort(L,S1), insert(X,S1,S).
+"""
+)
+"""Insertion sort over ``list(nat)`` — a classic whose typing exercises
+monomorphic instantiation of the polymorphic list type."""
+
+EXPRESSION_INTERPRETER = (
+    _NAT_DECLS
+    + """\
+FUNC lit, add, mul, if_e, tt, ff, leq.
+TYPE aexp, bexp, bool.
+aexp >= lit(nat) + add(aexp, aexp) + mul(aexp, aexp) + if_e(bexp, aexp, aexp).
+bexp >= tt + ff + leq(aexp, aexp).
+bool >= tt + ff.
+
+PRED plus(nat,nat,nat).
+plus(0,N,N).
+plus(succ(M),N,succ(K)) :- plus(M,N,K).
+
+PRED times(nat,nat,nat).
+times(0,N,0).
+times(succ(M),N,K) :- times(M,N,P), plus(P,N,K).
+
+PRED le(nat,nat).
+le(0,N).
+le(succ(M),succ(N)) :- le(M,N).
+
+PRED gt(nat,nat).
+gt(succ(N),0).
+gt(succ(M),succ(N)) :- gt(M,N).
+
+PRED aeval(aexp,nat).
+PRED beval(bexp,bool).
+aeval(lit(N),N).
+aeval(add(E1,E2),N) :- aeval(E1,N1), aeval(E2,N2), plus(N1,N2,N).
+aeval(mul(E1,E2),N) :- aeval(E1,N1), aeval(E2,N2), times(N1,N2,N).
+aeval(if_e(B,E1,E2),N) :- beval(B,tt), aeval(E1,N).
+aeval(if_e(B,E1,E2),N) :- beval(B,ff), aeval(E2,N).
+beval(tt,tt).
+beval(ff,ff).
+beval(leq(E1,E2),tt) :- aeval(E1,N1), aeval(E2,N2), le(N1,N2).
+beval(leq(E1,E2),ff) :- aeval(E1,N1), aeval(E2,N2), gt(N1,N2).
+"""
+)
+"""A typed big-step interpreter for a small expression language: the
+arithmetic/boolean AST is carved out of the Herbrand universe with
+subtype constraints (``aexp``/``bexp`` as unions of constructor shapes),
+and the evaluator's predicate types guarantee evaluation only ever
+produces ``nat`` values and ``bool`` truth values."""
+
+ILL_TYPED_EXAMPLES: Dict[str, str] = {
+    # Section 5: "X appears as both an int and a list(A)" in a query.
+    "query_two_contexts": _NAT_DECLS
+    + _LIST_DECLS
+    + """\
+PRED p(int).
+PRED q(list(A)).
+p(0).
+q(nil).
+:- p(X), q(X).
+""",
+    # Section 5: clause body types X differently from the head.
+    "clause_two_contexts": _NAT_DECLS
+    + _LIST_DECLS
+    + """\
+PRED p(int).
+PRED r(list(A)).
+p(0).
+r(X) :- p(X).
+""",
+    # Section 5: repeated head variable in two contexts.
+    "head_two_contexts": _NAT_DECLS
+    + _LIST_DECLS
+    + """\
+PRED s(int,list(A)).
+s(X,X).
+""",
+    # Section 5: a defining clause may not commit the predicate's type
+    # variables — p(cons(nil,nil)) would let q(list(int)) receive a
+    # list of lists.
+    "head_commits_type_variable": _LIST_DECLS
+    + """\
+PRED p(list(A)).
+p(cons(nil,nil)).
+""",
+    # Section 7: subtype information-flow — without modes the query must
+    # be rejected because q could instantiate X to pred(0).
+    "subtype_flow": _NAT_DECLS
+    + """\
+PRED p(nat).
+PRED q(int).
+p(0).
+q(0).
+:- p(X), q(X).
+""",
+    # Section 1: app restricted to lists rules out :- app(nil,0,0).
+    "append_on_naturals": _NAT_DECLS
+    + _LIST_DECLS
+    + """\
+PRED app(list(A),list(A),list(A)).
+app(nil,L,L).
+app(cons(X,L),M,cons(X,N)) :- app(L,M,N).
+:- app(nil,0,0).
+""",
+}
+"""Every ill-typed program/query the paper presents, keyed by its role."""
+
+SOURCES: Dict[str, str] = {
+    "append": APPEND,
+    "naturals_arithmetic": NATURALS_ARITHMETIC,
+    "list_library": LIST_LIBRARY,
+    "expression_interpreter": EXPRESSION_INTERPRETER,
+    "insertion_sort": INSERTION_SORT,
+}
+"""The well-typed canonical sources by name."""
+
+
+def load(name: str) -> CheckedModule:
+    """Check and return a canonical source by name (must be well-typed)."""
+    module = check_text(SOURCES[name])
+    if not module.ok:
+        raise AssertionError(
+            f"canonical program {name} failed to check:\n{module.diagnostics.render()}"
+        )
+    return module
+
+
+def load_all() -> Dict[str, CheckedModule]:
+    """All canonical well-typed programs, checked."""
+    return {name: load(name) for name in SOURCES}

@@ -1,0 +1,147 @@
+"""The paper's type declarations, plus a small standard library of types.
+
+Everything the paper's examples use is reproduced here verbatim (modulo
+concrete syntax) so that tests and benchmarks can refer to
+"the paper's universe" by name:
+
+* :func:`naturals` — ``nat``, ``unnat``, ``int`` over ``0/succ/pred``
+  (Section 1);
+* :func:`lists` — ``elist``, ``nelist(A)``, ``list(A)`` over ``nil/cons``
+  (Section 1), plus the ``foo`` constant used in the Section 2
+  derivation example;
+* :func:`paper_universe` — both of the above in one constraint set;
+* :func:`ids_nonuniform` — the *non-uniform* polymorphic ``id`` type of
+  Section 1 (``id(males) >= m(nat)``, ``id(females) >= f(nat)``) with a
+  ``person >= males + females`` hierarchy;
+* :func:`rich_universe` — the paper universe extended with booleans,
+  pairs and binary trees, used by the generators and benchmarks.
+
+All builders return fresh, independent :class:`ConstraintSet` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..core.declarations import ConstraintSet, SubtypeConstraint, SymbolTable
+from ..lang.ast import ConstraintDecl
+from ..lang.parser import parse_file
+
+__all__ = [
+    "constraint",
+    "naturals",
+    "lists",
+    "paper_universe",
+    "ids_nonuniform",
+    "rich_universe",
+]
+
+
+def constraint(text: str) -> SubtypeConstraint:
+    """Parse a single ``lhs >= rhs.`` declaration into a constraint."""
+    if not text.rstrip().endswith("."):
+        text = text + "."
+    item = parse_file(text).items[0]
+    if not isinstance(item, ConstraintDecl):
+        raise ValueError(f"not a subtype constraint: {text!r}")
+    lhs = item.lhs
+    from ..terms.term import Struct
+
+    if not isinstance(lhs, Struct):
+        raise ValueError(f"constraint lhs must be an application: {text!r}")
+    return SubtypeConstraint(lhs, item.rhs)
+
+
+def _build(
+    functions: Iterable[Tuple[str, int]],
+    type_constructors: Iterable[Tuple[str, int]],
+    constraint_texts: Iterable[str],
+) -> ConstraintSet:
+    symbols = SymbolTable()
+    for name, arity in functions:
+        symbols.declare_function(name, arity)
+    for name, arity in type_constructors:
+        symbols.declare_type_constructor(name, arity)
+    return ConstraintSet(symbols, [constraint(text) for text in constraint_texts])
+
+
+_NATURALS_FUNCTIONS = [("0", 0), ("succ", 1), ("pred", 1)]
+_NATURALS_TYPES = [("nat", 0), ("unnat", 0), ("int", 0)]
+_NATURALS_CONSTRAINTS = [
+    "nat >= 0 + succ(nat)",
+    "unnat >= 0 + pred(unnat)",
+    "int >= nat + unnat",
+]
+
+_LISTS_FUNCTIONS = [("nil", 0), ("cons", 2), ("foo", 0)]
+_LISTS_TYPES = [("elist", 0), ("nelist", 1), ("list", 1)]
+_LISTS_CONSTRAINTS = [
+    "elist >= nil",
+    "nelist(A) >= cons(A, list(A))",
+    "list(A) >= elist + nelist(A)",
+]
+
+
+def naturals() -> ConstraintSet:
+    """Section 1's ``nat``/``unnat``/``int`` declarations."""
+    return _build(_NATURALS_FUNCTIONS, _NATURALS_TYPES, _NATURALS_CONSTRAINTS)
+
+
+def lists() -> ConstraintSet:
+    """Section 1's polymorphic list declarations (plus the ``foo`` constant
+    of the Section 2 derivation example)."""
+    return _build(_LISTS_FUNCTIONS, _LISTS_TYPES, _LISTS_CONSTRAINTS)
+
+
+def paper_universe() -> ConstraintSet:
+    """All declarations appearing in the paper's running examples."""
+    return _build(
+        _NATURALS_FUNCTIONS + _LISTS_FUNCTIONS,
+        _NATURALS_TYPES + _LISTS_TYPES,
+        _NATURALS_CONSTRAINTS + _LISTS_CONSTRAINTS,
+    )
+
+
+def ids_nonuniform() -> ConstraintSet:
+    """Section 1's non-uniform polymorphic ``id`` type.
+
+    ``id(males) >= m(nat)`` / ``id(females) >= f(nat)`` are *not* uniform
+    polymorphic (their lhs arguments are type constants, not variables),
+    so this set is only usable with the definitional semantics
+    (:class:`~repro.core.semantics.GeneralTypeSemantics`, the naive
+    prover) — exactly the paper's position: "This paper assigns meaning to
+    all types, however, for simplicity, our well-typedness conditions are
+    defined only for uniform polymorphic types."
+    """
+    return _build(
+        _NATURALS_FUNCTIONS + [("m", 1), ("f", 1)],
+        _NATURALS_TYPES + [("id", 1), ("males", 0), ("females", 0), ("person", 0)],
+        _NATURALS_CONSTRAINTS
+        + [
+            "id(males) >= m(nat)",
+            "id(females) >= f(nat)",
+            "person >= males + females",
+        ],
+    )
+
+
+def rich_universe() -> ConstraintSet:
+    """The paper universe extended with booleans, pairs and binary trees —
+    a larger guarded, uniform playground for generators and benchmarks."""
+    return _build(
+        _NATURALS_FUNCTIONS
+        + _LISTS_FUNCTIONS
+        + [("true", 0), ("false", 0), ("pair", 2), ("leaf", 1), ("node", 3)],
+        _NATURALS_TYPES
+        + _LISTS_TYPES
+        + [("bool", 0), ("prod", 2), ("tree", 1), ("etree", 1), ("netree", 1)],
+        _NATURALS_CONSTRAINTS
+        + _LISTS_CONSTRAINTS
+        + [
+            "bool >= true + false",
+            "prod(A, B) >= pair(A, B)",
+            "etree(A) >= leaf(A)",
+            "netree(A) >= node(tree(A), A, tree(A))",
+            "tree(A) >= etree(A) + netree(A)",
+        ],
+    )

@@ -1,0 +1,73 @@
+"""CLI tests: exit codes, output, --run execution."""
+
+import pytest
+
+from repro.checker.cli import main
+from repro.workloads import APPEND, ILL_TYPED_EXAMPLES
+
+
+@pytest.fixture()
+def write(tmp_path):
+    def _write(name, text):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    return _write
+
+
+def test_well_typed_file_exits_zero(write, capsys):
+    path = write("append.tlp", APPEND)
+    assert main([path]) == 0
+    out = capsys.readouterr().out
+    assert "well-typed" in out
+    assert "2 clauses" in out
+
+
+def test_ill_typed_file_exits_one(write, capsys):
+    path = write("bad.tlp", ILL_TYPED_EXAMPLES["query_two_contexts"])
+    assert main([path]) == 1
+    out = capsys.readouterr().out
+    assert "not well-typed" in out
+
+
+def test_missing_file_exits_two(capsys):
+    assert main(["/nonexistent/nope.tlp"]) == 2
+
+
+def test_multiple_files(write, capsys):
+    good = write("good.tlp", APPEND)
+    bad = write("bad.tlp", ILL_TYPED_EXAMPLES["head_two_contexts"])
+    assert main([good, bad]) == 1
+
+
+def test_run_executes_queries(write, capsys):
+    source = APPEND + ":- app(cons(nil,nil), nil, X).\n"
+    path = write("run.tlp", source)
+    assert main([path, "--run"]) == 0
+    out = capsys.readouterr().out
+    assert "?- app(" in out
+    assert "X = cons(nil, nil)" in out
+
+
+def test_run_reports_no_answers(write, capsys):
+    source = APPEND + ":- app(cons(nil,nil), nil, nil).\n"
+    path = write("noanswer.tlp", source)
+    assert main([path, "--run"]) == 0
+    out = capsys.readouterr().out
+    assert "no." in out
+
+
+def test_run_ground_success_prints_yes(write, capsys):
+    source = APPEND + ":- app(nil, nil, nil).\n"
+    path = write("yes.tlp", source)
+    assert main([path, "--run"]) == 0
+    assert "yes." in capsys.readouterr().out
+
+
+def test_max_answers_limits_output(write, capsys):
+    source = APPEND + ":- app(X, Y, cons(nil, cons(nil, nil))).\n"
+    path = write("many.tlp", source)
+    assert main([path, "--run", "--max-answers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("X = ") == 2

@@ -1,0 +1,119 @@
+"""REPL tests via the non-interactive session driver."""
+
+import pytest
+
+from repro.checker.repl import Repl, run_session
+from repro.checker import check_text
+from repro.workloads import APPEND, NATURALS_ARITHMETIC
+
+
+def test_query_answers():
+    out = run_session(APPEND, ["app(cons(nil,nil), nil, R)."])
+    assert out == ["R = cons(nil, nil)"]
+
+
+def test_query_without_dot_and_with_prefix():
+    out = run_session(APPEND, [":- app(nil, nil, R)"])
+    assert out == ["R = nil"]
+
+
+def test_ground_query_yes_no():
+    out = run_session(APPEND, ["app(nil, nil, nil).", "app(nil, nil, cons(nil,nil))."])
+    assert out == ["yes.", "no."]
+
+
+def test_ill_typed_query_reported():
+    out = run_session(NATURALS_ARITHMETIC, ["plus(0, nil, R)."])
+    assert len(out) == 1
+    assert out[0].startswith("ill-typed query")
+
+
+def test_syntax_error_reported():
+    out = run_session(APPEND, ["app(((."])
+    assert out[0].startswith("syntax error")
+
+
+def test_sub_command():
+    out = run_session(NATURALS_ARITHMETIC, [":sub int >= nat", ":sub nat >= int"])
+    assert out == ["int >= nat: yes", "nat >= int: no"]
+
+
+def test_member_command():
+    out = run_session(
+        NATURALS_ARITHMETIC,
+        [":member nat succ(0)", ":member nat pred(0)"],
+    )
+    assert out == [
+        "succ(0) in M[nat]: yes",
+        "pred(0) in M[nat]: no",
+    ]
+
+
+def test_member_requires_ground():
+    out = run_session(NATURALS_ARITHMETIC, [":member nat succ(X)"])
+    assert out == ["membership needs a ground term"]
+
+
+def test_types_command():
+    out = run_session(NATURALS_ARITHMETIC, [":types succ(0)"])
+    assert len(out) == 1
+    assert "nat" in out[0]
+    assert "int" in out[0]
+    assert "unnat" not in out[0]
+
+
+def test_constrained_query_in_repl():
+    # le(X, succ(0)) enumerates X ∈ {0, succ(0)} (finite); the unnat
+    # store then keeps only 0.
+    out = run_session(NATURALS_ARITHMETIC, ["le(X, succ(0)), X : unnat."])
+    assert out == ["X = 0"]
+
+
+def test_constrained_residual_shown():
+    out = run_session(NATURALS_ARITHMETIC, ["X : nat."])
+    assert len(out) == 1
+    assert "| X : nat" in out[0]
+
+
+def test_why_explains_accepted_query():
+    out = run_session(APPEND, [":why app(cons(nil,nil), nil, R)"])
+    text = "\n".join(out)
+    assert text.startswith("well-typed")
+    assert "goal 1:" in text
+    assert "R : list" in text
+
+
+def test_why_explains_rejected_query():
+    out = run_session(NATURALS_ARITHMETIC, [":why plus(0, nil, R)"])
+    text = "\n".join(out)
+    assert text.startswith("NOT well-typed")
+
+
+def test_help_and_unknown():
+    out = run_session(APPEND, [":help"])
+    assert any("commands" in line for line in out)
+    out = run_session(APPEND, [":frobnicate"])
+    assert "unknown command" in out[0]
+
+
+def test_quit_stops_session():
+    out = run_session(APPEND, [":quit", "app(nil, nil, R)."])
+    assert out == []
+
+
+def test_blank_and_comment_lines_ignored():
+    out = run_session(APPEND, ["", "   ", "% a comment"])
+    assert out == []
+
+
+def test_repl_refuses_broken_module():
+    module = check_text("FUNC .")
+    with pytest.raises(ValueError):
+        Repl(module)
+
+
+def test_max_answers_respected():
+    module = check_text(APPEND)
+    repl = Repl(module, max_answers=2)
+    out = repl.execute("app(X, Y, cons(nil, cons(nil, nil))).")
+    assert len(out) == 2

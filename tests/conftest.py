@@ -1,0 +1,10 @@
+"""Shared test configuration.
+
+The recursive core algorithms raise the interpreter recursion limit on
+demand (``repro.core.recursion``); doing it once up front keeps hypothesis
+from warning about a mid-test limit change.
+"""
+
+import sys
+
+sys.setrecursionlimit(max(sys.getrecursionlimit(), 20_000))

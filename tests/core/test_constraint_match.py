@@ -1,0 +1,100 @@
+"""Tests for the constraint-collecting match (Section 7's checker engine)."""
+
+import pytest
+
+from repro.core import ConstraintMatcher, MATCH_BOTTOM, MATCH_FAIL, Matcher
+from repro.lang import parse_term as T
+from repro.terms import Substitution, Var
+from repro.workloads import paper_universe
+
+
+@pytest.fixture(scope="module")
+def cmatcher():
+    return ConstraintMatcher(paper_universe())
+
+
+def test_behaves_like_match_without_solvables(cmatcher):
+    matcher = Matcher(paper_universe())
+    cases = [
+        ("list(A)", "X"),
+        ("list(nat)", "cons(X, L)"),
+        ("int", "cons(X, Y)"),
+        ("nat", "succ(succ(X))"),
+    ]
+    for type_text, term_text in cases:
+        plain = matcher.match(T(type_text), T(term_text))
+        collected = cmatcher.match(T(type_text), T(term_text), set())
+        assert collected.result == plain
+        assert collected.equations == ()
+
+
+def test_rigid_variable_still_bottom(cmatcher):
+    outcome = cmatcher.match(Var("A"), T("succ(X)"), set())
+    assert outcome.result is MATCH_BOTTOM
+
+
+def test_solvable_variable_grows_shape(cmatcher):
+    alpha = Var("A")
+    solvable = {alpha}
+    outcome = cmatcher.match(alpha, T("succ(X)"), solvable)
+    assert isinstance(outcome.result, Substitution)
+    assert len(outcome.equations) == 1
+    var, shape = outcome.equations[0]
+    assert var == alpha
+    assert shape.functor == "succ"
+    assert len(shape.args) == 1
+    # The fresh shape argument is now solvable and types X.
+    beta = shape.args[0]
+    assert beta in solvable
+    assert outcome.result[Var("X")] == beta
+
+
+def test_solvable_against_ground_records_cover(cmatcher):
+    # A ground term does not force a shape — it records a cover
+    # constraint so the solver can pick a *named* covering type.
+    alpha = Var("A")
+    outcome = cmatcher.match(alpha, T("nil"), {alpha})
+    assert outcome.result == Substitution()
+    assert outcome.equations == ()
+    assert outcome.covers == ((alpha, T("nil")),)
+
+
+def test_nested_shapes(cmatcher):
+    alpha = Var("A")
+    solvable = {alpha}
+    outcome = cmatcher.match(alpha, T("cons(succ(X), nil)"), solvable)
+    assert isinstance(outcome.result, Substitution)
+    # α = cons(β1, β2), β1 = succ(γ) for the non-ground spine; the ground
+    # leaf nil becomes a cover constraint on β2.
+    functors = [shape.functor for _, shape in outcome.equations]
+    assert functors == ["cons", "succ"]
+    assert len(outcome.covers) == 1
+    assert outcome.covers[0][1] == T("nil")
+
+
+def test_solvable_inside_polymorphic_type(cmatcher):
+    # The common checker case: a renamed predicate-type variable inside a
+    # constructor type — list(α) against a concrete list skeleton.
+    alpha = Var("E1")
+    solvable = {alpha}
+    outcome = cmatcher.match(T("list(E1)"), T("cons(X, nil)"), solvable)
+    assert isinstance(outcome.result, Substitution)
+    assert outcome.result[Var("X")] == alpha
+    assert outcome.equations == ()
+
+
+def test_shape_equation_only_from_chosen_branch(cmatcher):
+    # Failing expansion branches must not leak equations.
+    alpha = Var("E1")
+    outcome = cmatcher.match(T("list(E1)"), T("cons(succ(X), nil)"), {alpha})
+    # The elist branch fails; nelist succeeds and routes succ(X) to E1,
+    # producing exactly one shape equation for E1.
+    assert isinstance(outcome.result, Substitution)
+    assert len(outcome.equations) == 1
+    assert outcome.equations[0][0] == alpha
+
+
+def test_fail_propagates(cmatcher):
+    outcome = cmatcher.match(T("int"), T("cons(X, Y)"), set())
+    assert outcome.result is MATCH_FAIL
+    assert outcome.equations == ()

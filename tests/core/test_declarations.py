@@ -1,0 +1,141 @@
+"""Tests for symbol tables, subtype constraints and constraint sets."""
+
+import pytest
+
+from repro.core import ConstraintSet, DeclarationError, SubtypeConstraint, SymbolTable
+from repro.lang import parse_term
+from repro.terms import Struct, Var, atom, struct
+from repro.workloads import constraint, lists, naturals
+
+
+def test_declare_and_classify():
+    symbols = SymbolTable()
+    symbols.declare_function("succ", 1)
+    symbols.declare_type_constructor("nat", 0)
+    assert symbols.is_function("succ")
+    assert symbols.is_type_constructor("nat")
+    assert symbols.kind_of("succ") == "function"
+    assert symbols.kind_of("nat") == "type"
+    assert symbols.kind_of("zork") is None
+
+
+def test_alphabets_disjoint():
+    symbols = SymbolTable()
+    symbols.declare_function("nat", 0)
+    with pytest.raises(DeclarationError):
+        symbols.declare_type_constructor("nat", 0)
+
+
+def test_arity_consistency():
+    symbols = SymbolTable()
+    symbols.declare_function("f", 2)
+    symbols.declare_function("f", 2)  # same arity is fine
+    with pytest.raises(DeclarationError):
+        symbols.declare_function("f", 3)
+
+
+def test_negative_arity_rejected():
+    symbols = SymbolTable()
+    with pytest.raises(DeclarationError):
+        symbols.declare_function("f", -1)
+
+
+def test_check_type_accepts_mixed_alphabets():
+    cset = lists()
+    cset.symbols.check_type(parse_term("cons(A, list(A))"))
+
+
+def test_check_type_rejects_undeclared():
+    cset = lists()
+    with pytest.raises(DeclarationError):
+        cset.symbols.check_type(parse_term("zork(A)"))
+
+
+def test_check_type_rejects_wrong_arity():
+    cset = lists()
+    with pytest.raises(DeclarationError):
+        cset.symbols.check_type(parse_term("cons(A)"))
+
+
+def test_check_object_term_rejects_type_constructors():
+    cset = lists()
+    cset.symbols.check_object_term(parse_term("cons(nil, nil)"))
+    with pytest.raises(DeclarationError):
+        cset.symbols.check_object_term(parse_term("cons(elist, nil)"))
+
+
+def test_definition2_side_condition():
+    # var(rhs) ⊆ var(lhs) is enforced at construction.
+    with pytest.raises(DeclarationError):
+        SubtypeConstraint(struct("list", Var("A")), struct("cons", Var("B"), Var("A")))
+
+
+def test_constraint_uniformity_flag():
+    assert constraint("list(A) >= elist + nelist(A)").is_uniform
+    assert constraint("nelist(A) >= cons(A, list(A))").is_uniform
+    assert not constraint("id(males) >= m(nat)").is_uniform
+    # Repeated lhs variables are not uniform either.
+    repeated = SubtypeConstraint(
+        Struct("c", (Var("A"), Var("A"))), Var("A")
+    )
+    assert not repeated.is_uniform
+
+
+def test_union_predefined():
+    cset = naturals()
+    assert cset.symbols.is_type_constructor("+")
+    union_constraints = cset.constraints_for("+")
+    assert len(union_constraints) == 2
+
+
+def test_union_can_be_excluded():
+    symbols = SymbolTable()
+    cset = ConstraintSet(symbols, include_union=False)
+    assert not cset.symbols.is_type_constructor("+")
+    assert len(cset) == 0
+
+
+def test_add_requires_declared_head():
+    cset = naturals()
+    with pytest.raises(DeclarationError):
+        cset.add(SubtypeConstraint(struct("undeclared", Var("A")), Var("A")))
+
+
+def test_constraints_for_groups_by_constructor():
+    cset = naturals()
+    assert len(cset.constraints_for("nat")) == 1
+    assert len(cset.constraints_for("int")) == 1
+    assert cset.constraints_for("missing") == []
+
+
+def test_defined_constructors():
+    cset = naturals()
+    assert cset.defined_constructors() == {"nat", "unnat", "int", "+"}
+
+
+def test_expansions_uniform_substitution():
+    cset = lists()
+    expansions = cset.expansions(parse_term("list(int)"))
+    assert len(expansions) == 1
+    assert expansions[0] == parse_term("elist + nelist(int)")
+
+
+def test_expansions_union():
+    cset = lists()
+    expansions = cset.expansions(parse_term("elist + nelist(A)"))
+    assert parse_term("elist") in expansions
+    assert parse_term("nelist(A)") in expansions
+
+
+def test_expansion_preserves_argument_variables():
+    cset = lists()
+    expansions = cset.expansions(parse_term("nelist(B)"))
+    assert expansions == [parse_term("cons(B, list(B))")]
+
+
+def test_symbol_table_copy_is_independent():
+    symbols = SymbolTable()
+    symbols.declare_function("f", 1)
+    copied = symbols.copy()
+    copied.declare_function("g", 1)
+    assert not symbols.is_function("g")

@@ -1,0 +1,153 @@
+"""Experiment E8: filter/conversion predicates (Section 7).
+
+Reproduces the paper's ``int2nat`` and makes the open problem executable:
+the paper-style *shallow* filter is well-typed but only checks the top
+constructor, while the semantically exact *deep* filter is rejected by
+Definition 16 — the trade-off behind "we are currently exploring a more
+general solution to this problem based on this notion of filtering".
+"""
+
+import pytest
+
+from repro.core import (
+    GeneralTypeSemantics,
+    PredicateTypeEnv,
+    WellTypedChecker,
+    constructor_shapes,
+    deep_filter,
+    shallow_filter,
+)
+from repro.lang import parse_term as T
+from repro.lp import Database, solve
+from repro.terms import Var, fresh_variable, struct
+from repro.workloads import deep_nat, paper_universe
+
+
+@pytest.fixture(scope="module")
+def cset():
+    return paper_universe()
+
+
+# -- constructor shapes --------------------------------------------------------------
+
+
+def test_shapes_of_nat(cset):
+    shapes = constructor_shapes(cset, T("nat"))
+    assert {str(s) for s in shapes} == {"0", "succ(nat)"}
+
+
+def test_shapes_of_int(cset):
+    shapes = constructor_shapes(cset, T("int"))
+    assert {str(s) for s in shapes} == {"0", "succ(nat)", "pred(unnat)"}
+
+
+def test_shapes_of_list(cset):
+    shapes = constructor_shapes(cset, T("list(A)"))
+    assert {str(s) for s in shapes} == {"nil", "cons(A, list(A))"}
+
+
+def test_shapes_of_function_type(cset):
+    assert constructor_shapes(cset, T("succ(nat)")) == [T("succ(nat)")]
+
+
+def test_shapes_of_variable_type(cset):
+    shapes = constructor_shapes(cset, T("A + nat"))
+    assert Var("A") in shapes
+
+
+# -- the paper's int2nat, generated -----------------------------------------------------
+
+
+def test_shallow_filter_reproduces_int2nat(cset):
+    definition = shallow_filter(cset, "int2nat", T("int"), T("nat"))
+    rendered = sorted(str(c) for c in definition.program)
+    assert len(rendered) == 2
+    assert rendered[0] == "int2nat(0, 0)."
+    assert rendered[1].startswith("int2nat(succ(")
+    # Same pattern on both sides, exactly like the paper's clause.
+    clause = definition.program.clauses[1]
+    assert clause.head.args[0] == clause.head.args[1]
+
+
+def test_shallow_filter_is_well_typed(cset):
+    definition = shallow_filter(cset, "int2nat", T("int"), T("nat"))
+    predicate_types = PredicateTypeEnv(cset)
+    for declared in definition.predicate_types:
+        predicate_types.declare(declared)
+    checker = WellTypedChecker(cset, predicate_types)
+    report = checker.check_program(definition.program)
+    assert report.well_typed, [r.reason for _, r in report.failures()]
+
+
+def test_shallow_filter_checks_only_top_constructor(cset):
+    # The paper's own filter accepts succ(pred(0)) — the executable
+    # demonstration of why filtering is an open problem.
+    definition = shallow_filter(cset, "int2nat", T("int"), T("nat"))
+    database = Database(definition.program)
+    good = solve(database, [struct("int2nat", T("succ(0)"), Var("R"))])
+    assert len(good.answers) == 1
+    rejected = solve(database, [struct("int2nat", T("pred(0)"), Var("R"))])
+    assert rejected.answers == []
+    shallow_leak = solve(database, [struct("int2nat", T("succ(pred(0))"), Var("R"))])
+    assert len(shallow_leak.answers) == 1  # the leak
+
+
+# -- the deep (exact) filter -------------------------------------------------------------
+
+
+def test_deep_filter_is_semantically_exact(cset):
+    definition = deep_filter(cset, "to_nat", T("nat"))
+    database = Database(definition.program)
+    semantics = GeneralTypeSemantics(cset)
+    members = semantics.inhabitants(T("nat"), 4)
+    universe = semantics.inhabitants(T("int"), 4)
+    for term in sorted(universe, key=repr):
+        result = solve(database, [struct("to_nat", term, Var("R"))])
+        assert bool(result.answers) == (term in members), term
+        if result.answers:
+            assert result.answers[0].apply(Var("R")) == term
+
+
+def test_deep_filter_closes_the_shallow_leak(cset):
+    definition = deep_filter(cset, "to_nat", T("nat"))
+    database = Database(definition.program)
+    leak = solve(database, [struct("to_nat", T("succ(pred(0))"), Var("R"))])
+    assert leak.answers == []
+    deep = solve(database, [struct("to_nat", deep_nat(50), Var("R"))])
+    assert len(deep.answers) == 1
+
+
+def test_deep_filter_recursive_clauses_not_well_typed(cset):
+    # The punchline: the exact filter cannot be expressed well-typedly —
+    # its recursive clause types the same variable at both the source and
+    # the target type.
+    definition = deep_filter(cset, "to_nat", T("nat"))
+    predicate_types = PredicateTypeEnv(cset)
+    for declared in definition.predicate_types:
+        predicate_types.declare(declared)
+    checker = WellTypedChecker(cset, predicate_types)
+    report = checker.check_program(definition.program)
+    assert not report.well_typed
+    # Specifically the recursive succ clause is the one rejected.
+    rejected = [str(clause) for clause, _ in report.failures()]
+    assert any("succ" in text for text in rejected)
+
+
+def test_deep_filter_on_polymorphic_list(cset):
+    definition = deep_filter(cset, "to_natlist", T("list(nat)"))
+    database = Database(definition.program)
+    good = solve(
+        database, [struct("to_natlist", T("cons(succ(0), cons(0, nil))"), Var("R"))]
+    )
+    assert len(good.answers) == 1
+    bad = solve(
+        database, [struct("to_natlist", T("cons(pred(0), nil)"), Var("R"))]
+    )
+    assert bad.answers == []
+
+
+def test_filter_names_are_distinct(cset):
+    definition = deep_filter(cset, "f", T("list(nat)"))
+    names = [p.functor for p in definition.predicate_types]
+    assert len(names) == len(set(names))
+    assert names[0] == "f"

@@ -1,0 +1,106 @@
+"""The bounded least model of H_C versus both provers (the Section 2
+triangle: bottom-up fixpoint == top-down SLD == deterministic strategy)."""
+
+import pytest
+
+from repro.core import NaiveSubtypeProver, SubtypeEngine
+from repro.core.fixpoint import LeastModel, expansion_closed_universe
+from repro.lang import parse_term as T
+from repro.terms import Var
+from repro.workloads import paper_universe
+
+
+SEEDS = [
+    "nat", "unnat", "int",
+    "0", "succ(0)", "succ(succ(0))", "pred(0)", "pred(pred(0))",
+    "succ(nat)", "pred(unnat)",
+    "elist", "nil", "foo",
+    "list(nat)", "nelist(nat)", "cons(0, nil)", "cons(nat, list(nat))",
+]
+
+
+@pytest.fixture(scope="module")
+def model():
+    cset = paper_universe()
+    universe = expansion_closed_universe(cset, [T(s) for s in SEEDS])
+    return cset, LeastModel(cset, universe)
+
+
+def test_universe_is_closed(model):
+    cset, least = model
+    for term in least.universe:
+        for argument in term.args:
+            assert argument in least.universe
+        if cset.symbols.is_type_constructor(term.functor):
+            for expansion in cset.expansions(term):
+                assert expansion in least.universe
+
+
+def test_universe_rejects_variables():
+    cset = paper_universe()
+    with pytest.raises(ValueError):
+        expansion_closed_universe(cset, [Var("A")])
+
+
+def test_model_contains_declared_subtypings(model):
+    _, least = model
+    assert least.holds(T("int"), T("nat"))
+    assert least.holds(T("int"), T("unnat"))
+    assert least.holds(T("nat"), T("succ(0)"))
+    assert least.holds(T("list(nat)"), T("cons(0, nil)"))
+    assert least.holds(T("list(nat)"), T("nil"))
+
+
+def test_model_is_reflexive(model):
+    _, least = model
+    for term in list(least.universe)[:20]:
+        assert least.holds(term, term)
+
+
+def test_model_excludes_non_subtypings(model):
+    _, least = model
+    assert not least.holds(T("nat"), T("pred(0)"))
+    assert not least.holds(T("nat"), T("int"))
+    assert not least.holds(T("elist"), T("cons(0, nil)"))
+
+
+def test_model_agrees_with_deterministic_engine_everywhere(model):
+    """The triangle, leg 1: on every universe pair, lfp(T_{H_C}) and the
+    Theorem 1-3 strategy coincide."""
+    cset, least = model
+    engine = SubtypeEngine(cset)
+    universe = sorted(least.universe, key=repr)
+    disagreements = [
+        (sup, sub)
+        for sup in universe
+        for sub in universe
+        if least.holds(sup, sub) != engine.holds(sup, sub)
+    ]
+    assert not disagreements, disagreements[:5]
+
+
+def test_model_agrees_with_naive_prover_on_samples(model):
+    """The triangle, leg 2: every model pair is SLD-refutable (spot
+    checked — the naive prover cannot decide negatives)."""
+    cset, least = model
+    prover = NaiveSubtypeProver(cset)
+    checked = 0
+    for sup, sub in sorted(least.pairs(), key=repr)[:12]:
+        verdict = prover.holds(sup, sub)
+        if verdict is None:
+            continue
+        assert verdict is True, (sup, sub)
+        checked += 1
+    assert checked >= 5
+
+
+def test_transitivity_inside_model(model):
+    _, least = model
+    for sup, mid in list(least.pairs())[:50]:
+        for sub in list(least.below[mid])[:10]:
+            assert least.holds(sup, sub), (sup, mid, sub)
+
+
+def test_iterations_reported(model):
+    _, least = model
+    assert least.iterations >= 2  # at least one productive + one stable pass

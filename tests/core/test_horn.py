@@ -1,0 +1,80 @@
+"""Tests for the Horn theory H_C (Section 2)."""
+
+from repro.core import SUBTYPE_PREDICATE, horn_program, subtype_goal
+from repro.lp import Clause
+from repro.terms import Var, atom, struct
+from repro.workloads import naturals
+
+
+def test_subtype_goal_shape():
+    goal = subtype_goal(atom("int"), atom("nat"))
+    assert goal.functor == SUBTYPE_PREDICATE
+    assert goal.args == (atom("int"), atom("nat"))
+
+
+def test_constraints_become_facts():
+    program = horn_program(naturals())
+    facts = [c for c in program if c.is_fact and not _is_reflexivity(c)]
+    rendered = {str(c) for c in facts}
+    # The three declared constraints plus the two predefined + constraints.
+    assert any("nat" in t and "succ" in t for t in rendered)
+    assert sum(1 for c in program if c.is_fact) >= 5
+
+
+def _is_reflexivity(clause: Clause) -> bool:
+    head = clause.head
+    return head.functor == SUBTYPE_PREDICATE and head.args[0] == head.args[1]
+
+
+def test_substitution_axioms_for_every_symbol():
+    cset = naturals()
+    program = horn_program(cset)
+    heads = [c.head for c in program]
+    # 0-ary symbols get reflexivity facts.
+    assert subtype_goal(atom("0"), atom("0")) in heads
+    assert subtype_goal(atom("nat"), atom("nat")) in heads
+    # n-ary symbols get componentwise rules.
+    succ_axioms = [
+        c
+        for c in program
+        if not c.is_fact
+        and c.head.args[0] == struct("succ", Var("A0"))
+    ]
+    assert len(succ_axioms) == 1
+    assert len(succ_axioms[0].body) == 1
+
+
+def test_substitution_axiom_arity_matches_body_length():
+    cset = naturals()
+    program = horn_program(cset)
+    for clause in program:
+        left, right = clause.head.args
+        if clause.is_fact or isinstance(left, Var) or isinstance(right, Var):
+            continue
+        if left.indicator == right.indicator and all(
+            isinstance(a, Var) for a in left.args + right.args
+        ):
+            assert len(clause.body) == len(left.args)
+
+
+def test_transitivity_axiom_present():
+    program = horn_program(naturals())
+    transitivity = [
+        c
+        for c in program
+        if len(c.body) == 2 and isinstance(c.head.args[0], Var)
+    ]
+    assert len(transitivity) == 1
+
+
+def test_extra_constants_get_reflexivity():
+    program = horn_program(naturals(), extra_constants=["'$frozen0"])
+    frozen = atom("'$frozen0")
+    assert subtype_goal(frozen, frozen) in [c.head for c in program]
+
+
+def test_program_size_scales_with_alphabet():
+    cset = naturals()
+    base = len(horn_program(cset))
+    extended = len(horn_program(cset, extra_constants=["k1", "k2"]))
+    assert extended == base + 2

@@ -1,0 +1,103 @@
+"""Tests for name-based common-type inference (repro.core.infer)."""
+
+import pytest
+
+from repro.core import CommonTypeInference, SubtypeEngine
+from repro.lang import parse_term as T
+from repro.terms import Var, variables_of
+from repro.workloads import paper_universe, rich_universe
+
+
+@pytest.fixture(scope="module")
+def inference():
+    return CommonTypeInference(paper_universe())
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return SubtypeEngine(paper_universe())
+
+
+def test_singleton_is_itself(inference):
+    assert inference.infer([T("succ(0)")]) == T("succ(0)")
+    assert inference.infer([T("nil")]) == T("nil")
+
+
+def test_nat_from_mixed_naturals(inference, engine):
+    inferred = inference.infer([T("0"), T("succ(0)")])
+    assert inferred == T("nat")
+    # nat is first in declaration order among the covers; int also covers.
+    assert engine.contains(inferred, T("0"))
+    assert engine.contains(inferred, T("succ(0)"))
+
+
+def test_int_when_nat_insufficient(inference):
+    inferred = inference.infer([T("succ(0)"), T("pred(0)")])
+    assert inferred == T("int")
+
+
+def test_list_with_inferred_element(inference):
+    inferred = inference.infer([T("nil"), T("cons(0, nil)")])
+    assert inferred == T("list(0)")  # minimal: the only covered element is 0
+
+
+def test_list_with_union_elements(inference):
+    inferred = inference.infer([T("cons(0, nil)"), T("cons(succ(0), nil)")])
+    # Elements {0, succ(0)} infer to nat; list(nat) or nelist(nat) both
+    # cover — nelist comes first in declaration order.
+    assert inferred in (T("nelist(nat)"), T("list(nat)"))
+
+
+def test_common_functor_fallback(inference):
+    # succ-towers of different heights: no 0-ary type needed, but nat
+    # already covers; make a case the constructors cannot cover.
+    inferred = inference.infer([T("cons(0, nil)"), T("cons(pred(0), nil)")])
+    # Elements {0, pred(0)} -> unnat; wrapped back through nelist/list.
+    assert inferred is not None
+    engine = SubtypeEngine(paper_universe())
+    assert engine.contains(inferred, T("cons(0, nil)"))
+    assert engine.contains(inferred, T("cons(pred(0), nil)"))
+
+
+def test_unrelated_terms_fall_back_to_union(inference, engine):
+    # nil and 0 share no declared constructor and no functor — the union
+    # fallback commits to the singleton union nil + 0.
+    inferred = inference.infer([T("nil"), T("0")])
+    assert inferred == T("nil + 0")
+    assert engine.contains(inferred, T("nil"))
+    assert engine.contains(inferred, T("0"))
+
+
+def test_empty_and_nonground_rejected(inference):
+    assert inference.infer([]) is None
+    assert inference.infer([T("cons(X, nil)")]) is None
+
+
+def test_duplicates_collapse(inference):
+    assert inference.infer([T("0"), T("0"), T("0")]) == T("0")
+
+
+def test_polymorphic_tree(engine):
+    cset = rich_universe()
+    inference = CommonTypeInference(cset)
+    inferred = inference.infer([T("leaf(true)"), T("node(leaf(true), false, leaf(true))")])
+    assert inferred is not None
+    tree_engine = SubtypeEngine(cset)
+    assert tree_engine.contains(inferred, T("leaf(true)"))
+    assert tree_engine.contains(inferred, T("node(leaf(true), false, leaf(true))"))
+
+
+def test_inferred_type_always_covers(engine, inference):
+    """Whatever infer returns must cover every input (soundness)."""
+    groups = [
+        ["0", "succ(succ(0))"],
+        ["pred(0)", "0"],
+        ["nil", "cons(succ(0), nil)"],
+        ["cons(0, cons(0, nil))", "cons(succ(0), nil)"],
+    ]
+    for texts in groups:
+        terms = [T(t) for t in texts]
+        inferred = inference.infer(terms)
+        assert inferred is not None, texts
+        for term in terms:
+            assert engine.contains(inferred, term), (texts, inferred)

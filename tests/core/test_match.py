@@ -1,0 +1,261 @@
+"""Experiment E4: ``match`` (Definition 13, Theorems 4–5).
+
+Every example from Section 4 is replayed verbatim, the Theorem 4
+correctness claims are verified against the subtype engine on the paper's
+universe, and termination (Theorem 5) is exercised on deep terms.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ConstraintSet,
+    MATCH_BOTTOM,
+    MATCH_FAIL,
+    Matcher,
+    RestrictionViolation,
+    SubtypeEngine,
+    SymbolTable,
+    is_respectful_typing,
+    is_typing,
+    is_typing_result,
+    more_general_typing,
+)
+from repro.lang import parse_term as T
+from repro.terms import Substitution, Var
+from repro.workloads import (
+    constraint,
+    deep_nat,
+    ids_nonuniform,
+    nat_list,
+    paper_universe,
+    random_ground_member,
+    rich_universe,
+)
+
+
+@pytest.fixture(scope="module")
+def matcher():
+    return Matcher(paper_universe())
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return SubtypeEngine(paper_universe())
+
+
+def typing(**bindings):
+    return Substitution({Var(name): T(text) for name, text in bindings.items()})
+
+
+# -- the paper's worked examples ---------------------------------------------------
+
+
+def test_match_variable_takes_type(matcher):
+    # "match(list(A), X) = {X ↦ list(A)}"
+    assert matcher.match(T("list(A)"), Var("X")) == typing(X="list(A)")
+
+
+def test_match_no_typing_possible(matcher):
+    # "There are cases where no typing of any kind is possible, e.g.
+    #  match(int, cons(X, Y))."
+    assert matcher.match(T("int"), T("cons(X, Y)")) is MATCH_FAIL
+
+
+def test_match_union_of_incompatible_shapes_is_bottom():
+    # "match(f(int)+f(list(A)), f(X)); here both {X ↦ int} and
+    #  {X ↦ list(A)} are respectful but neither is most general" → ⊥.
+    # (cons/2 plays f; we use succ to stay unary.)
+    matcher = Matcher(paper_universe())
+    result = matcher.match(T("succ(int) + succ(list(A))"), T("succ(X)"))
+    assert result is MATCH_BOTTOM
+
+
+def test_match_variable_type_against_compound_is_bottom(matcher):
+    # "match(A, f(X)); here {X ↦ B} is most general but it is not
+    #  respectful" → ⊥.
+    assert matcher.match(Var("A"), T("succ(X)")) is MATCH_BOTTOM
+
+
+def test_match_loses_track_union_same_shape():
+    # "match may fail to recognize that a respectful, most general typing
+    #  exists, e.g. as in match(f(int) + f(nat), f(X))" → ⊥.
+    matcher = Matcher(paper_universe())
+    assert matcher.match(T("succ(int) + succ(nat)"), T("succ(X)")) is MATCH_BOTTOM
+
+
+def test_match_repeated_variable_different_types_is_bottom():
+    # "... and match(f(int, nat), f(X, X))" → ⊥ (cons plays binary f).
+    matcher = Matcher(paper_universe())
+    assert matcher.match(T("cons(int, nat)"), T("cons(X, X)")) is MATCH_BOTTOM
+
+
+def test_match_repeated_variable_no_typing_is_bottom():
+    # "... or that no typing is possible, e.g. as in
+    #  match(f(int, list(A)), f(X, X))" → ⊥ (not fail!).
+    matcher = Matcher(paper_universe())
+    assert matcher.match(T("cons(int, list(A))"), T("cons(X, X)")) is MATCH_BOTTOM
+
+
+# -- the defining clauses, systematically ----------------------------------------
+
+
+def test_clause1_any_type_for_variable(matcher):
+    assert matcher.match(T("nat"), Var("Z")) == typing(Z="nat")
+    assert matcher.match(Var("B"), Var("Z")) == typing(Z="B")
+
+
+def test_clause2_variable_type_against_constant(matcher):
+    # 0-ary terms are "degenerate n-ary": still ⊥.
+    assert matcher.match(Var("A"), T("nil")) is MATCH_BOTTOM
+
+
+def test_clause3_constant_match(matcher):
+    assert matcher.match(T("nil"), T("nil")) == Substitution()
+    assert matcher.match(T("nil"), T("0")) is MATCH_FAIL
+
+
+def test_clause3_componentwise(matcher):
+    result = matcher.match(T("cons(nat, list(nat))"), T("cons(X, L)"))
+    assert result == typing(X="nat", L="list(nat)")
+
+
+def test_clause3_fail_dominates_bottom(matcher):
+    # One argument fails, another is ⊥ → fail (fail is checked first).
+    result = matcher.match(T("cons(nil, A)"), T("cons(0, succ(X))"))
+    assert result is MATCH_FAIL
+
+
+def test_clause4_single_successful_expansion(matcher):
+    # list(nat) against cons(...): elist branch fails, nelist succeeds.
+    result = matcher.match(T("list(nat)"), T("cons(X, L)"))
+    assert result == typing(X="nat", L="list(nat)")
+
+
+def test_clause4_all_expansions_fail(matcher):
+    assert matcher.match(T("nat"), T("cons(X, L)")) is MATCH_FAIL
+    assert matcher.match(T("elist"), T("cons(X, L)")) is MATCH_FAIL
+
+
+def test_clause4_duplicate_results_collapse():
+    # Both branches of nat + nat give the same typing: S = {θ} → θ.
+    matcher = Matcher(paper_universe())
+    assert matcher.match(T("nat + nat"), T("succ(X)")) == typing(X="nat")
+
+
+def test_clause4_no_constraints_is_bottom():
+    symbols = SymbolTable()
+    symbols.declare_function("k", 0)
+    symbols.declare_type_constructor("ghost", 0)
+    matcher = Matcher(ConstraintSet(symbols))
+    # Empty S: Definition 13's else branch — ⊥ (the paper's letter).
+    assert matcher.match(T("ghost"), T("k")) is MATCH_BOTTOM
+
+
+def test_match_whole_atoms(matcher):
+    # Section 6 treats predicate symbols as function symbols.  Emulate by
+    # treating cons as a binary predicate.
+    result = matcher.match(T("cons(list(A), list(A))"), T("cons(X, cons(Y, L))"))
+    assert is_typing_result(result)
+    assert result[Var("X")] == T("list(A)")
+    assert result[Var("Y")] == T("A")
+    assert result[Var("L")] == T("list(A)")
+
+
+# -- Theorem 4: correctness against the subtype engine --------------------------------
+
+
+THEOREM4_CASES = [
+    ("list(A)", "X"),
+    ("list(nat)", "cons(X, L)"),
+    ("nelist(int)", "cons(X, L)"),
+    ("int", "succ(X)"),
+    ("int", "pred(X)"),
+    ("nat", "succ(succ(X))"),
+    ("cons(nat, elist)", "cons(X, Y)"),
+    ("list(list(nat))", "cons(cons(X, L), M)"),
+    ("nat + list(A)", "cons(X, L)"),
+]
+
+
+@pytest.mark.parametrize("type_text,term_text", THEOREM4_CASES)
+def test_theorem4_result_is_respectful(type_text, term_text, matcher, engine):
+    result = matcher.match(T(type_text), T(term_text))
+    assert is_typing_result(result), (type_text, term_text)
+    assert is_typing(engine, T(type_text), T(term_text), result)
+    assert is_respectful_typing(engine, T(type_text), T(term_text), result)
+
+
+@pytest.mark.parametrize("type_text,term_text", THEOREM4_CASES)
+def test_theorem4_result_is_most_general(type_text, term_text, matcher, engine):
+    result = matcher.match(T(type_text), T(term_text))
+    assert is_typing_result(result)
+    # Compare against alternative typings obtained by grounding every
+    # variable to sample types.
+    for sample in ["nat", "elist", "list(int)"]:
+        candidate = Substitution({var: T(sample) for var in result.domain})
+        if is_typing(engine, T(type_text), T(term_text), candidate):
+            assert more_general_typing(engine, result, candidate, T(term_text))
+
+
+def test_theorem4_fail_means_no_typing(matcher, engine):
+    fail_cases = [("int", "cons(X, Y)"), ("elist", "cons(X, L)"), ("nat", "pred(X)")]
+    for type_text, term_text in fail_cases:
+        assert matcher.match(T(type_text), T(term_text)) is MATCH_FAIL
+        for sample in ["nat", "unnat", "int", "elist", "list(A)", "A"]:
+            term = T(term_text)
+            from repro.terms import variables_of
+
+            candidate = Substitution({v: T(sample) for v in variables_of(term)})
+            assert not is_typing(engine, T(type_text), term, candidate)
+
+
+# -- Theorem 5: termination -----------------------------------------------------------
+
+
+def test_termination_on_deep_terms(matcher):
+    deep = deep_nat(300)
+    assert matcher.match(T("nat"), deep) == Substitution()
+    assert matcher.match(T("int"), deep) == Substitution()
+
+
+def test_termination_on_long_lists(matcher):
+    assert is_typing_result(matcher.match(T("list(nat)"), nat_list(150)))
+
+
+def test_termination_on_random_inputs():
+    cset = rich_universe()
+    matcher = Matcher(cset)
+    rng = random.Random(13)
+    for seed in range(30):
+        member = random_ground_member(rng, cset, T("tree(nat)"), max_depth=4)
+        if member is not None:
+            result = matcher.match(T("tree(nat)"), member)
+            assert result == Substitution()  # ground member: empty typing
+
+
+# -- preconditions ---------------------------------------------------------------------
+
+
+def test_matcher_rejects_nonuniform():
+    with pytest.raises(RestrictionViolation):
+        Matcher(ids_nonuniform())
+
+
+def test_matcher_rejects_unguarded():
+    symbols = SymbolTable()
+    symbols.declare_function("f", 1)
+    symbols.declare_type_constructor("c", 0)
+    cset = ConstraintSet(symbols, [constraint("c >= c")])
+    with pytest.raises(RestrictionViolation):
+        Matcher(cset)
+
+
+def test_memoization_transparent():
+    memo = Matcher(paper_universe(), memoize=True)
+    plain = Matcher(paper_universe(), memoize=False)
+    for type_text, term_text in THEOREM4_CASES:
+        assert memo.match(T(type_text), T(term_text)) == plain.match(
+            T(type_text), T(term_text)
+        )

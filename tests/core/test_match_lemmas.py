@@ -1,0 +1,151 @@
+"""Experiment E5: Lemmas 1–2 about ``match``, checked on random instances.
+
+* Lemma 1 (On Instantiation): if ``match(τ, t) = θ`` then
+  ``match(τη, t) = θη`` for any substitution ``η`` mapping variables of
+  ``τ`` to types.
+* Lemma 2 (On Unification): for variable-disjoint unifiable ``t1, t2``
+  both typed under ``τ``, the typing of ``x θ`` under ``x θ1`` agrees with
+  ``θ2`` for every ``x ∈ var(t1) ∩ dom(θ)`` — with the corollary that
+  ``match(τ, t1θ)`` agrees with both ``match(τ, t1)`` and ``match(τ, t2)``.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Matcher, in_agreement, is_typing_result
+from repro.lang import parse_term as T
+from repro.terms import Struct, Substitution, Var, rename_apart, unify, variables_of
+from repro.workloads import paper_universe
+
+
+@pytest.fixture(scope="module")
+def matcher():
+    return Matcher(paper_universe(), memoize=False)
+
+
+# -- strategies over the paper universe -------------------------------------------
+
+type_variables = st.sampled_from([Var("A"), Var("B")])
+
+
+def _types(depth):
+    leaves = type_variables | st.sampled_from(
+        [T("nat"), T("unnat"), T("int"), T("elist"), T("nil"), T("0")]
+    )
+    if depth == 0:
+        return leaves
+    smaller = _types(depth - 1)
+    return (
+        leaves
+        | st.builds(lambda a: Struct("list", (a,)), smaller)
+        | st.builds(lambda a: Struct("nelist", (a,)), smaller)
+        | st.builds(lambda a: Struct("succ", (a,)), smaller)
+        | st.builds(lambda a, b: Struct("cons", (a, b)), smaller, smaller)
+        | st.builds(lambda a, b: Struct("+", (a, b)), smaller, smaller)
+    )
+
+
+term_variables = st.sampled_from([Var("X"), Var("Y"), Var("Z")])
+
+
+def _terms(depth):
+    leaves = term_variables | st.sampled_from([T("nil"), T("0"), T("foo")])
+    if depth == 0:
+        return leaves
+    smaller = _terms(depth - 1)
+    return (
+        leaves
+        | st.builds(lambda a: Struct("succ", (a,)), smaller)
+        | st.builds(lambda a: Struct("pred", (a,)), smaller)
+        | st.builds(lambda a, b: Struct("cons", (a, b)), smaller, smaller)
+    )
+
+
+types = _types(2)
+terms = _terms(2)
+etas = st.dictionaries(
+    type_variables, st.sampled_from([T("nat"), T("int"), T("list(int)"), T("elist")]),
+    min_size=0, max_size=2,
+)
+
+
+# -- Lemma 1 ------------------------------------------------------------------------
+
+
+@given(types, terms, etas)
+@settings(max_examples=400, deadline=None)
+def test_lemma1_instantiation_propagates(type_term, term, eta_bindings):
+    matcher = Matcher(paper_universe(), memoize=False)
+    result = matcher.match(type_term, term)
+    if not is_typing_result(result):
+        return
+    eta = Substitution(eta_bindings)
+    instantiated = matcher.match(eta.apply(type_term), term)
+    expected = Substitution({var: eta.apply(value) for var, value in result.items()})
+    assert instantiated == expected
+
+
+def test_lemma1_concrete_example(matcher):
+    # match(list(A), cons(X, L)) = {X ↦ A, L ↦ list(A)}; instantiating
+    # A ↦ int must give {X ↦ int, L ↦ list(int)}.
+    eta = Substitution({Var("A"): T("int")})
+    base = matcher.match(T("list(A)"), T("cons(X, L)"))
+    inst = matcher.match(T("list(int)"), T("cons(X, L)"))
+    assert inst == Substitution({v: eta.apply(t) for v, t in base.items()})
+
+
+# -- Lemma 2 ------------------------------------------------------------------------
+
+
+@given(types, terms, terms)
+@settings(max_examples=400, deadline=None)
+def test_lemma2_unification_agreement(type_term, term1, term2):
+    matcher = Matcher(paper_universe(), memoize=False)
+    # Ensure variable disjointness by renaming t2 apart.
+    term2, _ = rename_apart(term2)
+    theta = unify(term1, term2)
+    if theta is None:
+        return
+    theta1 = matcher.match(type_term, term1)
+    theta2 = matcher.match(type_term, term2)
+    if not (is_typing_result(theta1) and is_typing_result(theta2)):
+        return
+    for var in variables_of(term1) & theta.domain:
+        inner = matcher.match(theta1.apply(var), theta.apply(var))
+        if is_typing_result(inner):
+            assert in_agreement([inner, theta2]), (type_term, term1, term2, var)
+
+
+@given(types, terms, terms)
+@settings(max_examples=400, deadline=None)
+def test_lemma2_corollary_agreement_of_instantiated_match(type_term, term1, term2):
+    # "A corollary ... match(τ, t1θ), match(τ, t1), and match(τ, t2) are
+    # in agreement."
+    matcher = Matcher(paper_universe(), memoize=False)
+    term2, _ = rename_apart(term2)
+    theta = unify(term1, term2)
+    if theta is None:
+        return
+    theta1 = matcher.match(type_term, term1)
+    theta2 = matcher.match(type_term, term2)
+    if not (is_typing_result(theta1) and is_typing_result(theta2)):
+        return
+    instantiated = matcher.match(type_term, theta.apply(term1))
+    if is_typing_result(instantiated):
+        assert in_agreement([instantiated, theta1, theta2])
+
+
+def test_lemma2_concrete_example(matcher):
+    # τ = list(int), t1 = cons(X, L), t2 = cons(0, cons(Y, nil)).
+    t1, t2 = T("cons(X, L)"), T("cons(0, cons(Y, nil))")
+    theta = unify(t1, t2)
+    theta1 = matcher.match(T("list(int)"), t1)
+    theta2 = matcher.match(T("list(int)"), t2)
+    assert is_typing_result(theta1) and is_typing_result(theta2)
+    for var in [Var("X"), Var("L")]:
+        inner = matcher.match(theta1.apply(var), theta.apply(var))
+        assert is_typing_result(inner)
+        assert in_agreement([inner, theta2])

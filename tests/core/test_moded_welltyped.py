@@ -1,0 +1,147 @@
+"""Tests for the [DH88]-style moded well-typedness system (Section 7
+made concrete): strict Definition 16 with a directional fallback."""
+
+import pytest
+
+from repro.core import IN, OUT, ModeEnv, ModedWellTypedChecker, PredicateTypeEnv
+from repro.lang import parse_atom, parse_clause, parse_query
+from repro.lp import Clause, Query
+from repro.workloads import paper_universe
+
+
+@pytest.fixture()
+def setting():
+    cset = paper_universe()
+    predicate_types = PredicateTypeEnv(cset)
+    for decl in [
+        "p(nat)",
+        "q(int)",
+        "nat2int(nat, int)",
+        "app(list(A), list(A), list(A))",
+        "sum_list(list(nat), nat)",
+        "make_list(list(nat))",
+    ]:
+        predicate_types.declare(parse_atom(decl))
+    modes = ModeEnv()
+    return cset, predicate_types, modes
+
+
+def checker_for(setting):
+    return ModedWellTypedChecker(*setting)
+
+
+def clause(text):
+    parsed = parse_clause(text)
+    return Clause(parsed.head, parsed.body)
+
+
+def query(text):
+    return Query(parse_query(text).body)
+
+
+# -- the paper's motivating query -------------------------------------------------
+
+
+def test_subtype_flow_accepted_with_modes(setting):
+    cset, predicate_types, modes = setting
+    modes.declare("p", [OUT])
+    modes.declare("q", [IN])
+    checker = checker_for(setting)
+    report = checker.check_query(query(":- p(X), q(X)."))
+    assert report.well_typed
+    assert report.via == "directional"
+
+
+def test_wrong_direction_rejected(setting):
+    cset, predicate_types, modes = setting
+    modes.declare("p", [IN])
+    modes.declare("q", [OUT])
+    checker = checker_for(setting)
+    report = checker.check_query(query(":- q(X), p(X)."))
+    assert not report.well_typed
+    assert "does not flow" in (report.reason or "")
+
+
+def test_unmoded_flow_still_rejected(setting):
+    # Without mode declarations the strict verdict stands.
+    checker = checker_for(setting)
+    report = checker.check_query(query(":- p(X), q(X)."))
+    assert not report.well_typed
+    assert "no mode declaration" in (report.reason or "")
+
+
+def test_consume_before_produce_rejected(setting):
+    cset, predicate_types, modes = setting
+    modes.declare("p", [OUT])
+    modes.declare("q", [IN])
+    checker = checker_for(setting)
+    report = checker.check_query(query(":- q(X), p(X)."))
+    assert not report.well_typed
+    assert "before being produced" in (report.reason or "")
+
+
+# -- the widening coercion the strict system cannot express -------------------------
+
+
+def test_widening_clause_accepted(setting):
+    cset, predicate_types, modes = setting
+    modes.declare("nat2int", [IN, OUT])
+    checker = checker_for(setting)
+    report = checker.check_clause(clause("nat2int(X, X)."))
+    assert report.well_typed
+    assert report.via == "directional"
+    # The strict system rejects the same clause.
+    assert not report.strict_report.well_typed
+
+
+def test_narrowing_clause_rejected(setting):
+    # int2nat as a no-op must stay rejected: int does not flow into nat.
+    cset, predicate_types, modes = setting
+    predicate_types.declare(parse_atom("int2natx(int, nat)"))
+    modes.declare("int2natx", [IN, OUT])
+    checker = checker_for(setting)
+    report = checker.check_clause(clause("int2natx(X, X)."))
+    assert not report.well_typed
+
+
+# -- strictly well-typed programs pass through unchanged ------------------------------
+
+
+def test_strict_acceptance_short_circuits(setting):
+    checker = checker_for(setting)
+    report = checker.check_clause(clause("app(nil, L, L)."))
+    assert report.well_typed
+    assert report.via == "strict"
+
+
+def test_append_recursive_clause_strict(setting):
+    checker = checker_for(setting)
+    report = checker.check_clause(
+        clause("app(cons(X,L),M,cons(X,N)) :- app(L,M,N).")
+    )
+    assert report.well_typed
+    assert report.via == "strict"
+
+
+# -- commitments still solved in the directional path -----------------------------------
+
+
+def test_directional_with_polymorphic_commitment(setting):
+    cset, predicate_types, modes = setting
+    modes.declare("make_list", [OUT])
+    modes.declare("sum_list", [IN])
+    # make_list produces a list(nat); sum_list consumes list(nat): ok.
+    checker = checker_for(setting)
+    report = checker.check_query(query(":- make_list(X), sum_list(X, N)."))
+    assert report.well_typed
+
+
+def test_check_program(setting):
+    from repro.lp import Program
+
+    cset, predicate_types, modes = setting
+    modes.declare("nat2int", [IN, OUT])
+    checker = checker_for(setting)
+    program = Program([clause("nat2int(X, X)."), clause("app(nil, L, L).")])
+    results = checker.check_program(program)
+    assert all(report.well_typed for _, report in results)

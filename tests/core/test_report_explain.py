@@ -1,0 +1,70 @@
+"""Tests for ClauseReport.explain — the human-readable check account."""
+
+import pytest
+
+from repro.lang import parse_clause, parse_query
+from repro.lp import Clause, Query
+from repro.workloads import load
+
+
+@pytest.fixture(scope="module")
+def checker():
+    return load("list_library").checker
+
+
+def clause(text):
+    parsed = parse_clause(text)
+    return Clause(parsed.head, parsed.body)
+
+
+def query(text):
+    return Query(parse_query(text).body)
+
+
+def test_explain_well_typed_clause(checker):
+    report = checker.check_clause(clause("len(cons(X,L),succ(N)) :- len(L,N)."))
+    text = report.explain()
+    assert text.startswith("well-typed")
+    assert "head: len(cons(X, L), succ(N)) : len(list(A), nat)" in text
+    assert "goal 1:" in text
+    assert "X : A" in text
+    assert "L : list(A)" in text
+    assert "N : nat" in text
+
+
+def test_explain_shows_commitments(checker):
+    report = checker.check_query(query(":- len(cons(0, nil), N)."))
+    text = report.explain()
+    assert "commits" in text
+    # The list library's len/2 committed its A to a type covering 0.
+    assert ":=" in text
+
+
+def test_explain_rejection_reason(checker):
+    report = checker.check_query(query(":- app(nil, 0, 0)."))
+    text = report.explain()
+    assert text.startswith("NOT well-typed")
+    assert "fail" in text
+
+
+def test_explain_bottom_case(checker):
+    from repro.core import PredicateTypeEnv, WellTypedChecker
+    from repro.lang import parse_atom
+    from repro.workloads import paper_universe
+
+    cset = paper_universe()
+    env = PredicateTypeEnv(cset)
+    env.declare(parse_atom("s_pair(int, list(A))"))
+    strict = WellTypedChecker(cset, env)
+    report = strict.check_clause(clause("s_pair(X, X)."))
+    text = report.explain()
+    assert "NOT well-typed" in text
+    assert "⊥" in text
+
+
+def test_explain_query_goal_numbering(checker):
+    report = checker.check_query(query(":- len(nil, N), plus(N, 0, M)."))
+    text = report.explain()
+    assert "goal 1:" in text
+    assert "goal 2:" in text
+    assert "head" not in text

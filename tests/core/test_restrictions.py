@@ -1,0 +1,178 @@
+"""Experiment E3: uniform polymorphism and guardedness (Definitions 6–9).
+
+Every acceptance/rejection example from Section 3 of the paper is replayed
+here verbatim.
+"""
+
+import pytest
+
+from repro.core import (
+    ConstraintSet,
+    RestrictionViolation,
+    SymbolTable,
+    direct_dependence_graph,
+    is_guarded,
+    is_uniform_polymorphic,
+    non_uniform_constraints,
+    unguarded_constructors,
+    validate_restrictions,
+)
+from repro.workloads import constraint, ids_nonuniform, lists, naturals, paper_universe, rich_universe
+
+
+def _set(functions, types, texts, include_union=True):
+    symbols = SymbolTable()
+    for name, arity in functions:
+        symbols.declare_function(name, arity)
+    for name, arity in types:
+        symbols.declare_type_constructor(name, arity)
+    return ConstraintSet(symbols, [constraint(t) for t in texts], include_union=include_union)
+
+
+# -- uniform polymorphism (Definition 6) --------------------------------------
+
+
+def test_paper_universe_is_uniform():
+    assert is_uniform_polymorphic(paper_universe())
+    assert is_uniform_polymorphic(rich_universe())
+
+
+def test_nonuniform_id_detected():
+    cset = ids_nonuniform()
+    offenders = non_uniform_constraints(cset)
+    assert len(offenders) == 2
+    assert {c.constructor for c in offenders} == {"id"}
+    assert not is_uniform_polymorphic(cset)
+
+
+def test_repeated_lhs_variable_not_uniform():
+    cset = _set([("f", 1)], [("c", 2)], ["c(A, A) >= f(A)"])
+    assert not is_uniform_polymorphic(cset)
+
+
+def test_validate_raises_on_nonuniform():
+    with pytest.raises(RestrictionViolation):
+        validate_restrictions(ids_nonuniform())
+
+
+# -- guardedness (Definitions 8–9, paper's Section 3 examples) -------------------
+
+
+def test_guarded_recursion_through_function_symbol_accepted():
+    # "the constraint c >= f(c). is acceptable"
+    cset = _set([("f", 1)], [("c", 0)], ["c >= f(c)"])
+    assert is_guarded(cset)
+    validate_restrictions(cset)
+
+
+def test_direct_self_recursion_rejected():
+    # "... but the constraints c >= c. ... are not"
+    cset = _set([("f", 1)], [("c", 0)], ["c >= c"])
+    assert unguarded_constructors(cset) == ["c"]
+
+
+def test_self_recursion_under_own_constructor_rejected():
+    # "... and c(A) >= c(f(A)). are not"
+    cset = _set([("f", 1)], [("c", 1)], ["c(A) >= c(f(A))"])
+    assert unguarded_constructors(cset) == ["c"]
+
+
+def test_mutual_recursion_rejected():
+    # c(A) >= b(f(A)).  b(B) >= c(f(B)).  is not acceptable
+    cset = _set(
+        [("f", 1)],
+        [("c", 1), ("b", 1)],
+        ["c(A) >= b(f(A))", "b(B) >= c(f(B))"],
+    )
+    assert set(unguarded_constructors(cset)) == {"b", "c"}
+
+
+def test_recursion_through_polymorphism_rejected():
+    # b(A) >= A.  c >= b(c).  is not acceptable
+    cset = _set(
+        [("f", 1)],
+        [("b", 1), ("c", 0)],
+        ["b(A) >= A", "c >= b(c)"],
+    )
+    assert "c" in unguarded_constructors(cset)
+
+
+def test_occurrence_under_type_constructor_is_unguarded():
+    # An occurrence inside a *type constructor* argument still counts
+    # (only function symbols guard).
+    cset = _set(
+        [("f", 1)],
+        [("b", 1), ("c", 0)],
+        ["b(A) >= f(A)", "c >= b(c)"],
+    )
+    assert "c" in unguarded_constructors(cset)
+
+
+def test_paper_universe_is_guarded():
+    assert is_guarded(paper_universe())
+    assert is_guarded(naturals())
+    assert is_guarded(lists())
+    assert is_guarded(rich_universe())
+
+
+def test_nonuniform_ids_are_guarded():
+    # Guardedness is orthogonal to uniformity; the id example is guarded.
+    assert is_guarded(ids_nonuniform())
+
+
+def test_validate_raises_on_unguarded():
+    cset = _set([("f", 1)], [("c", 0)], ["c >= c"])
+    with pytest.raises(RestrictionViolation):
+        validate_restrictions(cset)
+
+
+def test_validate_flags_can_relax():
+    cset = _set([("f", 1)], [("c", 0)], ["c >= c"])
+    validate_restrictions(cset, require_guarded=False)  # no raise
+    with pytest.raises(RestrictionViolation):
+        validate_restrictions(cset, require_guarded=True)
+
+
+# -- the dependence graph itself --------------------------------------------------
+
+
+def test_dependence_graph_edges():
+    cset = lists()
+    graph = direct_dependence_graph(cset)
+    # list(A) >= elist + nelist(A): list depends on +, elist, nelist.
+    assert graph.successors("list") == {"+", "elist", "nelist"}
+    # nelist(A) >= cons(A, list(A)): cons is a function symbol — guarded,
+    # so nelist has no unguarded dependencies.
+    assert graph.successors("nelist") == set()
+
+
+def test_dependence_reaches_transitively():
+    # A three-step chain a -> b -> c.
+    cset = _set(
+        [("f", 1)],
+        [("a", 0), ("b", 0), ("c", 0)],
+        ["a >= b", "b >= c"],
+        include_union=False,
+    )
+    graph = direct_dependence_graph(cset)
+    assert graph.reaches("a", "c")
+    assert not graph.reaches("c", "a")
+
+
+def test_transitive_closure():
+    cset = _set(
+        [("f", 1)],
+        [("a", 0), ("b", 0), ("c", 0)],
+        ["a >= b", "b >= c"],
+        include_union=False,
+    )
+    closure = direct_dependence_graph(cset).transitive_closure()
+    assert closure["a"] == {"b", "c"}
+    assert closure["b"] == {"c"}
+
+
+def test_union_is_self_clean():
+    # The predefined + constraints (A+B >= A) mention no constructor at all.
+    cset = naturals()
+    graph = direct_dependence_graph(cset)
+    assert "+" not in graph.successors("+")

@@ -1,0 +1,156 @@
+"""Experiments E1/E10: the semantics M_C, enumeration, non-uniform types."""
+
+import pytest
+
+from repro.core import GeneralTypeSemantics, SubtypeEngine, TypeSemantics, herbrand_universe
+from repro.lang import parse_term as T
+from repro.terms import atom, struct
+from repro.workloads import ids_nonuniform, lists, naturals, paper_universe
+
+
+def members(semantics, text, depth):
+    return {str(t) for t in semantics.inhabitants(T(text), depth)}
+
+
+@pytest.fixture(scope="module")
+def semantics():
+    return TypeSemantics(paper_universe())
+
+
+# -- Herbrand universe -------------------------------------------------------------
+
+
+def test_herbrand_depth_one():
+    universe = herbrand_universe({"0": 0, "succ": 1}, 1)
+    assert universe == {atom("0")}
+
+
+def test_herbrand_depth_two():
+    universe = herbrand_universe({"0": 0, "succ": 1}, 2)
+    assert universe == {atom("0"), struct("succ", atom("0"))}
+
+
+def test_herbrand_growth():
+    functions = {"0": 0, "succ": 1, "pair": 2}
+    sizes = [len(herbrand_universe(functions, d)) for d in range(1, 5)]
+    assert sizes[0] < sizes[1] < sizes[2] < sizes[3]
+
+
+def test_herbrand_empty_without_constants():
+    assert herbrand_universe({"succ": 1}, 3) == set()
+
+
+# -- enumeration of the paper's types ----------------------------------------------
+
+
+def test_nat_inhabitants(semantics):
+    assert members(semantics, "nat", 3) == {"0", "succ(0)", "succ(succ(0))"}
+
+
+def test_unnat_inhabitants(semantics):
+    assert members(semantics, "unnat", 2) == {"0", "pred(0)"}
+
+
+def test_int_is_union(semantics):
+    ints = members(semantics, "int", 3)
+    assert ints == members(semantics, "nat", 3) | members(semantics, "unnat", 3)
+
+
+def test_elist_and_nelist(semantics):
+    assert members(semantics, "elist", 5) == {"nil"}
+    assert "nil" not in members(semantics, "nelist(nat)", 3)
+    assert "cons(0, nil)" in members(semantics, "nelist(nat)", 3)
+
+
+def test_list_of_nat(semantics):
+    found = members(semantics, "list(nat)", 3)
+    assert "nil" in found
+    assert "cons(0, nil)" in found
+    assert "cons(succ(0), nil)" in found
+    assert "cons(pred(0), nil)" not in found
+
+
+def test_variable_type_is_whole_universe(semantics):
+    cset = paper_universe()
+    assert semantics.inhabitants(T("A"), 2) == frozenset(
+        herbrand_universe(cset.symbols.functions, 2)
+    )
+
+
+def test_function_type_componentwise(semantics):
+    found = members(semantics, "cons(nat, elist)", 3)
+    assert found == {"cons(0, nil)", "cons(succ(0), nil)"}
+
+
+def test_unconstrained_constructor_is_empty():
+    cset = lists()
+    cset.symbols.declare_type_constructor("ghost", 0)
+    semantics = GeneralTypeSemantics(cset)
+    assert semantics.inhabitants(T("ghost"), 5) == frozenset()
+
+
+def test_membership_oracle_matches_enumeration(semantics):
+    for text in ["nat", "unnat", "int", "list(nat)", "nelist(unnat)"]:
+        for term in semantics.inhabitants(T(text), 3):
+            assert semantics.member(T(text), term), (text, term)
+
+
+def test_subset_upto_tracks_subtyping(semantics):
+    engine = SubtypeEngine(paper_universe())
+    pairs = [("int", "nat"), ("list(A)", "nelist(A)"), ("nat + unnat", "unnat")]
+    for wider, narrower in pairs:
+        assert engine.holds(T(wider), T(narrower))
+        assert semantics.subset_upto(T(wider), T(narrower), 3)
+
+
+def test_depth_zero_is_empty(semantics):
+    assert semantics.inhabitants(T("nat"), 0) == frozenset()
+
+
+def test_unguarded_set_raises_recursion_guard():
+    from repro.core import ConstraintSet, SymbolTable
+    from repro.workloads import constraint
+
+    symbols = SymbolTable()
+    symbols.declare_function("f", 1)
+    symbols.declare_type_constructor("c", 0)
+    cset = ConstraintSet(symbols, [constraint("c >= c")])
+    semantics = GeneralTypeSemantics(cset, max_expansion_chain=16)
+    with pytest.raises(RecursionError):
+        semantics.inhabitants(T("c"), 3)
+
+
+# -- E10: the non-uniform id types of Section 1 ---------------------------------------
+
+
+@pytest.fixture(scope="module")
+def id_semantics():
+    return GeneralTypeSemantics(ids_nonuniform())
+
+
+def test_id_males(id_semantics):
+    found = {str(t) for t in id_semantics.inhabitants(T("id(males)"), 3)}
+    assert "m(0)" in found
+    assert "m(succ(0))" in found
+    assert not any(text.startswith("f(") for text in found)
+
+
+def test_id_females(id_semantics):
+    found = {str(t) for t in id_semantics.inhabitants(T("id(females)"), 3)}
+    assert "f(0)" in found
+    assert not any(text.startswith("m(") for text in found)
+
+
+def test_id_person_contains_both(id_semantics):
+    # "the type id(person) contains the elements of id(males) and id(females)"
+    males = id_semantics.inhabitants(T("id(males)"), 3)
+    females = id_semantics.inhabitants(T("id(females)"), 3)
+    person = id_semantics.inhabitants(T("id(person)"), 3)
+    assert males <= person
+    assert females <= person
+    assert males | females == person
+
+
+def test_id_unrelated_argument_is_empty(id_semantics):
+    # id(nat) has no declared constraints that apply: no inhabitants.
+    assert id_semantics.inhabitants(T("id(nat)"), 3) == frozenset()

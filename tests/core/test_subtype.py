@@ -1,0 +1,233 @@
+"""Experiments E1/E2: the deterministic subtype engine (Theorems 1–3).
+
+Covers the paper's worked derivations, the structural properties of ⪰_C,
+the Definition 5 more-general examples, and differential agreement with
+the definitional oracles (naive SLD prover and enumeration semantics).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    GeneralTypeSemantics,
+    NaiveSubtypeProver,
+    RestrictionViolation,
+    SubtypeEngine,
+)
+from repro.lang import parse_term as T
+from repro.terms import Var, struct, term_depth
+from repro.workloads import (
+    deep_int,
+    deep_nat,
+    ids_nonuniform,
+    nat_list,
+    paper_universe,
+    random_guarded_constraint_set,
+    random_subtype_pair,
+    rich_universe,
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return SubtypeEngine(paper_universe())
+
+
+# -- the paper's own derivations (Sections 1-2) -----------------------------------
+
+
+def test_section2_example_cons_foo_nil(engine):
+    # The worked SLD-refutation: cons(foo, nil) ∈ M[list(A)].
+    assert engine.contains(T("list(A)"), T("cons(foo,nil)"))
+
+
+def test_nat_elements(engine):
+    # "elements 0, succ(0), pred(0), succ(succ(0)), etc."
+    assert engine.contains(T("nat"), T("0"))
+    assert engine.contains(T("nat"), T("succ(0)"))
+    assert engine.contains(T("nat"), T("succ(succ(0))"))
+    assert not engine.contains(T("nat"), T("pred(0)"))
+
+
+def test_unnat_elements(engine):
+    assert engine.contains(T("unnat"), T("0"))
+    assert engine.contains(T("unnat"), T("pred(0)"))
+    assert not engine.contains(T("unnat"), T("succ(0)"))
+
+
+def test_int_contains_both(engine):
+    for text in ["0", "succ(0)", "pred(0)", "succ(succ(0))", "pred(pred(0))"]:
+        assert engine.contains(T("int"), T(text)), text
+    # int does not contain mixed towers: succ(pred(0)) is neither nat nor unnat.
+    assert not engine.contains(T("int"), T("succ(pred(0))"))
+
+
+def test_subtype_declarations_hold(engine):
+    assert engine.holds(T("int"), T("nat"))
+    assert engine.holds(T("int"), T("unnat"))
+    assert not engine.holds(T("nat"), T("int"))
+    assert engine.holds(T("list(A)"), T("elist"))
+    assert engine.holds(T("list(B)"), T("nelist(B)"))
+
+
+def test_union_behaves_like_upper_bound(engine):
+    assert engine.holds(T("nat + unnat"), T("nat"))
+    assert engine.holds(T("nat + unnat"), T("unnat"))
+    assert engine.contains(T("nat + unnat"), T("pred(0)"))
+
+
+def test_list_membership(engine):
+    assert engine.contains(T("list(nat)"), T("nil"))
+    assert engine.contains(T("list(nat)"), T("cons(0, nil)"))
+    assert engine.contains(T("list(nat)"), T("cons(succ(0), cons(0, nil))"))
+    assert not engine.contains(T("list(nat)"), T("cons(pred(0), nil)"))
+    assert not engine.contains(T("nelist(nat)"), T("nil"))
+    assert engine.contains(T("elist"), T("nil"))
+
+
+def test_function_symbols_are_type_constructors(engine):
+    # Definition 1: f(τ1,...,τn) is itself a type.
+    assert engine.contains(T("cons(nat, elist)"), T("cons(0, nil)"))
+    assert not engine.contains(T("cons(nat, elist)"), T("cons(0, cons(0, nil))"))
+    assert engine.contains(T("succ(nat)"), T("succ(succ(0))"))
+    assert not engine.contains(T("succ(nat)"), T("0"))
+
+
+# -- Definition 5: more general -----------------------------------------------------
+
+
+def test_more_general_paper_examples(engine):
+    # "list(A) is more general than nelist(int) but list(int) is not more
+    # general than nelist(A)."
+    assert engine.more_general(T("list(A)"), T("nelist(int)"))
+    assert not engine.more_general(T("list(int)"), T("nelist(A)"))
+
+
+def test_more_general_is_reflexive(engine):
+    for text in ["list(A)", "nat", "cons(A, list(A))", "int + list(B)"]:
+        assert engine.more_general(T(text), T(text)), text
+
+
+def test_more_general_variable_tops_everything(engine):
+    assert engine.more_general(T("A"), T("list(int)"))
+    assert engine.more_general(T("A"), T("B"))
+    assert not engine.more_general(T("list(int)"), T("A"))
+
+
+def test_equivalent(engine):
+    assert engine.equivalent(T("list(A)"), T("list(B)"))
+    assert not engine.equivalent(T("list(A)"), T("nelist(A)"))
+
+
+# -- structural properties ------------------------------------------------------------
+
+
+def test_reflexivity_fast_path(engine):
+    assert engine.holds(T("list(A)"), T("list(A)"))
+    assert engine.holds(T("X"), T("X"))
+
+
+def test_transitivity_on_samples(engine):
+    chains = [
+        ("int", "nat", "0"),
+        ("list(A)", "nelist(A)", "cons(foo, nil)"),
+        ("int + list(A)", "int", "nat"),
+    ]
+    for a, b, c in chains:
+        assert engine.holds(T(a), T(b))
+        assert engine.holds(T(b), T(c))
+        assert engine.holds(T(a), T(c)), (a, c)
+
+
+def test_requires_uniform_and_guarded():
+    with pytest.raises(RestrictionViolation):
+        SubtypeEngine(ids_nonuniform())
+
+
+def test_memoization_does_not_change_answers():
+    cached = SubtypeEngine(paper_universe(), memoize=True)
+    plain = SubtypeEngine(paper_universe(), memoize=False)
+    cases = [
+        ("list(nat)", "cons(0, nil)"),
+        ("nat", "pred(0)"),
+        ("int", "succ(succ(0))"),
+        ("nelist(int)", "nil"),
+    ]
+    for sup, sub in cases:
+        assert cached.holds(T(sup), T(sub)) == plain.holds(T(sup), T(sub))
+    assert cached.stats.memo_entries > 0
+
+
+def test_deep_members_scale(engine):
+    assert engine.contains(T("nat"), deep_nat(200))
+    assert engine.contains(T("int"), deep_int(200))
+    assert engine.contains(T("list(nat)"), nat_list(100))
+    assert not engine.contains(T("nat"), deep_int(200))
+
+
+# -- differential: deterministic strategy vs the definitional oracles -----------------
+
+
+def test_agrees_with_naive_prover_on_positives(engine):
+    naive = NaiveSubtypeProver(paper_universe())
+    positives = [
+        ("list(A)", "cons(foo,nil)"),
+        ("int", "succ(0)"),
+        ("nat", "succ(succ(0))"),
+        ("elist", "nil"),
+        ("int", "nat"),
+        ("list(A)", "elist"),
+    ]
+    for sup, sub in positives:
+        assert engine.holds(T(sup), T(sub)), (sup, sub)
+        assert naive.holds(T(sup), T(sub)) is True, (sup, sub)
+
+
+def test_naive_never_contradicts_engine():
+    naive = NaiveSubtypeProver(paper_universe(), step_limit=20_000)
+    engine = SubtypeEngine(paper_universe())
+    rng = random.Random(7)
+    cset = paper_universe()
+    checked = 0
+    for _ in range(25):
+        sup, sub = random_subtype_pair(rng, cset, depth=2, member_depth=3)
+        fast = engine.holds(sup, sub)
+        slow = naive.holds(sup, sub)
+        if slow is None:
+            continue  # budget exhausted: no verdict
+        checked += 1
+        assert fast == slow, (sup, sub)
+    assert checked >= 1
+
+
+def test_agrees_with_enumeration_semantics():
+    cset = rich_universe()
+    engine = SubtypeEngine(cset)
+    semantics = GeneralTypeSemantics(cset)
+    rng = random.Random(11)
+    for _ in range(40):
+        sup, sub = random_subtype_pair(rng, cset, depth=2, member_depth=3)
+        # For a ground candidate of depth d: membership by engine must
+        # equal membership by enumeration at that depth.
+        depth = term_depth(sub)
+        in_enumeration = sub in semantics.inhabitants(sup, depth)
+        assert engine.holds(sup, sub) == in_enumeration, (sup, sub)
+
+
+def test_random_guarded_sets_accept_engine_construction():
+    rng = random.Random(3)
+    for seed in range(5):
+        cset = random_guarded_constraint_set(random.Random(seed))
+        SubtypeEngine(cset)  # restrictions hold by construction
+
+
+def test_engine_decides_negatives_quickly():
+    # The whole point versus the naive prover: refutations of *failing*
+    # goals terminate (Theorem 3).
+    engine = SubtypeEngine(paper_universe())
+    assert not engine.holds(T("nat"), T("pred(0)"))
+    assert not engine.holds(T("elist"), T("cons(foo, nil)"))
+    assert not engine.holds(T("nelist(nat)"), T("cons(pred(0), nil)"))

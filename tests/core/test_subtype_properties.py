@@ -1,0 +1,125 @@
+"""Property-based tests of ⪰_C structural laws on the paper universe.
+
+These are the "It can be shown that ..." steps inside the paper's proofs,
+checked empirically:
+
+* reflexivity (``t ⪰ t`` from the substitution axioms alone);
+* transitivity (used everywhere);
+* unifiability implies subtyping (Theorem 2's base case:
+  "if t1 and t2 are unifiable, then t1 ⪰_C t2");
+* monotonicity under substitution (Theorem 2's inductive step:
+  ``τ_i ⪰ τ'_i`` implies ``τ{α↦τ_i} ⪰ τ{α↦τ'_i}``);
+* semantic soundness: ``τ1 ⪰ τ2`` implies ``M[τ2] ⊆ M[τ1]`` at every
+  bounded depth.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GeneralTypeSemantics, SubtypeEngine
+from repro.lang import parse_term as T
+from repro.terms import Struct, Substitution, Var, unifiable
+from repro.workloads import paper_universe
+
+type_variables = st.sampled_from([Var("A"), Var("B")])
+
+
+def _types(depth, with_vars=True):
+    leaves = st.sampled_from(
+        [T("nat"), T("unnat"), T("int"), T("elist"), T("nil"), T("0"), T("foo")]
+    )
+    if with_vars:
+        leaves = leaves | type_variables
+    if depth == 0:
+        return leaves
+    smaller = _types(depth - 1, with_vars)
+    return (
+        leaves
+        | st.builds(lambda a: Struct("list", (a,)), smaller)
+        | st.builds(lambda a: Struct("nelist", (a,)), smaller)
+        | st.builds(lambda a: Struct("succ", (a,)), smaller)
+        | st.builds(lambda a, b: Struct("cons", (a, b)), smaller, smaller)
+        | st.builds(lambda a, b: Struct("+", (a, b)), smaller, smaller)
+    )
+
+
+types = _types(2)
+ground_types = _types(2, with_vars=False)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return SubtypeEngine(paper_universe())
+
+
+@given(ground_types)
+@settings(max_examples=200, deadline=None)
+def test_reflexivity(type_term):
+    engine = SubtypeEngine(paper_universe())
+    assert engine.holds(type_term, type_term)
+
+
+@given(ground_types, ground_types)
+@settings(max_examples=300, deadline=None)
+def test_unifiable_implies_subtype(left, right):
+    # Ground types: unifiable means equal, but keep the general statement.
+    engine = SubtypeEngine(paper_universe())
+    if unifiable(left, right):
+        assert engine.holds(left, right)
+
+
+@given(types, ground_types)
+@settings(max_examples=300, deadline=None)
+def test_more_general_implies_holds(sup, sub):
+    """Definition 5 is stronger than Definition 3: τ1 ⪰ τ̄2 (no
+    instantiation of τ2 allowed) implies τ1 ⪰ τ2."""
+    engine = SubtypeEngine(paper_universe())
+    if engine.more_general(sup, sub):
+        assert engine.holds(sup, sub)
+
+
+@given(ground_types, ground_types)
+@settings(max_examples=200, deadline=None)
+def test_monotonicity_under_substitution(tau, tau_prime):
+    """τ ⪰ τ' implies list(τ) ⪰ list(τ') and cons(τ, nil) ⪰ cons(τ', nil)."""
+    engine = SubtypeEngine(paper_universe())
+    if engine.holds(tau, tau_prime):
+        assert engine.holds(Struct("list", (tau,)), Struct("list", (tau_prime,)))
+        assert engine.holds(
+            Struct("cons", (tau, T("nil"))), Struct("cons", (tau_prime, T("nil")))
+        )
+
+
+@given(ground_types, ground_types)
+@settings(max_examples=120, deadline=None)
+def test_semantic_soundness(sup, sub):
+    """τ1 ⪰ τ2 implies M[τ2] ⊆ M[τ1] up to depth 3."""
+    cset = paper_universe()
+    engine = SubtypeEngine(cset)
+    if engine.holds(sup, sub):
+        semantics = GeneralTypeSemantics(cset)
+        assert semantics.inhabitants(sub, 3) <= semantics.inhabitants(sup, 3)
+
+
+@given(ground_types)
+@settings(max_examples=200, deadline=None)
+def test_union_is_upper_bound(component):
+    """A + B is above both components, for arbitrary components."""
+    engine = SubtypeEngine(paper_universe())
+    union = Struct("+", (component, T("nat")))
+    assert engine.holds(union, component)
+    assert engine.holds(union, T("nat"))
+
+
+def test_transitivity_through_enumeration(engine):
+    """For every chain τ ⪰ σ with σ's inhabitants enumerated, τ contains
+    them too (transitivity through the membership level)."""
+    cset = paper_universe()
+    semantics = GeneralTypeSemantics(cset)
+    chains = [("int", "nat"), ("list(nat)", "nelist(nat)"), ("nat + unnat", "nat")]
+    for wider_text, narrower_text in chains:
+        wider, narrower = T(wider_text), T(narrower_text)
+        assert engine.holds(wider, narrower)
+        for member in semantics.inhabitants(narrower, 3):
+            assert engine.contains(wider, member), (wider_text, member)

@@ -1,0 +1,84 @@
+"""Tests for the naive, definitional subtype prover (Definition 3).
+
+Positives are definitive (a found refutation is a refutation of H_C);
+negatives are only definitive when the bounded tree is exhausted — the
+asymmetry the deterministic strategy exists to fix.
+"""
+
+import pytest
+
+from repro.core import NaiveSubtypeProver
+from repro.lang import parse_term as T
+from repro.workloads import ids_nonuniform, paper_universe
+
+
+@pytest.fixture(scope="module")
+def prover():
+    return NaiveSubtypeProver(paper_universe())
+
+
+def test_confirms_paper_derivation(prover):
+    assert prover.holds(T("list(A)"), T("cons(foo,nil)")) is True
+
+
+def test_confirms_declared_subtypes(prover):
+    assert prover.holds(T("int"), T("nat")) is True
+    assert prover.holds(T("int"), T("unnat")) is True
+    assert prover.holds(T("list(A)"), T("elist")) is True
+
+
+def test_confirms_memberships(prover):
+    assert prover.contains(T("nat"), T("succ(0)")) is True
+    assert prover.contains(T("elist"), T("nil")) is True
+    assert prover.contains(T("unnat"), T("pred(0)")) is True
+
+
+def test_more_general_paper_example(prover):
+    assert prover.more_general(T("list(A)"), T("nelist(int)")) is True
+
+
+def test_trivial_refutation_of_mismatched_constants():
+    # Goals whose supertype is a bare function symbol DO exhaust quickly:
+    # Theorem 1 says only the substitution axiom applies, and indexing
+    # plus the variant check keep the tree finite enough.
+    prover = NaiveSubtypeProver(paper_universe(), max_depth=8, step_limit=20_000)
+    verdict = prover.holds(T("nil"), T("0"))
+    assert verdict is not True  # False (exhausted) or None (budget)
+
+
+def test_unknown_on_hard_negative():
+    # nat >= pred(0) is false, but the naive prover cannot refute it:
+    # transitivity gives an infinitely deep failing tree.
+    prover = NaiveSubtypeProver(paper_universe(), max_depth=12, step_limit=5_000)
+    assert prover.holds(T("nat"), T("pred(0)")) is not True
+
+
+def test_handles_nonuniform_sets():
+    # The definitional prover needs no restrictions at all.
+    prover = NaiveSubtypeProver(ids_nonuniform())
+    assert prover.holds(T("id(males)"), T("m(0)")) is True
+    assert prover.holds(T("id(females)"), T("f(0)")) is True
+    # The id(person) membership needs the extra person >= females hop
+    # inside the substitution axiom; depth-first search may or may not
+    # find it within budget — but it must never *refute* it.
+    assert prover.holds(T("id(person)"), T("f(0)")) is not False
+
+
+def test_frozen_constants_get_reflexivity():
+    from repro.terms import freeze
+
+    prover = NaiveSubtypeProver(paper_universe())
+    frozen = freeze(T("A"))
+    assert prover.holds(frozen, frozen) is True
+
+
+def test_undeclared_compound_symbol_rejected(prover):
+    from repro.terms import struct, atom
+
+    with pytest.raises(ValueError):
+        prover.holds(T("nat"), struct("mystery", atom("0")))
+
+
+def test_iterative_variant_agrees_on_positives(prover):
+    for sup, sub in [("nat", "succ(0)"), ("list(A)", "nil")]:
+        assert prover.holds_iterative(T(sup), T(sub)) is True

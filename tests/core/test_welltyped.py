@@ -1,0 +1,193 @@
+"""Experiment E6: well-typedness (Definition 16) on the paper's examples.
+
+Every accepted and rejected program/query from Sections 1, 5 and 6 is
+replayed, plus structural tests of the checker's witnesses (η_i and the
+final agreeing typings).
+"""
+
+import pytest
+
+from repro.core import PredicateTypeEnv, WellTypedChecker
+from repro.lang import parse_atom, parse_clause, parse_query
+from repro.lp import Clause, Program, Query
+from repro.terms import Var
+from repro.lang import parse_term as T
+from repro.workloads import paper_universe
+
+
+@pytest.fixture()
+def env():
+    cset = paper_universe()
+    predicate_types = PredicateTypeEnv(cset)
+    for decl in [
+        "app(list(A), list(A), list(A))",
+        "p_int(int)",
+        "q_list(list(A))",
+        "q_listint(list(int))",
+        "r_list(list(A))",
+        "s_pair(int, list(A))",
+        "p_nat(nat)",
+        "q_int(int)",
+        "member(A, list(A))",
+        "len(list(A), nat)",
+    ]:
+        predicate_types.declare(parse_atom(decl))
+    return cset, predicate_types
+
+
+@pytest.fixture()
+def checker(env):
+    cset, predicate_types = env
+    return WellTypedChecker(cset, predicate_types)
+
+
+def clause(text):
+    parsed = parse_clause(text)
+    return Clause(parsed.head, parsed.body)
+
+
+def query(text):
+    return Query(parse_query(text).body)
+
+
+# -- the paper's append program (Sections 1/5) ----------------------------------------
+
+
+def test_append_clauses_well_typed(checker):
+    assert checker.check_clause(clause("app(nil,L,L)."))
+    report = checker.check_clause(clause("app(cons(X,L),M,cons(X,N)) :- app(L,M,N)."))
+    assert report.well_typed
+    # The witnesses: both atoms' typings agree on every shared variable.
+    head_typing, body_typing = report.typings
+    for var in head_typing.domain & body_typing.domain:
+        assert head_typing[var] == body_typing[var]
+
+
+def test_append_query_on_naturals_rejected(checker):
+    # ":- app(nil,0,0)." — "this rules out certain successful queries".
+    report = checker.check_query(query(":- app(nil, 0, 0)."))
+    assert not report.well_typed
+    assert "fail" in (report.reason or "")
+
+
+def test_append_query_on_lists_accepted(checker):
+    assert checker.check_query(query(":- app(cons(nil,nil), nil, X)."))
+    assert checker.check_query(query(":- app(X, Y, cons(foo, nil))."))
+
+
+# -- Section 5: variables in two type contexts ------------------------------------------
+
+
+def test_query_two_contexts_rejected(checker):
+    # ":- p(X), q(X)." with p : int, q : list(A).
+    report = checker.check_query(query(":- p_int(X), q_list(X)."))
+    assert not report.well_typed
+
+
+def test_clause_body_context_clash_rejected(checker):
+    # r(X) :- p(X).  with r : list(A), p : int.
+    report = checker.check_clause(clause("r_list(X) :- p_int(X)."))
+    assert not report.well_typed
+
+
+def test_head_repeated_variable_clash_rejected(checker):
+    # s(X, X). with s : (int, list(A)).
+    report = checker.check_clause(clause("s_pair(X, X)."))
+    assert not report.well_typed
+    assert "⊥" in (report.reason or "")
+
+
+# -- Section 5: defining clauses may not commit type variables ----------------------------
+
+
+def test_head_cannot_commit_type_variable(checker):
+    # p(cons(nil,nil)). with p : list(A) must be rejected.
+    report = checker.check_clause(clause("q_list(cons(nil, nil))."))
+    assert not report.well_typed
+
+
+def test_body_may_commit_type_variable(checker):
+    # ":- p(X), q(X)." with p : list(A), q : list(int) is acceptable
+    # "since X may be assigned the type list(int)".
+    report = checker.check_query(query(":- q_list(X), q_listint(X)."))
+    assert report.well_typed
+    # The commitment is recorded: q_list's renamed A was instantiated.
+    eta = report.atom_checks[0].eta
+    assert eta is not None
+    committed = eta.apply(T("list(A)"))
+    assert committed == T("list(int)")
+
+
+def test_query_can_commit_to_ground_instance(checker):
+    # A query may instantiate list(A) to a concrete element type.
+    assert checker.check_query(query(":- q_list(cons(nil, nil))."))
+    assert checker.check_query(query(":- q_list(cons(0, nil))."))
+
+
+# -- Section 7: subtype information flow ---------------------------------------------------
+
+
+def test_subtype_flow_query_rejected(checker):
+    # ":- p(X), q(X)." with p : nat, q : int — must be rejected (the
+    # declarations differ, name-based agreement fails).
+    report = checker.check_query(query(":- p_nat(X), q_int(X)."))
+    assert not report.well_typed
+
+
+# -- structural behaviour -------------------------------------------------------------------
+
+
+def test_fact_queries(checker):
+    assert checker.check_query(query(":- p_int(0)."))
+    assert checker.check_query(query(":- p_int(pred(0))."))
+    report = checker.check_query(query(":- p_nat(pred(0))."))
+    assert not report.well_typed
+
+
+def test_member_clauses(checker):
+    assert checker.check_clause(clause("member(X, cons(X, L))."))
+    assert checker.check_clause(clause("member(X, cons(Y, L)) :- member(X, L)."))
+
+
+def test_len_clauses(checker):
+    assert checker.check_clause(clause("len(nil, 0)."))
+    assert checker.check_clause(clause("len(cons(X, L), succ(N)) :- len(L, N)."))
+
+
+def test_undeclared_predicate_rejected(checker):
+    report = checker.check_clause(clause("mystery(X)."))
+    assert not report.well_typed
+    assert "no predicate type" in (report.reason or "")
+
+
+def test_check_program_aggregates(checker):
+    program = Program(
+        [
+            clause("app(nil,L,L)."),
+            clause("app(cons(X,L),M,cons(X,N)) :- app(L,M,N)."),
+            clause("q_list(cons(nil, nil))."),  # ill-typed
+        ]
+    )
+    report = checker.check_program(program)
+    assert not report.well_typed
+    assert len(report.failures()) == 1
+
+
+def test_report_records_final_typings(checker):
+    report = checker.check_clause(clause("len(cons(X, L), succ(N)) :- len(L, N)."))
+    assert report.well_typed
+    head_typing = report.typings[0]
+    assert head_typing[Var("X")] == T("A")
+    assert head_typing[Var("L")] == T("list(A)")
+    assert head_typing[Var("N")] == T("nat")
+
+
+def test_two_body_atoms_share_committed_variable(checker):
+    # Both body atoms commit their (independently renamed) type variables
+    # to the same type through the shared variable X.
+    report = checker.check_query(query(":- q_listint(X), q_list(X), p_int(Y)."))
+    assert report.well_typed
+
+
+def test_empty_query_is_well_typed(checker):
+    assert checker.check_resolvent(())

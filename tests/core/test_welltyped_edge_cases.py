@@ -1,0 +1,150 @@
+"""Edge cases of Definition 16 beyond the paper's worked examples."""
+
+import pytest
+
+from repro.core import PredicateTypeEnv, WellTypedChecker
+from repro.lang import parse_atom, parse_clause, parse_query
+from repro.lang import parse_term as T
+from repro.lp import Clause, Query
+from repro.terms import Var
+from repro.workloads import paper_universe, rich_universe
+
+
+def clause(text):
+    parsed = parse_clause(text)
+    return Clause(parsed.head, parsed.body)
+
+
+def query(text):
+    return Query(parse_query(text).body)
+
+
+@pytest.fixture()
+def checker():
+    cset = rich_universe()
+    env = PredicateTypeEnv(cset)
+    for decl in [
+        "halt",
+        "run",
+        "flagged(bool)",
+        "deep(list(list(A)))",
+        "swap(prod(A, B), prod(B, A))",
+        "dup(A, prod(A, A))",
+        "treesum(tree(nat), nat)",
+        "first(list(A), A)",
+        "two_lists(list(A), list(B))",
+        "plus(nat, nat, nat)",
+    ]:
+        env.declare(parse_atom(decl))
+    return WellTypedChecker(cset, env)
+
+
+# -- nullary predicates -------------------------------------------------------------
+
+
+def test_nullary_predicate_fact(checker):
+    assert checker.check_clause(clause("halt."))
+
+
+def test_nullary_predicate_rule(checker):
+    assert checker.check_clause(clause("run :- halt."))
+    assert checker.check_query(query(":- halt, run."))
+
+
+# -- nested polymorphism --------------------------------------------------------------
+
+
+def test_nested_list_types(checker):
+    report = checker.check_clause(clause("deep(cons(cons(X, nil), nil))."))
+    assert report.well_typed
+    assert report.typings[0][Var("X")] == T("A")
+
+
+def test_nested_list_query_commits_inner_type(checker):
+    assert checker.check_query(query(":- deep(cons(cons(0, nil), nil))."))
+    assert checker.check_query(query(":- deep(nil)."))
+
+
+# -- multiple type variables per predicate -----------------------------------------------
+
+
+def test_swap_clause(checker):
+    report = checker.check_clause(clause("swap(pair(X, Y), pair(Y, X))."))
+    assert report.well_typed
+    typing = report.typings[0]
+    assert typing[Var("X")] == T("A")
+    assert typing[Var("Y")] == T("B")
+
+
+def test_swap_misuse_rejected(checker):
+    # pair(X, X) puts X in both the A and the B context; head type
+    # variables are rigid (Definition 16 gives heads no η), so even this
+    # innocent-looking clause is rejected — a genuine strictness of the
+    # paper's conditions.
+    report = checker.check_clause(clause("swap(pair(X, X), pair(X, X))."))
+    assert not report.well_typed
+    report = checker.check_clause(clause("swap(pair(true, Y), pair(Y, true))."))
+    assert not report.well_typed  # head commits A := true
+
+
+def test_dup_clause(checker):
+    assert checker.check_clause(clause("dup(X, pair(X, X))."))
+
+
+# -- same predicate twice with different commitments ----------------------------------------
+
+
+def test_independent_commitments_per_occurrence(checker):
+    # first/2 used at nat lists and at bool lists in one query: each
+    # occurrence renames its own A.
+    report = checker.check_query(
+        query(":- first(cons(0, nil), X), first(cons(true, nil), Y).")
+    )
+    assert report.well_typed
+    goal_typings = report.typings
+    assert goal_typings[0][Var("X")] != goal_typings[1][Var("Y")]
+
+
+def test_shared_variable_unifies_commitments_via_union(checker):
+    # The same X drawn from a nat list and a bool list: both occurrences
+    # must agree, and a Definition 16 witness *exists* — the name-based
+    # union η(A) = 0 + true covers both.  The checker finds it and the
+    # plain-match re-verification confirms the agreeing typings.
+    report = checker.check_query(
+        query(":- first(cons(0, nil), X), first(cons(true, nil), X).")
+    )
+    assert report.well_typed
+    typing = report.typings[0]
+    assert typing[Var("X")] == T("0 + true")
+
+
+def test_shared_variable_rigid_contexts_still_clash(checker):
+    # With *concrete* (uncommittable) predicate types the clash stands:
+    # flagged : bool and plus : nat positions cannot be reconciled.
+    report = checker.check_query(query(":- flagged(X), plus(X, 0, X)."))
+    assert not report.well_typed
+
+
+def test_two_lists_clause_keeps_variables_apart(checker):
+    assert checker.check_clause(clause("two_lists(cons(X, nil), cons(Y, nil))."))
+    report = checker.check_clause(clause("two_lists(cons(X, nil), cons(X, nil))."))
+    # X : A in one context, X : B in the other — head variables are rigid,
+    # so the agreement A = B cannot be satisfied.
+    assert not report.well_typed
+
+
+# -- longer bodies -----------------------------------------------------------------------
+
+
+def test_long_body_chain(checker):
+    report = checker.check_clause(
+        clause("treesum(node(L, X, R), S) :- treesum(L, A), treesum(R, B), plus(A, B, C), plus(C, X, S).")
+    )
+    assert report.well_typed, report.reason
+
+
+def test_long_body_with_clash_rejected(checker):
+    report = checker.check_clause(
+        clause("treesum(node(L, X, R), S) :- treesum(L, A), flagged(A).")
+    )
+    assert not report.well_typed  # A is a nat and a bool

@@ -1,0 +1,89 @@
+"""Robustness fuzzing for the lexer/parser, and print→parse round trips.
+
+Whatever bytes arrive, the frontend must answer with a value or a
+*diagnosable* error (LexError / ParseError) — never any other exception.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checker import check_text
+from repro.lang import LexError, ParseError, parse_clause, parse_file
+from repro.lp import Clause
+from repro.terms import Struct, Var, pretty
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=500)
+def test_parse_file_total_on_arbitrary_text(text):
+    try:
+        parse_file(text)
+    except (ParseError, LexError):
+        pass
+
+
+TOKEN_SOUP = st.lists(
+    st.sampled_from(
+        [
+            "FUNC", "TYPE", "PRED", "MODE", "IN", "OUT",
+            "nat", "cons", "0", "X", "A", "_Y",
+            "(", ")", ",", ".", ":-", ">=", "+", "%c\n",
+        ]
+    ),
+    max_size=40,
+)
+
+
+@given(TOKEN_SOUP)
+@settings(max_examples=500)
+def test_parse_file_total_on_token_soup(tokens):
+    text = " ".join(tokens)
+    try:
+        parse_file(text)
+    except (ParseError, LexError):
+        pass
+
+
+@given(st.text(max_size=300))
+@settings(max_examples=200)
+def test_check_text_never_crashes(text):
+    module = check_text(text)
+    # Either a usable module or diagnostics — never an exception.
+    assert module.ok or module.diagnostics.has_errors or not text.strip()
+
+
+# -- print → parse round trips for clauses ---------------------------------------------
+
+variables = st.sampled_from([Var("X"), Var("Y"), Var("Zs")])
+constants = st.sampled_from([Struct("nil"), Struct("a"), Struct("0")])
+
+
+def _terms(depth):
+    if depth == 0:
+        return variables | constants
+    smaller = _terms(depth - 1)
+    return (
+        variables
+        | constants
+        | st.builds(
+            lambda f, args: Struct(f, tuple(args)),
+            st.sampled_from(["f", "cons"]),
+            st.lists(smaller, min_size=1, max_size=2),
+        )
+    )
+
+
+atoms = st.builds(
+    lambda name, args: Struct(name, tuple(args)),
+    st.sampled_from(["p", "q", "likes"]),
+    st.lists(_terms(2), min_size=0, max_size=3),
+)
+
+
+@given(atoms, st.lists(atoms, max_size=3))
+@settings(max_examples=300)
+def test_clause_print_parse_round_trip(head, body):
+    clause = Clause(head, tuple(body))
+    parsed = parse_clause(str(clause))
+    assert parsed.head == head
+    assert parsed.body == tuple(body)

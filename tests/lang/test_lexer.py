@@ -1,0 +1,96 @@
+"""Lexer tests: token kinds, positions, keyword/variable disambiguation."""
+
+import pytest
+
+from repro.lang import LexError, TokenKind, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)[:-1]]  # drop EOF
+
+
+def test_empty_input_yields_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind == TokenKind.EOF
+
+
+def test_simple_fact():
+    assert kinds("app(nil,L,L).") == [
+        TokenKind.NAME,
+        TokenKind.LPAREN,
+        TokenKind.NAME,
+        TokenKind.COMMA,
+        TokenKind.VARIABLE,
+        TokenKind.COMMA,
+        TokenKind.VARIABLE,
+        TokenKind.RPAREN,
+        TokenKind.DOT,
+        TokenKind.EOF,
+    ]
+
+
+def test_keywords_recognised():
+    assert kinds("FUNC TYPE PRED MODE IN OUT")[:-1] == [TokenKind.KEYWORD] * 6
+
+
+def test_uppercase_identifier_is_variable_not_keyword():
+    tokens = tokenize("FUNCX Fred INX")
+    assert [t.kind for t in tokens[:-1]] == [TokenKind.VARIABLE] * 3
+
+
+def test_numerals_are_names():
+    tokens = tokenize("0 42")
+    assert [t.kind for t in tokens[:-1]] == [TokenKind.NAME, TokenKind.NAME]
+
+
+def test_underscore_starts_variable():
+    tokens = tokenize("_x _G12")
+    assert [t.kind for t in tokens[:-1]] == [TokenKind.VARIABLE] * 2
+
+
+def test_operators():
+    assert kinds(":- >= +")[:-1] == [TokenKind.IMPLIES, TokenKind.GEQ, TokenKind.PLUS]
+
+
+def test_comment_skipped():
+    tokens = tokenize("a. % comment with FUNC and :- inside\nb.")
+    assert texts("a. % c\nb.") == ["a", ".", "b", "."]
+    assert [t.text for t in tokens[:-1]] == ["a", ".", "b", "."]
+
+
+def test_positions_tracked():
+    tokens = tokenize("ab\n  cd")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_constraint_line():
+    assert texts("nat >= 0 + succ(nat).") == [
+        "nat", ">=", "0", "+", "succ", "(", "nat", ")", ".",
+    ]
+
+
+def test_unexpected_character():
+    with pytest.raises(LexError) as info:
+        tokenize("a ? b")
+    assert info.value.line == 1
+    assert info.value.column == 3
+
+
+def test_bare_colon_is_constraint_token():
+    tokens = tokenize("X : nat")
+    assert [t.kind for t in tokens[:-1]] == [
+        TokenKind.VARIABLE,
+        TokenKind.COLON,
+        TokenKind.NAME,
+    ]
+
+
+def test_greater_without_equals_is_error():
+    with pytest.raises(LexError):
+        tokenize("a > b")

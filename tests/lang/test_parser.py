@@ -1,0 +1,216 @@
+"""Parser tests: terms, declarations, clauses, queries, error positions."""
+
+import pytest
+
+from repro.lang import (
+    ClauseDecl,
+    ConstraintDecl,
+    FuncDecl,
+    ModeDecl,
+    ParseError,
+    PredDecl,
+    QueryDecl,
+    TypeDecl,
+    parse_atom,
+    parse_clause,
+    parse_file,
+    parse_query,
+    parse_term,
+)
+from repro.terms import Struct, Var, atom, struct
+
+
+def test_parse_variable():
+    assert parse_term("Xs") == Var("Xs")
+
+
+def test_parse_constant():
+    assert parse_term("nil") == atom("nil")
+
+
+def test_parse_application():
+    assert parse_term("cons(X, nil)") == struct("cons", Var("X"), atom("nil"))
+
+
+def test_parse_nested_application():
+    assert parse_term("succ(succ(0))") == struct("succ", struct("succ", atom("0")))
+
+
+def test_parse_union_left_associative():
+    parsed = parse_term("a + b + c")
+    assert parsed == struct("+", struct("+", atom("a"), atom("b")), atom("c"))
+
+
+def test_parse_union_parenthesised():
+    parsed = parse_term("a + (b + c)")
+    assert parsed == struct("+", atom("a"), struct("+", atom("b"), atom("c")))
+
+
+def test_parse_union_in_argument():
+    parsed = parse_term("list(a + b)")
+    assert parsed == struct("list", struct("+", atom("a"), atom("b")))
+
+
+def test_parse_term_rejects_trailing_input():
+    with pytest.raises(ParseError):
+        parse_term("a b")
+
+
+def test_parse_atom_rejects_variable():
+    with pytest.raises(ParseError):
+        parse_atom("X")
+
+
+def test_parse_func_decl():
+    items = parse_file("FUNC 0, succ, pred.").items
+    assert items == [FuncDecl(("0", "succ", "pred"), items[0].position)]
+
+
+def test_parse_type_decl():
+    (item,) = parse_file("TYPE nat, unnat, int.").items
+    assert isinstance(item, TypeDecl)
+    assert item.names == ("nat", "unnat", "int")
+
+
+def test_parse_constraint_decl():
+    (item,) = parse_file("nat >= 0 + succ(nat).").items
+    assert isinstance(item, ConstraintDecl)
+    assert item.lhs == atom("nat")
+    assert item.rhs == struct("+", atom("0"), struct("succ", atom("nat")))
+
+
+def test_parse_polymorphic_constraint():
+    (item,) = parse_file("nelist(A) >= cons(A,list(A)).").items
+    assert isinstance(item, ConstraintDecl)
+    assert item.lhs == struct("nelist", Var("A"))
+
+
+def test_parse_pred_decl():
+    (item,) = parse_file("PRED app(list(A),list(A),list(A)).").items
+    assert isinstance(item, PredDecl)
+    assert item.head.functor == "app"
+    assert len(item.head.args) == 3
+
+
+def test_parse_nullary_pred_decl():
+    (item,) = parse_file("PRED halt.").items
+    assert isinstance(item, PredDecl)
+    assert item.head == atom("halt")
+
+
+def test_parse_mode_decl():
+    (item,) = parse_file("MODE app(IN, IN, OUT).").items
+    assert isinstance(item, ModeDecl)
+    assert item.name == "app"
+    assert item.modes == ("IN", "IN", "OUT")
+
+
+def test_parse_fact():
+    clause = parse_clause("app(nil,L,L).")
+    assert clause.head == struct("app", atom("nil"), Var("L"), Var("L"))
+    assert clause.body == ()
+
+
+def test_parse_rule():
+    clause = parse_clause("app(cons(X,L),M,cons(X,N)) :- app(L,M,N).")
+    assert clause.head.functor == "app"
+    assert len(clause.body) == 1
+    assert clause.body[0].functor == "app"
+
+
+def test_parse_rule_with_long_body():
+    clause = parse_clause("a :- b, c, d.")
+    assert [g.functor for g in clause.body] == ["b", "c", "d"]
+
+
+def test_parse_query():
+    query = parse_query(":- app(nil, 0, 0).")
+    assert len(query.body) == 1
+    assert query.body[0] == struct("app", atom("nil"), atom("0"), atom("0"))
+
+
+def test_parse_whole_file_in_order():
+    source = parse_file(
+        """
+        % the paper's list example
+        FUNC nil, cons.
+        TYPE elist, nelist, list.
+        elist >= nil.
+        nelist(A) >= cons(A,list(A)).
+        list(A) >= elist + nelist(A).
+        PRED app(list(A),list(A),list(A)).
+        app(nil,L,L).
+        app(cons(X,L),M,cons(X,N)) :- app(L,M,N).
+        :- app(nil,nil,X).
+        """
+    )
+    kinds = [type(item).__name__ for item in source.items]
+    assert kinds == [
+        "FuncDecl",
+        "TypeDecl",
+        "ConstraintDecl",
+        "ConstraintDecl",
+        "ConstraintDecl",
+        "PredDecl",
+        "ClauseDecl",
+        "ClauseDecl",
+        "QueryDecl",
+    ]
+
+
+def test_missing_dot_is_error():
+    with pytest.raises(ParseError):
+        parse_file("FUNC nil")
+
+
+def test_union_head_rejected():
+    with pytest.raises(ParseError):
+        parse_file("a + b :- c.")
+
+
+def test_variable_head_rejected():
+    with pytest.raises(ParseError):
+        parse_file("X :- c.")
+
+
+def test_error_carries_position():
+    with pytest.raises(ParseError) as info:
+        parse_file("FUNC nil,\n.")
+    assert info.value.token.line == 2
+
+
+def test_parse_constraint_goal_in_query():
+    query = parse_query(":- p(X), X : nat, q(X).")
+    assert len(query.body) == 3
+    constraint = query.body[1]
+    assert constraint.functor == ":"
+    assert constraint.args == (Var("X"), atom("nat"))
+
+
+def test_parse_constraint_with_compound_sides():
+    query = parse_query(":- succ(X) : succ(nat).")
+    (goal,) = query.body
+    assert goal.functor == ":"
+    assert goal.args[0] == struct("succ", Var("X"))
+    assert goal.args[1] == struct("succ", atom("nat"))
+
+
+def test_parse_constraint_in_clause_body():
+    clause = parse_clause("safe(X) :- p(X), X : nat.")
+    assert clause.body[1].functor == ":"
+
+
+def test_bare_variable_goal_still_rejected():
+    with pytest.raises(ParseError):
+        parse_query(":- X.")
+
+
+def test_mode_requires_in_or_out():
+    with pytest.raises(ParseError):
+        parse_file("MODE app(IN, X).")
+
+
+def test_of_kind_helper():
+    source = parse_file("FUNC a.\nTYPE t.\nt >= a.")
+    assert len(source.of_kind(FuncDecl)) == 1
+    assert len(source.of_kind(ConstraintDecl)) == 1

@@ -1,0 +1,80 @@
+"""Round-trip tests: render a checked module to source and re-check it."""
+
+import pytest
+
+from repro.checker import check_text
+from repro.lang.render import (
+    render_constraints,
+    render_module,
+    render_predicate_types,
+    render_program,
+    render_symbols,
+)
+from repro.workloads import SOURCES
+
+
+@pytest.mark.parametrize("name", sorted(SOURCES))
+def test_round_trip_canonical_programs(name):
+    original = check_text(SOURCES[name])
+    assert original.ok
+    rendered = render_module(
+        original.constraints,
+        original.predicate_types,
+        original.program,
+        original.queries,
+        original.modes,
+    )
+    reparsed = check_text(rendered)
+    assert reparsed.ok, reparsed.diagnostics.render()
+    # Same shape: clause-for-clause identical programs, same constraints.
+    assert [str(c) for c in reparsed.program] == [str(c) for c in original.program]
+    assert render_constraints(reparsed.constraints) == render_constraints(
+        original.constraints
+    )
+    assert render_predicate_types(reparsed.predicate_types) == render_predicate_types(
+        original.predicate_types
+    )
+
+
+def test_round_trip_with_modes():
+    source = """
+FUNC 0, succ, pred.
+TYPE nat, unnat, int.
+nat >= 0 + succ(nat).
+unnat >= 0 + pred(unnat).
+int >= nat + unnat.
+PRED p(nat).
+MODE p(OUT).
+PRED q(int).
+MODE q(IN).
+p(0).
+q(0).
+:- p(X), q(X).
+"""
+    original = check_text(source)
+    assert original.ok
+    rendered = render_module(
+        original.constraints,
+        original.predicate_types,
+        original.program,
+        original.queries,
+        original.modes,
+    )
+    assert "MODE p(OUT)." in rendered
+    reparsed = check_text(rendered)
+    assert reparsed.ok, reparsed.diagnostics.render()
+    assert len(reparsed.queries) == 1
+
+
+def test_render_symbols_skips_predefined_union():
+    module = check_text(SOURCES["append"])
+    rendered = render_symbols(module.constraints.symbols)
+    assert "+" not in rendered
+    assert "FUNC" in rendered and "TYPE" in rendered
+
+
+def test_render_program_matches_clause_str():
+    module = check_text(SOURCES["append"])
+    rendered = render_program(module.program)
+    assert "app(nil, L, L)." in rendered
+    assert ":-" in rendered  # the recursive clause

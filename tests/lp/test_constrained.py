@@ -1,0 +1,107 @@
+"""Typed-unification constraints (Section 7's third alternative).
+
+The paper: ":- p(X), X:nat, q(X)" — allow sub→super flow while a runtime
+constraint store prevents the unsound direction.  These tests replay that
+scenario and exercise delay, pruning, residuals and clause-body
+constraints.
+"""
+
+import pytest
+
+from repro.core import SubtypeEngine
+from repro.lang import parse_clause, parse_query
+from repro.lp import Clause, ConstrainedInterpreter, Database
+from repro.terms import Var, pretty
+from repro.workloads import naturals
+
+
+def clauses(*texts):
+    return [Clause(c.head, c.body) for c in map(parse_clause, texts)]
+
+
+PROGRAM = clauses(
+    # p holds of every int it is given/generates — deliberately loose.
+    "p(0).",
+    "p(succ(0)).",
+    "p(pred(0)).",
+    # q accepts ints.
+    "q(0).",
+    "q(succ(0)).",
+    "q(pred(0)).",
+)
+
+
+@pytest.fixture(scope="module")
+def interpreter():
+    return ConstrainedInterpreter(Database(PROGRAM), SubtypeEngine(naturals()))
+
+
+def goals(text):
+    return parse_query(text).body
+
+
+def answer_values(result, name):
+    return sorted(
+        pretty(answer.substitution.apply(Var(name))) for answer in result.answers
+    )
+
+
+def test_paper_scenario_filters_unnat(interpreter):
+    # Without the constraint, X ranges over {0, succ(0), pred(0)}; the
+    # store keeps only the nats.
+    unconstrained = interpreter.run(goals(":- p(X), q(X)."))
+    assert len(unconstrained.answers) == 3
+    constrained = interpreter.run(goals(":- p(X), X : nat, q(X)."))
+    assert answer_values(constrained, "X") == ["0", "succ(0)"]
+    assert constrained.pruned_by_constraints >= 1
+
+
+def test_constraint_position_is_irrelevant_for_ground_flows(interpreter):
+    before = interpreter.run(goals(":- X : nat, p(X), q(X)."))
+    after = interpreter.run(goals(":- p(X), q(X), X : nat."))
+    assert answer_values(before, "X") == answer_values(after, "X")
+
+
+def test_ground_constraint_checked_immediately(interpreter):
+    assert interpreter.run(goals(":- succ(0) : nat.")).answers
+    result = interpreter.run(goals(":- pred(0) : nat."))
+    assert not result.answers
+    assert result.pruned_by_constraints == 1
+
+
+def test_unresolved_constraint_is_residual(interpreter):
+    result = interpreter.run(goals(":- X : nat."))
+    assert len(result.answers) == 1
+    answer = result.answers[0]
+    assert not answer.unconditional
+    assert str(answer.residual[0]) == "X : nat"
+
+
+def test_constraint_delays_until_binding(interpreter):
+    # The constraint is stated before p ever binds X: it must wait, then
+    # fire on each candidate binding.
+    result = interpreter.run(goals(":- X : unnat, p(X)."))
+    assert answer_values(result, "X") == ["0", "pred(0)"]
+
+
+def test_multiple_constraints_conjoin(interpreter):
+    result = interpreter.run(goals(":- p(X), X : nat, X : unnat."))
+    assert answer_values(result, "X") == ["0"]  # the only nat ∩ unnat member
+
+
+def test_constraints_in_clause_bodies():
+    program = PROGRAM + clauses("safe(X) :- p(X), X : nat.")
+    interpreter = ConstrainedInterpreter(Database(program), SubtypeEngine(naturals()))
+    result = interpreter.run(goals(":- safe(X)."))
+    assert answer_values(result, "X") == ["0", "succ(0)"]
+
+
+def test_max_answers(interpreter):
+    result = interpreter.run(goals(":- p(X), X : int."), max_answers=2)
+    assert len(result.answers) == 2
+
+
+def test_pure_queries_unaffected(interpreter):
+    result = interpreter.run(goals(":- p(succ(0))."))
+    assert len(result.answers) == 1
+    assert result.answers[0].unconditional

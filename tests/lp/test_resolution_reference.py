@@ -1,0 +1,149 @@
+"""Differential test: the production SLD engine vs a tiny, obviously
+correct reference meta-interpreter.
+
+The reference is a direct recursive transcription of SLD-resolution with
+eager substitution composition — slow but transparently faithful to
+[Apt88].  Answer *sets* (canonicalised) must coincide with the engine's
+on every sampled program/query pair.
+"""
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+
+from repro.lang import parse_clause, parse_query
+from repro.lp import Clause, Database, rename_clause_apart, solve
+from repro.terms import (
+    Struct,
+    Substitution,
+    Term,
+    Var,
+    pretty,
+    unify,
+    variables_of,
+)
+
+
+def reference_solve(
+    clauses: List[Clause],
+    goals: Tuple[Struct, ...],
+    depth_limit: int,
+) -> Optional[List[Substitution]]:
+    """All answers up to ``depth_limit`` steps, or ``None`` if the bound
+    was hit (the comparison is then skipped)."""
+    query_vars = set()
+    for goal in goals:
+        query_vars |= variables_of(goal)
+    answers: List[Substitution] = []
+    complete = True
+
+    def search(current: Tuple[Struct, ...], subst: Substitution, depth: int) -> None:
+        nonlocal complete
+        if not current:
+            answers.append(subst.restrict(query_vars))
+            return
+        if depth >= depth_limit:
+            complete = False
+            return
+        selected, rest = current[0], current[1:]
+        for clause in clauses:
+            renamed = rename_clause_apart(clause)
+            theta = unify(selected, renamed.head)
+            if theta is None:
+                continue
+            new_goals = tuple(theta.apply(g) for g in renamed.body + rest)
+            search(new_goals, subst.compose(theta), depth + 1)
+
+    search(goals, Substitution(), 0)
+    return answers if complete else None
+
+
+def canonical_answers(answers) -> List[Tuple[str, ...]]:
+    rendered = []
+    for answer in answers:
+        rendered.append(
+            tuple(
+                f"{var.name}={pretty(answer.apply(var))}"
+                for var in sorted(answer.domain, key=lambda v: v.name)
+            )
+        )
+    return sorted(rendered)
+
+
+def clauses_of(*texts) -> List[Clause]:
+    return [Clause(c.head, c.body) for c in map(parse_clause, texts)]
+
+
+PROGRAMS = {
+    "append": clauses_of(
+        "app(nil,L,L).",
+        "app(cons(X,L),M,cons(X,N)) :- app(L,M,N).",
+    ),
+    "member": clauses_of(
+        "member(X,cons(X,L)).",
+        "member(X,cons(Y,L)) :- member(X,L).",
+    ),
+    "graph": clauses_of(
+        "edge(a,b).",
+        "edge(b,c).",
+        "edge(a,c).",
+        "path(X,Y) :- edge(X,Y).",
+        "path(X,Z) :- edge(X,Y), path(Y,Z).",
+    ),
+    "plus": clauses_of(
+        "plus(z,N,N).",
+        "plus(s(M),N,s(K)) :- plus(M,N,K).",
+    ),
+}
+
+QUERIES = {
+    "append": [
+        ":- app(cons(a,nil), cons(b,nil), R).",
+        ":- app(X, Y, cons(a, cons(b, cons(c, nil)))).",
+        ":- app(X, X, cons(a, cons(a, nil))).",
+        ":- app(nil, nil, cons(a, nil)).",
+    ],
+    "member": [
+        ":- member(X, cons(a, cons(b, cons(a, nil)))).",
+        ":- member(b, cons(a, cons(b, nil))).",
+        ":- member(c, cons(a, cons(b, nil))).",
+    ],
+    "graph": [
+        ":- path(a, X).",
+        ":- path(b, a).",
+        ":- path(X, c).",
+    ],
+    "plus": [
+        ":- plus(s(s(z)), s(z), R).",
+        ":- plus(X, Y, s(s(z))).",
+    ],
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_engine_matches_reference(name):
+    clauses = PROGRAMS[name]
+    database = Database(clauses)
+    for text in QUERIES[name]:
+        goals = parse_query(text).body
+        expected = reference_solve(clauses, goals, depth_limit=12)
+        if expected is None:
+            continue
+        result = solve(database, goals, depth_limit=12)
+        assert canonical_answers(result.answers) == canonical_answers(expected), text
+
+
+@pytest.mark.parametrize("indexing", [True, False])
+def test_indexing_answer_sets_identical(indexing):
+    clauses = PROGRAMS["append"]
+    database = Database(clauses, first_arg_indexing=indexing)
+    goals = parse_query(":- app(X, Y, cons(a, cons(b, nil))).").body
+    result = solve(database, goals)
+    assert len(result.answers) == 3
+
+
+def test_reference_detects_depth_exhaustion():
+    clauses = clauses_of("loop :- loop.")
+    goals = parse_query(":- loop.").body
+    assert reference_solve(clauses, goals, depth_limit=6) is None

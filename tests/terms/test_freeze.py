@@ -1,0 +1,58 @@
+"""Tests for the bar operation (freeze/melt) of Definition 5."""
+
+from repro.terms import (
+    Var,
+    atom,
+    freeze,
+    freeze_many,
+    is_frozen_constant,
+    melt,
+    struct,
+    variables_of,
+)
+from repro.terms.freeze import freeze_with_mapping
+
+
+def test_freeze_ground_term_unchanged():
+    term = struct("f", atom("a"))
+    assert freeze(term) == term
+
+
+def test_freeze_replaces_variables_with_constants():
+    frozen = freeze(struct("f", Var("X"), Var("Y")))
+    assert not variables_of(frozen)
+    assert is_frozen_constant(frozen.args[0])
+    assert is_frozen_constant(frozen.args[1])
+    assert frozen.args[0] != frozen.args[1]
+
+
+def test_freeze_same_variable_same_constant():
+    frozen = freeze(struct("f", Var("X"), Var("X")))
+    assert frozen.args[0] == frozen.args[1]
+
+
+def test_freeze_constants_globally_unique():
+    first = freeze(Var("X"))
+    second = freeze(Var("X"))
+    assert first != second  # fresh constants on every call
+
+
+def test_melt_round_trip():
+    term = struct("f", Var("X"), struct("g", Var("Y"), Var("X")))
+    frozen, mapping = freeze_with_mapping(term)
+    assert melt(frozen, mapping) == term
+
+
+def test_freeze_many_shares_mapping():
+    left = struct("f", Var("A"))
+    right = struct("g", Var("A"), Var("B"))
+    frozen_left, frozen_right = freeze_many([left, right])
+    # Shared variable A freezes to the same constant in both terms.
+    assert frozen_left.args[0] == frozen_right.args[0]
+    assert frozen_right.args[0] != frozen_right.args[1]
+
+
+def test_is_frozen_constant_rejects_ordinary_terms():
+    assert not is_frozen_constant(atom("a"))
+    assert not is_frozen_constant(Var("X"))
+    assert not is_frozen_constant(struct("f", atom("a")))

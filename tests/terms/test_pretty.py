@@ -1,0 +1,66 @@
+"""Pretty-printer tests, including the parse∘pretty round-trip property."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import parse_term
+from repro.terms import Struct, Var, atom, pretty, struct
+
+
+def test_pretty_variable():
+    assert pretty(Var("Xs")) == "Xs"
+
+
+def test_pretty_constant():
+    assert pretty(atom("nil")) == "nil"
+
+
+def test_pretty_application():
+    assert pretty(struct("cons", Var("X"), atom("nil"))) == "cons(X, nil)"
+
+
+def test_pretty_union_infix():
+    assert pretty(struct("+", atom("a"), atom("b"))) == "a + b"
+
+
+def test_pretty_union_left_associative():
+    nested = struct("+", struct("+", atom("a"), atom("b")), atom("c"))
+    assert pretty(nested) == "a + b + c"
+    assert parse_term(pretty(nested)) == nested
+
+
+def test_pretty_union_right_nested_parenthesised():
+    nested = struct("+", atom("a"), struct("+", atom("b"), atom("c")))
+    assert pretty(nested) == "a + (b + c)"
+    assert parse_term(pretty(nested)) == nested
+
+
+def test_pretty_union_inside_application():
+    term = struct("list", struct("+", atom("a"), atom("b")))
+    assert pretty(term) == "list(a + b)"
+    assert parse_term(pretty(term)) == term
+
+
+# -- round-trip property ---------------------------------------------------------
+
+variables = st.sampled_from([Var("X"), Var("Y"), Var("Zs")])
+constants = st.sampled_from([atom("a"), atom("nil"), atom("0")])
+
+
+def _terms(depth):
+    if depth == 0:
+        return variables | constants
+    smaller = _terms(depth - 1)
+    compounds = st.builds(
+        lambda functor, args: Struct(functor, tuple(args)),
+        st.sampled_from(["f", "cons", "succ"]),
+        st.lists(smaller, min_size=1, max_size=3),
+    )
+    unions = st.builds(lambda l, r: Struct("+", (l, r)), smaller, smaller)
+    return variables | constants | compounds | unions
+
+
+@given(_terms(3))
+@settings(max_examples=300)
+def test_parse_pretty_round_trip(term):
+    assert parse_term(pretty(term)) == term

@@ -1,0 +1,111 @@
+"""Unit tests for substitutions: application, composition, properties."""
+
+import pytest
+
+from repro.terms import EMPTY_SUBSTITUTION, Substitution, Var, atom, struct
+
+
+def sub(**bindings):
+    return Substitution({Var(name): value for name, value in bindings.items()})
+
+
+def test_identity_bindings_dropped():
+    s = Substitution({Var("X"): Var("X"), Var("Y"): atom("a")})
+    assert Var("X") not in s
+    assert len(s) == 1
+
+
+def test_domain_rejects_non_variables():
+    with pytest.raises(TypeError):
+        Substitution({atom("a"): atom("b")})  # type: ignore[dict-item]
+
+
+def test_apply_simple():
+    s = sub(X=atom("a"))
+    assert s.apply(Var("X")) == atom("a")
+    assert s.apply(Var("Y")) == Var("Y")
+    assert s.apply(struct("f", Var("X"), Var("Y"))) == struct("f", atom("a"), Var("Y"))
+
+
+def test_apply_is_simultaneous_not_iterated():
+    # {X -> Y, Y -> a} applied to X gives Y, not a.
+    s = sub(X=Var("Y"), Y=atom("a"))
+    assert s.apply(Var("X")) == Var("Y")
+
+
+def test_apply_shares_unchanged_subterms():
+    term = struct("f", atom("a"))
+    s = sub(X=atom("b"))
+    assert s.apply(term) is term
+
+
+def test_callable_alias():
+    s = sub(X=atom("a"))
+    assert s(Var("X")) == atom("a")
+
+
+def test_compose_associativity_of_application():
+    s1 = sub(X=struct("f", Var("Y")))
+    s2 = sub(Y=atom("a"))
+    term = struct("g", Var("X"), Var("Y"))
+    assert s1.compose(s2).apply(term) == s2.apply(s1.apply(term))
+
+
+def test_compose_domain_union():
+    s1 = sub(X=atom("a"))
+    s2 = sub(Y=atom("b"))
+    composed = s1.compose(s2)
+    assert composed.domain == {Var("X"), Var("Y")}
+
+
+def test_compose_left_bias():
+    # X bound by s1 stays bound by s1's (updated) value.
+    s1 = sub(X=Var("Y"))
+    s2 = sub(X=atom("b"), Y=atom("a"))
+    composed = s1.compose(s2)
+    assert composed[Var("X")] == atom("a")
+
+
+def test_empty_substitution():
+    term = struct("f", Var("X"))
+    assert EMPTY_SUBSTITUTION.apply(term) is term
+    assert len(EMPTY_SUBSTITUTION) == 0
+    assert EMPTY_SUBSTITUTION.is_idempotent()
+
+
+def test_restrict():
+    s = sub(X=atom("a"), Y=atom("b"))
+    restricted = s.restrict({Var("X")})
+    assert Var("X") in restricted
+    assert Var("Y") not in restricted
+
+
+def test_update_overrides():
+    s = sub(X=atom("a"))
+    updated = s.update({Var("X"): atom("b"), Var("Z"): atom("c")})
+    assert updated[Var("X")] == atom("b")
+    assert updated[Var("Z")] == atom("c")
+    assert s[Var("X")] == atom("a")  # original untouched
+
+
+def test_idempotence_check():
+    assert sub(X=atom("a")).is_idempotent()
+    assert not sub(X=struct("f", Var("X"))).is_idempotent()
+    assert not sub(X=Var("Y"), Y=atom("a")).is_idempotent()
+
+
+def test_relevance_check():
+    s = sub(X=Var("Y"))
+    assert s.is_relevant_for(struct("f", Var("X"), Var("Y")))
+    assert not s.is_relevant_for(struct("f", Var("X")))
+
+
+def test_equality_and_hash():
+    assert sub(X=atom("a")) == sub(X=atom("a"))
+    assert sub(X=atom("a")) != sub(X=atom("b"))
+    assert hash(sub(X=atom("a"))) == hash(sub(X=atom("a")))
+
+
+def test_range_variables():
+    s = sub(X=struct("f", Var("Y"), Var("Z")))
+    assert s.range_variables == {Var("Y"), Var("Z")}

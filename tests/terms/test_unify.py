@@ -1,0 +1,162 @@
+"""Unit and property tests for unification (idempotent, relevant mgus)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.terms import (
+    Struct,
+    Substitution,
+    UnificationError,
+    Var,
+    atom,
+    mgu,
+    struct,
+    unifiable,
+    unify,
+    variables_of,
+)
+
+
+def test_unify_identical_constants():
+    assert unify(atom("a"), atom("a")) == Substitution()
+
+
+def test_unify_distinct_constants_fails():
+    assert unify(atom("a"), atom("b")) is None
+
+
+def test_unify_var_with_term():
+    result = unify(Var("X"), struct("f", atom("a")))
+    assert result is not None
+    assert result[Var("X")] == struct("f", atom("a"))
+
+
+def test_unify_functor_mismatch():
+    assert unify(struct("f", Var("X")), struct("g", Var("X"))) is None
+
+
+def test_unify_arity_mismatch():
+    assert unify(struct("f", Var("X")), struct("f", Var("X"), Var("Y"))) is None
+
+
+def test_unify_componentwise():
+    result = unify(
+        struct("f", Var("X"), atom("b")),
+        struct("f", atom("a"), Var("Y")),
+    )
+    assert result is not None
+    assert result[Var("X")] == atom("a")
+    assert result[Var("Y")] == atom("b")
+
+
+def test_unify_shared_variable_chains():
+    # f(X, X) with f(Y, a) must bind both X and Y to a.
+    result = unify(struct("f", Var("X"), Var("X")), struct("f", Var("Y"), atom("a")))
+    assert result is not None
+    assert result.apply(Var("X")) == atom("a")
+    assert result.apply(Var("Y")) == atom("a")
+
+
+def test_occurs_check_blocks_cyclic_binding():
+    assert unify(Var("X"), struct("f", Var("X"))) is None
+
+
+def test_occurs_check_can_be_disabled():
+    result = unify(Var("X"), struct("f", Var("X")), occurs_check=False)
+    assert result is not None  # unsound, Prolog-style
+
+
+def test_deep_occurs_check():
+    term = struct("f", struct("g", struct("h", Var("X"))))
+    assert unify(Var("X"), term) is None
+
+
+def test_mgu_raises_on_failure():
+    with pytest.raises(UnificationError):
+        mgu(atom("a"), atom("b"))
+
+
+def test_unifiable_predicate():
+    assert unifiable(Var("X"), atom("a"))
+    assert not unifiable(atom("a"), atom("b"))
+
+
+def test_result_is_idempotent_on_chained_bindings():
+    result = unify(
+        struct("f", Var("X"), Var("Y")),
+        struct("f", struct("g", Var("Y")), atom("a")),
+    )
+    assert result is not None
+    assert result.is_idempotent()
+    assert result.apply(Var("X")) == struct("g", atom("a"))
+
+
+# -- property-based tests ------------------------------------------------------
+
+variables = st.sampled_from([Var("X"), Var("Y"), Var("Z")])
+constants = st.sampled_from([atom("a"), atom("b"), atom("c")])
+
+
+def _terms(depth):
+    if depth == 0:
+        return variables | constants
+    smaller = _terms(depth - 1)
+    compounds = st.builds(
+        lambda functor, args: Struct(functor, tuple(args)),
+        st.sampled_from(["f", "g"]),
+        st.lists(smaller, min_size=1, max_size=2),
+    )
+    return variables | constants | compounds
+
+
+terms = _terms(3)
+
+
+@given(terms, terms)
+@settings(max_examples=300)
+def test_unify_produces_a_unifier(left, right):
+    result = unify(left, right)
+    if result is not None:
+        assert result.apply(left) == result.apply(right)
+
+
+@given(terms, terms)
+@settings(max_examples=300)
+def test_unifier_is_idempotent_and_relevant(left, right):
+    result = unify(left, right)
+    if result is not None:
+        assert result.is_idempotent()
+        assert result.is_relevant_for(left, right)
+
+
+@given(terms, terms)
+@settings(max_examples=200)
+def test_unify_is_symmetric_in_success(left, right):
+    forward = unify(left, right)
+    backward = unify(right, left)
+    assert (forward is None) == (backward is None)
+
+
+@given(terms)
+@settings(max_examples=200)
+def test_self_unification_is_empty_on_variables_of(term):
+    result = unify(term, term)
+    assert result is not None
+    assert len(result) == 0
+
+
+@given(terms, terms)
+@settings(max_examples=200)
+def test_most_generality_via_instance_check(left, right):
+    """If θ = mgu and σ is any other unifier built by grounding, then θ is
+    at least as general: σ factors through θ on the unified term."""
+    theta = unify(left, right)
+    if theta is None:
+        return
+    grounding = Substitution(
+        {var: atom("a") for var in variables_of(left) | variables_of(right)}
+    )
+    if grounding.apply(left) == grounding.apply(right):
+        unified = theta.apply(left)
+        assert unify(unified, grounding.apply(left)) is not None

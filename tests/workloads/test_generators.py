@@ -1,0 +1,123 @@
+"""Tests for the random workload generators (reproducibility, invariants)."""
+
+import random
+
+import pytest
+
+from repro.checker import check_text
+from repro.core import SubtypeEngine, is_guarded, is_uniform_polymorphic
+from repro.lang import parse_term as T
+from repro.terms import is_ground, term_depth, variables_of
+from repro.workloads import (
+    deep_int,
+    deep_nat,
+    nat_list,
+    paper_universe,
+    random_ground_member,
+    random_guarded_constraint_set,
+    random_subtype_pair,
+    random_type,
+    synthetic_list_program,
+    wide_type_hierarchy,
+)
+
+
+def test_random_sets_are_uniform_and_guarded():
+    for seed in range(10):
+        cset = random_guarded_constraint_set(random.Random(seed))
+        assert is_uniform_polymorphic(cset), seed
+        assert is_guarded(cset), seed
+
+
+def test_random_sets_reproducible():
+    first = random_guarded_constraint_set(random.Random(42))
+    second = random_guarded_constraint_set(random.Random(42))
+    assert [str(c) for c in first] == [str(c) for c in second]
+
+
+def test_random_set_size_parameters():
+    cset = random_guarded_constraint_set(
+        random.Random(1), type_count=4, function_count=3, constraints_per_type=3
+    )
+    # 4 types × 3 constraints + 2 predefined union constraints.
+    assert len(cset) == 4 * 3 + 2
+    assert len(cset.symbols.functions) == 3
+
+
+def test_random_type_well_formed():
+    cset = paper_universe()
+    rng = random.Random(5)
+    for _ in range(50):
+        type_term = random_type(rng, cset, depth=3)
+        cset.symbols.check_type(type_term)
+
+
+def test_random_type_without_variables():
+    cset = paper_universe()
+    rng = random.Random(5)
+    for _ in range(50):
+        type_term = random_type(rng, cset, depth=3, allow_variables=False)
+        assert is_ground(type_term)
+
+
+def test_random_ground_member_is_member():
+    cset = paper_universe()
+    engine = SubtypeEngine(cset)
+    rng = random.Random(9)
+    for text in ["nat", "int", "list(nat)", "nelist(unnat)"]:
+        member = random_ground_member(rng, cset, T(text), max_depth=4)
+        assert member is not None
+        assert engine.contains(T(text), member), (text, member)
+
+
+def test_random_ground_member_empty_type():
+    cset = paper_universe()
+    cset.symbols.declare_type_constructor("ghost", 0)
+    assert random_ground_member(random.Random(0), cset, T("ghost")) is None
+
+
+def test_random_subtype_pair_candidate_ground():
+    cset = paper_universe()
+    rng = random.Random(3)
+    for _ in range(20):
+        _, candidate = random_subtype_pair(rng, cset, depth=2, member_depth=3)
+        assert is_ground(candidate)
+
+
+def test_deep_nat_and_int():
+    assert term_depth(deep_nat(10)) == 11
+    assert term_depth(deep_int(7)) == 8
+    assert str(deep_nat(2)) == "succ(succ(0))"
+    assert str(deep_int(1)) == "pred(0)"
+
+
+def test_nat_list():
+    term = nat_list(3, element_depth=0)
+    assert str(term) == "cons(0, cons(0, cons(0, nil)))"
+    assert term_depth(nat_list(0)) == 1
+
+
+def test_synthetic_program_well_typed():
+    source = synthetic_list_program(5)
+    module = check_text(source)
+    assert module.ok, module.diagnostics.render()
+    # 1 base predicate + 4 delegating predicates, 2 clauses each.
+    assert len(module.program) == 10
+
+
+def test_synthetic_program_scales_linearly():
+    small = check_text(synthetic_list_program(3))
+    large = check_text(synthetic_list_program(30))
+    assert small.ok and large.ok
+    # 2 clauses per predicate in both cases.
+    assert len(small.program) == 2 * 3
+    assert len(large.program) == 2 * 30
+
+
+def test_wide_hierarchy_checks():
+    source = wide_type_hierarchy(8)
+    module = check_text(source)
+    assert module.ok, module.diagnostics.render()
+    engine = SubtypeEngine(module.constraints)
+    assert engine.contains(T("top"), T("k3"))
+    assert not engine.contains(T("s1"), T("k3"))

@@ -1,0 +1,36 @@
+"""Tests for the canonical programs catalogue."""
+
+import pytest
+
+from repro.checker import check_text
+from repro.workloads import ILL_TYPED_EXAMPLES, SOURCES, load, load_all
+
+
+def test_all_canonical_sources_load():
+    modules = load_all()
+    assert set(modules) == set(SOURCES)
+    for name, module in modules.items():
+        assert module.ok, name
+        assert len(module.program) > 0
+
+
+def test_load_unknown_raises():
+    with pytest.raises(KeyError):
+        load("nope")
+
+
+def test_append_matches_paper():
+    module = load("append")
+    rendered = [str(clause) for clause in module.program]
+    assert rendered[0] == "app(nil, L, L)."
+    assert rendered[1] == "app(cons(X, L), M, cons(X, N)) :- app(L, M, N)."
+
+
+def test_ill_typed_catalogue_is_rejected_wholesale():
+    for name, source in ILL_TYPED_EXAMPLES.items():
+        module = check_text(source)
+        assert not module.ok, name
+
+
+def test_catalogues_disjoint():
+    assert not set(SOURCES) & set(ILL_TYPED_EXAMPLES)

@@ -1,0 +1,67 @@
+"""Tests for the stdlib declaration builders."""
+
+import pytest
+
+from repro.core import SubtypeEngine, is_guarded, is_uniform_polymorphic
+from repro.lang import parse_term as T
+from repro.workloads import (
+    constraint,
+    ids_nonuniform,
+    lists,
+    naturals,
+    paper_universe,
+    rich_universe,
+)
+
+
+def test_constraint_parser_helper():
+    parsed = constraint("nat >= 0 + succ(nat)")
+    assert parsed.constructor == "nat"
+    assert str(parsed) == "nat >= 0 + succ(nat)."
+
+
+def test_constraint_helper_rejects_non_constraints():
+    with pytest.raises(ValueError):
+        constraint("p(X)")
+
+
+def test_naturals_contents():
+    cset = naturals()
+    assert set(cset.symbols.functions) == {"0", "succ", "pred"}
+    assert set(cset.symbols.type_constructors) == {"nat", "unnat", "int", "+"}
+    assert len(cset.constraints_for("nat")) == 1
+
+
+def test_lists_contents():
+    cset = lists()
+    assert "cons" in cset.symbols.functions
+    assert cset.symbols.type_constructors["list"] == 1
+    assert cset.symbols.type_constructors["nelist"] == 1
+
+
+def test_builders_return_fresh_sets():
+    first = naturals()
+    second = naturals()
+    assert first is not second
+    first.symbols.declare_function("extra", 0)
+    assert "extra" not in second.symbols.functions
+
+
+def test_paper_universe_combines():
+    cset = paper_universe()
+    engine = SubtypeEngine(cset)
+    assert engine.contains(T("list(nat)"), T("cons(0, nil)"))
+
+
+def test_rich_universe_types_work():
+    cset = rich_universe()
+    assert is_uniform_polymorphic(cset) and is_guarded(cset)
+    engine = SubtypeEngine(cset)
+    assert engine.contains(T("bool"), T("true"))
+    assert engine.contains(T("prod(nat, bool)"), T("pair(0, false)"))
+    assert engine.contains(T("tree(nat)"), T("node(leaf(0), succ(0), leaf(0))"))
+    assert not engine.contains(T("tree(nat)"), T("node(leaf(pred(0)), 0, leaf(0))"))
+
+
+def test_ids_nonuniform_is_nonuniform():
+    assert not is_uniform_polymorphic(ids_nonuniform())
