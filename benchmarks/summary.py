@@ -6,13 +6,26 @@ pytest-benchmark files for rigorous statistics; use this for a quick
 paper-vs-measured check:
 
     python benchmarks/summary.py
+
+Options:
+
+``--quick``
+    Shrink every workload to CI-smoke sizes (sub-second total).
+``--json OUT``
+    Also write the rows as JSON to ``OUT``, with a full ``repro.obs``
+    telemetry snapshot (counters/gauges/timers collected while the
+    experiments ran) embedded under ``"telemetry"``.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import sys
 import time
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
+from repro import obs
 from repro.checker import check_text
 from repro.core import (
     Matcher,
@@ -52,48 +65,59 @@ def fmt(seconds: float) -> str:
     return f"{seconds:.2f}s"
 
 
-def main() -> None:
+def build_rows(quick: bool = False) -> List[Row]:
+    """Run every experiment family once; return (label, measured) rows."""
     rows: List[Row] = []
     cset = paper_universe()
 
+    nat_depths = (64, 256) if quick else (512, 4096, 32768)
+    int_depths = (64,) if quick else (512, 4096)
+    list_lengths = (64,) if quick else (256, 4096)
+    naive_lengths = (1, 2) if quick else (1, 2, 3)
+    e3_types = 32 if quick else 128
+    e4_lengths = (64,) if quick else (256, 2048)
+    e6_clauses = 16 if quick else 128
+    e7_elements = 16 if quick else 64
+
     # -- E1/E2: subtype derivation, deterministic vs naive -----------------
     engine = SubtypeEngine(cset)
-    for depth in (512, 4096, 32768):
+    for depth in nat_depths:
         _, dt = timed(lambda: SubtypeEngine(cset).contains(T("nat"), deep_nat(depth)))
         rows.append((f"E1 engine: succ^{depth}(0) ∈ nat", fmt(dt)))
-    for depth in (512, 4096):
+    for depth in int_depths:
         _, dt = timed(lambda: SubtypeEngine(cset).contains(T("nat"), deep_int(depth)))
         rows.append((f"E1 engine: refute pred^{depth}(0) ∈ nat", fmt(dt)))
-    for length in (256, 4096):
+    for length in list_lengths:
         _, dt = timed(lambda: SubtypeEngine(cset).contains(T("list(nat)"), nat_list(length)))
         rows.append((f"E1 engine: {length}-element list ∈ list(nat)", fmt(dt)))
     naive = NaiveSubtypeProver(cset, max_depth=40, step_limit=4_000_000)
-    for length in (1, 2, 3):
+    for length in naive_lengths:
         verdict, dt = timed(
             lambda: naive.holds(T("list(nat)"), nat_list(length, element_depth=0))
         )
         rows.append(
             (f"E2 naive SLD: {length}-element list ∈ list(nat) -> {verdict}", fmt(dt))
         )
-    rows.append(("E2 naive SLD: 4-element list", "diverges (>240s, budget-capped)"))
+    if not quick:
+        rows.append(("E2 naive SLD: 4-element list", "diverges (>240s, budget-capped)"))
 
     # -- E3: restriction analysis ------------------------------------------
     from repro.core import validate_restrictions
     from repro.workloads import random_guarded_constraint_set
     import random
 
-    big = random_guarded_constraint_set(random.Random(7), type_count=128)
+    big = random_guarded_constraint_set(random.Random(7), type_count=e3_types)
     _, dt = timed(lambda: validate_restrictions(big))
-    rows.append(("E3 uniform+guarded analysis, 258 constraints", fmt(dt)))
+    rows.append((f"E3 uniform+guarded analysis, {e3_types}-type universe", fmt(dt)))
 
     # -- E4: match ------------------------------------------------------------
     matcher = Matcher(cset)
-    for length in (256, 2048):
+    for length in e4_lengths:
         _, dt = timed(lambda: Matcher(cset).match(T("list(nat)"), nat_list(length)))
         rows.append((f"E4 match(list(nat), {length}-element list)", fmt(dt)))
 
     # -- E6/P1: checker throughput --------------------------------------------
-    source = synthetic_list_program(128)
+    source = synthetic_list_program(e6_clauses)
     module, dt = timed(lambda: check_text(source))
     assert module.ok
     clause_count = len(module.program)
@@ -114,12 +138,12 @@ def main() -> None:
             t = Struct("cons", (Struct("nil", ()), t))
         return t
 
-    query = Query((Struct("app", (nil_list(64), nil_list(1), Var("R"))),))
+    query = Query((Struct("app", (nil_list(e7_elements), nil_list(1), Var("R"))),))
     _, plain_dt = timed(
         lambda: interpreter.run(query, check_resolvents=False, check_answers=False, check_query=False)
     )
     result, checked_dt = timed(lambda: interpreter.run(query, check_query=False))
-    rows.append(("E7 plain SLD, 64-element append", fmt(plain_dt)))
+    rows.append((f"E7 plain SLD, {e7_elements}-element append", fmt(plain_dt)))
     rows.append(
         (
             f"E7 + per-resolvent re-check ({result.resolvents_checked} resolvents, "
@@ -141,13 +165,56 @@ def main() -> None:
     rows.append(
         (f"E6 paper's ill-typed examples rejected", f"{rejected}/{len(ILL_TYPED_EXAMPLES)}")
     )
+    return rows
 
+
+def render(rows: List[Row]) -> str:
     width = max(len(label) for label, _ in rows) + 2
-    print("experiment".ljust(width) + "measured")
-    print("-" * (width + 24))
+    lines = ["experiment".ljust(width) + "measured", "-" * (width + 24)]
     for label, value in rows:
-        print(label.ljust(width) + value)
+        lines.append(label.ljust(width) + value)
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny CI-smoke workload sizes"
+    )
+    parser.add_argument(
+        "--json",
+        metavar="OUT",
+        default=None,
+        help="write rows + repro.obs telemetry snapshot as JSON to OUT",
+    )
+    arguments = parser.parse_args(argv)
+
+    telemetry = None
+    if arguments.json is not None:
+        # Collect a full telemetry snapshot alongside the measurements.
+        obs.reset()
+        obs.METRICS.enabled = True
+        try:
+            rows = build_rows(quick=arguments.quick)
+            telemetry = obs.summary()
+        finally:
+            obs.METRICS.enabled = False
+    else:
+        rows = build_rows(quick=arguments.quick)
+
+    print(render(rows))
+    if arguments.json is not None:
+        payload = {
+            "quick": arguments.quick,
+            "rows": [{"experiment": label, "measured": value} for label, value in rows],
+            "telemetry": telemetry,
+        }
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, ensure_ascii=False)
+            handle.write("\n")
+        print(f"\nwrote {arguments.json}", file=sys.stderr)
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

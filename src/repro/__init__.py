@@ -30,6 +30,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record.
 """
 
+from . import obs
 from .checker import CheckedModule, check_source, check_text
 from .core import (
     ConstraintSet,
@@ -66,6 +67,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # observability
+    "obs",
     # terms
     "Var",
     "Struct",

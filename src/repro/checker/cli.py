@@ -3,6 +3,17 @@
 Checks each file and prints diagnostics; with ``--run`` it additionally
 executes the file's queries through the typed interpreter and prints the
 answers (with per-resolvent consistency checking, Theorem 6 style).
+
+Observability (``repro.obs``):
+
+- ``--stats`` enables the telemetry registry for the run and prints the
+  counter/gauge/timer table after all files are processed.  It also
+  audits every Definition 16 typing witness of well-typed files through
+  the subtype engine (Definition 10 respectfulness), so the subtype
+  machinery — not just ``match`` — shows up in the counters.
+- ``--trace[=FILE]`` streams structured trace events as JSON Lines to
+  ``FILE`` (or stderr when no file is given) while checking runs.
+
 Exit status: 0 when every file is well-typed, 1 otherwise, 2 on usage
 errors.
 """
@@ -13,11 +24,15 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .. import obs
 from ..core.subtype import SubtypeEngine
 from ..core.typed_resolution import TypedInterpreter
 from ..lp.constrained import ConstrainedInterpreter
 from ..lp.database import Database
+from ..terms.freeze import freeze_with_mapping
 from ..terms.pretty import pretty
+from ..terms.substitution import Substitution
+from ..terms.term import variables_of
 from .frontend import check_text
 
 __all__ = ["main"]
@@ -48,6 +63,22 @@ def _build_argument_parser() -> argparse.ArgumentParser:
         type=int,
         default=10_000,
         help="resolution depth bound with --run (default 10000)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="collect telemetry and print the metrics table after checking",
+    )
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help=(
+            "stream structured trace events as JSON Lines to FILE "
+            "(stderr when FILE is omitted)"
+        ),
     )
     return parser
 
@@ -107,10 +138,68 @@ def _print_answer(answer) -> None:
     print(f"   {bindings}")
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point (also installed as the ``tlp-check`` console script)."""
-    parser = _build_argument_parser()
-    arguments = parser.parse_args(argv)
+def _has_constraint_goal(goals) -> bool:
+    return any(g.functor == ":" and len(g.args) == 2 for g in goals)
+
+
+def _audit_typing_witnesses(module) -> int:
+    """Verify the module's Definition 16 witnesses through the subtype engine.
+
+    Static checking alone only exercises ``match``; this re-derives each
+    clause's committed typings and confirms every one is *respectful*
+    (Definition 10) via actual ``τ ⪰_C tθ`` subtype goals, so ``--stats``
+    reports genuine subtype-engine activity.  Returns the number of
+    witnesses confirmed respectful.
+    """
+    checker = module.moded_checker or module.checker
+    if checker is None or module.constraints is None:
+        return 0
+    engine = SubtypeEngine(module.constraints)
+    reports = []
+    with obs.METRICS.time("cli.witness_audit"), obs.TRACER.span("witness_audit"):
+        for clause in module.program:
+            if _has_constraint_goal(clause.body):
+                continue
+            reports.append(checker.check_clause(clause))
+        for query in module.queries:
+            if _has_constraint_goal(query.goals):
+                continue
+            reports.append(checker.check_query(query))
+        respectful = 0
+        for report in reports:
+            for check in getattr(report, "atom_checks", []):
+                if check.final_typing is None:
+                    continue
+                committed = (
+                    check.eta.apply(check.working_type)
+                    if check.eta is not None
+                    else check.working_type
+                )
+                if _witness_respectful(engine, committed, check.atom, check.final_typing):
+                    respectful += 1
+                    obs.METRICS.inc("cli.respectful_witnesses")
+                else:
+                    obs.METRICS.inc("cli.unrespectful_witnesses")
+    return respectful
+
+
+def _witness_respectful(engine, committed, atom, typing) -> bool:
+    """Definition 10 for an audited witness: ``τ̄ ⪰_C t̄θ``.
+
+    A solved commitment η may leave some of its variables free (any
+    instantiation works); those must stay *unfrozen* so the subtype
+    engine can bind them — the bar operation applies only to variables
+    of the typed atom, shared consistently across both sides.
+    """
+    if not variables_of(atom) <= typing.domain:
+        return False
+    typed_frozen, mapping = freeze_with_mapping(typing.apply(atom))
+    committed_frozen = Substitution(mapping).apply(committed)
+    return engine.holds(committed_frozen, typed_frozen)
+
+
+def _check_files(arguments) -> int:
+    """The core loop: check (and optionally run) every file."""
     exit_code = 0
     for path in arguments.files:
         try:
@@ -126,6 +215,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         if module.ok:
             print(f"{path}: well-typed ({len(module.program)} clauses, "
                   f"{len(module.queries)} queries)")
+            if arguments.stats:
+                witnesses = _audit_typing_witnesses(module)
+                print(f"{path}: {witnesses} typing witnesses verified respectful")
             if arguments.run and module.queries:
                 violations = _run_queries(
                     module, arguments.max_answers, arguments.depth_limit
@@ -135,6 +227,49 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             exit_code = 1
     return exit_code
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (also installed as the ``tlp-check`` console script)."""
+    parser = _build_argument_parser()
+    arguments = parser.parse_args(argv)
+    if not arguments.stats and arguments.trace is None:
+        return _check_files(arguments)
+
+    # Observed run: enable telemetry (and tracing) for the duration,
+    # restoring the process-wide obs state on the way out so library
+    # callers of main() are unaffected.
+    was_enabled = obs.METRICS.enabled
+    obs.reset()
+    obs.METRICS.enabled = True
+    sink = None
+    stream = None
+    try:
+        if arguments.trace is not None:
+            if arguments.trace == "-":
+                sink = obs.JsonlSink(sys.stderr)
+            else:
+                try:
+                    stream = open(arguments.trace, "w", encoding="utf-8")
+                except OSError as error:
+                    print(
+                        f"{arguments.trace}: cannot write trace: {error}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                sink = obs.JsonlSink(stream)
+            obs.TRACER.add_sink(sink)
+        exit_code = _check_files(arguments)
+        if arguments.stats:
+            print()
+            print(obs.render_summary())
+        return exit_code
+    finally:
+        if sink is not None:
+            obs.TRACER.remove_sink(sink)
+        if stream is not None:
+            stream.close()
+        obs.METRICS.enabled = was_enabled
 
 
 if __name__ == "__main__":

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from ..core.declarations import ConstraintSet, DeclarationError, SubtypeConstraint, SymbolTable
+from ..obs import METRICS, TRACER
 from ..core.moded_welltyped import ModedWellTypedChecker
 from ..core.modes import ModeChecker, ModeEnv
 from ..core.predicate_types import PredicateTypeEnv
@@ -122,7 +123,24 @@ def _is_constraint_goal(goal: Struct) -> bool:
 
 
 def check_source(source: SourceFile) -> CheckedModule:
-    """Run the full pipeline over a parsed source file."""
+    """Run the full pipeline over a parsed source file.
+
+    With ``repro.obs`` enabled the whole run is timed
+    (``checker.check_source``) and every Definition 16 clause/query check
+    gets its own timing sample (``checker.clause_check`` /
+    ``checker.query_check``) and trace span, so per-clause cost is
+    visible in ``tlp-check --stats`` output.
+    """
+    with METRICS.time("checker.check_source"):
+        module = _check_source(source)
+    if METRICS.enabled:
+        METRICS.inc("checker.modules_checked")
+        if module.diagnostics.has_errors:
+            METRICS.inc("checker.modules_rejected")
+    return module
+
+
+def _check_source(source: SourceFile) -> CheckedModule:
     module = CheckedModule()
     bag = module.diagnostics
 
@@ -257,8 +275,12 @@ def check_source(source: SourceFile) -> CheckedModule:
     for clause, item in zip(module.program, clause_items):
         if any(_is_constraint_goal(goal) for goal in clause.body):
             continue  # constrained-model clause: checked dynamically
-        report = moded.check_clause(clause) if moded else checker.check_clause(clause)
+        detail = str(clause) if TRACER.enabled else ""
+        with METRICS.time("checker.clause_check"), TRACER.span("check_clause", detail):
+            report = moded.check_clause(clause) if moded else checker.check_clause(clause)
+        METRICS.inc("checker.clauses_checked")
         if not report.well_typed:
+            METRICS.inc("checker.clauses_rejected")
             bag.error(f"clause is not well-typed: {clause} — {report.reason}", item.position)
     query_items = source.of_kind(QueryDecl)
     for query, item in zip(module.queries, query_items):
@@ -268,8 +290,12 @@ def check_source(source: SourceFile) -> CheckedModule:
             # does not apply — well-typedness is enforced dynamically by
             # the constraint store of the constrained interpreter.
             continue
-        report = moded.check_query(query) if moded else checker.check_query(query)
+        detail = str(query) if TRACER.enabled else ""
+        with METRICS.time("checker.query_check"), TRACER.span("check_query", detail):
+            report = moded.check_query(query) if moded else checker.check_query(query)
+        METRICS.inc("checker.queries_checked")
         if not report.well_typed:
+            METRICS.inc("checker.queries_rejected")
             bag.error(f"query is not well-typed: {query} — {report.reason}", item.position)
 
     # Step 4b: modes, when declared.
@@ -294,7 +320,8 @@ def check_text(text: str) -> CheckedModule:
     """Parse and check source ``text`` (parse errors become diagnostics)."""
     module = CheckedModule()
     try:
-        source = parse_file(text)
+        with METRICS.time("checker.parse"):
+            source = parse_file(text)
     except (ParseError, LexError) as error:
         module.diagnostics.error(str(error))
         return module

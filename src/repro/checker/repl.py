@@ -12,6 +12,8 @@ system itself:
 * ``:types term`` — which declared constructors can type a ground term;
 * ``:why goal, goal...`` — explain a query's well-typedness check
   (per-atom typings, commitments, or the rejection reason);
+* ``:stats [on|off|reset]`` — toggle/inspect ``repro.obs`` telemetry for
+  the session (subtype goals, match calls, SLD steps, timers);
 * ``:help`` / ``:quit``.
 
 Run:  python -m repro.checker.repl examples/programs/append.tlp
@@ -22,6 +24,7 @@ from __future__ import annotations
 import sys
 from typing import Iterable, List, Optional
 
+from .. import obs
 from ..core.subtype import SubtypeEngine
 from ..core.typed_resolution import TypedInterpreter
 from ..lang.lexer import LexError
@@ -39,6 +42,7 @@ _HELP = """commands:
   :member  T  TERM         ground-term membership t in M[T]
   :types  TERM             declared constructors able to type a ground term
   :why  <goal>, ...        explain the query's well-typedness check
+  :stats [on|off|reset]    telemetry: show the metrics table / toggle / zero
   :help                    this message
   :quit                    leave"""
 
@@ -83,7 +87,24 @@ class Repl:
             return self._types(rest)
         if command == ":why":
             return self._why(rest)
+        if command == ":stats":
+            return self._stats(rest)
         return [f"unknown command {command!r} — try :help"]
+
+    def _stats(self, rest: str) -> List[str]:
+        if rest == "on":
+            obs.METRICS.enabled = True
+            return ["telemetry on"]
+        if rest == "off":
+            obs.METRICS.enabled = False
+            return ["telemetry off"]
+        if rest == "reset":
+            obs.METRICS.reset()
+            return ["telemetry counters zeroed"]
+        if rest:
+            return ["usage: :stats [on|off|reset]"]
+        state = "on" if obs.METRICS.enabled else "off (`:stats on` to enable)"
+        return [f"telemetry {state}"] + obs.render_summary().splitlines()
 
     def _why(self, rest: str) -> List[str]:
         text = rest if rest.startswith(":-") else f":- {rest}"

@@ -30,7 +30,7 @@ from .restrictions import (
 )
 from .semantics import GeneralTypeSemantics, TypeSemantics, herbrand_universe
 from .subtype import SubtypeEngine, SubtypeStats
-from .subtype_sld import NaiveSubtypeProver
+from .subtype_sld import NaiveSubtypeProver, NaiveVerdict
 from .typed_resolution import TypedExecutionError, TypedExecutionResult, TypedInterpreter
 from .typing import (
     in_agreement,
@@ -54,6 +54,7 @@ __all__ = [
     "horn_program",
     "subtype_goal",
     "NaiveSubtypeProver",
+    "NaiveVerdict",
     "SubtypeEngine",
     "SubtypeStats",
     # restrictions

@@ -34,8 +34,11 @@ construction.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple, Union
 
+from ..obs import METRICS, TRACER, CacheProbeEvent, MatchCallEvent
+from ..terms.pretty import pretty
 from ..terms.substitution import Substitution
 from ..terms.term import Struct, Term, Var
 from .declarations import ConstraintSet
@@ -104,7 +107,37 @@ class Matcher:
     def match(self, type_term: Term, term: Term) -> MatchResult:
         """``match(τ, t)`` per Definition 13."""
         ensure_recursion_capacity(type_term, term)
+        if METRICS.enabled or TRACER.enabled:
+            return self._match_observed(type_term, term)
         return self._match(type_term, term)
+
+    def _match_observed(self, type_term: Term, term: Term) -> MatchResult:
+        """Telemetry wrapper around one public ``match`` call."""
+        handle = TRACER.begin() if TRACER.enabled else None
+        start = time.perf_counter()
+        result = self._match(type_term, term)
+        elapsed = time.perf_counter() - start
+        if result is MATCH_FAIL:
+            outcome = "fail"
+        elif result is MATCH_BOTTOM:
+            outcome = "bottom"
+        else:
+            outcome = "typing"
+        if METRICS.enabled:
+            METRICS.inc("match.calls")
+            METRICS.inc(f"match.{outcome}")
+            METRICS.observe("match.match", elapsed)
+        if handle is not None:
+            TRACER.end(
+                handle,
+                MatchCallEvent,
+                matcher="plain",
+                type_term=pretty(type_term),
+                term=pretty(term),
+                outcome=outcome,
+                typed_variables=len(result) if isinstance(result, Substitution) else 0,
+            )
+        return result
 
     def _match(self, type_term: Term, term: Term) -> MatchResult:
         # Clause 1: a variable term takes the whole type.
@@ -116,6 +149,10 @@ class Matcher:
         if self.memoize:
             key = (type_term, term)
             cached = self._memo.get(key)
+            if TRACER.enabled:
+                TRACER.point(
+                    CacheProbeEvent, cache="match.memo", hit=cached is not None
+                )
             if cached is None:
                 cached = self._match_struct(type_term, term)
                 self._memo[key] = cached
@@ -147,6 +184,8 @@ class Matcher:
         """Clause 4: the type is headed by a type constructor ``c ∈ T``."""
         outcomes: List[MatchResult] = []
         for expansion in self.constraints.expansions(type_term):
+            if METRICS.enabled:
+                METRICS.inc("match.constraint_expansions")
             result = self._match(expansion, term)
             if result not in outcomes:
                 outcomes.append(result)

@@ -28,14 +28,27 @@ paper's ``match``, can miss solutions.  The differential tests against
 the naive prover pin down exactly the regime where both agree.
 
 Ground subgoals are memoised per engine (ablation A1 measures the effect).
+
+Observability: every public ``holds`` query is mirrored into
+``repro.obs`` when telemetry is enabled — a ``subtype.goals`` counter,
+per-goal work deltas (substitution steps, constraint expansions, memo
+traffic), a ``subtype.holds`` timer, and a ``subtype_goal`` trace span
+under which rule selections, expansions, failure reasons, and memo
+probes nest as child events.  With telemetry disabled the only cost is
+one flag check in ``holds`` before dispatching to the seed code path
+(``_holds_core``); the overhead guard in ``tests/obs`` pins this below
+5%.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple
 
+from ..obs import METRICS, TRACER, CacheProbeEvent, PhaseEvent, SubtypeGoalEvent
 from ..terms.freeze import freeze
+from ..terms.pretty import pretty
 from ..terms.term import Struct, Term, Var
 from .declarations import ConstraintSet
 from .recursion import ensure_recursion_capacity
@@ -78,6 +91,59 @@ class SubtypeEngine:
 
     def holds(self, supertype: Term, subtype: Term) -> bool:
         """``τ1 ⪰_C τ2`` — existence of a refutation (Definition 3)."""
+        if METRICS.enabled or TRACER.enabled:
+            return self._holds_observed(supertype, subtype)
+        return self._holds_core(supertype, subtype)
+
+    def _holds_observed(self, supertype: Term, subtype: Term) -> bool:
+        """The :meth:`holds` telemetry wrapper (only runs while enabled)."""
+        stats = self.stats
+        before = (
+            stats.substitution_steps,
+            stats.constraint_expansions,
+            stats.memo_hits,
+            stats.memo_entries,
+            stats.variable_bindings,
+        )
+        handle = TRACER.begin() if TRACER.enabled else None
+        start = time.perf_counter()
+        result = self._holds_core(supertype, subtype)
+        elapsed = time.perf_counter() - start
+        steps = stats.substitution_steps - before[0]
+        expansions = stats.constraint_expansions - before[1]
+        if METRICS.enabled:
+            METRICS.inc("subtype.goals")
+            METRICS.inc("subtype.true" if result else "subtype.false")
+            if steps:
+                METRICS.inc("subtype.substitution_steps", steps)
+            if expansions:
+                METRICS.inc("subtype.expansions", expansions)
+            memo_hits = stats.memo_hits - before[2]
+            if memo_hits:
+                METRICS.inc("subtype.memo_hits", memo_hits)
+            memo_entries = stats.memo_entries - before[3]
+            if memo_entries:
+                METRICS.inc("subtype.memo_entries", memo_entries)
+            bindings = stats.variable_bindings - before[4]
+            if bindings:
+                METRICS.inc("subtype.variable_bindings", bindings)
+            METRICS.observe("subtype.holds", elapsed)
+        if handle is not None:
+            TRACER.end(
+                handle,
+                SubtypeGoalEvent,
+                supertype=pretty(supertype),
+                subtype=pretty(subtype),
+                engine="strategy",
+                result=result,
+                substitution_steps=steps,
+                expansions=expansions,
+                reason=None if result else "no_refutation",
+            )
+        return result
+
+    def _holds_core(self, supertype: Term, subtype: Term) -> bool:
+        """The seed decision procedure, untouched by telemetry."""
         if (
             isinstance(supertype, Struct)
             and isinstance(subtype, Struct)
@@ -126,10 +192,20 @@ class SubtypeEngine:
             supertype.functor == subtype.functor
             and len(supertype.args) == len(subtype.args)
         )
+        trace_on = TRACER.enabled
         if not self.symbols.is_type_constructor(supertype.functor):
             if same_symbol:
                 self.stats.substitution_steps += 1
                 alternatives.append(tuple(zip(supertype.args, subtype.args)))
+            elif trace_on:
+                TRACER.point(
+                    PhaseEvent,
+                    name="subtype_fail",
+                    detail=(
+                        f"symbol clash {supertype.functor}/{len(supertype.args)}"
+                        f" vs {subtype.functor}/{len(subtype.args)}"
+                    ),
+                )
             return alternatives
         if same_symbol:
             self.stats.substitution_steps += 1
@@ -139,6 +215,12 @@ class SubtypeEngine:
             if expansion is None:
                 continue
             self.stats.constraint_expansions += 1
+            if trace_on:
+                TRACER.point(
+                    PhaseEvent,
+                    name="subtype_rule",
+                    detail=f"expand {pretty(supertype)} -> {pretty(expansion)}",
+                )
             alternatives.append(((expansion, subtype),))
         return alternatives
 
@@ -164,6 +246,12 @@ class SubtypeEngine:
         if supertype == subtype:
             return True
         cached = memo.get(root)
+        if TRACER.enabled:
+            # Only the root probe is traced: the inner AND-OR loop probes
+            # the memo once per node and would swamp the stream.
+            TRACER.point(
+                CacheProbeEvent, cache="subtype.ground_memo", hit=cached is not None
+            )
         if cached is not None:
             self.stats.memo_hits += 1
             return cached
@@ -290,6 +378,10 @@ class SubtypeEngine:
             if sup_ground and sub_ground:
                 key = (resolved_sup, resolved_sub)
                 cached = self._memo.get(key)
+                if TRACER.enabled:
+                    TRACER.point(
+                        CacheProbeEvent, cache="subtype.memo", hit=cached is not None
+                    )
                 if cached is not None:
                     self.stats.memo_hits += 1
                     if cached:
@@ -314,8 +406,24 @@ class SubtypeEngine:
                 subtype.functor != supertype.functor
                 or len(subtype.args) != len(supertype.args)
             ):
+                if TRACER.enabled:
+                    TRACER.point(
+                        PhaseEvent,
+                        name="subtype_fail",
+                        detail=(
+                            f"symbol clash {supertype.functor}/"
+                            f"{len(supertype.args)} vs {subtype.functor}/"
+                            f"{len(subtype.args)}"
+                        ),
+                    )
                 return
             self.stats.substitution_steps += 1
+            if TRACER.enabled:
+                TRACER.point(
+                    PhaseEvent,
+                    name="subtype_rule",
+                    detail=f"substitution {supertype.functor}/{len(supertype.args)}",
+                )
             yield from self._prove_pairs(tuple(zip(supertype.args, subtype.args)))
             return
         # Theorem 2: type constructor at the top.
@@ -324,12 +432,24 @@ class SubtypeEngine:
             and len(subtype.args) == len(supertype.args)
         ):
             self.stats.substitution_steps += 1
+            if TRACER.enabled:
+                TRACER.point(
+                    PhaseEvent,
+                    name="subtype_rule",
+                    detail=f"substitution {supertype.functor}/{len(supertype.args)}",
+                )
             yield from self._prove_pairs(tuple(zip(supertype.args, subtype.args)))
         for constraint in self.constraints.constraints_for(supertype.functor):
             expansion = self.constraints.expand_with(supertype, constraint)
             if expansion is None:
                 continue
             self.stats.constraint_expansions += 1
+            if TRACER.enabled:
+                TRACER.point(
+                    PhaseEvent,
+                    name="subtype_rule",
+                    detail=f"expand {pretty(supertype)} -> {pretty(expansion)}",
+                )
             yield from self._prove(expansion, subtype)
 
     def _prove_pairs(self, pairs: Tuple[Tuple[Term, Term], ...]) -> Iterator[None]:

@@ -21,20 +21,43 @@ Search configuration and its consequences:
   essentially never *refute* a subtyping — which is precisely the problem
   Theorems 1–3 exist to solve: the deterministic strategy decides both
   directions, and experiment E2 measures the gap.
+
+An unknown verdict (``None``) always carries a machine-readable
+exhaustion reason: :attr:`NaiveSubtypeProver.last_exhaustion` is
+``"steps"`` when the step budget aborted the search and ``"depth"`` when
+only the depth bound pruned branches; :meth:`NaiveSubtypeProver
+.holds_detailed` returns verdict and reason together.  The E2
+differential tests assert the reason on every unknown.
 """
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import Optional, Set
 
 from ..lp.database import Database
-from ..lp.resolution import solve, solve_iterative_deepening
+from ..lp.resolution import SLDResult, solve, solve_iterative_deepening
+from ..obs import METRICS, TRACER, SubtypeGoalEvent
 from ..terms.freeze import freeze
+from ..terms.pretty import pretty
 from ..terms.term import Struct, Term, subterms
 from .declarations import ConstraintSet
 from .horn import horn_program, subtype_goal
 
-__all__ = ["NaiveSubtypeProver"]
+__all__ = ["NaiveVerdict", "NaiveSubtypeProver"]
+
+
+@dataclass(frozen=True)
+class NaiveVerdict:
+    """A three-valued verdict plus the reason an unknown is unknown."""
+
+    verdict: Optional[bool]
+    exhaustion: Optional[str] = None  # "steps" | "depth" | None
+
+    @property
+    def unknown(self) -> bool:
+        return self.verdict is None
 
 
 class NaiveSubtypeProver:
@@ -51,6 +74,9 @@ class NaiveSubtypeProver:
         self.max_depth = max_depth
         self.step_limit = step_limit
         self.variant_check = variant_check
+        # Why the most recent query came back unknown: "steps" | "depth"
+        # (None after a definitive answer).
+        self.last_exhaustion: Optional[str] = None
         # The base H_C database (no frozen constants) is cached; goals that
         # mention frozen constants trigger a rebuild with the extra
         # degenerate substitution axioms.
@@ -80,9 +106,39 @@ class NaiveSubtypeProver:
 
     # -- the three queries the paper builds on -------------------------------
 
+    def _conclude(self, result: SLDResult) -> NaiveVerdict:
+        """Turn a bounded SLD outcome into a verdict + exhaustion reason.
+
+        When both bounds fired, ``steps`` wins: the step budget is what
+        actually aborted the whole search (depth cutoffs alone leave the
+        bounded tree fully explored round by round).
+        """
+        if result.answers:
+            verdict = NaiveVerdict(True)
+        elif result.complete:
+            verdict = NaiveVerdict(False)
+        elif result.hit_step_limit:
+            verdict = NaiveVerdict(None, "steps")
+        else:
+            verdict = NaiveVerdict(None, "depth")
+        self.last_exhaustion = verdict.exhaustion
+        return verdict
+
     def holds(self, supertype: Term, subtype: Term) -> Optional[bool]:
-        """``τ1 ⪰_C τ2`` (Definition 3), three-valued under the budget."""
+        """``τ1 ⪰_C τ2`` (Definition 3), three-valued under the budget.
+
+        On ``None`` (unknown), :attr:`last_exhaustion` records whether the
+        ``"steps"`` budget or the ``"depth"`` bound gave out — use
+        :meth:`holds_detailed` to get both together.
+        """
+        return self.holds_detailed(supertype, subtype).verdict
+
+    def holds_detailed(self, supertype: Term, subtype: Term) -> NaiveVerdict:
+        """Like :meth:`holds`, returning the verdict with its reason."""
         database = self._database_for(supertype, subtype)
+        observing = METRICS.enabled or TRACER.enabled
+        handle = TRACER.begin() if TRACER.enabled else None
+        start = time.perf_counter() if observing else 0.0
         result = solve(
             database,
             [subtype_goal(supertype, subtype)],
@@ -91,11 +147,40 @@ class NaiveSubtypeProver:
             max_answers=1,
             variant_check=self.variant_check,
         )
-        if result.answers:
-            return True
-        if result.complete:
-            return False
-        return None
+        verdict = self._conclude(result)
+        if observing:
+            self._record(handle, supertype, subtype, verdict, start)
+        return verdict
+
+    def _record(
+        self,
+        handle,
+        supertype: Term,
+        subtype: Term,
+        verdict: NaiveVerdict,
+        start: float,
+    ) -> None:
+        """Mirror one naive query into the telemetry registry/tracer."""
+        if METRICS.enabled:
+            METRICS.inc("naive.goals")
+            if verdict.verdict is True:
+                METRICS.inc("naive.true")
+            elif verdict.verdict is False:
+                METRICS.inc("naive.false")
+            else:
+                METRICS.inc("naive.unknown")
+                METRICS.inc(f"naive.exhausted_{verdict.exhaustion}")
+            METRICS.observe("naive.holds", time.perf_counter() - start)
+        if handle is not None:
+            TRACER.end(
+                handle,
+                SubtypeGoalEvent,
+                supertype=pretty(supertype),
+                subtype=pretty(subtype),
+                engine="naive",
+                result=verdict.verdict,
+                reason=verdict.exhaustion,
+            )
 
     def holds_iterative(
         self,
@@ -108,6 +193,9 @@ class NaiveSubtypeProver:
         search, used by the benchmark that characterises the naive
         prover's cost as a function of derivation depth."""
         database = self._database_for(supertype, subtype)
+        observing = METRICS.enabled or TRACER.enabled
+        handle = TRACER.begin() if TRACER.enabled else None
+        start = time.perf_counter() if observing else 0.0
         result = solve_iterative_deepening(
             database,
             [subtype_goal(supertype, subtype)],
@@ -118,11 +206,10 @@ class NaiveSubtypeProver:
             max_answers=1,
             variant_check=self.variant_check,
         )
-        if result.answers:
-            return True
-        if result.complete:
-            return False
-        return None
+        verdict = self._conclude(result)
+        if observing:
+            self._record(handle, supertype, subtype, verdict, start)
+        return verdict.verdict
 
     def contains(self, type_term: Term, ground_term: Term) -> Optional[bool]:
         """``t ∈ M_C[[τ]]`` (Definition 4): ``τ ⪰_C t`` for ground ``t``."""

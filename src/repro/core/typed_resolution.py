@@ -27,6 +27,8 @@ from typing import List, Optional, Tuple
 from ..lp.clause import Program, Query
 from ..lp.database import Database
 from ..lp.resolution import SLDEngine
+from ..obs import METRICS, TRACER, ResolventCheckEvent
+from ..terms.pretty import pretty
 from ..terms.substitution import Substitution
 from ..terms.term import Struct
 from .welltyped import ClauseReport, WellTypedChecker
@@ -101,26 +103,50 @@ class TypedInterpreter:
 
         def on_resolvent(goals: Tuple[Struct, ...]) -> None:
             result.resolvents_checked += 1
+            if METRICS.enabled:
+                METRICS.inc("typed.resolvents_checked")
             if not goals:
                 return  # the empty clause is trivially well-typed
             report = self.checker.check_resolvent(goals)
             if not report.well_typed:
                 result.violations.append((goals, report.reason or "unknown"))
+                if METRICS.enabled:
+                    METRICS.inc("typed.violations")
+            if TRACER.enabled:
+                TRACER.point(
+                    ResolventCheckEvent,
+                    size=len(goals),
+                    well_typed=report.well_typed,
+                    reason=report.reason,
+                )
 
         engine = SLDEngine(
             self.database,
             on_resolvent=on_resolvent if check_resolvents else None,
         )
-        for answer in engine.solve(query.goals, depth_limit=depth_limit):
-            result.answers.append(answer)
-            if check_answers:
-                result.answers_checked += 1
-                instantiated = tuple(answer.apply(goal) for goal in query.goals)
-                report = self.checker.check_resolvent(instantiated)  # type: ignore[arg-type]
-                if not report.well_typed:
-                    result.answer_violations.append(
-                        (answer, report.reason or "unknown")
-                    )
-            if max_answers is not None and len(result.answers) >= max_answers:
-                break
+        if METRICS.enabled:
+            METRICS.inc("typed.queries")
+        detail = (
+            ", ".join(pretty(goal) for goal in query.goals)
+            if TRACER.enabled
+            else ""
+        )
+        with METRICS.time("typed.query"), TRACER.span("typed_query", detail):
+            for answer in engine.solve(query.goals, depth_limit=depth_limit):
+                result.answers.append(answer)
+                if check_answers:
+                    result.answers_checked += 1
+                    instantiated = tuple(answer.apply(goal) for goal in query.goals)
+                    report = self.checker.check_resolvent(instantiated)  # type: ignore[arg-type]
+                    if not report.well_typed:
+                        result.answer_violations.append(
+                            (answer, report.reason or "unknown")
+                        )
+                        if METRICS.enabled:
+                            METRICS.inc("typed.answer_violations")
+                if max_answers is not None and len(result.answers) >= max_answers:
+                    break
+        if METRICS.enabled:
+            METRICS.inc("typed.answers", len(result.answers))
+            METRICS.gauge_max("typed.max_resolvents_per_query", result.resolvents_checked)
         return result

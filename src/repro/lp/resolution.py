@@ -28,6 +28,11 @@ Design points:
   question (the naive subtype prover).
 * **Statistics** (steps, unification attempts, cutoffs) for the benchmark
   harness.
+* **Telemetry mirroring** (``repro.obs``): when enabled, per-run deltas
+  of every counter land in the process-wide registry (``sld.*``) and each
+  successful resolution step emits an ``sld_step`` trace event that nests
+  under whatever span issued the query.  Disabled, the engine pays one
+  flag check per run plus one per successful step.
 """
 
 from __future__ import annotations
@@ -35,6 +40,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..obs import METRICS, TRACER, SldStepEvent
+from ..terms.pretty import pretty
 from ..terms.substitution import EMPTY_SUBSTITUTION, Substitution
 from ..terms.term import Struct, Var, variables_of
 from ..terms.unify import unify
@@ -163,7 +170,6 @@ class SLDEngine:
             query_vars |= variables_of(goal)
         ordered_vars: Tuple[Var, ...] = tuple(sorted(query_vars, key=lambda v: v.name))
         answer_skeleton = Struct("'$answer", ordered_vars)
-        steps_taken = 0
         on_path: Set[Tuple] = set()
         root = _Frame(
             goals,
@@ -181,6 +187,57 @@ class SLDEngine:
             if frame.canon is not None:
                 on_path.discard(frame.canon)
 
+        stats_before = self._stats_snapshot()
+        try:
+            yield from self._search(
+                stack, pop_frame, on_path, ordered_vars,
+                depth_limit, step_limit,
+            )
+        finally:
+            self._flush_metrics(stats_before)
+
+    def _stats_snapshot(self) -> Tuple[int, ...]:
+        stats = self.stats
+        return (
+            stats.steps,
+            stats.unification_attempts,
+            stats.unification_failures,
+            stats.depth_cutoffs,
+            stats.step_budget_hits,
+            stats.variant_prunes,
+        )
+
+    def _flush_metrics(self, before: Tuple[int, ...]) -> None:
+        """Mirror this run's stat deltas into the telemetry registry."""
+        if not METRICS.enabled:
+            return
+        after = self._stats_snapshot()
+        METRICS.inc("sld.runs")
+        for name, delta in zip(
+            (
+                "sld.steps",
+                "sld.unification_attempts",
+                "sld.unification_failures",
+                "sld.depth_cutoffs",
+                "sld.step_budget_hits",
+                "sld.variant_prunes",
+            ),
+            (now - then for now, then in zip(after, before)),
+        ):
+            if delta:
+                METRICS.inc(name, delta)
+        METRICS.gauge_max("sld.max_depth_reached", self.stats.max_depth_reached)
+
+    def _search(
+        self,
+        stack: List[_Frame],
+        pop_frame: Callable[[], None],
+        on_path: Set[Tuple],
+        ordered_vars: Tuple[Var, ...],
+        depth_limit: Optional[int],
+        step_limit: Optional[int],
+    ) -> Iterator[Substitution]:
+        steps_taken = 0
         while stack:
             frame = stack[-1]
             if depth_limit is not None and frame.depth >= depth_limit:
@@ -215,6 +272,13 @@ class SLDEngine:
             depth = frame.depth + 1
             if depth > self.stats.max_depth_reached:
                 self.stats.max_depth_reached = depth
+            if TRACER.enabled:
+                TRACER.point(
+                    SldStepEvent,
+                    goal=pretty(frame.goals[0]),
+                    depth=depth,
+                    resolvent_size=len(new_goals),
+                )
             if not new_goals:
                 yield Substitution(
                     {

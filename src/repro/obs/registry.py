@@ -1,0 +1,236 @@
+"""Process-wide telemetry registry: named counters, gauges, and timers.
+
+The registry is the metrics half of ``repro.obs`` (the trace-event half
+lives in :mod:`repro.obs.trace`).  It is designed around one invariant:
+**when disabled it costs ~nothing**.  Instrumented hot paths guard every
+recording call with a single attribute check (``if METRICS.enabled:``),
+and the registry's own entry points return immediately — allocating
+nothing — when the flag is down.  Enabling flips one boolean; there is no
+re-import or monkey-patching involved.
+
+All mutation happens under one lock, so concurrent engines (the future
+sharded/batched deployments the ROADMAP describes) can share the
+process-wide instance safely.  Counter/gauge/timer reads take the same
+lock and return plain snapshots, never live references.
+
+Naming convention: dotted lowercase paths, subsystem first —
+``subtype.goals``, ``match.calls``, ``sld.steps``, ``checker.clause_check``.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from typing import Any, Callable, Dict, Optional, TypeVar
+
+__all__ = ["TimerStat", "TelemetryRegistry", "NULL_TIMER"]
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+class TimerStat:
+    """Accumulated timings for one named span: total, count, max."""
+
+    __slots__ = ("total_s", "count", "max_s")
+
+    def __init__(self) -> None:
+        self.total_s = 0.0
+        self.count = 0
+        self.max_s = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.total_s += seconds
+        self.count += 1
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "total_s": self.total_s,
+            "count": self.count,
+            "max_s": self.max_s,
+            "mean_s": self.total_s / self.count if self.count else 0.0,
+        }
+
+
+class _NullTimer:
+    """Reusable no-op context manager handed out while disabled.
+
+    A single module-level instance means ``registry.time(...)`` in a
+    disabled process performs no allocation at all.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+NULL_TIMER = _NullTimer()
+
+
+class _ActiveTimer:
+    """Context manager that records one monotonic-clock span."""
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: "TelemetryRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_ActiveTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._registry.observe(self._name, time.perf_counter() - self._start)
+        return False
+
+
+class TelemetryRegistry:
+    """Thread-safe named counters, gauges, and timing spans."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._timers: Dict[str, TimerStat] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Zero every metric (the enabled flag is left as-is)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+
+    # -- recording -----------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (no-op while disabled)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (no-op while disabled)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Raise gauge ``name`` to ``value`` if larger (no-op disabled)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            if value > self._gauges.get(name, float("-inf")):
+                self._gauges[name] = value
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one timing observation (no-op while disabled)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            stat = self._timers.get(name)
+            if stat is None:
+                stat = self._timers[name] = TimerStat()
+            stat.record(seconds)
+
+    def time(self, name: str):
+        """Context manager timing a block into timer ``name``.
+
+        Returns the shared null manager while disabled, so the call is
+        allocation-free on the fast path.
+        """
+        if not self.enabled:
+            return NULL_TIMER
+        return _ActiveTimer(self, name)
+
+    def timed(self, name: str) -> Callable[[_F], _F]:
+        """Decorator form of :meth:`time`."""
+
+        def decorate(function: _F) -> _F:
+            @functools.wraps(function)
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                if not self.enabled:
+                    return function(*args, **kwargs)
+                start = time.perf_counter()
+                try:
+                    return function(*args, **kwargs)
+                finally:
+                    self.observe(name, time.perf_counter() - start)
+
+            return wrapper  # type: ignore[return-value]
+
+        return decorate
+
+    # -- reading -------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge_value(self, name: str) -> Optional[float]:
+        with self._lock:
+            return self._gauges.get(name)
+
+    def timer(self, name: str) -> Optional[Dict[str, float]]:
+        with self._lock:
+            stat = self._timers.get(name)
+            return stat.snapshot() if stat else None
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-dict copy of everything recorded so far."""
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "timers": {
+                    name: stat.snapshot()
+                    for name, stat in sorted(self._timers.items())
+                },
+            }
+
+    def render(self) -> str:
+        """A human-readable metrics table (the ``--stats`` output)."""
+        snap = self.snapshot()
+        lines = []
+        if snap["counters"]:
+            lines.append("counters")
+            width = max(len(n) for n in snap["counters"]) + 2
+            for name, value in snap["counters"].items():
+                lines.append(f"  {name.ljust(width)}{value:>12,}")
+        if snap["gauges"]:
+            lines.append("gauges")
+            width = max(len(n) for n in snap["gauges"]) + 2
+            for name, value in snap["gauges"].items():
+                lines.append(f"  {name.ljust(width)}{value:>12g}")
+        if snap["timers"]:
+            lines.append("timers")
+            width = max(len(n) for n in snap["timers"]) + 2
+            for name, stat in snap["timers"].items():
+                lines.append(
+                    f"  {name.ljust(width)}"
+                    f"{stat['count']:>8,} calls"
+                    f"{stat['total_s'] * 1e3:>12.2f}ms total"
+                    f"{stat['mean_s'] * 1e6:>12.1f}µs mean"
+                )
+        if not lines:
+            return "(no telemetry recorded)"
+        return "\n".join(lines)

@@ -1,0 +1,298 @@
+"""Structured trace-event stream: tracer, span nesting, and sinks.
+
+The :class:`Tracer` hands out span ids from one process-wide sequence and
+keeps a per-thread stack of open spans, so events emitted while a span is
+open automatically carry its id as their ``parent_id`` — derivations
+nest without any plumbing in the instrumented code.
+
+Tracing is **on iff at least one sink is attached** (``tracer.enabled``
+is kept in sync by ``add_sink``/``remove_sink``).  Instrumented code
+guards emission with that flag, so an un-traced process pays one
+attribute check per potential event and allocates nothing.
+
+Three sinks cover the use cases:
+
+* :class:`MemorySink` — an in-memory list, for tests and programmatic
+  inspection;
+* :class:`JsonlSink` — one JSON object per line on any text stream
+  (``tlp-check --trace``, ``BENCH_*.json`` companions);
+* :class:`TreeSink` — collects events and renders the span forest as an
+  indented, human-readable tree.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, IO, List, Optional, Sequence, Type
+
+from .events import PhaseEvent, TraceEvent
+
+__all__ = [
+    "TraceSink",
+    "MemorySink",
+    "JsonlSink",
+    "TreeSink",
+    "SpanHandle",
+    "Tracer",
+    "render_tree",
+]
+
+
+class TraceSink:
+    """Sink interface: receives every emitted event."""
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class MemorySink(TraceSink):
+    """Collects events in a list (the test/inspection sink)."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class JsonlSink(TraceSink):
+    """Writes one JSON object per event to a text stream."""
+
+    def __init__(self, stream: IO[str], flush_every_line: bool = True) -> None:
+        self.stream = stream
+        self.flush_every_line = flush_every_line
+        self.lines_written = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self.stream.write(json.dumps(event.to_dict(), default=str) + "\n")
+        self.lines_written += 1
+        if self.flush_every_line:
+            self.stream.flush()
+
+
+class TreeSink(TraceSink):
+    """Collects events and renders them as an indented span tree."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def render(self) -> str:
+        return render_tree(self.events)
+
+
+class SpanHandle:
+    """An open span: identity plus its start time."""
+
+    __slots__ = ("span_id", "parent_id", "start")
+
+    def __init__(self, span_id: int, parent_id: Optional[int], start: float) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+
+
+class _NullSpan:
+    """Shared no-op context manager for ``span()`` while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager that opens a span and emits a PhaseEvent on exit."""
+
+    __slots__ = ("_tracer", "_name", "_detail", "_handle")
+
+    def __init__(self, tracer: "Tracer", name: str, detail: str) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._detail = detail
+        self._handle: Optional[SpanHandle] = None
+
+    def __enter__(self) -> SpanHandle:
+        self._handle = self._tracer.begin()
+        return self._handle
+
+    def __exit__(self, *exc: object) -> bool:
+        assert self._handle is not None
+        self._tracer.end(
+            self._handle, PhaseEvent, name=self._name, detail=self._detail
+        )
+        return False
+
+
+class Tracer:
+    """Span-id allocation, per-thread nesting, and fan-out to sinks."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._sinks: List[TraceSink] = []
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._next_id = 0
+        self._epoch = time.perf_counter()
+        self.emitted = 0
+
+    # -- sink management ------------------------------------------------------
+
+    def add_sink(self, sink: TraceSink) -> TraceSink:
+        with self._lock:
+            self._sinks.append(sink)
+            self.enabled = True
+        return sink
+
+    def remove_sink(self, sink: TraceSink) -> None:
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+            self.enabled = bool(self._sinks)
+
+    def clear_sinks(self) -> None:
+        with self._lock:
+            self._sinks.clear()
+            self.enabled = False
+
+    def reset(self) -> None:
+        """Restart ids and the clock (sinks stay attached)."""
+        with self._lock:
+            self._next_id = 0
+            self._epoch = time.perf_counter()
+            self.emitted = 0
+        self._tls = threading.local()
+
+    # -- span bookkeeping -----------------------------------------------------
+
+    def _stack(self) -> List[int]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _allocate_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return span_id
+
+    def now(self) -> float:
+        """Seconds on the tracer's monotonic clock."""
+        return time.perf_counter() - self._epoch
+
+    def current_span(self) -> Optional[int]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def begin(self) -> SpanHandle:
+        """Open a span: allocate an id and push it on this thread's stack."""
+        handle = SpanHandle(self._allocate_id(), self.current_span(), self.now())
+        self._stack().append(handle.span_id)
+        return handle
+
+    def end(
+        self,
+        handle: SpanHandle,
+        event_class: Type[TraceEvent] = PhaseEvent,
+        **fields: Any,
+    ) -> Optional[TraceEvent]:
+        """Close a span and emit its event (with duration)."""
+        stack = self._stack()
+        if stack and stack[-1] == handle.span_id:
+            stack.pop()
+        elif handle.span_id in stack:  # tolerate mismatched nesting
+            stack.remove(handle.span_id)
+        event = event_class(
+            span_id=handle.span_id,
+            parent_id=handle.parent_id,
+            ts=handle.start,
+            dur=self.now() - handle.start,
+            **fields,
+        )
+        self._emit(event)
+        return event
+
+    def point(self, event_class: Type[TraceEvent], **fields: Any) -> Optional[TraceEvent]:
+        """Emit an instantaneous event under the current span."""
+        event = event_class(
+            span_id=self._allocate_id(),
+            parent_id=self.current_span(),
+            ts=self.now(),
+            dur=None,
+            **fields,
+        )
+        self._emit(event)
+        return event
+
+    def span(self, name: str, detail: str = ""):
+        """Context manager: a named ``phase`` span around a block.
+
+        Returns a shared no-op manager while disabled (no allocation).
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _ActiveSpan(self, name, detail)
+
+    # -- emission -------------------------------------------------------------
+
+    def _emit(self, event: TraceEvent) -> None:
+        with self._lock:
+            sinks = list(self._sinks)
+            self.emitted += 1
+        for sink in sinks:
+            sink.emit(event)
+
+
+# -- human-readable rendering -------------------------------------------------
+
+
+def _describe(event: TraceEvent) -> str:
+    """One-line summary of an event's payload (envelope fields dropped)."""
+    payload = event.to_dict()
+    for envelope_key in ("kind", "span_id", "parent_id", "ts", "dur"):
+        payload.pop(envelope_key, None)
+    parts = [f"{key}={value}" for key, value in payload.items() if value not in (None, "")]
+    text = event.kind
+    if parts:
+        text += " " + " ".join(parts)
+    if event.dur is not None:
+        text += f"  [{event.dur * 1e3:.2f}ms]"
+    return text
+
+
+def render_tree(events: Sequence[TraceEvent]) -> str:
+    """Render events as an indented forest using their parent links."""
+    by_id: Dict[int, TraceEvent] = {event.span_id: event for event in events}
+    children: Dict[Optional[int], List[TraceEvent]] = {}
+    for event in events:
+        parent: Optional[int] = event.parent_id
+        if parent is not None and parent not in by_id:
+            parent = None  # orphan (parent not captured): promote to root
+        children.setdefault(parent, []).append(event)
+    for siblings in children.values():
+        siblings.sort(key=lambda e: (e.ts, e.span_id))
+
+    lines: List[str] = []
+
+    def walk(event: TraceEvent, depth: int) -> None:
+        lines.append("  " * depth + _describe(event))
+        for child in children.get(event.span_id, []):
+            walk(child, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
+    return "\n".join(lines)

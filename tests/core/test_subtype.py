@@ -197,7 +197,11 @@ def test_naive_never_contradicts_engine():
         fast = engine.holds(sup, sub)
         slow = naive.holds(sup, sub)
         if slow is None:
-            continue  # budget exhausted: no verdict
+            # Budget exhausted: no verdict, but the prover must say which
+            # budget gave out (machine-readable exhaustion reason).
+            assert naive.last_exhaustion in ("depth", "steps"), (sup, sub)
+            continue
+        assert naive.last_exhaustion is None, (sup, sub)
         checked += 1
         assert fast == slow, (sup, sub)
     assert checked >= 1

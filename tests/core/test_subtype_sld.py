@@ -7,7 +7,7 @@ asymmetry the deterministic strategy exists to fix.
 
 import pytest
 
-from repro.core import NaiveSubtypeProver
+from repro.core import NaiveSubtypeProver, NaiveVerdict
 from repro.lang import parse_term as T
 from repro.workloads import ids_nonuniform, paper_universe
 
@@ -82,3 +82,54 @@ def test_undeclared_compound_symbol_rejected(prover):
 def test_iterative_variant_agrees_on_positives(prover):
     for sup, sub in [("nat", "succ(0)"), ("list(A)", "nil")]:
         assert prover.holds_iterative(T(sup), T(sub)) is True
+
+
+# -- machine-readable exhaustion reasons --------------------------------------
+
+
+def test_definitive_answers_carry_no_exhaustion(prover):
+    verdict = prover.holds_detailed(T("nat"), T("succ(0)"))
+    assert verdict == NaiveVerdict(True, None)
+    assert not verdict.unknown
+    assert prover.last_exhaustion is None
+
+
+def test_depth_bound_exhaustion_reported():
+    # A tiny depth bound with a huge step budget: every cut branch was a
+    # depth cutoff, so the unknown is blamed on "depth".
+    prover = NaiveSubtypeProver(paper_universe(), max_depth=4, step_limit=5_000_000)
+    verdict = prover.holds_detailed(T("nat"), T("pred(0)"))
+    assert verdict.verdict is None
+    assert verdict.unknown
+    assert verdict.exhaustion == "depth"
+    assert prover.last_exhaustion == "depth"
+
+
+def test_step_budget_exhaustion_reported():
+    # A deep bound with a tiny step budget: the step counter aborts the
+    # whole search first, so "steps" wins.
+    prover = NaiveSubtypeProver(paper_universe(), max_depth=64, step_limit=50)
+    verdict = prover.holds_detailed(T("nat"), T("pred(0)"))
+    assert verdict.verdict is None
+    assert verdict.exhaustion == "steps"
+    assert prover.last_exhaustion == "steps"
+
+
+def test_steps_wins_when_both_limits_are_tiny():
+    prover = NaiveSubtypeProver(paper_universe(), max_depth=3, step_limit=5)
+    verdict = prover.holds_detailed(T("nat"), T("pred(0)"))
+    assert verdict.verdict is None
+    assert verdict.exhaustion == "steps"
+
+
+def test_last_exhaustion_resets_after_definitive_answer():
+    prover = NaiveSubtypeProver(paper_universe(), max_depth=10, step_limit=4_000)
+    assert prover.holds(T("nat"), T("pred(0)")) is None
+    assert prover.last_exhaustion in ("depth", "steps")
+    assert prover.holds(T("nat"), T("succ(0)")) is True
+    assert prover.last_exhaustion is None
+
+
+def test_holds_agrees_with_holds_detailed(prover):
+    for sup, sub in [("nat", "succ(0)"), ("int", "nat"), ("elist", "nil")]:
+        assert prover.holds(T(sup), T(sub)) == prover.holds_detailed(T(sup), T(sub)).verdict

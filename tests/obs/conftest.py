@@ -1,0 +1,16 @@
+"""Keep the process-wide obs singletons clean between tests."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.METRICS.disable()
+    obs.TRACER.clear_sinks()
+    obs.reset()
+    yield
+    obs.METRICS.disable()
+    obs.TRACER.clear_sinks()
+    obs.reset()

@@ -1,0 +1,60 @@
+"""The disabled-instrumentation overhead contract.
+
+``SubtypeEngine.holds`` pays exactly one flag check before dispatching to
+``_holds_core`` (the seed decision procedure).  This micro-benchmark pins
+that cost below 5% on the subtype hot loop.  Timing is interleaved and
+best-of-N to shrug off scheduler noise; set ``REPRO_SKIP_OVERHEAD_GUARD=1``
+to skip on loaded/shared machines.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import obs
+from repro.core import SubtypeEngine
+from repro.lang import parse_term as T
+from repro.workloads import deep_nat, paper_universe
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_OVERHEAD_GUARD") == "1",
+    reason="REPRO_SKIP_OVERHEAD_GUARD=1",
+)
+
+ROUNDS = 9
+CALLS_PER_ROUND = 12
+
+
+def _best_time(callable_, calls=CALLS_PER_ROUND):
+    start = time.perf_counter()
+    for _ in range(calls):
+        callable_()
+    return time.perf_counter() - start
+
+
+def test_disabled_overhead_below_five_percent():
+    assert not obs.enabled()  # conftest guarantees this
+    # memoize=False so every call performs the full ground AND-OR
+    # evaluation — realistic per-call work, nothing amortised away.
+    engine = SubtypeEngine(paper_universe(), memoize=False)
+    nat = T("nat")
+    term = deep_nat(400)
+    assert engine.holds(nat, term) is True  # warm-up + correctness
+
+    def instrumented():
+        engine.holds(nat, term)
+
+    def seed():
+        engine._holds_core(nat, term)
+
+    best_instrumented = float("inf")
+    best_seed = float("inf")
+    for _ in range(ROUNDS):
+        best_seed = min(best_seed, _best_time(seed))
+        best_instrumented = min(best_instrumented, _best_time(instrumented))
+    ratio = best_instrumented / best_seed
+    assert ratio < 1.05, (
+        f"disabled instrumentation overhead {ratio:.3f}x "
+        f"(instrumented {best_instrumented * 1e6:.0f}µs vs seed {best_seed * 1e6:.0f}µs)"
+    )

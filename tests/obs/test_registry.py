@@ -1,0 +1,163 @@
+"""Unit tests for the telemetry registry: arithmetic, disabled no-ops."""
+
+import threading
+
+from repro.obs import METRICS, TelemetryRegistry
+from repro.obs.registry import NULL_TIMER, TimerStat
+
+
+def fresh():
+    registry = TelemetryRegistry()
+    registry.enable()
+    return registry
+
+
+# -- counters and gauges -----------------------------------------------------
+
+
+def test_counter_arithmetic():
+    registry = fresh()
+    registry.inc("a")
+    registry.inc("a")
+    registry.inc("a", 5)
+    registry.inc("b", -2)
+    assert registry.counter("a") == 7
+    assert registry.counter("b") == -2
+    assert registry.counter("missing") == 0
+
+
+def test_gauge_set_and_max():
+    registry = fresh()
+    registry.gauge("g", 3.5)
+    assert registry.gauge_value("g") == 3.5
+    registry.gauge("g", 1.0)
+    assert registry.gauge_value("g") == 1.0
+    registry.gauge_max("m", 4)
+    registry.gauge_max("m", 2)
+    registry.gauge_max("m", 9)
+    assert registry.gauge_value("m") == 9
+    assert registry.gauge_value("missing") is None
+
+
+def test_timer_stat_accumulates():
+    stat = TimerStat()
+    stat.record(0.5)
+    stat.record(1.5)
+    snap = stat.snapshot()
+    assert snap["count"] == 2
+    assert snap["total_s"] == 2.0
+    assert snap["max_s"] == 1.5
+    assert snap["mean_s"] == 1.0
+
+
+def test_time_context_manager_records():
+    registry = fresh()
+    with registry.time("t"):
+        pass
+    with registry.time("t"):
+        pass
+    snap = registry.timer("t")
+    assert snap is not None
+    assert snap["count"] == 2
+    assert snap["total_s"] >= 0.0
+
+
+def test_timed_decorator():
+    registry = fresh()
+
+    @registry.timed("f")
+    def f(x):
+        return x + 1
+
+    assert f(1) == 2
+    assert f(2) == 3
+    assert registry.timer("f")["count"] == 2
+    registry.disable()
+    assert f(3) == 4  # still works, just unrecorded
+    assert registry.timer("f")["count"] == 2
+
+
+def test_reset_zeroes_but_keeps_enabled():
+    registry = fresh()
+    registry.inc("a")
+    registry.gauge("g", 1)
+    with registry.time("t"):
+        pass
+    registry.reset()
+    assert registry.enabled
+    assert registry.counter("a") == 0
+    assert registry.gauge_value("g") is None
+    assert registry.timer("t") is None
+
+
+# -- the disabled invariant ---------------------------------------------------
+
+
+def test_disabled_records_nothing():
+    registry = TelemetryRegistry()  # disabled by default
+    registry.inc("a", 100)
+    registry.gauge("g", 1.0)
+    registry.gauge_max("m", 1.0)
+    registry.observe("t", 1.0)
+    snap = registry.snapshot()
+    assert snap["counters"] == {}
+    assert snap["gauges"] == {}
+    assert snap["timers"] == {}
+
+
+def test_disabled_time_is_the_shared_null_singleton():
+    registry = TelemetryRegistry()
+    # Allocation-free fast path: the very same object every call.
+    assert registry.time("x") is NULL_TIMER
+    assert registry.time("y") is NULL_TIMER
+    with registry.time("x"):
+        pass
+    assert registry.snapshot()["timers"] == {}
+
+
+def test_process_registry_disabled_by_default():
+    # The singleton itself must boot disabled (library import must not
+    # start collecting).
+    assert isinstance(METRICS, TelemetryRegistry)
+
+
+# -- rendering and snapshots --------------------------------------------------
+
+
+def test_snapshot_is_a_copy():
+    registry = fresh()
+    registry.inc("a")
+    snap = registry.snapshot()
+    snap["counters"]["a"] = 999
+    assert registry.counter("a") == 1
+
+
+def test_render_mentions_every_metric():
+    registry = fresh()
+    registry.inc("subtype.goals", 3)
+    registry.gauge("sld.max_depth_reached", 7)
+    with registry.time("match.match"):
+        pass
+    table = registry.render()
+    assert "subtype.goals" in table
+    assert "sld.max_depth_reached" in table
+    assert "match.match" in table
+
+
+def test_render_empty():
+    assert TelemetryRegistry().render() == "(no telemetry recorded)"
+
+
+def test_thread_safety_of_inc():
+    registry = fresh()
+
+    def worker():
+        for _ in range(1000):
+            registry.inc("n")
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert registry.counter("n") == 8000

@@ -1,0 +1,182 @@
+"""Unit tests for the tracer: span nesting, sinks, JSONL round-trips."""
+
+import io
+import json
+
+from repro import obs
+from repro.obs import (
+    CacheProbeEvent,
+    JsonlSink,
+    MemorySink,
+    PhaseEvent,
+    SubtypeGoalEvent,
+    Tracer,
+    render_tree,
+)
+from repro.obs.trace import _NULL_SPAN
+
+
+def fresh_tracer():
+    tracer = Tracer()
+    sink = MemorySink()
+    tracer.add_sink(sink)
+    return tracer, sink
+
+
+# -- span arithmetic -----------------------------------------------------------
+
+
+def test_span_ids_are_fresh_and_sequential():
+    tracer, sink = fresh_tracer()
+    tracer.point(PhaseEvent, name="a")
+    tracer.point(PhaseEvent, name="b")
+    ids = [event.span_id for event in sink.events]
+    assert len(set(ids)) == 2
+    assert ids == sorted(ids)
+
+
+def test_point_event_has_no_duration():
+    tracer, sink = fresh_tracer()
+    tracer.point(CacheProbeEvent, cache="c", hit=True)
+    [event] = sink.events
+    assert event.dur is None
+    assert event.kind == "cache_probe"
+
+
+def test_span_nesting_via_parent_ids():
+    tracer, sink = fresh_tracer()
+    outer = tracer.begin()
+    inner = tracer.begin()
+    tracer.point(PhaseEvent, name="leaf")
+    tracer.end(inner, PhaseEvent, name="inner")
+    tracer.end(outer, PhaseEvent, name="outer")
+
+    by_name = {event.name: event for event in sink.events}
+    assert by_name["outer"].parent_id is None
+    assert by_name["inner"].parent_id == by_name["outer"].span_id
+    assert by_name["leaf"].parent_id == by_name["inner"].span_id
+    assert by_name["inner"].dur is not None
+    assert by_name["outer"].dur >= by_name["inner"].dur
+
+
+def test_span_context_manager_nests():
+    tracer, sink = fresh_tracer()
+    with tracer.span("outer"):
+        with tracer.span("inner", detail="d"):
+            pass
+    inner, outer = sink.events  # inner closes first
+    assert inner.name == "inner" and inner.detail == "d"
+    assert inner.parent_id == outer.span_id
+
+
+def test_mismatched_end_is_tolerated():
+    tracer, sink = fresh_tracer()
+    a = tracer.begin()
+    b = tracer.begin()
+    tracer.end(a, PhaseEvent, name="a")  # out of order
+    tracer.end(b, PhaseEvent, name="b")
+    assert tracer.current_span() is None
+    assert len(sink.events) == 2
+
+
+def test_enabled_tracks_sinks():
+    tracer = Tracer()
+    assert not tracer.enabled
+    sink = MemorySink()
+    tracer.add_sink(sink)
+    assert tracer.enabled
+    tracer.remove_sink(sink)
+    assert not tracer.enabled
+
+
+def test_disabled_span_is_shared_null_manager():
+    tracer = Tracer()
+    assert tracer.span("x") is _NULL_SPAN
+    assert tracer.span("y") is _NULL_SPAN
+    with tracer.span("x"):
+        pass
+    assert tracer.emitted == 0
+
+
+def test_reset_restarts_ids():
+    tracer, sink = fresh_tracer()
+    tracer.point(PhaseEvent, name="a")
+    tracer.reset()
+    tracer.point(PhaseEvent, name="b")
+    assert sink.events[-1].span_id == 0
+    assert tracer.emitted == 1
+
+
+# -- sinks --------------------------------------------------------------------
+
+
+def test_jsonl_round_trip():
+    tracer = Tracer()
+    buffer = io.StringIO()
+    sink = JsonlSink(buffer)
+    tracer.add_sink(sink)
+    handle = tracer.begin()
+    tracer.point(CacheProbeEvent, cache="memo", hit=False)
+    tracer.end(
+        handle,
+        SubtypeGoalEvent,
+        supertype="nat",
+        subtype="succ(0)",
+        engine="strategy",
+        result=True,
+    )
+    lines = buffer.getvalue().splitlines()
+    assert sink.lines_written == 2 == len(lines)
+    decoded = [json.loads(line) for line in lines]
+    assert decoded[0]["kind"] == "cache_probe"
+    assert decoded[1]["kind"] == "subtype_goal"
+    assert decoded[1]["supertype"] == "nat"
+    assert decoded[1]["result"] is True
+    for payload in decoded:
+        assert isinstance(payload["span_id"], int)
+        assert "parent_id" in payload and "ts" in payload and "dur" in payload
+    # The probe was emitted inside the open subtype span.
+    assert decoded[0]["parent_id"] == decoded[1]["span_id"]
+
+
+def test_render_tree_indents_children():
+    tracer, sink = fresh_tracer()
+    with tracer.span("root"):
+        tracer.point(PhaseEvent, name="child")
+    text = render_tree(sink.events)
+    lines = text.splitlines()
+    assert lines[0].startswith("phase name=root")
+    assert lines[1].startswith("  phase name=child")
+
+
+def test_render_tree_promotes_orphans():
+    tracer, sink = fresh_tracer()
+    with tracer.span("invisible") as handle:
+        tracer.point(PhaseEvent, name="orphan")
+        # Drop the closing event by detaching before the span ends.
+        tracer.remove_sink(sink)
+    text = render_tree(sink.events)
+    assert text.splitlines()[0].startswith("phase name=orphan")
+
+
+# -- module-level conveniences -------------------------------------------------
+
+
+def test_collect_context_manager_restores_state():
+    assert not obs.METRICS.enabled
+    with obs.collect() as (metrics, sink):
+        assert metrics.enabled
+        assert obs.TRACER.enabled
+        obs.TRACER.point(PhaseEvent, name="x")
+    assert not obs.METRICS.enabled
+    assert not obs.TRACER.enabled
+    assert [event.name for event in sink.events] == ["x"]
+
+
+def test_summary_includes_trace_counter():
+    with obs.collect():
+        obs.METRICS.inc("a")
+        obs.TRACER.point(PhaseEvent, name="x")
+    data = obs.summary()
+    assert data["counters"]["a"] == 1
+    assert data["trace_events_emitted"] == 1
