@@ -1,0 +1,142 @@
+"""Batch-service benchmarks: cold vs. warm corpus checks, worker scaling.
+
+Measures the two claims the service layer makes:
+
+* **incrementality** — a warm re-check of an unchanged corpus (every
+  verdict replayed from the persistent cache) must be at least 5x faster
+  than the cold run, with byte-identical diagnostics;
+* **parallelism** — N process workers beat one worker on a corpus of
+  independent files.
+
+Run standalone::
+
+    python benchmarks/bench_batch.py [--quick] [--json OUT]
+
+or let ``benchmarks/summary.py`` pull its rows into the one-shot table.
+The corpus is the repository's ``examples/programs/`` plus synthetic
+list programs from ``repro.workloads`` so the parallel section has
+enough work per file to measure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.service.cache import ResultCache
+from repro.service.project import load_project
+from repro.service.runner import run_batch
+from repro.workloads import synthetic_list_program
+
+Row = Tuple[str, str]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO_ROOT / "examples" / "programs"
+
+
+def fmt(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}µs"
+    if seconds < 1:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def build_corpus(root: Path, synthetic_files: int, predicates: int) -> Path:
+    """examples/programs plus generated workload files, all under root."""
+    corpus = root / "corpus"
+    corpus.mkdir()
+    if EXAMPLES.is_dir():
+        for source in sorted(EXAMPLES.glob("*.tlp")):
+            shutil.copy(source, corpus / source.name)
+    for index in range(synthetic_files):
+        text = synthetic_list_program(predicates) + f"% workload {index}\n"
+        (corpus / f"synthetic{index:03}.tlp").write_text(text)
+    return corpus
+
+
+def batch_rows(quick: bool = False) -> List[Row]:
+    """Run the batch benchmarks once; return (label, measured) rows."""
+    synthetic_files = 4 if quick else 12
+    predicates = 8 if quick else 24
+    jobs = 2 if quick else 4
+    rows: List[Row] = []
+    with tempfile.TemporaryDirectory(prefix="tlp-bench-") as scratch_name:
+        scratch = Path(scratch_name)
+        corpus = build_corpus(scratch, synthetic_files, predicates)
+        files = len(load_project([str(corpus)]).files)
+
+        # -- cold vs warm (incrementality) -------------------------------
+        cache = ResultCache(str(scratch / "cache"))
+        cold = run_batch(load_project([str(corpus)]), cache=cache)
+        warm = run_batch(load_project([str(corpus)]), cache=cache)
+        assert warm.hit_rate == 1.0 and warm.files_checked == 0
+        assert {r.display: r.diagnostics for r in warm.results} == {
+            r.display: r.diagnostics for r in cold.results
+        }, "warm diagnostics must replay the cold run byte-for-byte"
+        speedup = cold.wall_s / warm.wall_s if warm.wall_s else float("inf")
+        assert speedup >= 5.0, (
+            f"warm re-check only {speedup:.1f}x faster than cold "
+            f"(cold {fmt(cold.wall_s)}, warm {fmt(warm.wall_s)})"
+        )
+        rows.append((f"B1 cold batch check, {files} files", fmt(cold.wall_s)))
+        rows.append(
+            (
+                f"B1 warm re-check (100% cache hits)",
+                f"{fmt(warm.wall_s)} ({speedup:,.0f}x)",
+            )
+        )
+
+        # -- 1 vs N workers (parallelism).  On a single-core box the pool
+        # can only add overhead; the core count in the label keeps the
+        # ratio honest.
+        try:
+            cores = len(os.sched_getaffinity(0))
+        except AttributeError:  # non-Linux
+            cores = os.cpu_count() or 1
+        single_start = time.perf_counter()
+        run_batch(load_project([str(corpus)]), jobs=1)
+        single = time.perf_counter() - single_start
+        pooled_start = time.perf_counter()
+        run_batch(load_project([str(corpus)]), jobs=jobs, use="process")
+        pooled = time.perf_counter() - pooled_start
+        rows.append((f"B2 {files}-file corpus, 1 worker", fmt(single)))
+        rows.append(
+            (
+                f"B2 {files}-file corpus, {jobs} process workers "
+                f"({cores} core(s) available)",
+                f"{fmt(pooled)} ({single / pooled:.1f}x)",
+            )
+        )
+    return rows
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-smoke sizes")
+    parser.add_argument("--json", metavar="OUT", default=None)
+    arguments = parser.parse_args(argv)
+    rows = batch_rows(quick=arguments.quick)
+    width = max(len(label) for label, _ in rows) + 2
+    for label, value in rows:
+        print(label.ljust(width) + value)
+    if arguments.json is not None:
+        payload: Dict[str, object] = {
+            "quick": arguments.quick,
+            "rows": [{"experiment": label, "measured": value} for label, value in rows],
+        }
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, ensure_ascii=False)
+            handle.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -165,6 +165,11 @@ def build_rows(quick: bool = False) -> List[Row]:
     rows.append(
         (f"E6 paper's ill-typed examples rejected", f"{rejected}/{len(ILL_TYPED_EXAMPLES)}")
     )
+
+    # -- B1/B2: the batch checking service ---------------------------------
+    from bench_batch import batch_rows
+
+    rows.extend(batch_rows(quick=quick))
     return rows
 
 

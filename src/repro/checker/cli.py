@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .. import obs
@@ -46,7 +47,11 @@ def _build_argument_parser() -> argparse.ArgumentParser:
             "declaration language of Jacobs, PLDI 1990."
         ),
     )
-    parser.add_argument("files", nargs="+", help="source files to check")
+    parser.add_argument(
+        "files",
+        nargs="+",
+        help="source files (or directories, walked recursively for *.tlp) to check",
+    )
     parser.add_argument(
         "--run",
         action="store_true",
@@ -68,6 +73,25 @@ def _build_argument_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="collect telemetry and print the metrics table after checking",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "check files on N parallel workers via the batch service "
+            "(plain checking only; --run stays sequential)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist per-file verdicts under DIR and skip re-checking "
+            "unchanged files (shared with tlp-batch/tlp-serve)"
+        ),
     )
     parser.add_argument(
         "--trace",
@@ -99,7 +123,8 @@ def _run_queries(module, max_answers: int, depth_limit: int) -> int:
             # enforces the ``X : τ`` store at run time (Section 7).
             if constrained is None:
                 constrained = ConstrainedInterpreter(
-                    Database(module.program), SubtypeEngine(module.constraints)
+                    Database(module.program),
+                    module.engine or SubtypeEngine(module.constraints),
                 )
             c_result = constrained.run(
                 query.goals, max_answers=max_answers, depth_limit=depth_limit
@@ -154,7 +179,9 @@ def _audit_typing_witnesses(module) -> int:
     checker = module.moded_checker or module.checker
     if checker is None or module.constraints is None:
         return 0
-    engine = SubtypeEngine(module.constraints)
+    # The frontend's shared engine arrives pre-warmed by the moded/mode
+    # checking stages, so hot goals of the audit are memo hits.
+    engine = module.engine or SubtypeEngine(module.constraints)
     reports = []
     with obs.METRICS.time("cli.witness_audit"), obs.TRACER.span("witness_audit"):
         for clause in module.program:
@@ -198,10 +225,59 @@ def _witness_respectful(engine, committed, atom, typing) -> bool:
     return engine.holds(committed_frozen, typed_frozen)
 
 
+def _expand_files(arguments) -> Optional[List[str]]:
+    """Resolve file/directory arguments into a flat list of source files.
+
+    Directories are walked recursively for ``*.tlp`` (sorted, so runs are
+    deterministic).  Returns ``None`` after printing an error when a path
+    is missing or a directory holds no programs.
+    """
+    from ..service.project import ProjectError, discover_tlp_files
+
+    try:
+        expanded = discover_tlp_files(arguments.files)
+    except ProjectError as error:
+        print(f"tlp-check: {error}", file=sys.stderr)
+        return None
+    if not expanded:
+        print("tlp-check: no .tlp files found", file=sys.stderr)
+        return None
+    return [str(path) for path in expanded]
+
+
+def _check_files_batched(arguments, files: List[str]) -> int:
+    """Service-backed checking (``--jobs``/``--cache-dir``): same per-file
+    lines as the sequential loop, plus cache replay and parallel workers."""
+    from ..service.cache import ResultCache
+    from ..service.project import Project, ProjectError, ProjectFile
+    from ..service.runner import run_batch
+
+    project = Project(name="tlp-check", root=Path("."))
+    try:
+        for path in files:
+            project.files.append(ProjectFile.read(Path(path), display=path))
+    except ProjectError as error:
+        print(f"tlp-check: {error}", file=sys.stderr)
+        return 2
+    cache = ResultCache(arguments.cache_dir) if arguments.cache_dir else None
+    report = run_batch(project, cache=cache, jobs=arguments.jobs)
+    for result in report.results:
+        for diagnostic in result.diagnostics:
+            print(f"{result.display}:{diagnostic}")
+        print(result.summary_line())
+    return report.exit_code
+
+
 def _check_files(arguments) -> int:
     """The core loop: check (and optionally run) every file."""
+    files = _expand_files(arguments)
+    if files is None:
+        return 2
+    if (arguments.jobs > 1 or arguments.cache_dir) and not arguments.run:
+        return _check_files_batched(arguments, files)
+    multi = len(files) > 1
     exit_code = 0
-    for path in arguments.files:
+    for path in files:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 text = handle.read()
@@ -225,6 +301,8 @@ def _check_files(arguments) -> int:
                 if violations:
                     exit_code = 1
         else:
+            if multi:
+                print(f"{path}: ill-typed ({len(module.diagnostics)} diagnostics)")
             exit_code = 1
     return exit_code
 

@@ -36,6 +36,7 @@ from ..core.moded_welltyped import ModedWellTypedChecker
 from ..core.modes import ModeChecker, ModeEnv
 from ..core.predicate_types import PredicateTypeEnv
 from ..core.restrictions import non_uniform_constraints, unguarded_constructors
+from ..core.subtype import SubtypeEngine
 from ..core.welltyped import WellTypedChecker
 from ..lang.ast import (
     ClauseDecl,
@@ -69,6 +70,11 @@ class CheckedModule:
     queries: List[Query] = field(default_factory=list)
     checker: Optional[WellTypedChecker] = None
     moded_checker: Optional[ModedWellTypedChecker] = None
+    #: One subtype engine for the whole module: every pipeline stage that
+    #: issues ``⪰_C`` goals (moded checking, mode analysis, witness audits,
+    #: typed/constrained execution) shares this instance, so its ground
+    #: memo table is populated once per file rather than once per stage.
+    engine: Optional[SubtypeEngine] = None
 
     @property
     def ok(self) -> bool:
@@ -267,9 +273,15 @@ def _check_source(source: SourceFile) -> CheckedModule:
     # (``repro.core.moded_welltyped``); otherwise strict Definition 16.
     checker = WellTypedChecker(constraints, predicate_types)
     module.checker = checker
+    # Restrictions were just validated (step 3), so the module-wide shared
+    # engine skips re-validation.
+    engine = SubtypeEngine(constraints, validate=False)
+    module.engine = engine
     moded: Optional[ModedWellTypedChecker] = None
     if len(modes):
-        moded = ModedWellTypedChecker(constraints, predicate_types, modes)
+        moded = ModedWellTypedChecker(
+            constraints, predicate_types, modes, engine=engine, strict=checker
+        )
         module.moded_checker = moded
     clause_items = source.of_kind(ClauseDecl)
     for clause, item in zip(module.program, clause_items):
@@ -300,7 +312,7 @@ def _check_source(source: SourceFile) -> CheckedModule:
 
     # Step 4b: modes, when declared.
     if len(modes):
-        mode_checker = ModeChecker(constraints, predicate_types, modes)
+        mode_checker = ModeChecker(constraints, predicate_types, modes, engine=engine)
         for clause, item in zip(module.program, clause_items):
             if any(_is_constraint_goal(goal) for goal in clause.body):
                 continue

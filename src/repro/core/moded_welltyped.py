@@ -95,13 +95,18 @@ class ModedWellTypedChecker:
         constraints: ConstraintSet,
         predicate_types: PredicateTypeEnv,
         modes: ModeEnv,
+        engine: Optional[SubtypeEngine] = None,
+        strict: Optional[WellTypedChecker] = None,
     ) -> None:
         self.constraints = constraints
         self.predicate_types = predicate_types
         self.modes = modes
-        self.strict = WellTypedChecker(constraints, predicate_types)
-        self.engine = SubtypeEngine(constraints)
-        self.constraint_matcher = ConstraintMatcher(constraints, validate=False)
+        self.strict = strict or WellTypedChecker(constraints, predicate_types)
+        # Accepting a caller-owned engine lets the frontend share one memo
+        # table across every clause check, mode check, and witness audit
+        # of a file instead of re-deriving hot subtype goals per stage.
+        self.engine = engine or SubtypeEngine(constraints)
+        self.constraint_matcher = self.strict.constraint_matcher
         self.inference = CommonTypeInference(constraints, self.constraint_matcher)
 
     # -- public API ---------------------------------------------------------------

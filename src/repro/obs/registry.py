@@ -53,6 +53,14 @@ class TimerStat:
             "mean_s": self.total_s / self.count if self.count else 0.0,
         }
 
+    def merge(self, other: Dict[str, float]) -> None:
+        """Fold another timer's snapshot into this one (cross-registry)."""
+        self.total_s += other.get("total_s", 0.0)
+        self.count += int(other.get("count", 0))
+        other_max = other.get("max_s", 0.0)
+        if other_max > self.max_s:
+            self.max_s = other_max
+
 
 class _NullTimer:
     """Reusable no-op context manager handed out while disabled.
@@ -178,6 +186,31 @@ class TelemetryRegistry:
             return wrapper  # type: ignore[return-value]
 
         return decorate
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Worker processes of the batch service record into their own
+        process-local registry and ship ``snapshot()`` dicts back to the
+        coordinator, which merges them here: counters add, gauges keep the
+        maximum (the useful aggregate for utilisation/high-water gauges),
+        and timers fold sample counts/totals/maxima together.  Merging the
+        same snapshot twice would double-count — callers merge each worker
+        snapshot exactly once.  No-op while disabled, like all recording.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, value in snapshot.get("gauges", {}).items():
+                if value > self._gauges.get(name, float("-inf")):
+                    self._gauges[name] = value
+            for name, sample in snapshot.get("timers", {}).items():
+                stat = self._timers.get(name)
+                if stat is None:
+                    stat = self._timers[name] = TimerStat()
+                stat.merge(sample)
 
     # -- reading -------------------------------------------------------------
 

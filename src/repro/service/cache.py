@@ -1,0 +1,200 @@
+"""Persistent per-file verdict cache for the batch checking service.
+
+One JSON index (``tlp-cache.json`` under ``--cache-dir``) maps
+
+    ``<file digest>.<declarations digest>``  →  verdict record
+
+where the digests come from :mod:`repro.service.project` and the record
+holds everything a warm re-check needs to reproduce the cold run's
+output byte-for-byte: the well-typedness verdict, the rendered
+diagnostics, the clause/query counts, and timing metadata.  The index
+header pins :data:`CHECKER_VERSION`; bumping it (any change to the
+checker's verdicts or diagnostic wording) invalidates every entry at
+load time, so a stale cache can never mask a checker change.
+
+Probes are observable: every :meth:`ResultCache.get` emits a
+``cache_probe`` trace event (``cache="service.results"``) and bumps the
+``service.cache.hits`` / ``service.cache.misses`` counters through
+:mod:`repro.obs` — the same channel the subtype engine's memo tables
+use, so one ``--stats`` table shows both caching layers.
+
+Writes are atomic (temp file + ``os.replace``) and a corrupt or
+foreign-version index is treated as empty rather than an error: the
+cache is a pure accelerator, never a source of truth.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from ..obs import METRICS, TRACER, CacheProbeEvent
+
+__all__ = ["CHECKER_VERSION", "CachedResult", "ResultCache"]
+
+#: Version of the checking pipeline baked into every cache key.  Bump on
+#: any change that can alter verdicts or diagnostic text.
+CHECKER_VERSION = "1"
+
+INDEX_NAME = "tlp-cache.json"
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """One file's cached verdict — enough to replay the cold-run report."""
+
+    ok: bool
+    diagnostics: Tuple[str, ...]
+    clauses: int
+    queries: int
+    duration_s: float
+    checked_at: float
+
+    def to_json(self) -> Dict[str, object]:
+        payload = asdict(self)
+        payload["diagnostics"] = list(self.diagnostics)
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "CachedResult":
+        return cls(
+            ok=bool(payload["ok"]),
+            diagnostics=tuple(str(d) for d in payload["diagnostics"]),
+            clauses=int(payload["clauses"]),
+            queries=int(payload["queries"]),
+            duration_s=float(payload["duration_s"]),
+            checked_at=float(payload["checked_at"]),
+        )
+
+
+class ResultCache:
+    """On-disk verdict store keyed by (file, declarations, checker) digests."""
+
+    def __init__(self, cache_dir: str, checker_version: str = CHECKER_VERSION) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.checker_version = checker_version
+        self.index_path = self.cache_dir / INDEX_NAME
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        self._entries: Dict[str, Dict[str, object]] = {}
+        self._load()
+
+    # -- persistence ---------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.index_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return
+        if not isinstance(raw, dict) or raw.get("version") != self.checker_version:
+            return  # foreign or pre-bump index: start cold
+        entries = raw.get("entries")
+        if isinstance(entries, dict):
+            for key, payload in entries.items():
+                if isinstance(payload, dict):
+                    self._entries[key] = payload
+
+    def save(self) -> None:
+        """Atomically persist the index (no-op when nothing changed)."""
+        if not self._dirty:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        payload = {"version": self.checker_version, "entries": self._entries}
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            encoding="utf-8",
+            dir=str(self.cache_dir),
+            prefix=".tlp-cache-",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(payload, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            os.replace(handle.name, self.index_path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self._dirty = False
+
+    # -- the store -----------------------------------------------------------
+
+    @staticmethod
+    def key(file_digest: str, decls_digest: str) -> str:
+        return f"{file_digest}.{decls_digest}"
+
+    def get(
+        self, file_digest: str, decls_digest: str
+    ) -> Optional[CachedResult]:
+        """Probe for a verdict; hit/miss is counted and traced."""
+        payload = self._entries.get(self.key(file_digest, decls_digest))
+        hit = payload is not None
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        if METRICS.enabled:
+            METRICS.inc("service.cache.hits" if hit else "service.cache.misses")
+        if TRACER.enabled:
+            TRACER.point(CacheProbeEvent, cache="service.results", hit=hit)
+        if not hit:
+            return None
+        try:
+            return CachedResult.from_json(payload)
+        except (KeyError, TypeError, ValueError):
+            # A malformed entry behaves like a miss (and is purged).
+            del self._entries[self.key(file_digest, decls_digest)]
+            self._dirty = True
+            return None
+
+    def put(
+        self,
+        file_digest: str,
+        decls_digest: str,
+        result: CachedResult,
+        display: str = "",
+    ) -> None:
+        payload = result.to_json()
+        payload["path"] = display
+        self._entries[self.key(file_digest, decls_digest)] = payload
+        self._dirty = True
+
+    def invalidate(self, display: Optional[str] = None) -> int:
+        """Drop entries recorded for ``display`` (or everything).
+
+        Content-addressed keys make explicit invalidation unnecessary for
+        correctness — a changed file simply misses — but the daemon's
+        ``invalidate`` op and operators clearing space both want it.
+        """
+        if display is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+        else:
+            stale = [
+                key
+                for key, payload in self._entries.items()
+                if payload.get("path") == display
+            ]
+            for key in stale:
+                del self._entries[key]
+            dropped = len(stale)
+        if dropped:
+            self._dirty = True
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def now() -> float:
+        return time.time()

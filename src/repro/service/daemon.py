@@ -1,0 +1,302 @@
+"""``tlp-serve`` — the long-lived check daemon.
+
+The daemon keeps checker state *hot* across requests: checked modules —
+with their parsed declarations, their per-file ``WellTypedChecker``
+matcher memos, and the module-wide shared ``SubtypeEngine`` memo table —
+stay resident in an LRU keyed by content digest, so re-checking an
+unchanged file is a dictionary lookup, and the optional persistent
+result cache (``--cache-dir``) is shared with ``tlp-batch``: entries
+written by either surface are served by both.
+
+Protocol: line-delimited JSON over stdin/stdout.  One request object per
+line, one response object per line, in order.  Requests::
+
+    {"op": "check", "path": "examples/programs/append.tlp"}
+    {"op": "check", "text": "FUNC nil. ..."}
+    {"op": "stats"}
+    {"op": "invalidate"}                  # drop all hot/cached state
+    {"op": "invalidate", "path": "..."}   # drop one file's state
+    {"op": "shutdown"}
+
+Responses always carry ``"ok"`` (protocol-level success — an ill-typed
+file is still ``"ok": true``) and echo ``"op"``.  A ``check`` response
+reports ``"well_typed"``, ``"diagnostics"``, clause/query counts, and
+``"source"``: ``"hot"`` (module LRU), ``"cache"`` (persistent store), or
+``"checked"`` (full Definition 16 run).  Malformed lines get an
+``{"ok": false, "error": ...}`` response rather than killing the daemon.
+
+A worked session lives in ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, IO, List, Optional, Tuple
+
+from .. import obs
+from ..checker.frontend import CheckedModule, check_text
+from ..obs import METRICS, TRACER, CacheProbeEvent
+from .cache import CachedResult, ResultCache
+from .project import EMPTY_DECLS_DIGEST, fingerprint
+
+__all__ = ["CheckService", "serve", "main"]
+
+#: Checked modules kept resident (each holds parsed declarations plus
+#: the matcher/subtype memo tables grown while checking it).
+HOT_MODULE_LIMIT = 256
+
+
+class CheckService:
+    """The daemon's brain, independent of any transport."""
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self._hot: "OrderedDict[str, Tuple[str, CheckedModule]]" = OrderedDict()
+        self.requests = 0
+        self.checks = 0
+        self.hot_hits = 0
+        self.cache_hits = 0
+        self.errors = 0
+        self.started_at = time.time()
+
+    # -- request dispatch ----------------------------------------------------
+
+    def handle(self, request: Any) -> Dict[str, Any]:
+        """One request object in, one response object out (never raises)."""
+        self.requests += 1
+        if METRICS.enabled:
+            METRICS.inc("service.daemon.requests")
+        if not isinstance(request, dict):
+            return self._error(None, "request must be a JSON object")
+        op = request.get("op")
+        try:
+            if op == "check":
+                return self._op_check(request)
+            if op == "stats":
+                return self._op_stats()
+            if op == "invalidate":
+                return self._op_invalidate(request)
+            if op == "shutdown":
+                return {"ok": True, "op": "shutdown", "bye": True}
+            return self._error(op, f"unknown op {op!r}")
+        except Exception as error:  # a bug must not take the daemon down
+            return self._error(op, f"internal error: {error}")
+
+    def _error(self, op: Optional[Any], message: str) -> Dict[str, Any]:
+        self.errors += 1
+        return {"ok": False, "op": op, "error": message}
+
+    # -- ops -----------------------------------------------------------------
+
+    def _op_check(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        path = request.get("path")
+        text = request.get("text")
+        if (path is None) == (text is None):
+            return self._error("check", "check needs exactly one of 'path' or 'text'")
+        display = str(path) if path is not None else "<text>"
+        if path is not None:
+            try:
+                text = Path(path).read_text(encoding="utf-8")
+            except OSError as error:
+                return self._error("check", f"{path}: cannot read: {error}")
+        assert isinstance(text, str)
+        digest = fingerprint(text)
+        self.checks += 1
+
+        started = time.perf_counter()
+        hot = self._hot.get(digest)
+        if TRACER.enabled:
+            TRACER.point(CacheProbeEvent, cache="service.hot_modules", hit=hot is not None)
+        if hot is not None:
+            self._hot.move_to_end(digest)
+            self.hot_hits += 1
+            if METRICS.enabled:
+                METRICS.inc("service.daemon.hot_hits")
+            _, module = hot
+            return self._check_response(
+                display, digest, module.ok,
+                [str(d) for d in module.diagnostics],
+                len(module.program), len(module.queries),
+                source="hot", duration_s=time.perf_counter() - started,
+            )
+
+        if self.cache is not None:
+            cached = self.cache.get(digest, EMPTY_DECLS_DIGEST)
+            if cached is not None:
+                self.cache_hits += 1
+                return self._check_response(
+                    display, digest, cached.ok, list(cached.diagnostics),
+                    cached.clauses, cached.queries,
+                    source="cache", duration_s=time.perf_counter() - started,
+                )
+
+        module = check_text(text)
+        duration = time.perf_counter() - started
+        diagnostics = [str(d) for d in module.diagnostics]
+        self._remember(digest, display, module)
+        if self.cache is not None:
+            self.cache.put(
+                digest,
+                EMPTY_DECLS_DIGEST,
+                CachedResult(
+                    ok=module.ok,
+                    diagnostics=tuple(diagnostics),
+                    clauses=len(module.program),
+                    queries=len(module.queries),
+                    duration_s=duration,
+                    checked_at=ResultCache.now(),
+                ),
+                display=display,
+            )
+            self.cache.save()
+        return self._check_response(
+            display, digest, module.ok, diagnostics,
+            len(module.program), len(module.queries),
+            source="checked", duration_s=duration,
+        )
+
+    def _remember(self, digest: str, display: str, module: CheckedModule) -> None:
+        self._hot[digest] = (display, module)
+        self._hot.move_to_end(digest)
+        while len(self._hot) > HOT_MODULE_LIMIT:
+            self._hot.popitem(last=False)
+        if METRICS.enabled:
+            METRICS.gauge_max("service.daemon.hot_modules", len(self._hot))
+
+    @staticmethod
+    def _check_response(
+        display: str,
+        digest: str,
+        well_typed: bool,
+        diagnostics: List[str],
+        clauses: int,
+        queries: int,
+        source: str,
+        duration_s: float,
+    ) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "op": "check",
+            "path": display,
+            "digest": digest,
+            "well_typed": well_typed,
+            "diagnostics": diagnostics,
+            "clauses": clauses,
+            "queries": queries,
+            "source": source,
+            "duration_s": duration_s,
+        }
+
+    def _op_stats(self) -> Dict[str, Any]:
+        stats: Dict[str, Any] = {
+            "requests": self.requests,
+            "checks": self.checks,
+            "hot_hits": self.hot_hits,
+            "cache_hits": self.cache_hits,
+            "errors": self.errors,
+            "hot_modules": len(self._hot),
+            "uptime_s": time.time() - self.started_at,
+        }
+        if self.cache is not None:
+            stats["cache_entries"] = len(self.cache)
+            stats["cache_probe_hits"] = self.cache.hits
+            stats["cache_probe_misses"] = self.cache.misses
+        response: Dict[str, Any] = {"ok": True, "op": "stats", "stats": stats}
+        if METRICS.enabled:
+            response["telemetry"] = obs.summary()
+        return response
+
+    def _op_invalidate(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        path = request.get("path")
+        display = str(path) if path is not None else None
+        if display is None:
+            dropped_hot = len(self._hot)
+            self._hot.clear()
+        else:
+            stale = [
+                digest
+                for digest, (entry_display, _) in self._hot.items()
+                if entry_display == display
+            ]
+            for digest in stale:
+                del self._hot[digest]
+            dropped_hot = len(stale)
+        dropped_cached = 0
+        if self.cache is not None:
+            dropped_cached = self.cache.invalidate(display)
+            self.cache.save()
+        return {
+            "ok": True,
+            "op": "invalidate",
+            "path": display,
+            "dropped_hot": dropped_hot,
+            "dropped_cached": dropped_cached,
+        }
+
+
+def serve(service: CheckService, in_stream: IO[str], out_stream: IO[str]) -> int:
+    """The request loop: one JSON object per line, until shutdown/EOF."""
+    for line in in_stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request: Any = json.loads(line)
+        except json.JSONDecodeError as error:
+            response = service._error(None, f"malformed JSON: {error}")
+        else:
+            response = service.handle(request)
+        out_stream.write(json.dumps(response) + "\n")
+        out_stream.flush()
+        if response.get("op") == "shutdown" and response.get("ok"):
+            break
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (installed as the ``tlp-serve`` console script)."""
+    parser = argparse.ArgumentParser(
+        prog="tlp-serve",
+        description=(
+            "Long-lived type-checking daemon: line-delimited JSON requests "
+            "on stdin, one JSON response per line on stdout."
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="share a persistent result cache with tlp-batch",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="collect telemetry; 'stats' responses then embed a snapshot",
+    )
+    arguments = parser.parse_args(argv)
+
+    was_enabled = METRICS.enabled
+    if arguments.stats:
+        obs.reset()
+        METRICS.enabled = True
+    service = CheckService(cache_dir=arguments.cache_dir)
+    print(
+        f"tlp-serve: ready (cache: {arguments.cache_dir or 'off'}, "
+        f"pid {os.getpid()})",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        return serve(service, sys.stdin, sys.stdout)
+    finally:
+        METRICS.enabled = was_enabled
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,199 @@
+"""The project model: a corpus of ``.tlp`` files with stable fingerprints.
+
+A *project* is the unit the batch service operates on.  It comes from one
+of two places:
+
+* a **directory walk** — every ``*.tlp`` below the given paths, in
+  sorted order (deterministic across runs and platforms); or
+* an explicit **manifest**, a ``tlp-project.json`` file::
+
+      {
+        "name": "corpus",
+        "include": ["programs", "extra/append.tlp"],
+        "shared": ["decls.tlp"],
+        "exclude": ["programs/broken.tlp"]
+      }
+
+  ``include`` entries (files or directories, relative to the manifest)
+  select the members; ``shared`` names declaration files whose text is
+  prepended — in order — to every member before checking, so a corpus
+  can factor its ``FUNC``/``TYPE``/constraint/``PRED`` declarations into
+  one prelude; ``exclude`` removes individual members.
+
+Fingerprints are content-addressed SHA-256 digests.  Each member file
+has its own digest, and the project carries a single *declarations
+digest* over the shared prelude, so the cache key ``(file digest,
+declarations digest, checker version)`` changes exactly when the file's
+bytes, its shared declarations, or the checker itself change — the
+invariant the persistent result cache relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "MANIFEST_NAME",
+    "EMPTY_DECLS_DIGEST",
+    "ProjectError",
+    "ProjectFile",
+    "Project",
+    "fingerprint",
+    "discover_tlp_files",
+    "load_project",
+]
+
+MANIFEST_NAME = "tlp-project.json"
+
+
+class ProjectError(Exception):
+    """A corpus cannot be assembled (missing path, malformed manifest)."""
+
+
+def fingerprint(text: str) -> str:
+    """Content-addressed digest of one source text (SHA-256, hex)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+#: Declarations digest of a project with no shared prelude.
+EMPTY_DECLS_DIGEST = fingerprint("")
+
+
+@dataclass(frozen=True)
+class ProjectFile:
+    """One member of the corpus: where it lives, its text, its digest."""
+
+    path: Path  # resolved location on disk
+    display: str  # the name used in reports and cache entries
+    text: str
+    digest: str
+
+    @classmethod
+    def read(cls, path: Path, display: Optional[str] = None) -> "ProjectFile":
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise ProjectError(f"{path}: cannot read: {error}") from error
+        return cls(path, display or str(path), text, fingerprint(text))
+
+
+@dataclass
+class Project:
+    """An ordered corpus plus its shared declaration prelude."""
+
+    name: str
+    root: Path
+    files: List[ProjectFile] = field(default_factory=list)
+    shared: List[ProjectFile] = field(default_factory=list)
+
+    @property
+    def declarations_digest(self) -> str:
+        """Fingerprint of the shared prelude (order-sensitive)."""
+        if not self.shared:
+            return EMPTY_DECLS_DIGEST
+        joined = "\n".join(entry.text for entry in self.shared)
+        return fingerprint(joined)
+
+    def effective_text(self, member: ProjectFile) -> str:
+        """The text actually checked: shared prelude, then the member."""
+        if not self.shared:
+            return member.text
+        parts = [entry.text for entry in self.shared]
+        parts.append(member.text)
+        return "\n".join(parts)
+
+
+def discover_tlp_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.tlp`` paths.
+
+    Directories are walked recursively; explicit file arguments are kept
+    whatever their suffix (so ``tlp-check odd.name`` still works).
+    Duplicates (the same file reached twice) are dropped.
+    """
+    found: List[Path] = []
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            expanded: Iterable[Path] = sorted(path.rglob("*.tlp"))
+        elif path.exists():
+            expanded = [path]
+        else:
+            raise ProjectError(f"cannot read {raw}: no such file or directory")
+        for member in expanded:
+            key = member.resolve()
+            if key in seen:
+                continue
+            seen.add(key)
+            found.append(member)
+    return found
+
+
+def _load_manifest(manifest_path: Path) -> Project:
+    try:
+        raw = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ProjectError(f"{manifest_path}: cannot read: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ProjectError(f"{manifest_path}: malformed manifest: {error}") from error
+    if not isinstance(raw, dict):
+        raise ProjectError(f"{manifest_path}: manifest must be a JSON object")
+    root = manifest_path.parent
+    name = raw.get("name") or root.name
+
+    def as_list(key: str, default: List[str]) -> List[str]:
+        value = raw.get(key, default)
+        if not isinstance(value, list) or not all(isinstance(v, str) for v in value):
+            raise ProjectError(f"{manifest_path}: {key!r} must be a list of strings")
+        return value
+
+    include = as_list("include", ["."])
+    shared_names = as_list("shared", [])
+    exclude = {str((root / entry).resolve()) for entry in as_list("exclude", [])}
+
+    project = Project(name=name, root=root)
+    for entry in shared_names:
+        path = root / entry
+        if not path.exists():
+            raise ProjectError(f"{manifest_path}: shared file {entry!r} not found")
+        project.shared.append(ProjectFile.read(path, display=entry))
+    shared_resolved = {entry.path.resolve() for entry in project.shared}
+
+    members = discover_tlp_files([str(root / entry) for entry in include])
+    for member in members:
+        resolved = member.resolve()
+        if str(resolved) in exclude or resolved in shared_resolved:
+            continue
+        try:
+            display = str(member.relative_to(root))
+        except ValueError:
+            display = str(member)
+        project.files.append(ProjectFile.read(member, display=display))
+    return project
+
+
+def load_project(
+    paths: Sequence[str], manifest: Optional[str] = None
+) -> Project:
+    """Assemble a project from CLI arguments.
+
+    Precedence: an explicit ``--manifest`` wins; otherwise, a single
+    directory argument containing ``tlp-project.json`` is loaded as a
+    manifest project; otherwise the arguments are walked directly.
+    """
+    if manifest is not None:
+        return _load_manifest(Path(manifest))
+    if len(paths) == 1:
+        candidate = Path(paths[0]) / MANIFEST_NAME
+        if candidate.is_file():
+            return _load_manifest(candidate)
+    members = discover_tlp_files(paths)
+    root = Path(paths[0]) if len(paths) == 1 and Path(paths[0]).is_dir() else Path(".")
+    project = Project(name=root.name or "corpus", root=root)
+    for member in members:
+        project.files.append(ProjectFile.read(member, display=str(member)))
+    return project

@@ -1,0 +1,267 @@
+"""The execution layer: check a project's files, in parallel, with caching.
+
+``run_batch`` is one batch pass over a :class:`~repro.service.project.Project`:
+
+1. **Probe** — every member is fingerprinted and looked up in the
+   persistent :class:`~repro.service.cache.ResultCache` (unless ``force``
+   or no cache); hits skip the Definition 16 pipeline entirely and replay
+   the stored verdict and diagnostics byte-for-byte.
+2. **Check** — the misses run through
+   :func:`repro.checker.frontend.check_text`.  With ``jobs > 1`` they are
+   distributed over a ``concurrent.futures`` pool: processes by default
+   (true parallelism — the checker is pure CPU), threads on request
+   (``use="thread"``; handy under test and on platforms where ``fork`` is
+   unavailable).
+3. **Record** — fresh verdicts are written back to the cache, and worker
+   telemetry is folded into the coordinator's registry.
+
+Telemetry under the pool is lossless and double-count-free by
+construction: *thread* workers record straight into the process-wide
+registry (its lock makes concurrent increments safe), while *process*
+workers reset their forked copy of the registry, record locally, and
+ship a snapshot back in the result tuple — the coordinator merges each
+snapshot exactly once via ``TelemetryRegistry.merge_snapshot``.  The
+coordinator additionally publishes ``service.jobs`` and
+``service.worker_utilisation`` gauges and ``service.files.*`` counters.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import obs
+from ..checker.frontend import check_text
+from ..obs import METRICS
+from .cache import CachedResult, ResultCache
+from .project import Project, ProjectFile
+
+__all__ = ["FileResult", "BatchReport", "check_one_text", "run_batch"]
+
+
+@dataclass(frozen=True)
+class FileResult:
+    """Outcome for one corpus member (fresh or replayed from cache)."""
+
+    display: str
+    digest: str
+    ok: bool
+    diagnostics: Tuple[str, ...]
+    clauses: int
+    queries: int
+    duration_s: float
+    from_cache: bool
+
+    def summary_line(self) -> str:
+        """The per-file line batch surfaces print."""
+        suffix = " [cached]" if self.from_cache else ""
+        if self.ok:
+            return (
+                f"{self.display}: well-typed ({self.clauses} clauses, "
+                f"{self.queries} queries){suffix}"
+            )
+        return f"{self.display}: ill-typed ({len(self.diagnostics)} diagnostics){suffix}"
+
+
+@dataclass
+class BatchReport:
+    """Everything one ``run_batch`` pass produced."""
+
+    results: List[FileResult] = field(default_factory=list)
+    wall_s: float = 0.0
+    jobs: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def files_checked(self) -> int:
+        return sum(1 for result in self.results if not result.from_cache)
+
+    @property
+    def hit_rate(self) -> float:
+        probes = self.cache_hits + self.cache_misses
+        return self.cache_hits / probes if probes else 0.0
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "wall_s": self.wall_s,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+            "ok": self.ok,
+            "files": [
+                {
+                    "path": result.display,
+                    "digest": result.digest,
+                    "well_typed": result.ok,
+                    "diagnostics": list(result.diagnostics),
+                    "clauses": result.clauses,
+                    "queries": result.queries,
+                    "duration_s": result.duration_s,
+                    "from_cache": result.from_cache,
+                }
+                for result in self.results
+            ],
+        }
+
+
+def check_one_text(text: str) -> Tuple[bool, Tuple[str, ...], int, int]:
+    """Check one source text; diagnostics come back rendered.
+
+    The rendered form is exactly what the CLIs print and the cache
+    stores, which is what makes warm output reproducible byte-for-byte.
+    """
+    module = check_text(text)
+    diagnostics = tuple(str(diagnostic) for diagnostic in module.diagnostics)
+    return module.ok, diagnostics, len(module.program), len(module.queries)
+
+
+_WorkerReturn = Tuple[int, bool, Tuple[str, ...], int, int, float, Optional[Dict[str, Any]]]
+
+
+def _check_job(job: Tuple[int, str, bool]) -> _WorkerReturn:
+    """Pool worker: check one text, optionally shipping telemetry home.
+
+    ``ship_telemetry`` is set only for *process* workers of an observed
+    run: the forked child resets its inherited copy of the registry
+    (so nothing the parent already recorded is counted again), detaches
+    any inherited trace sinks (children must not interleave writes on
+    the parent's streams), records into its private copy, and returns a
+    snapshot for the coordinator to merge.  Thread workers never ship —
+    they share the coordinator's registry directly.
+    """
+    index, text, ship_telemetry = job
+    snapshot: Optional[Dict[str, Any]] = None
+    if ship_telemetry:
+        obs.TRACER.clear_sinks()
+        METRICS.reset()
+        METRICS.enabled = True
+    start = time.perf_counter()
+    ok, diagnostics, clauses, queries = check_one_text(text)
+    duration = time.perf_counter() - start
+    if ship_telemetry:
+        snapshot = METRICS.snapshot()
+    return index, ok, diagnostics, clauses, queries, duration, snapshot
+
+
+def _make_executor(use: str, jobs: int) -> Executor:
+    if use == "thread":
+        return ThreadPoolExecutor(max_workers=jobs)
+    if use == "process":
+        return ProcessPoolExecutor(max_workers=jobs)
+    raise ValueError(f"unknown executor kind {use!r} (expected 'process' or 'thread')")
+
+
+def run_batch(
+    project: Project,
+    cache: Optional[ResultCache] = None,
+    jobs: int = 1,
+    use: str = "process",
+    force: bool = False,
+) -> BatchReport:
+    """One batch pass: probe the cache, check the misses, record verdicts."""
+    jobs = max(1, jobs)
+    report = BatchReport(jobs=jobs)
+    decls_digest = project.declarations_digest
+    start = time.perf_counter()
+
+    # Phase 1: cache probes (coordinator only — workers never touch disk).
+    placeholders: List[Optional[FileResult]] = []
+    misses: List[Tuple[int, ProjectFile]] = []
+    for index, member in enumerate(project.files):
+        cached = None
+        if cache is not None and not force:
+            cached = cache.get(member.digest, decls_digest)
+        if cached is not None:
+            placeholders.append(
+                FileResult(
+                    display=member.display,
+                    digest=member.digest,
+                    ok=cached.ok,
+                    diagnostics=cached.diagnostics,
+                    clauses=cached.clauses,
+                    queries=cached.queries,
+                    duration_s=cached.duration_s,
+                    from_cache=True,
+                )
+            )
+        else:
+            placeholders.append(None)
+            misses.append((index, member))
+
+    # Phase 2: check the misses (inline, threads, or processes).
+    observed = METRICS.enabled
+    ship_telemetry = observed and jobs > 1 and use == "process"
+    outcomes: List[_WorkerReturn] = []
+    if misses:
+        job_list = [
+            (index, project.effective_text(member), ship_telemetry)
+            for index, member in misses
+        ]
+        if jobs == 1 or len(job_list) == 1:
+            outcomes = [_check_job((index, text, False)) for index, text, _ in job_list]
+        else:
+            with _make_executor(use, jobs) as pool:
+                outcomes = list(pool.map(_check_job, job_list))
+
+    # Phase 3: record — verdicts into the cache, telemetry into obs.
+    members_by_index = {index: member for index, member in misses}
+    busy = 0.0
+    for index, ok, diagnostics, clauses, queries, duration, snapshot in outcomes:
+        member = members_by_index[index]
+        busy += duration
+        result = FileResult(
+            display=member.display,
+            digest=member.digest,
+            ok=ok,
+            diagnostics=diagnostics,
+            clauses=clauses,
+            queries=queries,
+            duration_s=duration,
+            from_cache=False,
+        )
+        placeholders[index] = result
+        if cache is not None:
+            cache.put(
+                member.digest,
+                decls_digest,
+                CachedResult(
+                    ok=ok,
+                    diagnostics=diagnostics,
+                    clauses=clauses,
+                    queries=queries,
+                    duration_s=duration,
+                    checked_at=ResultCache.now(),
+                ),
+                display=member.display,
+            )
+        if snapshot is not None:
+            METRICS.merge_snapshot(snapshot)
+    if cache is not None:
+        cache.save()
+
+    report.results = [result for result in placeholders if result is not None]
+    report.wall_s = time.perf_counter() - start
+    report.cache_hits = sum(1 for result in report.results if result.from_cache)
+    report.cache_misses = len(outcomes)
+    if observed:
+        METRICS.inc("service.files.checked", len(outcomes))
+        METRICS.inc("service.files.cached", report.cache_hits)
+        METRICS.gauge("service.jobs", jobs)
+        if report.wall_s > 0 and outcomes:
+            METRICS.gauge(
+                "service.worker_utilisation",
+                min(1.0, busy / (report.wall_s * jobs)),
+            )
+    return report

@@ -1,0 +1,81 @@
+"""tlp-check's corpus features: directory arguments, cache/jobs flags."""
+
+import pytest
+
+from repro.checker.cli import main
+from repro.workloads import APPEND, ILL_TYPED_EXAMPLES
+
+
+@pytest.fixture()
+def corpus(tmp_path):
+    (tmp_path / "append.tlp").write_text(APPEND)
+    nested = tmp_path / "nested"
+    nested.mkdir()
+    (nested / "more.tlp").write_text(APPEND)
+    (tmp_path / "notes.txt").write_text("not a program")
+    return tmp_path
+
+
+def test_directory_argument_checks_every_tlp_file(corpus, capsys):
+    assert main([str(corpus)]) == 0
+    out = capsys.readouterr().out
+    assert out.count("well-typed") == 2
+    assert "append.tlp" in out and "more.tlp" in out
+    assert "notes.txt" not in out
+
+
+def test_empty_directory_is_a_usage_error(tmp_path, capsys):
+    assert main([str(tmp_path)]) == 2
+    assert "no .tlp files" in capsys.readouterr().err
+
+
+def test_missing_path_still_exits_two(capsys):
+    assert main(["/nonexistent/nowhere"]) == 2
+
+
+def test_multi_file_run_prints_per_file_summary_for_ill_typed(corpus, capsys):
+    bad = corpus / "bad.tlp"
+    bad.write_text(ILL_TYPED_EXAMPLES["query_two_contexts"])
+    assert main([str(corpus)]) == 1
+    out = capsys.readouterr().out
+    assert f"{bad}: ill-typed (" in out
+    assert out.count(": well-typed (") == 2
+
+
+def test_cache_dir_flag_replays_warm_results(corpus, tmp_path, capsys):
+    cache_dir = str(tmp_path / "the-cache")
+    assert main([str(corpus), "--cache-dir", cache_dir]) == 0
+    cold_out = capsys.readouterr().out
+    assert "[cached]" not in cold_out
+    assert main([str(corpus), "--cache-dir", cache_dir]) == 0
+    warm_out = capsys.readouterr().out
+    assert warm_out.count("[cached]") == 2
+    assert warm_out.replace(" [cached]", "") == cold_out
+
+
+def test_cache_dir_preserves_ill_typed_exit_and_diagnostics(corpus, tmp_path, capsys):
+    bad = corpus / "bad.tlp"
+    bad.write_text(ILL_TYPED_EXAMPLES["query_two_contexts"])
+    cache_dir = str(tmp_path / "the-cache")
+    assert main([str(corpus), "--cache-dir", cache_dir]) == 1
+    cold_out = capsys.readouterr().out
+    assert main([str(corpus), "--cache-dir", cache_dir]) == 1
+    warm_out = capsys.readouterr().out
+    assert warm_out.replace(" [cached]", "") == cold_out
+    assert "ill-typed" in warm_out
+
+
+def test_jobs_flag_matches_sequential_output(corpus, capsys):
+    assert main([str(corpus)]) == 0
+    sequential = capsys.readouterr().out
+    assert main([str(corpus), "--jobs", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert parallel == sequential
+
+
+def test_run_flag_keeps_the_sequential_interpreter_path(corpus, capsys):
+    source = APPEND + ":- app(cons(nil,nil), nil, X).\n"
+    (corpus / "queries.tlp").write_text(source)
+    assert main([str(corpus / "queries.tlp"), "--run", "--jobs", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "X = cons(nil, nil)" in out

@@ -1,0 +1,69 @@
+"""Regression: one SubtypeEngine memo is shared across the whole pipeline.
+
+Before the batch-service work every stage that posed subtype goals built
+its own engine (moded checker, mode checker, witness audits, constrained
+execution), so hot ``τ ⪰_C τ′`` goals were re-derived per stage.  The
+frontend now owns one engine per module — ``CheckedModule.engine`` — and
+threads it through; these tests pin the sharing down via the engine's
+memo statistics and the ``cache_probe`` trace events it emits.
+"""
+
+from pathlib import Path
+
+from repro import obs
+from repro.checker.frontend import check_text
+from repro.obs import CacheProbeEvent
+
+MODES_SOURCE = (
+    Path(__file__).resolve().parents[2] / "examples" / "programs" / "modes.tlp"
+).read_text()
+
+
+def test_module_exposes_the_shared_engine():
+    module = check_text(MODES_SOURCE)
+    assert module.ok
+    assert module.engine is not None
+    assert module.engine.constraints is module.constraints
+    # The moded checker derives through the very same instance.
+    assert module.moded_checker is not None
+    assert module.moded_checker.engine is module.engine
+    # And the strict checker inside it is the module's own (one matcher
+    # memo for strict and moded checking alike).
+    assert module.moded_checker.strict is module.checker
+
+
+def test_unmoded_modules_get_an_engine_too():
+    from repro.workloads import APPEND
+
+    module = check_text(APPEND)
+    assert module.ok
+    assert module.engine is not None
+
+
+def test_cross_stage_goals_hit_the_shared_memo():
+    """The mode checker re-poses goals the moded pipeline already proved:
+    with one shared engine those land as memo hits, visible both in the
+    engine's stats and as hit=True ``cache_probe`` events."""
+    with obs.collect() as (_metrics, sink):
+        module = check_text(MODES_SOURCE)
+    assert module.ok
+    stats = module.engine.stats
+    assert stats.memo_hits > 0, "expected re-posed subtype goals to hit the memo"
+    probes = [
+        event
+        for event in sink.events
+        if isinstance(event, CacheProbeEvent) and event.cache.startswith("subtype.")
+    ]
+    assert any(event.hit for event in probes)
+
+
+def test_separate_engines_would_not_share(tmp_path):
+    """Control: two independent engines over the same constraints start
+    with cold memos — the sharing is a property of the single instance,
+    not of the constraint set."""
+    from repro.core.subtype import SubtypeEngine
+
+    module = check_text(MODES_SOURCE)
+    fresh = SubtypeEngine(module.constraints, validate=False)
+    assert fresh.stats.memo_hits == 0
+    assert fresh._memo == {} and module.engine._memo != {}

@@ -1,0 +1,70 @@
+"""Shared fixtures for the batch-service tests: tiny corpora on disk."""
+
+import pytest
+
+from repro import obs
+from repro.workloads import APPEND, ILL_TYPED_EXAMPLES
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.METRICS.disable()
+    obs.TRACER.clear_sinks()
+    obs.reset()
+    yield
+    obs.METRICS.disable()
+    obs.TRACER.clear_sinks()
+    obs.reset()
+
+SHARED_DECLS = """\
+FUNC nil, cons.
+TYPE elist, nelist, list.
+elist >= nil.
+nelist(A) >= cons(A,list(A)).
+list(A) >= elist + nelist(A).
+PRED app(list(A),list(A),list(A)).
+PRED rev(list(A),list(A)).
+"""
+
+APPEND_CLAUSES = """\
+app(nil,L,L).
+app(cons(X,L),M,cons(X,N)) :- app(L,M,N).
+"""
+
+REVERSE_CLAUSES = """\
+rev(nil,nil).
+rev(cons(X,L),R) :- rev(L,M), app(M,cons(X,nil),R).
+"""
+
+
+@pytest.fixture()
+def corpus_dir(tmp_path):
+    """A plain directory corpus: two well-typed files, one nested."""
+    (tmp_path / "append.tlp").write_text(APPEND)
+    nested = tmp_path / "nested"
+    nested.mkdir()
+    (nested / "append_again.tlp").write_text(APPEND)
+    (tmp_path / "README.txt").write_text("not a program")
+    return tmp_path
+
+
+@pytest.fixture()
+def mixed_corpus_dir(tmp_path):
+    """A corpus with one ill-typed member."""
+    (tmp_path / "good.tlp").write_text(APPEND)
+    (tmp_path / "bad.tlp").write_text(ILL_TYPED_EXAMPLES["query_two_contexts"])
+    return tmp_path
+
+
+@pytest.fixture()
+def manifest_dir(tmp_path):
+    """A manifest corpus with a shared declaration prelude."""
+    (tmp_path / "decls.tlp").write_text(SHARED_DECLS)
+    members = tmp_path / "members"
+    members.mkdir()
+    (members / "append.tlp").write_text(APPEND_CLAUSES)
+    (members / "reverse.tlp").write_text(REVERSE_CLAUSES)
+    (tmp_path / "tlp-project.json").write_text(
+        '{"name": "fixture-corpus", "include": ["members"], "shared": ["decls.tlp"]}\n'
+    )
+    return tmp_path

@@ -1,0 +1,53 @@
+"""The tlp-batch entry point: exit codes, summary lines, --json contract."""
+
+import json
+
+import pytest
+
+from repro.service.batch import main
+
+
+def test_corpus_run_prints_per_file_and_summary(corpus_dir, capsys):
+    assert main([str(corpus_dir), "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert out.count(": well-typed (") == 2
+    assert "checked 2 files" in out
+
+
+def test_ill_typed_corpus_exits_one_with_diagnostics(mixed_corpus_dir, capsys):
+    assert main([str(mixed_corpus_dir), "--no-cache"]) == 1
+    out = capsys.readouterr().out
+    assert "ill-typed (1 diagnostics)" in out
+    assert "error" in out
+
+
+def test_missing_path_is_a_usage_error(capsys):
+    assert main(["/nonexistent/nowhere", "--no-cache"]) == 2
+    assert "tlp-batch:" in capsys.readouterr().err
+
+
+def test_json_dash_keeps_stdout_machine_readable(corpus_dir, capsys):
+    """``--json -`` must leave stdout parseable as one JSON document;
+    the human lines move to stderr."""
+    assert main([str(corpus_dir), "--no-cache", "--json", "-"]) == 0
+    captured = capsys.readouterr()
+    report = json.loads(captured.out)
+    assert len(report["files"]) == 2 and report["ok"]
+    assert "well-typed" in captured.err
+
+
+def test_quiet_suppresses_everything_but_diagnostics(mixed_corpus_dir, capsys):
+    assert main([str(mixed_corpus_dir), "--no-cache", "--quiet"]) == 1
+    out = capsys.readouterr().out
+    assert "checked" not in out and ": well-typed (" not in out
+    assert "error" in out  # diagnostics always survive --quiet
+
+
+def test_warm_json_report_records_cache_hits(corpus_dir, tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    assert main([str(corpus_dir), "--cache-dir", cache, "--quiet"]) == 0
+    capsys.readouterr()
+    assert main([str(corpus_dir), "--cache-dir", cache, "--json", "-", "--quiet"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["hit_rate"] == 1.0
+    assert all(f["from_cache"] for f in report["files"])

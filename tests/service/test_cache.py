@@ -1,0 +1,107 @@
+"""Persistent result cache: round trips, versioning, observability."""
+
+import json
+
+from repro import obs
+from repro.obs import CacheProbeEvent
+from repro.service.cache import CachedResult, ResultCache
+
+
+def sample(ok=True, diagnostics=()):
+    return CachedResult(
+        ok=ok,
+        diagnostics=tuple(diagnostics),
+        clauses=2,
+        queries=1,
+        duration_s=0.01,
+        checked_at=ResultCache.now(),
+    )
+
+
+def test_round_trip_within_one_instance(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    assert cache.get("f1", "d1") is None
+    cache.put("f1", "d1", sample(diagnostics=("1:2: error: boom",)), display="a.tlp")
+    got = cache.get("f1", "d1")
+    assert got is not None
+    assert got.diagnostics == ("1:2: error: boom",)
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_persistence_across_instances(tmp_path):
+    first = ResultCache(str(tmp_path))
+    first.put("f1", "d1", sample(), display="a.tlp")
+    first.save()
+    second = ResultCache(str(tmp_path))
+    assert len(second) == 1
+    assert second.get("f1", "d1") is not None
+
+
+def test_key_separates_file_and_declarations_digests(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put("f1", "d1", sample(), display="a.tlp")
+    assert cache.get("f1", "d2") is None  # changed shared declarations
+    assert cache.get("f2", "d1") is None  # changed file content
+    assert cache.get("f1", "d1") is not None
+
+
+def test_checker_version_bump_invalidates_everything(tmp_path):
+    old = ResultCache(str(tmp_path), checker_version="old")
+    old.put("f1", "d1", sample(), display="a.tlp")
+    old.save()
+    fresh = ResultCache(str(tmp_path), checker_version="new")
+    assert len(fresh) == 0
+    assert fresh.get("f1", "d1") is None
+
+
+def test_corrupt_index_treated_as_empty(tmp_path):
+    index = tmp_path / "tlp-cache.json"
+    index.write_text("{ this is not json")
+    cache = ResultCache(str(tmp_path))
+    assert len(cache) == 0
+    cache.put("f1", "d1", sample(), display="a.tlp")
+    cache.save()
+    assert json.loads(index.read_text())["entries"]
+
+
+def test_malformed_entry_is_a_miss_and_purged(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put("f1", "d1", sample(), display="a.tlp")
+    cache._entries[ResultCache.key("f1", "d1")] = {"garbage": True}
+    assert cache.get("f1", "d1") is None
+    assert len(cache) == 0
+
+
+def test_invalidate_by_display_and_wholesale(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put("f1", "d1", sample(), display="a.tlp")
+    cache.put("f2", "d1", sample(), display="b.tlp")
+    assert cache.invalidate("a.tlp") == 1
+    assert len(cache) == 1
+    assert cache.invalidate() == 1
+    assert len(cache) == 0
+
+
+def test_probes_emit_counters_and_trace_events(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    with obs.collect() as (metrics, sink):
+        cache.get("f1", "d1")  # miss
+        cache.put("f1", "d1", sample(), display="a.tlp")
+        cache.get("f1", "d1")  # hit
+    assert metrics.counter("service.cache.hits") == 1
+    assert metrics.counter("service.cache.misses") == 1
+    probes = [
+        event
+        for event in sink.events
+        if isinstance(event, CacheProbeEvent) and event.cache == "service.results"
+    ]
+    assert [event.hit for event in probes] == [False, True]
+
+
+def test_save_is_noop_until_dirty(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.save()
+    assert not (tmp_path / "tlp-cache.json").exists()
+    cache.put("f1", "d1", sample(), display="a.tlp")
+    cache.save()
+    assert (tmp_path / "tlp-cache.json").exists()

@@ -1,0 +1,165 @@
+"""The check daemon: protocol semantics, hot state, subprocess round trip."""
+
+import io
+import json
+import os
+import subprocess
+import sys
+
+from repro import obs
+from repro.service.daemon import CheckService, serve
+from repro.workloads import APPEND, ILL_TYPED_EXAMPLES
+
+
+# -- CheckService.handle -----------------------------------------------------
+
+
+def test_check_by_text_then_hot_hit():
+    service = CheckService()
+    first = service.handle({"op": "check", "text": APPEND})
+    assert first["ok"] and first["well_typed"] and first["source"] == "checked"
+    assert first["clauses"] == 2
+    second = service.handle({"op": "check", "text": APPEND})
+    assert second["source"] == "hot"
+    assert second["digest"] == first["digest"]
+    assert service.hot_hits == 1
+
+
+def test_check_by_path(tmp_path):
+    path = tmp_path / "append.tlp"
+    path.write_text(APPEND)
+    response = CheckService().handle({"op": "check", "path": str(path)})
+    assert response["ok"] and response["well_typed"]
+    assert response["path"] == str(path)
+
+
+def test_ill_typed_is_protocol_ok_but_not_well_typed():
+    response = CheckService().handle(
+        {"op": "check", "text": ILL_TYPED_EXAMPLES["query_two_contexts"]}
+    )
+    assert response["ok"] is True
+    assert response["well_typed"] is False
+    assert response["diagnostics"]
+
+
+def test_check_argument_validation(tmp_path):
+    service = CheckService()
+    assert not service.handle({"op": "check"})["ok"]
+    assert not service.handle({"op": "check", "path": "a", "text": "b"})["ok"]
+    missing = service.handle({"op": "check", "path": str(tmp_path / "nope.tlp")})
+    assert not missing["ok"] and "cannot read" in missing["error"]
+
+
+def test_unknown_op_and_non_object_requests():
+    service = CheckService()
+    assert not service.handle({"op": "frobnicate"})["ok"]
+    assert not service.handle(["not", "an", "object"])["ok"]
+    assert service.errors == 2
+
+
+def test_persistent_cache_shared_across_daemon_lifetimes(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    first = CheckService(cache_dir=cache_dir)
+    assert first.handle({"op": "check", "text": APPEND})["source"] == "checked"
+    # A new daemon process: no hot modules, but the verdict store is warm.
+    second = CheckService(cache_dir=cache_dir)
+    replayed = second.handle({"op": "check", "text": APPEND})
+    assert replayed["source"] == "cache"
+    assert replayed["well_typed"] is True
+
+
+def test_stats_reports_counts_and_telemetry():
+    obs.METRICS.enable()
+    service = CheckService()
+    service.handle({"op": "check", "text": APPEND})
+    response = service.handle({"op": "stats"})
+    assert response["ok"]
+    stats = response["stats"]
+    assert stats["requests"] == 2 and stats["checks"] == 1
+    assert stats["hot_modules"] == 1
+    assert response["telemetry"]["counters"]["checker.modules_checked"] == 1
+
+
+def test_invalidate_drops_hot_and_cached_state(tmp_path):
+    path = tmp_path / "append.tlp"
+    path.write_text(APPEND)
+    service = CheckService(cache_dir=str(tmp_path / "cache"))
+    service.handle({"op": "check", "path": str(path)})
+    response = service.handle({"op": "invalidate", "path": str(path)})
+    assert response["dropped_hot"] == 1 and response["dropped_cached"] == 1
+    assert service.handle({"op": "check", "path": str(path)})["source"] == "checked"
+    assert service.handle({"op": "invalidate"})["dropped_hot"] == 1
+
+
+# -- the serve loop ----------------------------------------------------------
+
+
+def run_session(lines, service=None):
+    out = io.StringIO()
+    serve(service or CheckService(), io.StringIO("".join(lines)), out)
+    return [json.loads(line) for line in out.getvalue().splitlines()]
+
+
+def test_serve_round_trip_check_stats_shutdown():
+    responses = run_session(
+        [
+            json.dumps({"op": "check", "text": APPEND}) + "\n",
+            "\n",  # blank lines are skipped
+            json.dumps({"op": "stats"}) + "\n",
+            json.dumps({"op": "shutdown"}) + "\n",
+            json.dumps({"op": "check", "text": APPEND}) + "\n",  # after shutdown
+        ]
+    )
+    assert [r.get("op") for r in responses] == ["check", "stats", "shutdown"]
+    assert responses[0]["well_typed"] is True
+    assert responses[1]["stats"]["requests"] == 2
+
+
+def test_serve_survives_malformed_json():
+    responses = run_session(
+        [
+            "this is not json\n",
+            json.dumps({"op": "stats"}) + "\n",
+        ]
+    )
+    assert responses[0]["ok"] is False and "malformed JSON" in responses[0]["error"]
+    assert responses[1]["ok"] is True
+
+
+def test_serve_stops_at_eof_without_shutdown():
+    responses = run_session([json.dumps({"op": "stats"}) + "\n"])
+    assert len(responses) == 1
+
+
+# -- subprocess smoke --------------------------------------------------------
+
+
+def test_daemon_subprocess_round_trip(tmp_path):
+    """One real tlp-serve process: check + stats over the JSON protocol."""
+    path = tmp_path / "append.tlp"
+    path.write_text(APPEND)
+    requests = "".join(
+        json.dumps(request) + "\n"
+        for request in [
+            {"op": "check", "path": str(path)},
+            {"op": "stats"},
+            {"op": "shutdown"},
+        ]
+    )
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.service.daemon", "--cache-dir", str(tmp_path / "c")],
+        input=requests,
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    responses = [json.loads(line) for line in completed.stdout.splitlines()]
+    assert [r["op"] for r in responses] == ["check", "stats", "shutdown"]
+    assert responses[0]["well_typed"] is True
+    assert responses[1]["stats"]["checks"] == 1
+    assert "ready" in completed.stderr

@@ -1,0 +1,123 @@
+"""Project model: discovery, manifests, fingerprints."""
+
+import json
+
+import pytest
+
+from repro.service.project import (
+    EMPTY_DECLS_DIGEST,
+    MANIFEST_NAME,
+    ProjectError,
+    discover_tlp_files,
+    fingerprint,
+    load_project,
+)
+
+
+# -- discovery ---------------------------------------------------------------
+
+
+def test_directory_walk_is_recursive_sorted_and_filtered(corpus_dir):
+    files = discover_tlp_files([str(corpus_dir)])
+    names = [path.name for path in files]
+    assert names == ["append.tlp", "append_again.tlp"]  # README.txt skipped
+    assert files == sorted(files)
+
+
+def test_explicit_file_kept_regardless_of_suffix(tmp_path):
+    odd = tmp_path / "program.txt"
+    odd.write_text("FUNC nil.\n")
+    assert discover_tlp_files([str(odd)]) == [odd]
+
+
+def test_duplicates_dropped(corpus_dir):
+    twice = discover_tlp_files([str(corpus_dir), str(corpus_dir / "append.tlp")])
+    assert len(twice) == len({path.resolve() for path in twice})
+
+
+def test_missing_path_raises():
+    with pytest.raises(ProjectError):
+        discover_tlp_files(["/nonexistent/nowhere"])
+
+
+# -- plain projects ----------------------------------------------------------
+
+
+def test_plain_project_fingerprints(corpus_dir):
+    project = load_project([str(corpus_dir)])
+    assert len(project.files) == 2
+    assert project.declarations_digest == EMPTY_DECLS_DIGEST
+    for member in project.files:
+        assert member.digest == fingerprint(member.text)
+        assert project.effective_text(member) == member.text
+    # Content-addressed: identical text, identical digest.
+    assert project.files[0].digest == project.files[1].digest
+
+
+def test_fingerprint_tracks_content(corpus_dir):
+    before = load_project([str(corpus_dir)]).files[0].digest
+    target = corpus_dir / "append.tlp"
+    target.write_text(target.read_text() + "% comment\n")
+    after = load_project([str(corpus_dir)]).files[0].digest
+    assert before != after
+
+
+# -- manifest projects -------------------------------------------------------
+
+
+def test_manifest_autodetected_in_single_directory(manifest_dir):
+    project = load_project([str(manifest_dir)])
+    assert project.name == "fixture-corpus"
+    assert [member.display for member in project.files] == [
+        "members/append.tlp",
+        "members/reverse.tlp",
+    ]
+    assert [entry.display for entry in project.shared] == ["decls.tlp"]
+
+
+def test_shared_prelude_prepended_and_fingerprinted(manifest_dir):
+    project = load_project([str(manifest_dir)])
+    assert project.declarations_digest != EMPTY_DECLS_DIGEST
+    member = project.files[0]
+    effective = project.effective_text(member)
+    assert effective.startswith(project.shared[0].text)
+    assert effective.endswith(member.text)
+    # Editing the shared prelude moves the declarations digest but not
+    # the members' own digests — exactly the cache-key split.
+    (manifest_dir / "decls.tlp").write_text(
+        (manifest_dir / "decls.tlp").read_text() + "% tweak\n"
+    )
+    reloaded = load_project([str(manifest_dir)])
+    assert reloaded.declarations_digest != project.declarations_digest
+    assert [m.digest for m in reloaded.files] == [m.digest for m in project.files]
+
+
+def test_manifest_exclude_and_explicit_flag(manifest_dir):
+    manifest = manifest_dir / MANIFEST_NAME
+    manifest.write_text(
+        json.dumps(
+            {
+                "include": ["members"],
+                "shared": ["decls.tlp"],
+                "exclude": ["members/reverse.tlp"],
+            }
+        )
+    )
+    project = load_project(["ignored-when-manifest-given"], manifest=str(manifest))
+    assert [member.display for member in project.files] == ["members/append.tlp"]
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        "not json at all",
+        "[1, 2, 3]",
+        '{"include": "not-a-list"}',
+        '{"shared": ["missing.tlp"]}',
+    ],
+)
+def test_malformed_manifest_raises(tmp_path, payload):
+    manifest = tmp_path / MANIFEST_NAME
+    manifest.write_text(payload)
+    with pytest.raises(ProjectError):
+        load_project([str(tmp_path)])

@@ -1,0 +1,186 @@
+"""Execution layer: cold/warm runs, parallel workers, telemetry aggregation.
+
+Covers the service's central guarantees: a warm run replays cold-run
+diagnostics byte-for-byte without invoking the checker, invalidation is
+exactly content/declarations-keyed, and telemetry under the worker pool
+is lossless (no lost updates, no cross-worker double counting) for both
+the thread and the process flavour.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs import METRICS
+from repro.service.cache import ResultCache
+from repro.service.project import load_project
+from repro.service.runner import run_batch
+
+
+def batch(path, cache=None, **kwargs):
+    return run_batch(load_project([str(path)]), cache=cache, **kwargs)
+
+
+# -- cold vs warm ------------------------------------------------------------
+
+
+def test_warm_run_replays_cold_run_exactly(corpus_dir, tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    cold = batch(corpus_dir, cache)
+    assert cold.ok and cold.cache_hits == 0 and cold.files_checked == 2
+
+    warm_cache = ResultCache(str(tmp_path / "cache"))  # fresh load from disk
+    warm = batch(corpus_dir, warm_cache)
+    assert warm.hit_rate == 1.0
+    assert warm.files_checked == 0  # Definition 16 pipeline never ran
+    assert [r.from_cache for r in warm.results] == [True, True]
+    assert [(r.display, r.ok, r.diagnostics) for r in warm.results] == [
+        (r.display, r.ok, r.diagnostics) for r in cold.results
+    ]
+    assert [r.summary_line().replace(" [cached]", "") for r in warm.results] == [
+        r.summary_line() for r in cold.results
+    ]
+
+
+def test_ill_typed_diagnostics_cached_byte_identically(mixed_corpus_dir, tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    cold = batch(mixed_corpus_dir, cache)
+    assert not cold.ok and cold.exit_code == 1
+    warm = batch(mixed_corpus_dir, cache)
+    assert warm.exit_code == 1 and warm.hit_rate == 1.0
+    cold_diags = {r.display: r.diagnostics for r in cold.results}
+    warm_diags = {r.display: r.diagnostics for r in warm.results}
+    assert warm_diags == cold_diags
+    assert any(warm_diags.values())  # the ill-typed member kept its messages
+
+
+def test_force_rechecks_but_keeps_recording(corpus_dir, tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    batch(corpus_dir, cache)
+    forced = batch(corpus_dir, cache, force=True)
+    assert forced.cache_hits == 0 and forced.files_checked == 2
+    warm = batch(corpus_dir, cache)
+    assert warm.hit_rate == 1.0
+
+
+def test_no_cache_always_checks(corpus_dir):
+    first = batch(corpus_dir)
+    second = batch(corpus_dir)
+    assert first.files_checked == second.files_checked == 2
+
+
+# -- invalidation ------------------------------------------------------------
+
+
+def test_content_change_rechecks_only_that_file(corpus_dir, tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    batch(corpus_dir, cache)
+    target = corpus_dir / "append.tlp"
+    target.write_text(target.read_text() + "% touched\n")
+    warm = batch(corpus_dir, cache)
+    rechecked = [r.display for r in warm.results if not r.from_cache]
+    assert rechecked == [str(target)]
+    assert warm.cache_hits == 1
+
+
+def test_shared_declaration_change_rechecks_whole_corpus(manifest_dir, tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    cold = run_batch(load_project([str(manifest_dir)]), cache=cache)
+    assert cold.ok and cold.files_checked == 2
+    warm = run_batch(load_project([str(manifest_dir)]), cache=cache)
+    assert warm.hit_rate == 1.0
+    # Tighten a shared declaration: every member's key moves at once.
+    decls = manifest_dir / "decls.tlp"
+    decls.write_text(decls.read_text() + "% prelude changed\n")
+    invalidated = run_batch(load_project([str(manifest_dir)]), cache=cache)
+    assert invalidated.cache_hits == 0
+    assert invalidated.files_checked == 2
+
+
+# -- parallel workers --------------------------------------------------------
+
+
+@pytest.mark.parametrize("use", ["thread", "process"])
+def test_parallel_results_match_sequential(corpus_dir, use):
+    sequential = batch(corpus_dir)
+    parallel = batch(corpus_dir, jobs=2, use=use)
+    assert [(r.display, r.ok, r.diagnostics, r.clauses, r.queries) for r in parallel.results] == [
+        (r.display, r.ok, r.diagnostics, r.clauses, r.queries) for r in sequential.results
+    ]
+
+
+def make_corpus(tmp_path, count=6):
+    from repro.workloads import APPEND
+
+    root = tmp_path / "many"
+    root.mkdir()
+    for index in range(count):
+        # Distinct texts so every file is real work (no dedup anywhere).
+        (root / f"member{index}.tlp").write_text(APPEND + f"% v{index}\n")
+    return root
+
+
+@pytest.mark.parametrize("use", ["thread", "process"])
+def test_telemetry_aggregation_under_worker_pool(tmp_path, use):
+    """No lost counter updates, no cross-worker double counting.
+
+    The reference is the sequential observed run: whatever the single
+    process records, the pooled run must record identically for every
+    deterministic counter (timer *counts* too — durations vary).
+    """
+    root = make_corpus(tmp_path)
+    obs.reset()
+    METRICS.enabled = True
+    try:
+        run_batch(load_project([str(root)]), jobs=1)
+        reference = METRICS.snapshot()
+        obs.reset()
+        run_batch(load_project([str(root)]), jobs=3, use=use)
+        pooled = METRICS.snapshot()
+    finally:
+        METRICS.enabled = False
+    reference_counters = {
+        name: value
+        for name, value in reference["counters"].items()
+        if not name.startswith("service.")
+    }
+    pooled_counters = {
+        name: value
+        for name, value in pooled["counters"].items()
+        if not name.startswith("service.")
+    }
+    assert pooled_counters == reference_counters
+    assert pooled_counters["checker.modules_checked"] == 6
+    for name, stat in reference["timers"].items():
+        assert pooled["timers"][name]["count"] == stat["count"], name
+
+
+def test_pool_reports_utilisation_and_file_counters(tmp_path):
+    root = make_corpus(tmp_path)
+    obs.reset()
+    METRICS.enabled = True
+    try:
+        run_batch(load_project([str(root)]), jobs=2, use="thread")
+        assert METRICS.counter("service.files.checked") == 6
+        assert METRICS.gauge_value("service.jobs") == 2
+        utilisation = METRICS.gauge_value("service.worker_utilisation")
+        assert utilisation is not None and 0.0 < utilisation <= 1.0
+    finally:
+        METRICS.enabled = False
+
+
+def test_cache_plus_process_pool(tmp_path):
+    """Cold parallel run populates the cache; warm run needs no workers."""
+    root = make_corpus(tmp_path)
+    cache = ResultCache(str(tmp_path / "cache"))
+    cold = run_batch(load_project([str(root)]), cache=cache, jobs=3, use="process")
+    assert cold.files_checked == 6
+    warm = run_batch(load_project([str(root)]), cache=cache, jobs=3, use="process")
+    assert warm.hit_rate == 1.0 and warm.files_checked == 0
+    assert {r.display: r.diagnostics for r in warm.results} == {
+        r.display: r.diagnostics for r in cold.results
+    }
+
+
+def test_unknown_executor_kind_rejected(corpus_dir):
+    with pytest.raises(ValueError):
+        batch(corpus_dir, jobs=2, use="fibers")
