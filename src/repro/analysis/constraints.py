@@ -1,0 +1,353 @@
+"""Constraint-set (declaration) analyses: rules ``TLP101``-``TLP105``.
+
+These passes look only at the ``FUNC``/``TYPE``/``PRED``/``>=`` items —
+no clause bodies — and enforce the side conditions Section 3 puts on
+type declarations plus the implicit assumptions the paper never states
+but Theorems 1-6 rely on:
+
+* **TLP101** non-uniform constraints (Definition 6) — the deterministic
+  engine and ``match`` are only defined for uniform sets;
+* **TLP102** unguarded constructors (Definitions 8-9), with the
+  offending dependence-graph cycle rendered in the message — without
+  guardedness, two-step application chains need not terminate
+  (Theorem 3 fails);
+* **TLP103** uninhabited declared types, by a least-fixpoint
+  inhabitation analysis — ``PRED p(τ)`` with ``M[τ] = ∅`` makes ``p``
+  unsatisfiable by any well-typed ground atom;
+* **TLP104** type constructors unreachable from every ``PRED``
+  declaration — dead declarations that can never constrain a program;
+* **TLP105** duplicate / shadowed declarations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..checker.diagnostics import FixIt, Severity
+from ..lang.ast import ConstraintDecl, FuncDecl, ModeDecl, PredDecl, TypeDecl
+from ..terms.pretty import UNION_TYPE, pretty
+from ..terms.term import Struct, Term, Var, subterms
+from .context import LintContext
+from .registry import register
+
+__all__ = ["inhabited_constructors"]
+
+
+def _constraint_text(item: ConstraintDecl) -> str:
+    return f"{pretty(item.lhs)} >= {pretty(item.rhs)}"
+
+
+@register(
+    "TLP101",
+    "non-uniform-constraint",
+    Severity.ERROR,
+    "constraint is not uniform polymorphic (left-hand side arguments "
+    "must be distinct variables)",
+    "§3, Definition 6",
+)
+def check_non_uniform(ctx: LintContext) -> None:
+    for item in ctx.constraint_items:
+        if not isinstance(item.lhs, Struct):
+            continue  # malformed lhs: the checker reports it
+        args = item.lhs.args
+        uniform = all(isinstance(a, Var) for a in args) and len(set(args)) == len(args)
+        if not uniform:
+            ctx.report(
+                check_non_uniform._rule,
+                f"constraint {_constraint_text(item)} is not uniform "
+                f"polymorphic: the arguments of "
+                f"{item.lhs.functor}({', '.join(pretty(a) for a in args)}) "
+                f"must be distinct variables (Definition 6)",
+                item.position,
+            )
+
+
+def _unguarded_targets(ctx: LintContext, rhs: Term) -> Set[str]:
+    """Type constructors in ``rhs`` not guarded by a function symbol."""
+    found: Set[str] = set()
+    stack: List[Term] = [rhs]
+    while stack:
+        term = stack.pop()
+        if isinstance(term, Var):
+            continue
+        assert isinstance(term, Struct)
+        if ctx.is_type_name(term.functor):
+            if term.functor != UNION_TYPE:
+                found.add(term.functor)
+            stack.extend(term.args)
+        # Function symbols (and undeclared names) guard their arguments.
+    return found
+
+
+def _find_cycle(edges: Dict[str, Set[str]], start: str) -> List[str]:
+    """One concrete path ``start -> ... -> start`` through ``edges``."""
+    stack: List[Tuple[str, List[str]]] = [(start, [start])]
+    seen: Set[str] = set()
+    while stack:
+        node, path = stack.pop()
+        for succ in sorted(edges.get(node, ())):
+            if succ == start:
+                return path + [start]
+            if succ not in seen:
+                seen.add(succ)
+                stack.append((succ, path + [succ]))
+    return [start, start]
+
+
+@register(
+    "TLP102",
+    "unguarded-constructor",
+    Severity.ERROR,
+    "type constructor directly depends on itself: the deterministic "
+    "subtype derivation need not terminate",
+    "§3, Definitions 8-9 / Theorem 3",
+)
+def check_unguarded(ctx: LintContext) -> None:
+    edges: Dict[str, Set[str]] = {}
+    first_item: Dict[str, ConstraintDecl] = {}
+    for item in ctx.constraint_items:
+        if not isinstance(item.lhs, Struct):
+            continue
+        constructor = item.lhs.functor
+        if not ctx.is_type_name(constructor):
+            continue
+        first_item.setdefault(constructor, item)
+        edges.setdefault(constructor, set()).update(
+            _unguarded_targets(ctx, item.rhs)
+        )
+    for constructor in sorted(edges):
+        if constructor not in _reachable(edges, constructor):
+            continue
+        cycle = _find_cycle(edges, constructor)
+        rendered = " -> ".join(cycle)
+        item = first_item[constructor]
+        ctx.report(
+            check_unguarded._rule,
+            f"declarations are not guarded (Definition 9): {constructor} "
+            f"directly depends on itself through the cycle {rendered}; "
+            f"guard the recursion under a function symbol",
+            item.position,
+        )
+
+
+def _reachable(edges: Dict[str, Set[str]], start: str) -> Set[str]:
+    seen: Set[str] = set()
+    stack = list(edges.get(start, ()))
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(edges.get(node, ()))
+    return seen
+
+
+def inhabited_constructors(ctx: LintContext) -> Set[str]:
+    """Least fixpoint of "has at least one ground member".
+
+    A constructor ``c`` enters the set when some constraint
+    ``c(ᾱ) >= τ`` has an inhabited right-hand side, where variables are
+    assumed inhabited (type parameters can always be instantiated with
+    an inhabited type), function applications need every argument
+    inhabited, unions need one branch, and a type-constructor
+    application needs its constructor already in the set (its parameters
+    are approximated as inhabited).
+    """
+    by_constructor: Dict[str, List[Term]] = {}
+    for item in ctx.constraint_items:
+        if isinstance(item.lhs, Struct) and ctx.is_type_name(item.lhs.functor):
+            by_constructor.setdefault(item.lhs.functor, []).append(item.rhs)
+
+    inhabited: Set[str] = set()
+
+    def term_inhabited(term: Term) -> bool:
+        if isinstance(term, Var):
+            return True
+        assert isinstance(term, Struct)
+        if term.functor == UNION_TYPE and len(term.args) == 2:
+            return any(term_inhabited(arg) for arg in term.args)
+        if ctx.is_type_name(term.functor):
+            return term.functor in inhabited
+        # Function symbols (and undeclared names, optimistically).
+        return all(term_inhabited(arg) for arg in term.args)
+
+    changed = True
+    while changed:
+        changed = False
+        for constructor, rhss in by_constructor.items():
+            if constructor in inhabited:
+                continue
+            if any(term_inhabited(rhs) for rhs in rhss):
+                inhabited.add(constructor)
+                changed = True
+    return inhabited
+
+
+@register(
+    "TLP103",
+    "uninhabited-type",
+    Severity.WARNING,
+    "declared type has no ground members: every constraint for it "
+    "recurses (or it has no constraints at all)",
+    "§2 (implicit: declared types are assumed inhabited)",
+)
+def check_uninhabited(ctx: LintContext) -> None:
+    inhabited = inhabited_constructors(ctx)
+    first_item: Dict[str, ConstraintDecl] = {}
+    for item in ctx.constraint_items:
+        if isinstance(item.lhs, Struct):
+            first_item.setdefault(item.lhs.functor, item)
+    referenced = _pred_referenced_constructors(ctx)
+    for name in sorted(ctx.type_decls):
+        if name in inhabited:
+            continue
+        has_constraints = name in first_item
+        if not has_constraints and name not in referenced:
+            continue  # dead *and* empty: TLP104's business
+        position = (
+            first_item[name].position if has_constraints else ctx.type_decls[name]
+        )
+        detail = (
+            "every constraint for it lacks a non-recursive base case"
+            if has_constraints
+            else "it has no subtype constraints at all"
+        )
+        ctx.report(
+            check_uninhabited._rule,
+            f"declared type {name} is uninhabited (M[{name}] is empty): "
+            f"{detail}",
+            position,
+            fixits=(
+                FixIt(
+                    f"add a base-case constraint such as "
+                    f"`{name} >= <base>.` for some function symbol <base>"
+                ),
+            ),
+        )
+
+
+def _pred_referenced_constructors(ctx: LintContext) -> Set[str]:
+    """Type constructors occurring in any PRED declaration's types."""
+    found: Set[str] = set()
+    for pred in ctx.pred_decls.values():
+        for arg in pred.head.args:
+            for sub in subterms(arg):
+                if isinstance(sub, Struct) and ctx.is_type_name(sub.functor):
+                    found.add(sub.functor)
+    return found
+
+
+@register(
+    "TLP104",
+    "unreachable-constructor",
+    Severity.WARNING,
+    "type constructor is unreachable from every PRED declaration",
+    "§6 (predicate types select the reachable fragment of C)",
+)
+def check_unreachable(ctx: LintContext) -> None:
+    if not ctx.pred_decls:
+        return  # nothing to be reachable from
+    edges: Dict[str, Set[str]] = {}
+    for item in ctx.constraint_items:
+        if not isinstance(item.lhs, Struct):
+            continue
+        constructor = item.lhs.functor
+        targets = {
+            sub.functor
+            for sub in subterms(item.rhs)
+            if isinstance(sub, Struct) and ctx.is_type_name(sub.functor)
+        }
+        # Parameters of the lhs can mention constructors too (non-uniform
+        # sets); count them so reachability never under-approximates.
+        targets.update(
+            sub.functor
+            for arg in item.lhs.args
+            for sub in subterms(arg)
+            if isinstance(sub, Struct) and ctx.is_type_name(sub.functor)
+        )
+        edges.setdefault(constructor, set()).update(targets - {UNION_TYPE})
+    roots = _pred_referenced_constructors(ctx)
+    for query in ctx.query_items:
+        for goal in query.body:
+            if goal.functor == ":" and len(goal.args) == 2:
+                for sub in subterms(goal.args[1]):
+                    if isinstance(sub, Struct) and ctx.is_type_name(sub.functor):
+                        roots.add(sub.functor)
+    reachable = set(roots)
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        for succ in edges.get(node, ()):
+            if succ not in reachable:
+                reachable.add(succ)
+                stack.append(succ)
+    for name in sorted(ctx.type_decls):
+        if name in reachable or name == UNION_TYPE:
+            continue
+        ctx.report(
+            check_unreachable._rule,
+            f"type constructor {name} is unreachable from every PRED "
+            f"declaration: no predicate type can ever mention it",
+            ctx.type_decls[name],
+            fixits=(
+                FixIt(
+                    f"remove the declaration of {name} or reference it "
+                    f"from a PRED type"
+                ),
+            ),
+        )
+
+
+@register(
+    "TLP105",
+    "duplicate-declaration",
+    Severity.WARNING,
+    "symbol or predicate declared more than once",
+    "§2 (V, F, T are disjoint alphabets; D assigns one type per predicate)",
+)
+def check_duplicates(ctx: LintContext) -> None:
+    seen: Dict[str, Tuple[str, object]] = {}
+    for item in ctx.source.items:
+        if isinstance(item, (FuncDecl, TypeDecl)):
+            kind = "function symbol" if isinstance(item, FuncDecl) else "type constructor"
+            for name in item.names:
+                if name in seen:
+                    first_kind, first_pos = seen[name]
+                    ctx.report(
+                        check_duplicates._rule,
+                        f"duplicate declaration of {name}: first declared "
+                        f"as a {first_kind} at {first_pos}",
+                        item.position,
+                        fixits=(FixIt(f"remove the duplicate declaration of {name}"),),
+                    )
+                else:
+                    seen[name] = (kind, item.position)
+    preds_seen: Dict[Tuple[str, int], object] = {}
+    for item in ctx.source.items:
+        if isinstance(item, PredDecl):
+            indicator = item.head.indicator
+            if indicator in preds_seen:
+                ctx.report(
+                    check_duplicates._rule,
+                    f"duplicate PRED declaration for "
+                    f"{indicator[0]}/{indicator[1]}: first declared at "
+                    f"{preds_seen[indicator]}",
+                    item.position,
+                    fixits=(FixIt("remove the duplicate PRED declaration"),),
+                )
+            else:
+                preds_seen[indicator] = item.position
+        elif isinstance(item, ModeDecl):
+            indicator = (item.name, len(item.modes))
+            key = ("MODE",) + indicator
+            if key in preds_seen:
+                ctx.report(
+                    check_duplicates._rule,
+                    f"duplicate MODE declaration for "
+                    f"{indicator[0]}/{indicator[1]}: first declared at "
+                    f"{preds_seen[key]}",
+                    item.position,
+                    fixits=(FixIt("remove the duplicate MODE declaration"),),
+                )
+            else:
+                preds_seen[key] = item.position

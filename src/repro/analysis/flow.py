@@ -1,0 +1,241 @@
+"""The subtype information-flow pass: rule ``TLP301`` (§7, after [DH88]).
+
+The paper's concluding remarks observe that with ``PRED p(nat)`` and
+``PRED q(int)`` (``int ⪰ nat``), the query ``:- q(X), p(X).`` is a
+trap: ``q`` may bind ``X`` to *any* ``int`` — say ``pred(0)`` — which
+``p`` must never see.  Information may only flow **sub→super**; the
+remedies are mode declarations ([DH88]) or an explicit *filter
+predicate* (``int2nat(X, N)``) that narrows the value.
+
+This pass finds exactly those supertype→subtype flows statically:
+
+1. **Mode inference.**  Where ``MODE`` declarations exist they are
+   used.  For predicates *defined in the file*, OUT (producer)
+   positions are inferred by an optimistic fixpoint dataflow over the
+   call graph: every position starts OUT, and a head position loses the
+   claim when some clause cannot bind all its variables from the body
+   goals' OUT positions (facts bind their ground arguments outright).
+   OUT is conditional on success, so optimism about recursive calls is
+   sound.  Predicates that are declared but never defined produce
+   nothing — their positions consume.
+2. **Flow check.**  Each clause body / query is replayed left to right.
+   Producer occurrences stamp their variables with the position's
+   declared type; a later consumer occurrence at declared type ``τ``
+   of a variable stamped ``σ`` is flagged when ``σ ≻ τ`` strictly —
+   the value set shrinks along the flow, so some producible values are
+   ill-typed at the consumer.  The fix-it suggests the §7 filter
+   predicate (``int2nat``-style) by name.
+
+Incomparable type pairs are left to the Definition 16 checker (they are
+type errors, not flow errors), and the pass runs only when the
+constraint set is uniform and guarded — the subtype engine's
+termination guarantee requires both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..checker.diagnostics import FixIt, Severity
+from ..lang.ast import ClauseDecl, QueryDecl
+from ..terms.pretty import pretty
+from ..terms.term import Struct, Term, Var, variables_of
+from .context import LintContext, _is_constraint_goal
+from .registry import register
+
+_Indicator = Tuple[str, int]
+
+IN = "IN"
+OUT = "OUT"
+
+
+def _declared_types(ctx: LintContext, atom: Struct) -> Optional[Tuple[Term, ...]]:
+    pred = ctx.pred_decls.get(atom.indicator)
+    return pred.head.args if pred is not None else None
+
+
+class ModeInference:
+    """IN/OUT positions per predicate: declared when present, otherwise
+    inferred by the boundness least fixpoint described in the module
+    docstring."""
+
+    def __init__(self, ctx: LintContext) -> None:
+        self.ctx = ctx
+        self.defined: Dict[_Indicator, List[ClauseDecl]] = {}
+        for clause in ctx.clause_items:
+            self.defined.setdefault(clause.head.indicator, []).append(clause)
+        # Optimistic (greatest) fixpoint: every position of a defined
+        # predicate starts OUT and loses the claim when some clause
+        # cannot bind it.  OUT means "ground *if* the goal succeeds", so
+        # optimism about recursive calls is sound — a recursion with no
+        # base case never succeeds, vacuously keeping its claim.
+        self.out_positions: Dict[_Indicator, Set[int]] = {
+            (name, arity): set(range(arity))
+            for (name, arity) in self.defined
+        }
+        self._solve()
+
+    def _declared_out(self, indicator: _Indicator) -> Optional[Set[int]]:
+        mode = self.ctx.mode_decls.get(indicator)
+        if mode is None:
+            return None
+        return {i for i, m in enumerate(mode.modes) if m == OUT}
+
+    def producer_positions(self, atom: Struct) -> Set[int]:
+        """Positions of ``atom`` that bind their variables when the goal
+        succeeds (declared OUT, or inferred for defined predicates;
+        undefined predicates bind nothing)."""
+        declared = self._declared_out(atom.indicator)
+        if declared is not None:
+            return declared
+        return self.out_positions.get(atom.indicator, set())
+
+    def consumer_positions(self, atom: Struct) -> Set[int]:
+        """The complement: positions that read already-bound values."""
+        producers = self.producer_positions(atom)
+        return {i for i in range(len(atom.args)) if i not in producers}
+
+    def _solve(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for indicator, clauses in self.defined.items():
+                if self._declared_out(indicator) is not None:
+                    continue  # declared modes win; nothing to infer
+                agreed: Optional[Set[int]] = None
+                for clause in clauses:
+                    bound: Set[Var] = set()
+                    for goal in clause.body:
+                        if _is_constraint_goal(goal):
+                            continue
+                        for position in self.producer_positions(goal):
+                            if position < len(goal.args):
+                                bound |= variables_of(goal.args[position])
+                    ok = {
+                        position
+                        for position, arg in enumerate(clause.head.args)
+                        if variables_of(arg) <= bound
+                    }
+                    agreed = ok if agreed is None else agreed & ok
+                agreed = agreed or set()
+                if agreed != self.out_positions[indicator]:
+                    self.out_positions[indicator] = agreed
+                    changed = True
+
+
+def _filter_name(supertype: Term, subtype: Term) -> str:
+    sup = supertype.functor if isinstance(supertype, Struct) else "super"
+    sub = subtype.functor if isinstance(subtype, Struct) else "sub"
+    return f"{sup}2{sub}"
+
+
+@register(
+    "TLP301",
+    "subtype-information-flow",
+    Severity.WARNING,
+    "variable flows from a supertype position into a strict-subtype "
+    "position without an intervening filter predicate",
+    "§7 (the information-flow problem, after [DH88])",
+)
+def check_information_flow(ctx: LintContext) -> None:
+    engine = ctx.engine
+    if engine is None:
+        return  # no uniform+guarded constraint set: pass does not apply
+    inference = ModeInference(ctx)
+    for clause in ctx.clause_items:
+        _check_flow(ctx, engine, inference, clause, clause.head, clause.body)
+    for query in ctx.query_items:
+        _check_flow(ctx, engine, inference, query, None, query.body)
+
+
+def _check_flow(
+    ctx: LintContext,
+    engine,
+    inference: ModeInference,
+    owner,
+    head: Optional[Struct],
+    goals: Tuple[Struct, ...],
+) -> None:
+    # var -> productions as (declared type, producing atom, 1-based arg pos)
+    produced: Dict[Var, List[Tuple[Term, Struct, int]]] = {}
+    reported: Set[Tuple[str, int, str]] = set()
+
+    def produce(var: Var, sigma: Term, atom: Struct, position: int) -> None:
+        produced.setdefault(var, []).append((sigma, atom, position))
+
+    def consume(atom: Struct, position: int, arg: Term, tau: Term) -> None:
+        for var in variables_of(arg):
+            for sigma, producer, producer_pos in produced.get(var, []):
+                if engine.more_general(tau, sigma):
+                    continue  # sub→super: the safe direction
+                if not engine.more_general(sigma, tau):
+                    continue  # incomparable: a typing problem, not a flow one
+                key = (var.name, position, pretty(atom))
+                if key in reported:
+                    continue
+                reported.add(key)
+                filter_name = _filter_name(sigma, tau)
+                fresh = f"{var.name}_{_suffix(tau)}"
+                ctx.report(
+                    check_information_flow._rule,
+                    f"variable {var.name} flows from supertype "
+                    f"{pretty(sigma)} (produced by {pretty(producer)} "
+                    f"argument {producer_pos}) into the strict-subtype "
+                    f"position {pretty(atom)} argument {position + 1} of "
+                    f"type {pretty(tau)} without an intervening filter "
+                    f"predicate",
+                    owner.position,
+                    fixits=(
+                        FixIt(
+                            f"insert a filter goal "
+                            f"`{filter_name}({var.name}, {fresh})` before "
+                            f"{pretty(atom)} and consume {fresh} instead "
+                            f"(declare `PRED {filter_name}"
+                            f"({pretty(sigma)}, {pretty(tau)}).` with "
+                            f"`MODE {filter_name}(IN, OUT).`)"
+                        ),
+                    ),
+                )
+
+    if head is not None:
+        head_types = _declared_types(ctx, head)
+        head_producers = inference.producer_positions(head)
+        if head_types is not None:
+            # The head's IN positions are produced by the caller.
+            for position, (arg, arg_type) in enumerate(
+                zip(head.args, head_types)
+            ):
+                if position not in head_producers:
+                    for var in variables_of(arg):
+                        produce(var, arg_type, head, position + 1)
+
+    for goal in goals:
+        if _is_constraint_goal(goal):
+            continue
+        types = _declared_types(ctx, goal)
+        if types is None or len(types) != len(goal.args):
+            continue  # TLP201/TLP202 report the declaration problem
+        producers = inference.producer_positions(goal)
+        # Consumers read before the goal binds its producers.
+        for position, (arg, tau) in enumerate(zip(goal.args, types)):
+            if position not in producers:
+                consume(goal, position, arg, tau)
+        for position, (arg, sigma) in enumerate(zip(goal.args, types)):
+            if position in producers:
+                for var in variables_of(arg):
+                    produce(var, sigma, goal, position + 1)
+
+    if head is not None:
+        head_types = _declared_types(ctx, head)
+        head_producers = inference.producer_positions(head)
+        if head_types is not None:
+            # OUT head positions are consumed by the clause's callers.
+            for position, (arg, arg_type) in enumerate(
+                zip(head.args, head_types)
+            ):
+                if position in head_producers:
+                    consume(head, position, arg, arg_type)
+
+
+def _suffix(tau: Term) -> str:
+    return tau.functor if isinstance(tau, Struct) else "narrow"

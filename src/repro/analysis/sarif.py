@@ -1,0 +1,129 @@
+"""SARIF 2.1.0 output for ``tlp-lint`` (CI code-scanning upload format.)
+
+One *run* per invocation: the tool driver advertises every enabled rule
+(stable id, description, default level), and each diagnostic becomes a
+``result`` with ``ruleId``, ``level``, message text, a physical location
+whose region carries the parser's item span (start *and* end), and the
+machine-applicable fix-its as ``fixes`` descriptions.
+
+The emitted document sticks to the subset of the SARIF 2.1.0 schema that
+GitHub code scanning consumes; ``tests/analysis/test_sarif.py`` validates
+the structure against a vendored schema fragment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..checker.diagnostics import Diagnostic, Severity
+from .registry import ANALYZER_VERSION, LintConfig, RuleRegistry, SYNTAX_ERROR_CODE
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.NOTE: "note",
+}
+
+
+def _rule_descriptor(rule) -> Dict[str, Any]:
+    return {
+        "id": rule.code,
+        "name": rule.slug,
+        "shortDescription": {"text": rule.summary},
+        "fullDescription": {"text": f"{rule.summary} [{rule.paper}]"},
+        "defaultConfiguration": {"level": _LEVELS.get(rule.severity, "warning")},
+    }
+
+
+def _syntax_rule_descriptor() -> Dict[str, Any]:
+    return {
+        "id": SYNTAX_ERROR_CODE,
+        "name": "syntax-error",
+        "shortDescription": {"text": "the file does not parse"},
+        "fullDescription": {
+            "text": "lexical or syntax error reported by the parser"
+        },
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _region(diagnostic: Diagnostic) -> Optional[Dict[str, int]]:
+    position = diagnostic.position
+    if position is None:
+        return None
+    region: Dict[str, int] = {
+        "startLine": position.line,
+        "startColumn": position.column,
+    }
+    if position.end_line is not None and position.end_column is not None:
+        region["endLine"] = position.end_line
+        region["endColumn"] = position.end_column
+    return region
+
+
+def _result(
+    path: str, diagnostic: Diagnostic, rule_index: Dict[str, int]
+) -> Dict[str, Any]:
+    location: Dict[str, Any] = {
+        "physicalLocation": {"artifactLocation": {"uri": path}}
+    }
+    region = _region(diagnostic)
+    if region is not None:
+        location["physicalLocation"]["region"] = region
+    result: Dict[str, Any] = {
+        "ruleId": diagnostic.code,
+        "level": _LEVELS.get(diagnostic.severity, "warning"),
+        "message": {"text": diagnostic.message},
+        "locations": [location],
+    }
+    index = rule_index.get(diagnostic.code)
+    if index is not None:
+        result["ruleIndex"] = index
+    if diagnostic.fixits:
+        result["fixes"] = [
+            {"description": {"text": fixit.description}}
+            for fixit in diagnostic.fixits
+        ]
+    return result
+
+
+def to_sarif(
+    findings: Sequence[Tuple[str, Diagnostic]],
+    registry: RuleRegistry,
+    config: Optional[LintConfig] = None,
+) -> Dict[str, Any]:
+    """Build the SARIF document for ``(path, diagnostic)`` findings."""
+    config = config or LintConfig()
+    rules: List[Dict[str, Any]] = [_syntax_rule_descriptor()]
+    rules.extend(_rule_descriptor(rule) for rule in registry.selected(config))
+    rule_index = {descriptor["id"]: i for i, descriptor in enumerate(rules)}
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "tlp-lint",
+                        "informationUri": (
+                            "https://github.com/paper-repro/tlp"
+                        ),
+                        "version": ANALYZER_VERSION,
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    _result(path, diagnostic, rule_index)
+                    for path, diagnostic in findings
+                ],
+            }
+        ],
+    }

@@ -70,6 +70,20 @@ def _build_argument_parser() -> argparse.ArgumentParser:
         help="resolution depth bound with --run (default 10000)",
     )
     parser.add_argument(
+        "--lint",
+        nargs="?",
+        const="warn",
+        default="off",
+        choices=("warn", "error", "off"),
+        metavar="MODE",
+        help=(
+            "also run the tlp-lint static analyzer on each file: 'warn' "
+            "(default when the flag is given) reports findings without "
+            "affecting exit status, 'error' makes error-severity findings "
+            "fail the run, 'off' disables (default)"
+        ),
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="collect telemetry and print the metrics table after checking",
@@ -259,12 +273,30 @@ def _check_files_batched(arguments, files: List[str]) -> int:
     except ProjectError as error:
         print(f"tlp-check: {error}", file=sys.stderr)
         return 2
-    cache = ResultCache(arguments.cache_dir) if arguments.cache_dir else None
-    report = run_batch(project, cache=cache, jobs=arguments.jobs)
+    lint_config = None
+    ruleset = ""
+    if arguments.lint != "off":
+        from ..analysis import LintConfig, ruleset_fingerprint
+
+        lint_config = LintConfig()
+        ruleset = ruleset_fingerprint(lint_config)
+    cache = (
+        ResultCache(arguments.cache_dir, ruleset=ruleset)
+        if arguments.cache_dir
+        else None
+    )
+    report = run_batch(project, cache=cache, jobs=arguments.jobs, lint=lint_config)
+    lint_errors = 0
     for result in report.results:
         for diagnostic in result.diagnostics:
             print(f"{result.display}:{diagnostic}")
+        for finding in result.lint:
+            print(f"{result.display}:{finding}")
+            if "error[TLP" in finding:
+                lint_errors += 1
         print(result.summary_line())
+    if arguments.lint == "error" and lint_errors:
+        return 1
     return report.exit_code
 
 
@@ -277,6 +309,11 @@ def _check_files(arguments) -> int:
         return _check_files_batched(arguments, files)
     multi = len(files) > 1
     exit_code = 0
+    lint_config = None
+    if arguments.lint != "off":
+        from ..analysis import LintConfig
+
+        lint_config = LintConfig()
     for path in files:
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -288,6 +325,14 @@ def _check_files(arguments) -> int:
         if len(module.diagnostics):
             for diagnostic in module.diagnostics:
                 print(f"{path}:{diagnostic}")
+        if lint_config is not None:
+            from ..analysis import lint_text
+
+            lint_report = lint_text(text, path=path, config=lint_config)
+            for finding in lint_report.diagnostics:
+                print(f"{path}:{finding}")
+            if arguments.lint == "error" and lint_report.errors:
+                exit_code = 1
         if module.ok:
             print(f"{path}: well-typed ({len(module.program)} clauses, "
                   f"{len(module.queries)} queries)")

@@ -1,13 +1,13 @@
-"""Structured diagnostics for the whole-file type checker."""
+"""Structured diagnostics for the whole-file type checker and the linter."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..lang.ast import Position
 
-__all__ = ["Severity", "Diagnostic", "DiagnosticBag"]
+__all__ = ["Severity", "FixIt", "Diagnostic", "DiagnosticBag", "DEFAULT_CODE"]
 
 
 class Severity:
@@ -18,17 +18,51 @@ class Severity:
     NOTE = "note"
 
 
+#: The "no stable code assigned" code.  Diagnostics carrying it render
+#: exactly as they did before codes existed, so cached JSON results and
+#: tests matching the old format keep working.
+DEFAULT_CODE = "TLP000"
+
+
+@dataclass(frozen=True)
+class FixIt:
+    """A machine-applicable suggestion attached to a diagnostic.
+
+    ``replacement`` is the text to insert (or substitute) at
+    ``position``; when either is absent the fix-it is advisory only and
+    ``description`` carries the full suggestion.
+    """
+
+    description: str
+    replacement: Optional[str] = None
+    position: Optional[Position] = None
+
+    def __str__(self) -> str:
+        return self.description
+
+
 @dataclass(frozen=True)
 class Diagnostic:
-    """One message, optionally anchored to a source position."""
+    """One message, optionally anchored to a source position.
+
+    ``code`` is a stable machine identifier (``TLP123`` style) used by
+    the lint rule registry, cache keys, and SARIF output.  The default
+    :data:`DEFAULT_CODE` means "unassigned" and is omitted from the
+    rendered form for backward compatibility.
+    """
 
     severity: str
     message: str
     position: Optional[Position] = None
+    code: str = DEFAULT_CODE
+    fixits: Tuple[FixIt, ...] = ()
 
     def __str__(self) -> str:
         where = f"{self.position}: " if self.position else ""
-        return f"{where}{self.severity}: {self.message}"
+        label = self.severity
+        if self.code and self.code != DEFAULT_CODE:
+            label = f"{self.severity}[{self.code}]"
+        return f"{where}{label}: {self.message}"
 
 
 @dataclass
@@ -37,18 +71,53 @@ class DiagnosticBag:
 
     diagnostics: List[Diagnostic] = field(default_factory=list)
 
-    def error(self, message: str, position: Optional[Position] = None) -> None:
-        self.diagnostics.append(Diagnostic(Severity.ERROR, message, position))
+    def error(
+        self,
+        message: str,
+        position: Optional[Position] = None,
+        code: str = DEFAULT_CODE,
+        fixits: Tuple[FixIt, ...] = (),
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(Severity.ERROR, message, position, code, fixits)
+        )
 
-    def warning(self, message: str, position: Optional[Position] = None) -> None:
-        self.diagnostics.append(Diagnostic(Severity.WARNING, message, position))
+    def warning(
+        self,
+        message: str,
+        position: Optional[Position] = None,
+        code: str = DEFAULT_CODE,
+        fixits: Tuple[FixIt, ...] = (),
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(Severity.WARNING, message, position, code, fixits)
+        )
 
-    def note(self, message: str, position: Optional[Position] = None) -> None:
-        self.diagnostics.append(Diagnostic(Severity.NOTE, message, position))
+    def note(
+        self,
+        message: str,
+        position: Optional[Position] = None,
+        code: str = DEFAULT_CODE,
+        fixits: Tuple[FixIt, ...] = (),
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(Severity.NOTE, message, position, code, fixits)
+        )
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics) -> None:
+        for diagnostic in diagnostics:
+            self.diagnostics.append(diagnostic)
 
     @property
     def errors(self) -> List[Diagnostic]:
         return [d for d in self.diagnostics if d.severity == Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
 
     @property
     def has_errors(self) -> bool:

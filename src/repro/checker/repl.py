@@ -12,6 +12,8 @@ system itself:
 * ``:types term`` — which declared constructors can type a ground term;
 * ``:why goal, goal...`` — explain a query's well-typedness check
   (per-atom typings, commitments, or the rejection reason);
+* ``:lint`` — run the ``tlp-lint`` static analyzer over the loaded
+  source (stable TLPxxx codes, fix-it suggestions);
 * ``:stats [on|off|reset]`` — toggle/inspect ``repro.obs`` telemetry for
   the session (subtype goals, match calls, SLD steps, timers);
 * ``:help`` / ``:quit``.
@@ -42,6 +44,7 @@ _HELP = """commands:
   :member  T  TERM         ground-term membership t in M[T]
   :types  TERM             declared constructors able to type a ground term
   :why  <goal>, ...        explain the query's well-typedness check
+  :lint [CODE,...]         run the static analyzer (optionally disabling rules)
   :stats [on|off|reset]    telemetry: show the metrics table / toggle / zero
   :help                    this message
   :quit                    leave"""
@@ -50,13 +53,20 @@ _HELP = """commands:
 class Repl:
     """One loaded module plus the machinery to answer queries about it."""
 
-    def __init__(self, module: CheckedModule, max_answers: int = 10) -> None:
+    def __init__(
+        self,
+        module: CheckedModule,
+        max_answers: int = 10,
+        source_text: Optional[str] = None,
+    ) -> None:
         if not module.ok:
             raise ValueError(
                 f"module has errors:\n{module.diagnostics.render()}"
             )
         self.module = module
         self.max_answers = max_answers
+        #: Original source text, kept for the ``:lint`` meta-command.
+        self.source_text = source_text
         checker = module.moded_checker or module.checker
         self.interpreter = TypedInterpreter(checker, module.program, check_program=False)
         self.engine = SubtypeEngine(module.constraints)
@@ -87,9 +97,33 @@ class Repl:
             return self._types(rest)
         if command == ":why":
             return self._why(rest)
+        if command == ":lint":
+            return self._lint(rest)
         if command == ":stats":
             return self._stats(rest)
         return [f"unknown command {command!r} — try :help"]
+
+    def _lint(self, rest: str) -> List[str]:
+        if self.source_text is None:
+            return ["no source text available to lint"]
+        from ..analysis import LintConfig, lint_text
+
+        try:
+            config = LintConfig.from_spec(disable=rest)
+        except ValueError as error:
+            return [str(error)]
+        report = lint_text(self.source_text, config=config)
+        if not report.diagnostics:
+            return ["clean: no lint findings"]
+        out: List[str] = []
+        for diagnostic in report.diagnostics:
+            out.append(str(diagnostic))
+            for fixit in diagnostic.fixits:
+                out.append(f"    fix: {fixit.description}")
+        out.append(
+            f"{len(report.errors)} error(s), {len(report.warnings)} warning(s)"
+        )
+        return out
 
     def _stats(self, rest: str) -> List[str]:
         if rest == "on":
@@ -247,7 +281,7 @@ def run_session(source_text: str, commands: Iterable[str]) -> List[str]:
     """Non-interactive session driver (used by the tests): check the
     source, feed each command, collect all output lines."""
     module = check_text(source_text)
-    repl = Repl(module)
+    repl = Repl(module, source_text=source_text)
     out: List[str] = []
     for command in commands:
         try:
@@ -264,11 +298,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("usage: python -m repro.checker.repl FILE", file=sys.stderr)
         return 2
     with open(arguments[0], "r", encoding="utf-8") as handle:
-        module = check_text(handle.read())
+        source_text = handle.read()
+    module = check_text(source_text)
     if not module.ok:
         print(module.diagnostics.render(), file=sys.stderr)
         return 1
-    repl = Repl(module)
+    repl = Repl(module, source_text=source_text)
     print(f"loaded {arguments[0]} ({len(module.program)} clauses); :help for help")
     while True:
         try:

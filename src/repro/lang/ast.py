@@ -20,7 +20,7 @@ syntax.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from ..terms.term import Struct, Term
 
@@ -40,10 +40,25 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Position:
-    """1-based line/column of an item's first token."""
+    """1-based line/column of an item's first token.
+
+    The optional ``end_line``/``end_column`` pair extends the point to a
+    half-open span (``end_column`` is the column *after* the last
+    character), so diagnostics and SARIF regions can cover a range.  The
+    end fields are excluded from equality/hash: ``Position(3, 1)``
+    still equals a parser-produced position at 3:1 whatever span the
+    parser recorded.
+    """
 
     line: int
     column: int
+    end_line: Optional[int] = field(default=None, compare=False)
+    end_column: Optional[int] = field(default=None, compare=False)
+
+    @property
+    def has_span(self) -> bool:
+        """True when the position carries a (non-degenerate) range."""
+        return self.end_line is not None and self.end_column is not None
 
     def __str__(self) -> str:
         return f"{self.line}:{self.column}"

@@ -22,8 +22,8 @@ Tokens carry line/column positions for the checker's diagnostics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, List
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
 
 __all__ = ["Token", "TokenKind", "LexError", "tokenize", "KEYWORDS"]
 
@@ -50,12 +50,21 @@ KEYWORDS = frozenset({"FUNC", "TYPE", "PRED", "MODE", "IN", "OUT"})
 
 @dataclass(frozen=True)
 class Token:
-    """A single lexeme with its source position (1-based line/column)."""
+    """A single lexeme with its source position (1-based line/column).
+
+    ``end_line``/``end_column`` bound the lexeme as a half-open span
+    (``end_column`` points just past the last character).  Tokens never
+    span lines, so ``end_line == line``.  The end fields are excluded
+    from equality/hash for backward compatibility with positional
+    comparisons.
+    """
 
     kind: str
     text: str
     line: int
     column: int
+    end_line: Optional[int] = field(default=None, compare=False)
+    end_column: Optional[int] = field(default=None, compare=False)
 
     def __str__(self) -> str:
         return f"{self.text!r} at {self.line}:{self.column}"
@@ -105,47 +114,50 @@ def iter_tokens(text: str) -> Iterator[Token]:
             col += 1
             continue
         if ch == "%":
+            # Track columns through the comment so a file ending in a
+            # comment (no trailing newline) still positions EOF correctly.
             while i < n and text[i] != "\n":
                 i += 1
+                col += 1
             continue
         start_line, start_col = line, col
         if ch == "(":
-            yield Token(TokenKind.LPAREN, "(", start_line, start_col)
+            yield Token(TokenKind.LPAREN, "(", start_line, start_col, line, start_col + 1)
             i += 1
             col += 1
             continue
         if ch == ")":
-            yield Token(TokenKind.RPAREN, ")", start_line, start_col)
+            yield Token(TokenKind.RPAREN, ")", start_line, start_col, line, start_col + 1)
             i += 1
             col += 1
             continue
         if ch == ",":
-            yield Token(TokenKind.COMMA, ",", start_line, start_col)
+            yield Token(TokenKind.COMMA, ",", start_line, start_col, line, start_col + 1)
             i += 1
             col += 1
             continue
         if ch == ".":
-            yield Token(TokenKind.DOT, ".", start_line, start_col)
+            yield Token(TokenKind.DOT, ".", start_line, start_col, line, start_col + 1)
             i += 1
             col += 1
             continue
         if ch == "+":
-            yield Token(TokenKind.PLUS, "+", start_line, start_col)
+            yield Token(TokenKind.PLUS, "+", start_line, start_col, line, start_col + 1)
             i += 1
             col += 1
             continue
         if text.startswith(":-", i):
-            yield Token(TokenKind.IMPLIES, ":-", start_line, start_col)
+            yield Token(TokenKind.IMPLIES, ":-", start_line, start_col, line, start_col + 2)
             i += 2
             col += 2
             continue
         if ch == ":":
-            yield Token(TokenKind.COLON, ":", start_line, start_col)
+            yield Token(TokenKind.COLON, ":", start_line, start_col, line, start_col + 1)
             i += 1
             col += 1
             continue
         if text.startswith(">=", i):
-            yield Token(TokenKind.GEQ, ">=", start_line, start_col)
+            yield Token(TokenKind.GEQ, ">=", start_line, start_col, line, start_col + 2)
             i += 2
             col += 2
             continue
@@ -158,11 +170,11 @@ def iter_tokens(text: str) -> Iterator[Token]:
             i = j
             col += length
             if word in KEYWORDS:
-                yield Token(TokenKind.KEYWORD, word, start_line, start_col)
+                yield Token(TokenKind.KEYWORD, word, start_line, start_col, line, start_col + length)
             elif _is_variable_start(word[0]):
-                yield Token(TokenKind.VARIABLE, word, start_line, start_col)
+                yield Token(TokenKind.VARIABLE, word, start_line, start_col, line, start_col + length)
             else:
-                yield Token(TokenKind.NAME, word, start_line, start_col)
+                yield Token(TokenKind.NAME, word, start_line, start_col, line, start_col + length)
             continue
         raise LexError(f"unexpected character {ch!r}", line, col)
-    yield Token(TokenKind.EOF, "", line, col)
+    yield Token(TokenKind.EOF, "", line, col, line, col)

@@ -70,6 +70,7 @@ class _Parser:
     def __init__(self, text: str) -> None:
         self.tokens = tokenize(text)
         self.index = 0
+        self.previous: Token = self.tokens[0]
 
     # -- token plumbing ---------------------------------------------------
 
@@ -81,7 +82,20 @@ class _Parser:
         token = self.tokens[self.index]
         if token.kind != TokenKind.EOF:
             self.index += 1
+        self.previous = token
         return token
+
+    def _span(self, start: Token) -> Position:
+        """The source range from ``start`` through the last consumed token."""
+        end = self.previous
+        return Position(
+            start.line,
+            start.column,
+            end.end_line if end.end_line is not None else end.line,
+            end.end_column
+            if end.end_column is not None
+            else end.column + len(end.text),
+        )
 
     def check(self, kind: str, text: str = "") -> bool:
         token = self.current
@@ -172,23 +186,22 @@ class _Parser:
 
     def item(self) -> Item:
         token = self.current
-        position = Position(token.line, token.column)
         if token.kind == TokenKind.KEYWORD:
             if token.text == "FUNC":
                 self.advance()
                 names = self.namelist()
                 self.expect(TokenKind.DOT, "'.'")
-                return FuncDecl(names, position)
+                return FuncDecl(names, self._span(token))
             if token.text == "TYPE":
                 self.advance()
                 names = self.namelist()
                 self.expect(TokenKind.DOT, "'.'")
-                return TypeDecl(names, position)
+                return TypeDecl(names, self._span(token))
             if token.text == "PRED":
                 self.advance()
                 head = self.atom()
                 self.expect(TokenKind.DOT, "'.'")
-                return PredDecl(head, position)
+                return PredDecl(head, self._span(token))
             if token.text == "MODE":
                 self.advance()
                 name = self.expect(TokenKind.NAME, "a predicate name").text
@@ -199,18 +212,18 @@ class _Parser:
                         modes.append(self.mode())
                     self.expect(TokenKind.RPAREN, "')'")
                 self.expect(TokenKind.DOT, "'.'")
-                return ModeDecl(name, tuple(modes), position)
+                return ModeDecl(name, tuple(modes), self._span(token))
             raise ParseError("keyword not allowed here", token)
         if self.accept(TokenKind.IMPLIES):
             body = self.query_goals()
             self.expect(TokenKind.DOT, "'.'")
-            return QueryDecl(body, position)
+            return QueryDecl(body, self._span(token))
         # Constraint or clause: both start with a term.
         lhs = self.union()
         if self.accept(TokenKind.GEQ):
             rhs = self.union()
             self.expect(TokenKind.DOT, "'.'")
-            return ConstraintDecl(lhs, rhs, position)
+            return ConstraintDecl(lhs, rhs, self._span(token))
         if not isinstance(lhs, Struct) or lhs.functor == UNION_TYPE:
             raise ParseError("clause head must be a predicate application", token)
         body: Tuple[Struct, ...] = ()
@@ -219,7 +232,7 @@ class _Parser:
             # into the constrained execution model, like queries).
             body = self.query_goals()
         self.expect(TokenKind.DOT, "'.'")
-        return ClauseDecl(lhs, body, position)
+        return ClauseDecl(lhs, body, self._span(token))
 
     def mode(self) -> str:
         token = self.current

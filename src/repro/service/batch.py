@@ -22,16 +22,23 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from typing import List, Optional
 
 from .. import obs
+from ..analysis import LintConfig, ruleset_fingerprint
+from ..checker.diagnostics import Severity
 from ..obs import METRICS
 from .cache import ResultCache
 from .project import ProjectError, load_project
 from .runner import run_batch
 
 __all__ = ["main"]
+
+#: Rendered lint lines look like ``3:1: error[TLP102]: ...`` — match the
+#: severity label, not message text that merely mentions "error[".
+_LINT_ERROR = re.compile(rf"(?:^|: ){Severity.ERROR}\[TLP\d+\]: ")
 
 
 def _build_argument_parser() -> argparse.ArgumentParser:
@@ -84,6 +91,20 @@ def _build_argument_parser() -> argparse.ArgumentParser:
         help="worker pool flavour with --jobs > 1 (default process)",
     )
     parser.add_argument(
+        "--lint",
+        nargs="?",
+        const="warn",
+        default="off",
+        choices=("warn", "error", "off"),
+        metavar="MODE",
+        help=(
+            "also run the static analyzer on checked files: 'warn' "
+            "(default when the flag is given) reports findings without "
+            "affecting exit status, 'error' makes error-severity "
+            "findings fail the run, 'off' disables (default)"
+        ),
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="collect telemetry and print the metrics table",
@@ -111,20 +132,32 @@ def _run(arguments) -> int:
     if not project.files:
         print("tlp-batch: no .tlp files found", file=sys.stderr)
         return 2
-    cache = None if arguments.no_cache else ResultCache(arguments.cache_dir)
+    lint_config = LintConfig() if arguments.lint != "off" else None
+    ruleset = ruleset_fingerprint(lint_config) if lint_config is not None else ""
+    cache = (
+        None
+        if arguments.no_cache
+        else ResultCache(arguments.cache_dir, ruleset=ruleset)
+    )
     report = run_batch(
         project,
         cache=cache,
         jobs=arguments.jobs,
         use=arguments.workers,
         force=arguments.force,
+        lint=lint_config,
     )
     # With ``--json -`` stdout is the machine-readable report; route the
     # human-readable lines to stderr so the stream stays parseable.
     human = sys.stderr if arguments.json == "-" else sys.stdout
+    lint_errors = 0
     for result in report.results:
         for diagnostic in result.diagnostics:
             print(f"{result.display}:{diagnostic}", file=human)
+        for finding in result.lint:
+            print(f"{result.display}:{finding}", file=human)
+            if _LINT_ERROR.search(finding):
+                lint_errors += 1
         if not arguments.quiet:
             print(result.summary_line(), file=human)
     well_typed = sum(1 for r in report.results if r.ok)
@@ -136,11 +169,16 @@ def _run(arguments) -> int:
         if cache is not None
         else "; cache: off"
     )
+    lint_note = ""
+    if arguments.lint != "off":
+        findings = sum(len(result.lint) for result in report.results)
+        lint_note = f"; lint: {findings} finding(s), {lint_errors} error(s)"
     if not arguments.quiet:
         print(
             f"checked {len(report.results)} files in "
             f"{report.wall_s * 1e3:.1f}ms with {report.jobs} job(s): "
-            f"{well_typed} well-typed, {ill_typed} ill-typed{cache_note}",
+            f"{well_typed} well-typed, {ill_typed} ill-typed"
+            f"{cache_note}{lint_note}",
             file=human,
         )
     if arguments.json is not None:
@@ -157,6 +195,8 @@ def _run(arguments) -> int:
             with open(arguments.json, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, indent=2)
                 handle.write("\n")
+    if arguments.lint == "error" and lint_errors:
+        return 1
     return report.exit_code
 
 

@@ -7,10 +7,18 @@ One JSON index (``tlp-cache.json`` under ``--cache-dir``) maps
 where the digests come from :mod:`repro.service.project` and the record
 holds everything a warm re-check needs to reproduce the cold run's
 output byte-for-byte: the well-typedness verdict, the rendered
-diagnostics, the clause/query counts, and timing metadata.  The index
-header pins :data:`CHECKER_VERSION`; bumping it (any change to the
-checker's verdicts or diagnostic wording) invalidates every entry at
-load time, so a stale cache can never mask a checker change.
+diagnostics, any rendered lint findings, the clause/query counts, and
+timing metadata.  The index header pins :data:`CHECKER_VERSION`; bumping
+it (any change to the checker's verdicts or diagnostic wording)
+invalidates every entry at load time, so a stale cache can never mask a
+checker change.
+
+When batch runs lint alongside the checker, the enabled rule set's
+fingerprint (:meth:`repro.analysis.registry.RuleRegistry.fingerprint`)
+becomes a third key component: disabling a rule, adding one, or
+re-levelling a severity changes the fingerprint and re-lints exactly the
+affected corpus — verdicts cached without lint stay untouched, and vice
+versa.
 
 Probes are observable: every :meth:`ResultCache.get` emits a
 ``cache_probe`` trace event (``cache="service.results"``) and bumps the
@@ -39,7 +47,9 @@ __all__ = ["CHECKER_VERSION", "CachedResult", "ResultCache"]
 
 #: Version of the checking pipeline baked into every cache key.  Bump on
 #: any change that can alter verdicts or diagnostic text.
-CHECKER_VERSION = "1"
+#: "2": diagnostics carry stable TLP codes and cached records may hold
+#: lint findings — pre-lint indexes must not replay.
+CHECKER_VERSION = "2"
 
 INDEX_NAME = "tlp-cache.json"
 
@@ -54,10 +64,12 @@ class CachedResult:
     queries: int
     duration_s: float
     checked_at: float
+    lint: Tuple[str, ...] = ()
 
     def to_json(self) -> Dict[str, object]:
         payload = asdict(self)
         payload["diagnostics"] = list(self.diagnostics)
+        payload["lint"] = list(self.lint)
         return payload
 
     @classmethod
@@ -69,15 +81,23 @@ class CachedResult:
             queries=int(payload["queries"]),
             duration_s=float(payload["duration_s"]),
             checked_at=float(payload["checked_at"]),
+            lint=tuple(str(line) for line in payload.get("lint", [])),
         )
 
 
 class ResultCache:
     """On-disk verdict store keyed by (file, declarations, checker) digests."""
 
-    def __init__(self, cache_dir: str, checker_version: str = CHECKER_VERSION) -> None:
+    def __init__(
+        self,
+        cache_dir: str,
+        checker_version: str = CHECKER_VERSION,
+        ruleset: str = "",
+    ) -> None:
         self.cache_dir = Path(cache_dir)
         self.checker_version = checker_version
+        #: Lint rule-set fingerprint folded into every key ("" = no lint).
+        self.ruleset = ruleset
         self.index_path = self.cache_dir / INDEX_NAME
         self.hits = 0
         self.misses = 0
@@ -130,14 +150,23 @@ class ResultCache:
     # -- the store -----------------------------------------------------------
 
     @staticmethod
-    def key(file_digest: str, decls_digest: str) -> str:
+    def key(file_digest: str, decls_digest: str, ruleset: str = "") -> str:
+        """Cache key: two digests, plus the lint fingerprint when set.
+
+        The two-part form is the pre-lint key, kept so existing entries
+        (and tests) keep their addresses when no lint runs.
+        """
+        if ruleset:
+            return f"{file_digest}.{decls_digest}.{ruleset}"
         return f"{file_digest}.{decls_digest}"
 
     def get(
         self, file_digest: str, decls_digest: str
     ) -> Optional[CachedResult]:
         """Probe for a verdict; hit/miss is counted and traced."""
-        payload = self._entries.get(self.key(file_digest, decls_digest))
+        payload = self._entries.get(
+            self.key(file_digest, decls_digest, self.ruleset)
+        )
         hit = payload is not None
         if hit:
             self.hits += 1
@@ -153,7 +182,7 @@ class ResultCache:
             return CachedResult.from_json(payload)
         except (KeyError, TypeError, ValueError):
             # A malformed entry behaves like a miss (and is purged).
-            del self._entries[self.key(file_digest, decls_digest)]
+            del self._entries[self.key(file_digest, decls_digest, self.ruleset)]
             self._dirty = True
             return None
 
@@ -166,7 +195,7 @@ class ResultCache:
     ) -> None:
         payload = result.to_json()
         payload["path"] = display
-        self._entries[self.key(file_digest, decls_digest)] = payload
+        self._entries[self.key(file_digest, decls_digest, self.ruleset)] = payload
         self._dirty = True
 
     def invalidate(self, display: Optional[str] = None) -> int:

@@ -13,6 +13,8 @@ line, one response object per line, in order.  Requests::
 
     {"op": "check", "path": "examples/programs/append.tlp"}
     {"op": "check", "text": "FUNC nil. ..."}
+    {"op": "lint", "path": "examples/programs/append.tlp"}
+    {"op": "lint", "text": "FUNC nil. ...", "disable": "TLP203"}
     {"op": "stats"}
     {"op": "invalidate"}                  # drop all hot/cached state
     {"op": "invalidate", "path": "..."}   # drop one file's state
@@ -22,7 +24,10 @@ Responses always carry ``"ok"`` (protocol-level success — an ill-typed
 file is still ``"ok": true``) and echo ``"op"``.  A ``check`` response
 reports ``"well_typed"``, ``"diagnostics"``, clause/query counts, and
 ``"source"``: ``"hot"`` (module LRU), ``"cache"`` (persistent store), or
-``"checked"`` (full Definition 16 run).  Malformed lines get an
+``"checked"`` (full Definition 16 run).  A ``lint`` response carries the
+static analyzer's findings as structured objects (``code``, ``severity``,
+``message``, position fields, fix-it descriptions) plus error/warning
+counts and the rule-set ``fingerprint``.  Malformed lines get an
 ``{"ok": false, "error": ...}`` response rather than killing the daemon.
 
 A worked session lives in ``docs/service.md``.
@@ -40,6 +45,8 @@ from pathlib import Path
 from typing import Any, Dict, IO, List, Optional, Tuple
 
 from .. import obs
+from ..analysis import LintConfig, lint_text
+from ..checker.diagnostics import Severity
 from ..checker.frontend import CheckedModule, check_text
 from ..obs import METRICS, TRACER, CacheProbeEvent
 from .cache import CachedResult, ResultCache
@@ -60,6 +67,7 @@ class CheckService:
         self._hot: "OrderedDict[str, Tuple[str, CheckedModule]]" = OrderedDict()
         self.requests = 0
         self.checks = 0
+        self.lints = 0
         self.hot_hits = 0
         self.cache_hits = 0
         self.errors = 0
@@ -78,6 +86,8 @@ class CheckService:
         try:
             if op == "check":
                 return self._op_check(request)
+            if op == "lint":
+                return self._op_lint(request)
             if op == "stats":
                 return self._op_stats()
             if op == "invalidate":
@@ -193,10 +203,70 @@ class CheckService:
             "duration_s": duration_s,
         }
 
+    def _op_lint(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        path = request.get("path")
+        text = request.get("text")
+        if (path is None) == (text is None):
+            return self._error("lint", "lint needs exactly one of 'path' or 'text'")
+        display = str(path) if path is not None else "<text>"
+        if path is not None:
+            try:
+                text = Path(path).read_text(encoding="utf-8")
+            except OSError as error:
+                return self._error("lint", f"{path}: cannot read: {error}")
+        assert isinstance(text, str)
+        try:
+            config = LintConfig.from_spec(
+                str(request.get("disable", "")),
+                str(request.get("severity", "")),
+            )
+        except ValueError as error:
+            return self._error("lint", str(error))
+        self.lints += 1
+        if METRICS.enabled:
+            METRICS.inc("service.daemon.lints")
+        started = time.perf_counter()
+        report = lint_text(text, path=display, config=config)
+        findings = []
+        for diagnostic in report.diagnostics:
+            finding: Dict[str, Any] = {
+                "code": diagnostic.code,
+                "severity": diagnostic.severity,
+                "message": diagnostic.message,
+            }
+            position = diagnostic.position
+            if position is not None:
+                finding["line"] = position.line
+                finding["column"] = position.column
+                if position.has_span:
+                    finding["end_line"] = position.end_line
+                    finding["end_column"] = position.end_column
+            if diagnostic.fixits:
+                finding["fixits"] = [
+                    fixit.description for fixit in diagnostic.fixits
+                ]
+            findings.append(finding)
+        return {
+            "ok": True,
+            "op": "lint",
+            "path": display,
+            "digest": fingerprint(text),
+            "fingerprint": report.fingerprint,
+            "findings": findings,
+            "errors": sum(
+                1 for d in report.diagnostics if d.severity == Severity.ERROR
+            ),
+            "warnings": sum(
+                1 for d in report.diagnostics if d.severity == Severity.WARNING
+            ),
+            "duration_s": time.perf_counter() - started,
+        }
+
     def _op_stats(self) -> Dict[str, Any]:
         stats: Dict[str, Any] = {
             "requests": self.requests,
             "checks": self.checks,
+            "lints": self.lints,
             "hot_hits": self.hot_hits,
             "cache_hits": self.cache_hits,
             "errors": self.errors,

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from .. import obs
+from ..analysis import LintConfig, lint_text
 from ..checker.frontend import check_text
 from ..obs import METRICS
 from .cache import CachedResult, ResultCache
@@ -53,16 +54,21 @@ class FileResult:
     queries: int
     duration_s: float
     from_cache: bool
+    lint: Tuple[str, ...] = ()
 
     def summary_line(self) -> str:
         """The per-file line batch surfaces print."""
         suffix = " [cached]" if self.from_cache else ""
+        lint_note = f", {len(self.lint)} lint" if self.lint else ""
         if self.ok:
             return (
                 f"{self.display}: well-typed ({self.clauses} clauses, "
-                f"{self.queries} queries){suffix}"
+                f"{self.queries} queries{lint_note}){suffix}"
             )
-        return f"{self.display}: ill-typed ({len(self.diagnostics)} diagnostics){suffix}"
+        return (
+            f"{self.display}: ill-typed ({len(self.diagnostics)} "
+            f"diagnostics{lint_note}){suffix}"
+        )
 
 
 @dataclass
@@ -106,6 +112,7 @@ class BatchReport:
                     "digest": result.digest,
                     "well_typed": result.ok,
                     "diagnostics": list(result.diagnostics),
+                    "lint": list(result.lint),
                     "clauses": result.clauses,
                     "queries": result.queries,
                     "duration_s": result.duration_s,
@@ -127,11 +134,14 @@ def check_one_text(text: str) -> Tuple[bool, Tuple[str, ...], int, int]:
     return module.ok, diagnostics, len(module.program), len(module.queries)
 
 
-_WorkerReturn = Tuple[int, bool, Tuple[str, ...], int, int, float, Optional[Dict[str, Any]]]
+_WorkerReturn = Tuple[
+    int, bool, Tuple[str, ...], int, int, float,
+    Tuple[str, ...], Optional[Dict[str, Any]],
+]
 
 
-def _check_job(job: Tuple[int, str, bool]) -> _WorkerReturn:
-    """Pool worker: check one text, optionally shipping telemetry home.
+def _check_job(job: Tuple[int, str, bool, Optional[LintConfig]]) -> _WorkerReturn:
+    """Pool worker: check (and optionally lint) one text.
 
     ``ship_telemetry`` is set only for *process* workers of an observed
     run: the forked child resets its inherited copy of the registry
@@ -140,8 +150,12 @@ def _check_job(job: Tuple[int, str, bool]) -> _WorkerReturn:
     the parent's streams), records into its private copy, and returns a
     snapshot for the coordinator to merge.  Thread workers never ship —
     they share the coordinator's registry directly.
+
+    ``lint`` (a picklable :class:`~repro.analysis.registry.LintConfig`)
+    turns the analyzer on; findings travel home rendered, same as the
+    checker's diagnostics.
     """
-    index, text, ship_telemetry = job
+    index, text, ship_telemetry, lint = job
     snapshot: Optional[Dict[str, Any]] = None
     if ship_telemetry:
         obs.TRACER.clear_sinks()
@@ -149,10 +163,14 @@ def _check_job(job: Tuple[int, str, bool]) -> _WorkerReturn:
         METRICS.enabled = True
     start = time.perf_counter()
     ok, diagnostics, clauses, queries = check_one_text(text)
+    lint_lines: Tuple[str, ...] = ()
+    if lint is not None:
+        report = lint_text(text, config=lint)
+        lint_lines = tuple(str(finding) for finding in report.diagnostics)
     duration = time.perf_counter() - start
     if ship_telemetry:
         snapshot = METRICS.snapshot()
-    return index, ok, diagnostics, clauses, queries, duration, snapshot
+    return index, ok, diagnostics, clauses, queries, duration, lint_lines, snapshot
 
 
 def _make_executor(use: str, jobs: int) -> Executor:
@@ -169,8 +187,15 @@ def run_batch(
     jobs: int = 1,
     use: str = "process",
     force: bool = False,
+    lint: Optional[LintConfig] = None,
 ) -> BatchReport:
-    """One batch pass: probe the cache, check the misses, record verdicts."""
+    """One batch pass: probe the cache, check the misses, record verdicts.
+
+    With ``lint`` set, misses also run the static analyzer and the
+    findings ride in each :class:`FileResult` (and the cache record).
+    Callers enabling lint should build the cache with the matching
+    rule-set fingerprint so cached lint output can never go stale.
+    """
     jobs = max(1, jobs)
     report = BatchReport(jobs=jobs)
     decls_digest = project.declarations_digest
@@ -194,6 +219,7 @@ def run_batch(
                     queries=cached.queries,
                     duration_s=cached.duration_s,
                     from_cache=True,
+                    lint=cached.lint,
                 )
             )
         else:
@@ -206,11 +232,14 @@ def run_batch(
     outcomes: List[_WorkerReturn] = []
     if misses:
         job_list = [
-            (index, project.effective_text(member), ship_telemetry)
+            (index, project.effective_text(member), ship_telemetry, lint)
             for index, member in misses
         ]
         if jobs == 1 or len(job_list) == 1:
-            outcomes = [_check_job((index, text, False)) for index, text, _ in job_list]
+            outcomes = [
+                _check_job((index, text, False, job_lint))
+                for index, text, _, job_lint in job_list
+            ]
         else:
             with _make_executor(use, jobs) as pool:
                 outcomes = list(pool.map(_check_job, job_list))
@@ -218,7 +247,7 @@ def run_batch(
     # Phase 3: record — verdicts into the cache, telemetry into obs.
     members_by_index = {index: member for index, member in misses}
     busy = 0.0
-    for index, ok, diagnostics, clauses, queries, duration, snapshot in outcomes:
+    for index, ok, diagnostics, clauses, queries, duration, lint_lines, snapshot in outcomes:
         member = members_by_index[index]
         busy += duration
         result = FileResult(
@@ -230,6 +259,7 @@ def run_batch(
             queries=queries,
             duration_s=duration,
             from_cache=False,
+            lint=lint_lines,
         )
         placeholders[index] = result
         if cache is not None:
@@ -243,6 +273,7 @@ def run_batch(
                     queries=queries,
                     duration_s=duration,
                     checked_at=ResultCache.now(),
+                    lint=lint_lines,
                 ),
                 display=member.display,
             )

@@ -1,0 +1,147 @@
+"""``tlp-lint`` CLI: exit codes, formats, corpus behaviour, rule config."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main
+
+CLEAN = """\
+FUNC nil.
+TYPE t.
+t >= nil.
+PRED p(t).
+p(nil).
+"""
+
+DEFECT = """\
+FUNC z.
+TYPE a, b.
+a >= b.
+b >= a.
+a >= z.
+PRED p(a).
+p(z).
+"""
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.tlp"
+    path.write_text(CLEAN)
+    return path
+
+
+@pytest.fixture
+def defect_file(tmp_path):
+    path = tmp_path / "defect.tlp"
+    path.write_text(DEFECT)
+    return path
+
+
+def test_clean_file_exits_zero(clean_file, capsys):
+    assert main([str(clean_file)]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_error_findings_exit_one(defect_file, capsys):
+    assert main([str(defect_file)]) == 1
+    out = capsys.readouterr().out
+    assert "error[TLP102]" in out
+
+
+def test_missing_path_exits_two(capsys):
+    assert main(["/no/such/path.tlp"]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_no_arguments_exits_two(capsys):
+    assert main([]) == 2
+
+
+def test_bad_severity_spec_exits_two(capsys):
+    assert main(["--severity", "TLP301=fatal", "x.tlp"]) == 2
+
+
+def test_disable_silences_rule(defect_file, capsys):
+    assert main([str(defect_file), "--disable", "TLP102"]) == 0
+    assert "TLP102" not in capsys.readouterr().out
+
+
+def test_severity_override_promotes_warning_to_error(tmp_path, capsys):
+    path = tmp_path / "singleton.tlp"
+    path.write_text(CLEAN + "PRED q(t).\nq(X) :- p(X), p(Y).\n")
+    assert main([str(path)]) == 0  # TLP203 is a warning by default
+    assert main([str(path), "--severity", "TLP203=error"]) == 1
+
+
+def test_json_format(defect_file, capsys):
+    assert main([str(defect_file), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["errors"] == 2
+    file_entry = payload["files"][0]
+    assert not file_entry["ok"]
+    codes = [d["code"] for d in file_entry["diagnostics"]]
+    assert codes == ["TLP102", "TLP102"]
+    first = file_entry["diagnostics"][0]
+    assert first["line"] == 3 and "end_column" in first
+
+
+def test_sarif_format_parses_and_carries_results(defect_file, capsys):
+    assert main([str(defect_file), "--format", "sarif"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == "2.1.0"
+    assert [r["ruleId"] for r in document["runs"][0]["results"]] == [
+        "TLP102",
+        "TLP102",
+    ]
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "TLP101" in out and "TLP301" in out and "paper:" in out
+
+
+def test_directory_walk(tmp_path, capsys):
+    (tmp_path / "a.tlp").write_text(CLEAN)
+    (tmp_path / "sub").mkdir()
+    (tmp_path / "sub" / "b.tlp").write_text(DEFECT)
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "b.tlp" in out and "linted 2 files" in out
+
+
+def test_seeded_corpus_defects_reported():
+    """The acceptance scenario: the shipped corpus fixtures light up
+    exactly the seeded rules, and errors make the exit non-zero."""
+    assert main(["examples/corpus", "--format", "json"]) == 1
+
+
+def test_seeded_corpus_codes(capsys):
+    main(["examples/corpus", "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    by_file = {
+        entry["path"]: [d["code"] for d in entry["diagnostics"]]
+        for entry in payload["files"]
+    }
+    assert by_file["examples/corpus/lint/unguarded.tlp"] == ["TLP102", "TLP102"]
+    assert by_file["examples/corpus/lint/uninhabited.tlp"] == ["TLP103"]
+    assert by_file["examples/corpus/lint/missing_filter.tlp"] == ["TLP301"]
+    # Manifest members are linted with the shared prelude: no undeclared
+    # noise, only genuine singleton warnings.
+    members = [path for path in by_file if "/members/" in path]
+    assert members
+    for path in members:
+        assert all(code == "TLP203" for code in by_file[path])
+
+
+def test_manifest_members_get_shared_prelude(tmp_path, capsys):
+    (tmp_path / "decls.tlp").write_text("FUNC nil.\nTYPE t.\nt >= nil.\nPRED p(t).\n")
+    (tmp_path / "member.tlp").write_text("p(nil).\n")
+    (tmp_path / "tlp-project.json").write_text(
+        json.dumps({"include": ["member.tlp"], "shared": ["decls.tlp"]})
+    )
+    assert main([str(tmp_path)]) == 0
+    assert "TLP201" not in capsys.readouterr().out

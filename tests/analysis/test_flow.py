@@ -1,0 +1,148 @@
+"""TLP301: mode inference and the supertype→subtype flow check (§7)."""
+
+from repro.analysis import lint_text
+from repro.analysis.context import LintContext
+from repro.analysis.flow import ModeInference
+from repro.lang.parser import parse_file
+
+INT_NAT = """\
+FUNC zero, succ, negsucc.
+TYPE nat, int.
+nat >= zero + succ(nat).
+int >= nat + negsucc(nat).
+PRED makeint(int).
+PRED usenat(nat).
+"""
+
+
+def infer(text):
+    ctx = LintContext.build(parse_file(text))
+    return ctx, ModeInference(ctx)
+
+
+def tlp301(text):
+    return [
+        d for d in lint_text(text).diagnostics if d.code == "TLP301"
+    ]
+
+
+# -- mode inference -----------------------------------------------------------
+
+
+def test_fact_with_ground_argument_is_out():
+    _, inference = infer(INT_NAT + "makeint(zero).\n")
+    assert inference.out_positions[("makeint", 1)] == {0}
+
+
+def test_undefined_predicate_produces_nothing():
+    ctx, inference = infer(INT_NAT + "makeint(zero).\n")
+    goal = ctx.query_items or ctx.clause_items
+    # usenat has no clauses: no producer positions.
+    from repro.terms.term import Struct, Var
+
+    atom = Struct("usenat", (Var("X"),))
+    assert inference.producer_positions(atom) == set()
+    assert inference.consumer_positions(atom) == {0}
+
+
+def test_recursive_definition_reaches_fixpoint():
+    text = INT_NAT + "makeint(zero).\nmakeint(succ(N)) :- makeint(N).\n"
+    _, inference = infer(text)
+    # succ(N) is bound when the body's makeint(N) binds N: still OUT.
+    assert inference.out_positions[("makeint", 1)] == {0}
+
+
+def test_unbound_head_variable_blocks_out():
+    text = INT_NAT + "makeint(zero).\nmakeint(negsucc(N)) :- usenat(N).\n"
+    _, inference = infer(text)
+    # usenat produces nothing, so clause 2 cannot bind N: not OUT.
+    assert inference.out_positions[("makeint", 1)] == set()
+
+
+def test_declared_mode_wins_over_inference():
+    text = (
+        INT_NAT
+        + "MODE usenat(OUT).\n"
+        + "makeint(zero).\n"
+    )
+    ctx, inference = infer(text)
+    from repro.terms.term import Struct, Var
+
+    atom = Struct("usenat", (Var("X"),))
+    assert inference.producer_positions(atom) == {0}
+
+
+# -- the flow check -----------------------------------------------------------
+
+
+def test_supertype_to_subtype_flow_in_query_flagged():
+    text = INT_NAT + "makeint(zero).\n:- makeint(X), usenat(X).\n"
+    found = tlp301(text)
+    assert len(found) == 1
+    message = found[0].message
+    assert "int" in message and "nat" in message and "X" in message
+    assert any("int2nat" in f.description for f in found[0].fixits)
+
+
+def test_subtype_to_supertype_flow_is_safe():
+    # nat value flowing into an int position: the paper's safe direction.
+    text = (
+        INT_NAT
+        + "PRED makenat(nat).\n"
+        + "makenat(zero).\n"
+        + ":- makenat(X), makeint(X).\n"
+    )
+    assert tlp301(text) == []
+
+
+def test_same_type_flow_is_safe():
+    text = INT_NAT + "makeint(zero).\n:- makeint(X), makeint(X).\n"
+    assert tlp301(text) == []
+
+
+def test_filter_predicate_breaks_the_flow():
+    # Consuming the filtered variable instead of the original is clean.
+    text = (
+        INT_NAT
+        + "PRED int2nat(int, nat).\n"
+        + "MODE int2nat(IN, OUT).\n"
+        + "int2nat(zero, zero).\n"
+        + "makeint(zero).\n"
+        + ":- makeint(X), int2nat(X, N), usenat(N).\n"
+    )
+    assert tlp301(text) == []
+
+
+def test_clause_head_in_position_produces_at_declared_type():
+    # Caller hands makeint an int; its parts flow into a nat position.
+    text = INT_NAT + "makeint(negsucc(N)) :- usenat(N).\n"
+    assert len(tlp301(text)) == 1
+
+
+def test_pass_skipped_without_guarded_uniform_constraints():
+    # Unguarded declarations: the engine refuses, TLP301 stays silent
+    # (TLP102 reports the real problem).
+    text = (
+        "FUNC z.\nTYPE a, b.\n"
+        "a >= b.\nb >= a.\na >= z.\n"
+        "PRED p(a).\nPRED q(b).\n"
+        "p(z).\n:- p(X), q(X).\n"
+    )
+    report = lint_text(text)
+    assert [d.code for d in report.diagnostics if d.code == "TLP301"] == []
+    assert any(d.code == "TLP102" for d in report.diagnostics)
+
+
+def test_append_program_produces_no_flow_noise():
+    text = """\
+FUNC nil, cons.
+TYPE elist, nelist, list.
+elist >= nil.
+nelist(A) >= cons(A,list(A)).
+list(A) >= elist + nelist(A).
+PRED app(list(A),list(A),list(A)).
+app(nil,L,L).
+app(cons(X,L),M,cons(X,N)) :- app(L,M,N).
+:- app(cons(nil,nil), nil, R).
+"""
+    assert tlp301(text) == []

@@ -1,0 +1,103 @@
+"""Rule registry: codes, selection, severity overrides, fingerprints."""
+
+import pytest
+
+from repro.analysis import LintConfig, default_registry
+from repro.analysis.registry import Rule, RuleRegistry
+from repro.checker.diagnostics import Severity
+
+
+def make_rule(code, severity=Severity.WARNING):
+    return Rule(
+        code=code,
+        slug=f"rule-{code.lower()}",
+        severity=severity,
+        summary=f"summary for {code}",
+        paper="§0",
+        check=lambda ctx: None,
+    )
+
+
+def test_default_registry_has_all_builtin_rules():
+    codes = [rule.code for rule in default_registry()]
+    assert codes == [
+        "TLP101", "TLP102", "TLP103", "TLP104", "TLP105",
+        "TLP201", "TLP202", "TLP203", "TLP204",
+        "TLP301",
+    ]
+
+
+def test_rules_come_back_in_code_order_regardless_of_insertion():
+    registry = RuleRegistry()
+    registry.add(make_rule("TLP300"))
+    registry.add(make_rule("TLP100"))
+    registry.add(make_rule("TLP200"))
+    assert [rule.code for rule in registry] == ["TLP100", "TLP200", "TLP300"]
+
+
+def test_duplicate_code_rejected():
+    registry = RuleRegistry()
+    registry.add(make_rule("TLP100"))
+    with pytest.raises(ValueError, match="duplicate"):
+        registry.add(make_rule("TLP100"))
+
+
+def test_disable_drops_rule_from_selection():
+    config = LintConfig(disabled=frozenset({"TLP203"}))
+    codes = [rule.code for rule in default_registry().selected(config)]
+    assert "TLP203" not in codes
+    assert "TLP301" in codes
+
+
+def test_severity_override_applies_in_selection():
+    config = LintConfig(severities={"TLP301": Severity.ERROR})
+    selected = {r.code: r for r in default_registry().selected(config)}
+    assert selected["TLP301"].severity == Severity.ERROR
+    # The registry's own rule object is untouched.
+    assert default_registry().get("TLP301").severity == Severity.WARNING
+
+
+def test_fingerprint_is_stable_across_calls():
+    registry = default_registry()
+    assert registry.fingerprint(LintConfig()) == registry.fingerprint(LintConfig())
+
+
+def test_fingerprint_changes_when_rule_disabled():
+    registry = default_registry()
+    assert registry.fingerprint(LintConfig()) != registry.fingerprint(
+        LintConfig(disabled=frozenset({"TLP203"}))
+    )
+
+
+def test_fingerprint_changes_on_severity_override():
+    registry = default_registry()
+    assert registry.fingerprint(LintConfig()) != registry.fingerprint(
+        LintConfig(severities={"TLP301": Severity.ERROR})
+    )
+
+
+def test_from_spec_parses_disable_and_overrides():
+    config = LintConfig.from_spec("TLP203, TLP104", "TLP301=error")
+    assert config.disabled == frozenset({"TLP203", "TLP104"})
+    assert config.severity_map == {"TLP301": Severity.ERROR}
+
+
+def test_from_spec_rejects_bad_severity():
+    with pytest.raises(ValueError, match="bad severity override"):
+        LintConfig.from_spec("", "TLP301=fatal")
+
+
+def test_from_spec_rejects_malformed_disable_code():
+    with pytest.raises(ValueError, match="bad rule code"):
+        LintConfig.from_spec("disable=TLP103")
+    with pytest.raises(ValueError, match="bad rule code"):
+        LintConfig.from_spec("tlp203")
+
+
+def test_config_is_hashable_and_picklable():
+    import pickle
+
+    config = LintConfig(
+        disabled=frozenset({"TLP203"}), severities={"TLP301": Severity.ERROR}
+    )
+    assert hash(config) == hash(pickle.loads(pickle.dumps(config)))

@@ -1,0 +1,255 @@
+"""Per-rule positive and negative cases for the constraint-set and
+clause analyses (TLP1xx / TLP2xx)."""
+
+from repro.analysis import lint_text
+
+LIST_PRELUDE = """\
+FUNC nil, cons.
+TYPE elist, nelist, list.
+elist >= nil.
+nelist(A) >= cons(A,list(A)).
+list(A) >= elist + nelist(A).
+PRED app(list(A),list(A),list(A)).
+"""
+
+
+def codes(text, config=None):
+    return [d.code for d in lint_text(text, config=config).diagnostics]
+
+
+def findings(text, code):
+    return [d for d in lint_text(text).diagnostics if d.code == code]
+
+
+def test_clean_module_has_no_findings():
+    report = lint_text(
+        LIST_PRELUDE
+        + "app(nil,L,L).\napp(cons(X,L),M,cons(X,N)) :- app(L,M,N).\n"
+    )
+    assert report.diagnostics == []
+    assert report.ok
+
+
+# -- TLP001 syntax ------------------------------------------------------------
+
+
+def test_syntax_error_reported_as_tlp001():
+    report = lint_text("FUNC nil\nTYPE t.")
+    assert [d.code for d in report.diagnostics] == ["TLP001"]
+    assert not report.ok
+
+
+def test_lex_error_reported_as_tlp001():
+    assert codes("FUNC nil? TYPE t.") == ["TLP001"]
+
+
+# -- TLP101 non-uniform -------------------------------------------------------
+
+
+def test_non_uniform_constraint_flagged():
+    text = (
+        "FUNC a.\nTYPE ids.\n"
+        "ids(X, X) >= a.\n"
+        "PRED p(ids(A, B)).\n"
+    )
+    found = [d for d in lint_text(text).diagnostics if d.code == "TLP101"]
+    assert len(found) == 1
+    assert "uniform" in found[0].message
+
+
+def test_uniform_constraints_not_flagged():
+    assert "TLP101" not in codes(LIST_PRELUDE)
+
+
+# -- TLP102 unguarded ---------------------------------------------------------
+
+
+def test_unguarded_cycle_flagged_with_cycle_rendered():
+    text = (
+        "FUNC z.\nTYPE a, b.\n"
+        "a >= b.\nb >= a.\na >= z.\n"
+        "PRED p(a).\n"
+    )
+    found = findings(text, "TLP102")
+    assert found
+    assert "a -> b -> a" in found[0].message or "b -> a -> b" in found[0].message
+
+
+def test_guarded_recursion_not_flagged():
+    # list recurses through cons: guarded, fine.
+    assert "TLP102" not in codes(LIST_PRELUDE)
+
+
+def test_direct_self_dependence_flagged():
+    text = "FUNC z.\nTYPE t.\nt >= t.\nt >= z.\nPRED p(t).\n"
+    assert "TLP102" in codes(text)
+
+
+# -- TLP103 uninhabited -------------------------------------------------------
+
+
+def test_uninhabited_type_flagged_with_fixit():
+    text = "FUNC s.\nTYPE nat.\nnat >= s(nat).\nPRED p(nat).\n"
+    found = findings(text, "TLP103")
+    assert len(found) == 1
+    assert "uninhabited" in found[0].message
+    assert found[0].fixits  # suggests a base-case constraint
+
+
+def test_inhabited_via_union_branch_not_flagged():
+    text = (
+        "FUNC z, s.\nTYPE nat.\n"
+        "nat >= z + s(nat).\n"
+        "PRED p(nat).\n"
+    )
+    assert "TLP103" not in codes(text)
+
+
+def test_mutually_recursive_types_with_base_not_flagged():
+    text = (
+        "FUNC z, s.\nTYPE even, odd.\n"
+        "even >= z + s(odd).\n"
+        "odd >= s(even).\n"
+        "PRED p(even).\n"
+    )
+    assert "TLP103" not in codes(text)
+
+
+def test_mutually_recursive_types_without_base_flagged():
+    text = (
+        "FUNC s.\nTYPE even, odd.\n"
+        "even >= s(odd).\n"
+        "odd >= s(even).\n"
+        "PRED p(even).\n"
+    )
+    got = codes(text)
+    assert got.count("TLP103") == 2  # both types are empty
+
+
+# -- TLP104 unreachable -------------------------------------------------------
+
+
+def test_unreachable_constructor_flagged():
+    text = (
+        LIST_PRELUDE
+        + "FUNC z.\nTYPE nat.\nnat >= z.\n"  # never used by any PRED
+        + "app(nil,L,L).\n"
+    )
+    found = findings(text, "TLP104")
+    assert [d.message for d in found]
+    assert any("nat" in d.message for d in found)
+
+
+def test_reachable_through_argument_not_flagged():
+    # elist/nelist are reachable through list's union constraint.
+    assert "TLP104" not in codes(LIST_PRELUDE + "app(nil,L,L).\n")
+
+
+# -- TLP105 duplicates --------------------------------------------------------
+
+
+def test_duplicate_func_flagged():
+    text = "FUNC nil.\nFUNC nil.\nTYPE t.\nt >= nil.\nPRED p(t).\n"
+    assert "TLP105" in codes(text)
+
+
+def test_duplicate_pred_flagged():
+    text = (
+        "FUNC nil.\nTYPE t.\nt >= nil.\n"
+        "PRED p(t).\nPRED p(t).\n"
+    )
+    assert "TLP105" in codes(text)
+
+
+# -- TLP201 undeclared predicate ----------------------------------------------
+
+
+def test_undeclared_predicate_flagged_with_fixit():
+    text = LIST_PRELUDE + "rev(nil,nil).\n"
+    found = findings(text, "TLP201")
+    assert len(found) == 1
+    assert "rev/2" in found[0].message
+    assert any("PRED rev(T1, T2)." in f.description for f in found[0].fixits)
+
+
+def test_declared_predicate_not_flagged():
+    assert "TLP201" not in codes(LIST_PRELUDE + "app(nil,L,L).\n")
+
+
+# -- TLP202 arity mismatch ----------------------------------------------------
+
+
+def test_predicate_called_at_wrong_arity_flagged():
+    text = LIST_PRELUDE + "app(nil,L,L).\n:- app(nil, nil).\n"
+    found = findings(text, "TLP202")
+    assert any("arity 2" in d.message and "arity 3" in d.message for d in found)
+
+
+def test_function_symbol_used_at_two_arities_flagged():
+    text = (
+        "FUNC nil, cons.\nTYPE t.\nt >= nil + cons(t) + cons(t, t).\n"
+        "PRED p(t).\n"
+    )
+    assert "TLP202" in codes(text)
+
+
+# -- TLP203 singleton ---------------------------------------------------------
+
+
+def test_singleton_variable_flagged_with_rename_fixit():
+    text = LIST_PRELUDE + "app(nil,L,M).\n"
+    found = findings(text, "TLP203")
+    assert len(found) == 2  # L and M each occur once
+    assert all(f.fixits for f in found)
+
+
+def test_underscore_prefixed_singleton_not_flagged():
+    text = LIST_PRELUDE + "app(nil,_L,_M).\n"
+    assert "TLP203" not in codes(text)
+
+
+def test_repeated_variable_not_flagged():
+    text = LIST_PRELUDE + "app(nil,L,L).\n"
+    assert "TLP203" not in codes(text)
+
+
+# -- TLP204 undeclared symbol -------------------------------------------------
+
+
+def test_undeclared_function_symbol_flagged():
+    text = LIST_PRELUDE + "app(foo,L,L).\n"
+    found = findings(text, "TLP204")
+    assert len(found) == 1
+    assert "foo" in found[0].message
+
+
+def test_type_constructor_in_object_position_flagged():
+    text = LIST_PRELUDE + "app(elist,L,L).\n"
+    found = findings(text, "TLP204")
+    assert len(found) == 1
+    assert "type constructor" in found[0].message
+
+
+# -- config plumbing ----------------------------------------------------------
+
+
+def test_disable_suppresses_rule():
+    from repro.analysis import LintConfig
+
+    text = LIST_PRELUDE + "app(nil,L,M).\n"
+    assert "TLP203" in codes(text)
+    assert "TLP203" not in codes(
+        text, config=LintConfig(disabled=frozenset({"TLP203"}))
+    )
+
+
+def test_severity_override_changes_reported_severity():
+    from repro.analysis import LintConfig
+    from repro.checker.diagnostics import Severity
+
+    text = LIST_PRELUDE + "app(nil,L,M).\n"
+    config = LintConfig(severities={"TLP203": Severity.ERROR})
+    report = lint_text(text, config=config)
+    tlp203 = [d for d in report.diagnostics if d.code == "TLP203"]
+    assert tlp203 and all(d.severity == Severity.ERROR for d in tlp203)
+    assert not report.ok

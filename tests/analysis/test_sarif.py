@@ -1,0 +1,132 @@
+"""SARIF 2.1.0 output: structural validation against the spec subset.
+
+No third-party JSON-Schema library ships in this environment, so
+``SARIF_STRUCTURE`` vendors the relevant fragment of the official
+2.1.0 schema (required properties, types, level enum) and a small
+structural checker enforces it.
+"""
+
+from repro.analysis import (
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    LintConfig,
+    default_registry,
+    lint_text,
+    to_sarif,
+)
+
+# The shape GitHub code scanning requires of a SARIF upload, transcribed
+# from the oasis-tcs sarif-schema-2.1.0 definitions we emit.
+SARIF_STRUCTURE = {
+    "required": ["version", "runs"],
+    "version_enum": ["2.1.0"],
+    "run_required": ["tool", "results"],
+    "driver_required": ["name", "rules"],
+    "rule_required": ["id", "shortDescription", "defaultConfiguration"],
+    "result_required": ["ruleId", "level", "message", "locations"],
+    "level_enum": ["none", "note", "warning", "error"],
+    "region_required": ["startLine", "startColumn"],
+}
+
+
+def validate_sarif(document):
+    """Assert ``document`` matches the vendored schema fragment."""
+    for key in SARIF_STRUCTURE["required"]:
+        assert key in document, f"missing top-level {key!r}"
+    assert document["version"] in SARIF_STRUCTURE["version_enum"]
+    assert isinstance(document["runs"], list) and document["runs"]
+    for run in document["runs"]:
+        for key in SARIF_STRUCTURE["run_required"]:
+            assert key in run, f"missing run {key!r}"
+        driver = run["tool"]["driver"]
+        for key in SARIF_STRUCTURE["driver_required"]:
+            assert key in driver, f"missing driver {key!r}"
+        rules = driver["rules"]
+        for rule in rules:
+            for key in SARIF_STRUCTURE["rule_required"]:
+                assert key in rule, f"missing rule {key!r}"
+            assert isinstance(rule["shortDescription"]["text"], str)
+            assert (
+                rule["defaultConfiguration"]["level"]
+                in SARIF_STRUCTURE["level_enum"]
+            )
+        ids = [rule["id"] for rule in rules]
+        assert len(ids) == len(set(ids)), "duplicate rule ids"
+        for result in run["results"]:
+            for key in SARIF_STRUCTURE["result_required"]:
+                assert key in result, f"missing result {key!r}"
+            assert result["level"] in SARIF_STRUCTURE["level_enum"]
+            assert isinstance(result["message"]["text"], str)
+            if "ruleIndex" in result:
+                assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+            for location in result["locations"]:
+                physical = location["physicalLocation"]
+                assert "uri" in physical["artifactLocation"]
+                region = physical.get("region")
+                if region is not None:
+                    for key in SARIF_STRUCTURE["region_required"]:
+                        assert key in region, f"missing region {key!r}"
+                    assert all(
+                        isinstance(v, int) and v >= 1 for v in region.values()
+                    )
+
+
+DEFECT = """\
+FUNC s.
+TYPE nat.
+nat >= s(nat).
+PRED count(nat).
+count(s(N)) :- count(N).
+"""
+
+
+def document_for(text):
+    report = lint_text(text, path="defect.tlp")
+    findings = [("defect.tlp", d) for d in report.diagnostics]
+    return to_sarif(findings, default_registry())
+
+
+def test_document_validates_against_schema_fragment():
+    validate_sarif(document_for(DEFECT))
+
+
+def test_schema_and_version_pinned():
+    document = document_for(DEFECT)
+    assert document["version"] == SARIF_VERSION == "2.1.0"
+    assert document["$schema"] == SARIF_SCHEMA_URI
+    assert "sarif-schema-2.1.0" in SARIF_SCHEMA_URI
+
+
+def test_results_carry_rule_ids_and_regions():
+    document = document_for(DEFECT)
+    results = document["runs"][0]["results"]
+    assert [r["ruleId"] for r in results] == ["TLP103"]
+    region = results[0]["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 3  # the nat >= s(nat). constraint
+    assert region["endColumn"] > region["startColumn"]
+
+
+def test_fixits_become_fixes():
+    document = document_for(DEFECT)
+    fixes = document["runs"][0]["results"][0]["fixes"]
+    assert fixes and "base-case" in fixes[0]["description"]["text"]
+
+
+def test_syntax_errors_get_the_tlp001_descriptor():
+    document = document_for("FUNC s\n")
+    run = document["runs"][0]
+    assert run["results"][0]["ruleId"] == "TLP001"
+    assert run["tool"]["driver"]["rules"][0]["id"] == "TLP001"
+    validate_sarif(document)
+
+
+def test_disabled_rules_dropped_from_driver():
+    report = lint_text(DEFECT, path="defect.tlp")
+    config = LintConfig(disabled=frozenset({"TLP203"}))
+    document = to_sarif([], default_registry(), config)
+    ids = [r["id"] for r in document["runs"][0]["tool"]["driver"]["rules"]]
+    assert "TLP203" not in ids and "TLP103" in ids
+
+
+def test_empty_findings_still_valid():
+    validate_sarif(to_sarif([], default_registry()))

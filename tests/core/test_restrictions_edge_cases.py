@@ -1,0 +1,177 @@
+"""Restriction edge cases the Section 3 replay misses: mutual recursion,
+guardedness and uniformity varying independently, and empty types.
+
+Guardedness and uniform polymorphism are orthogonal: each test pins one
+corner of the 2×2.  The empty-type corpus exercises the inhabitation
+analysis (`tlp-lint` TLP103) against the engine's own behaviour: an
+uninhabited declared type is *legal* under Definitions 6–9 — the checker
+accepts it — which is exactly why the linter exists.
+"""
+
+import pytest
+
+from repro.analysis.constraints import inhabited_constructors
+from repro.analysis.context import LintContext
+from repro.core import (
+    ConstraintSet,
+    SubtypeEngine,
+    SymbolTable,
+    is_guarded,
+    is_uniform_polymorphic,
+    non_uniform_constraints,
+    unguarded_constructors,
+    validate_restrictions,
+)
+from repro.lang import parse_term as T
+from repro.lang.parser import parse_file
+from repro.workloads import constraint
+
+
+def build(functions, types, texts):
+    symbols = SymbolTable()
+    for name, arity in functions:
+        symbols.declare_function(name, arity)
+    for name, arity in types:
+        symbols.declare_type_constructor(name, arity)
+    return ConstraintSet(symbols, [constraint(text) for text in texts])
+
+
+# -- mutually recursive but guarded -------------------------------------------
+
+
+def test_mutually_recursive_guarded_set_accepted():
+    # even/odd recurse through each other, always under succ: guarded.
+    cset = build(
+        [("0", 0), ("succ", 1)],
+        [("even", 0), ("odd", 0)],
+        ["even >= 0", "even >= succ(odd)", "odd >= succ(even)"],
+    )
+    assert is_uniform_polymorphic(cset)
+    assert is_guarded(cset)
+    validate_restrictions(cset)  # must not raise
+    engine = SubtypeEngine(cset)
+    assert engine.holds(T("even"), T("succ(succ(0))"))
+    assert not engine.holds(T("even"), T("succ(0)"))
+    assert engine.holds(T("odd"), T("succ(0)"))
+
+
+def test_three_way_mutual_recursion_guarded():
+    cset = build(
+        [("z", 0), ("s", 1)],
+        [("a", 0), ("b", 0), ("c", 0)],
+        ["a >= z", "a >= s(b)", "b >= s(c)", "c >= s(a)"],
+    )
+    assert is_guarded(cset)
+    assert unguarded_constructors(cset) == []
+
+
+def test_single_guarded_edge_breaks_the_cycle():
+    # b >= c and c >= a are bare, but the only a -> b edge sits under s:
+    # Definition 8's direct dependence never closes the cycle, so the set
+    # is guarded even though two of its three hops are unguarded.
+    cset = build(
+        [("z", 0), ("s", 1)],
+        [("a", 0), ("b", 0), ("c", 0)],
+        ["a >= z", "a >= s(b)", "b >= c", "c >= a"],
+    )
+    assert is_guarded(cset)
+    assert unguarded_constructors(cset) == []
+
+
+def test_fully_bare_cycle_rejected():
+    # With every hop bare, each constructor reaches itself: all three are
+    # unguarded, and validate_restrictions refuses the set.
+    cset = build(
+        [("z", 0)],
+        [("a", 0), ("b", 0), ("c", 0)],
+        ["a >= z", "a >= b", "b >= c", "c >= a"],
+    )
+    assert not is_guarded(cset)
+    assert set(unguarded_constructors(cset)) == {"a", "b", "c"}
+    with pytest.raises(Exception):
+        validate_restrictions(cset)
+
+
+# -- guardedness and uniformity are independent --------------------------------
+
+
+def test_guarded_but_not_uniform():
+    # ids(X, X): repeated variable on the left — guarded, non-uniform.
+    cset = build(
+        [("a", 0)],
+        [("ids", 2)],
+        ["ids(X, X) >= a"],
+    )
+    assert is_guarded(cset)
+    assert not is_uniform_polymorphic(cset)
+    assert len(non_uniform_constraints(cset)) == 1
+
+
+def test_uniform_but_not_guarded():
+    # t >= t: distinct-variable condition holds trivially, guard doesn't.
+    cset = build(
+        [("a", 0)],
+        [("t", 0)],
+        ["t >= a", "t >= t"],
+    )
+    assert is_uniform_polymorphic(cset)
+    assert not is_guarded(cset)
+    assert unguarded_constructors(cset) == ["t"]
+
+
+def test_non_variable_left_argument_is_non_uniform():
+    cset = build(
+        [("a", 0)],
+        [("t", 1), ("u", 0)],
+        ["t(u) >= a", "u >= a"],
+    )
+    assert not is_uniform_polymorphic(cset)
+    assert is_guarded(cset)
+
+
+# -- the empty-type corpus ----------------------------------------------------
+
+EMPTY_NAT = """\
+FUNC succ.
+TYPE nat.
+nat >= succ(nat).
+PRED count(nat).
+count(succ(N)) :- count(N).
+"""
+
+
+def test_empty_type_passes_both_restrictions():
+    cset = build(
+        [("succ", 1)],
+        [("nat", 0)],
+        ["nat >= succ(nat)"],
+    )
+    # Legal under Definitions 6-9 even though M[nat] is empty…
+    assert is_uniform_polymorphic(cset)
+    assert is_guarded(cset)
+    validate_restrictions(cset)
+
+
+def test_empty_type_has_no_ground_members():
+    cset = build(
+        [("succ", 1), ("zero", 0)],
+        [("nat", 0)],
+        ["nat >= succ(nat)"],
+    )
+    engine = SubtypeEngine(cset)
+    # …but no ground term inhabits it: derivations never terminate in yes.
+    assert not engine.holds(T("nat"), T("zero"))
+    assert not engine.holds(T("nat"), T("succ(zero)"))
+    assert not engine.holds(T("nat"), T("succ(succ(zero))"))
+
+
+def test_inhabitation_analysis_flags_the_empty_type():
+    ctx = LintContext.build(parse_file(EMPTY_NAT))
+    assert inhabited_constructors(ctx) == set()
+
+
+def test_inhabitation_analysis_accepts_base_case():
+    text = EMPTY_NAT.replace("nat >= succ(nat).", "nat >= zero + succ(nat).")
+    text = text.replace("FUNC succ.", "FUNC zero, succ.")
+    ctx = LintContext.build(parse_file(text))
+    assert inhabited_constructors(ctx) == {"nat"}

@@ -1,0 +1,77 @@
+"""Source spans: token end positions and parser item ranges.
+
+The lexer stamps every token with ``end_line``/``end_column`` (half-open:
+``end_column`` points one past the last character) and the parser gives
+every item a ``Position`` spanning from its first token through its
+closing dot — the ranges diagnostics and SARIF regions report.
+"""
+
+from repro.lang import tokenize
+from repro.lang.ast import Position
+from repro.lang.parser import parse_file
+
+
+def test_token_end_positions_cover_text():
+    tokens = tokenize("app(nil, Xs).")
+    for token in tokens[:-1]:  # skip EOF
+        assert token.end_line == token.line
+        assert token.end_column == token.column + len(token.text)
+
+
+def test_token_positions_one_based():
+    first = tokenize("nil")[0]
+    assert (first.line, first.column) == (1, 1)
+    assert (first.end_line, first.end_column) == (1, 4)
+
+
+def test_multiline_tokens_track_lines():
+    tokens = tokenize("foo.\nbar.\n")
+    bar = [t for t in tokens if t.text == "bar"][0]
+    assert bar.line == 2 and bar.column == 1
+    assert bar.end_line == 2 and bar.end_column == 4
+
+
+def test_eof_column_after_trailing_comment_without_newline():
+    # Regression: comment consumption used to leave the EOF column stale.
+    tokens = tokenize("nil. % trailing comment")
+    eof = tokens[-1]
+    assert eof.column == len("nil. % trailing comment") + 1
+    assert eof.end_column == eof.column
+
+
+def test_token_equality_ignores_end_fields():
+    # Back-compat: positions compare by (line, column) only.
+    with_span, without = tokenize("nil")[0], tokenize("nil")[0]
+    assert with_span == without
+    assert Position(1, 2) == Position(1, 2, 1, 9)
+    assert hash(Position(1, 2)) == hash(Position(1, 2, 1, 9))
+
+
+def test_position_has_span():
+    assert not Position(1, 1).has_span
+    assert Position(1, 1, 1, 5).has_span
+    assert str(Position(3, 7, 3, 9)) == "3:7"
+
+
+def test_item_spans_cover_through_closing_dot():
+    source = parse_file("FUNC nil, cons.\n")
+    item = source.items[0]
+    assert (item.position.line, item.position.column) == (1, 1)
+    assert item.position.end_line == 1
+    assert item.position.end_column == len("FUNC nil, cons.") + 1
+
+
+def test_clause_span_covers_multiline_item():
+    text = "FUNC nil.\nTYPE t.\nt >= nil.\nPRED p(t).\np(X) :-\n    p(X).\n"
+    source = parse_file(text)
+    clause = source.items[-1]
+    assert clause.position.line == 5
+    assert clause.position.end_line == 6
+    assert clause.position.end_column == len("    p(X).") + 1
+
+
+def test_each_item_gets_its_own_span():
+    source = parse_file("FUNC nil.\nTYPE t.\n")
+    first, second = source.items
+    assert first.position.line == 1 and first.position.end_line == 1
+    assert second.position.line == 2 and second.position.end_line == 2
