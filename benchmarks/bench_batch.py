@@ -62,8 +62,14 @@ def build_corpus(root: Path, synthetic_files: int, predicates: int) -> Path:
     return corpus
 
 
-def batch_rows(quick: bool = False) -> List[Row]:
-    """Run the batch benchmarks once; return (label, measured) rows."""
+def batch_rows(
+    quick: bool = False, measurements: Optional[List[Dict[str, object]]] = None
+) -> List[Row]:
+    """Run the batch benchmarks once; return (label, measured) rows.
+
+    With ``measurements`` given, machine rows (``{"id", "label",
+    "ns_per_op"}``) are appended to it for ``BENCH_subtype.json``.
+    """
     synthetic_files = 4 if quick else 12
     predicates = 8 if quick else 24
     jobs = 2 if quick else 4
@@ -93,6 +99,21 @@ def batch_rows(quick: bool = False) -> List[Row]:
                 f"{fmt(warm.wall_s)} ({speedup:,.0f}x)",
             )
         )
+        if measurements is not None:
+            measurements.append(
+                {
+                    "id": "batch.cold.per_file",
+                    "label": f"cold batch check, {files} files",
+                    "ns_per_op": cold.wall_s * 1e9 / files,
+                }
+            )
+            measurements.append(
+                {
+                    "id": "batch.warm.per_file",
+                    "label": "warm re-check (100% cache hits)",
+                    "ns_per_op": warm.wall_s * 1e9 / files,
+                }
+            )
 
         # -- 1 vs N workers (parallelism).  On a single-core box the pool
         # can only add overhead; the core count in the label keeps the

@@ -1,0 +1,96 @@
+"""Compare two ``BENCH_subtype.json`` files and fail on perf regressions.
+
+CI runs ``benchmarks/summary.py --quick --json`` (which rewrites
+``BENCH_subtype.json`` at the repo root), then calls this script with the
+*committed* baseline and the fresh measurement::
+
+    python benchmarks/check_regression.py baseline.json current.json [--factor 2.0]
+
+A row regresses when ``current_ns > factor * baseline_ns`` for a
+measurement ``id`` present in both files.  The default factor is a
+deliberately loose 2x — CI runners are noisy shared machines; the gate
+exists to catch order-of-magnitude breakage (a dropped memo, an
+accidentally disabled intern table), not 10% drift.  Ids present in only
+one file are reported but never fatal, so adding or retiring benchmarks
+doesn't break the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+
+def load_rows(path: str) -> Dict[str, float]:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return {
+        str(row["id"]): float(row["ns_per_op"])
+        for row in payload.get("measurements", [])
+    }
+
+
+def fmt_ns(ns: float) -> str:
+    if ns < 1e3:
+        return f"{ns:.0f}ns"
+    if ns < 1e6:
+        return f"{ns / 1e3:.1f}µs"
+    if ns < 1e9:
+        return f"{ns / 1e6:.2f}ms"
+    return f"{ns / 1e9:.2f}s"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_subtype.json")
+    parser.add_argument("current", help="freshly measured BENCH_subtype.json")
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="fail when current > factor * baseline (default 2.0)",
+    )
+    arguments = parser.parse_args(argv)
+
+    baseline = load_rows(arguments.baseline)
+    current = load_rows(arguments.current)
+    common = sorted(set(baseline) & set(current))
+    if not common:
+        print("no common measurement ids between baseline and current", file=sys.stderr)
+        return 1
+
+    width = max(len(identifier) for identifier in common) + 2
+    print(f"{'id'.ljust(width)}{'baseline':>12}{'current':>12}{'ratio':>8}")
+    regressions = []
+    for identifier in common:
+        ratio = current[identifier] / baseline[identifier]
+        marker = ""
+        if ratio > arguments.factor:
+            regressions.append(identifier)
+            marker = f"  REGRESSED (> {arguments.factor:.1f}x)"
+        print(
+            f"{identifier.ljust(width)}"
+            f"{fmt_ns(baseline[identifier]):>12}"
+            f"{fmt_ns(current[identifier]):>12}"
+            f"{ratio:>7.2f}x{marker}"
+        )
+    for identifier in sorted(set(baseline) - set(current)):
+        print(f"{identifier.ljust(width)}  (missing from current — skipped)")
+    for identifier in sorted(set(current) - set(baseline)):
+        print(f"{identifier.ljust(width)}  (new — no baseline, skipped)")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} measurement(s) regressed beyond "
+            f"{arguments.factor:.1f}x: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall {len(common)} common measurements within {arguments.factor:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,8 @@ import argparse
 import json
 import sys
 import time
-from typing import Callable, List, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.checker import check_text
@@ -50,6 +51,21 @@ from repro.workloads import (
 
 Row = Tuple[str, str]
 
+#: Machine-readable ns/op rows collected while ``build_rows`` runs; the
+#: stable ``id`` values key the CI regression gate (``BENCH_subtype.json``
+#: + ``check_regression.py``).
+MEASUREMENTS: List[Dict[str, object]] = []
+
+#: Where the stable perf-trajectory file lands (repo root).
+BENCH_SUBTYPE_PATH = Path(__file__).resolve().parent.parent / "BENCH_subtype.json"
+
+
+def record(measurement_id: str, label: str, seconds: float, ops: int = 1) -> None:
+    """Append one machine row (``ops`` > 1 divides into per-op cost)."""
+    MEASUREMENTS.append(
+        {"id": measurement_id, "label": label, "ns_per_op": seconds * 1e9 / ops}
+    )
+
 
 def timed(thunk: Callable[[], object]) -> Tuple[object, float]:
     start = time.perf_counter()
@@ -66,7 +82,12 @@ def fmt(seconds: float) -> str:
 
 
 def build_rows(quick: bool = False) -> List[Row]:
-    """Run every experiment family once; return (label, measured) rows."""
+    """Run every experiment family once; return (label, measured) rows.
+
+    Also refills :data:`MEASUREMENTS` with the machine rows backing
+    ``BENCH_subtype.json``.
+    """
+    MEASUREMENTS.clear()
     rows: List[Row] = []
     cset = paper_universe()
 
@@ -84,12 +105,17 @@ def build_rows(quick: bool = False) -> List[Row]:
     for depth in nat_depths:
         _, dt = timed(lambda: SubtypeEngine(cset).contains(T("nat"), deep_nat(depth)))
         rows.append((f"E1 engine: succ^{depth}(0) ∈ nat", fmt(dt)))
+        record(f"subtype.member.nat.{depth}", f"succ^{depth}(0) ∈ nat", dt)
     for depth in int_depths:
         _, dt = timed(lambda: SubtypeEngine(cset).contains(T("nat"), deep_int(depth)))
         rows.append((f"E1 engine: refute pred^{depth}(0) ∈ nat", fmt(dt)))
+        record(f"subtype.refute.int.{depth}", f"refute pred^{depth}(0) ∈ nat", dt)
     for length in list_lengths:
         _, dt = timed(lambda: SubtypeEngine(cset).contains(T("list(nat)"), nat_list(length)))
         rows.append((f"E1 engine: {length}-element list ∈ list(nat)", fmt(dt)))
+        record(
+            f"subtype.member.list.{length}", f"{length}-element list ∈ list(nat)", dt
+        )
     naive = NaiveSubtypeProver(cset, max_depth=40, step_limit=4_000_000)
     for length in naive_lengths:
         verdict, dt = timed(
@@ -115,6 +141,7 @@ def build_rows(quick: bool = False) -> List[Row]:
     for length in e4_lengths:
         _, dt = timed(lambda: Matcher(cset).match(T("list(nat)"), nat_list(length)))
         rows.append((f"E4 match(list(nat), {length}-element list)", fmt(dt)))
+        record(f"match.list.{length}", f"match(list(nat), {length}-element list)", dt)
 
     # -- E6/P1: checker throughput --------------------------------------------
     source = synthetic_list_program(e6_clauses)
@@ -169,7 +196,14 @@ def build_rows(quick: bool = False) -> List[Row]:
     # -- B1/B2: the batch checking service ---------------------------------
     from bench_batch import batch_rows
 
-    rows.extend(batch_rows(quick=quick))
+    rows.extend(batch_rows(quick=quick, measurements=MEASUREMENTS))
+
+    # -- I1/I2: the interned term kernel and shared memo -------------------
+    from bench_intern import intern_measurements
+
+    intern_rows, intern_machine_rows = intern_measurements(quick=quick)
+    rows.extend(intern_rows)
+    MEASUREMENTS.extend(intern_machine_rows)
     return rows
 
 
@@ -218,6 +252,31 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dump(payload, handle, indent=2, ensure_ascii=False)
             handle.write("\n")
         print(f"\nwrote {arguments.json}", file=sys.stderr)
+
+        from repro.core.shared_memo import SHARED_MEMO
+        from repro.terms import intern_stats
+
+        stats = intern_stats()
+        bench = {
+            "schema": "tlp-bench-subtype/1",
+            "quick": arguments.quick,
+            "measurements": [
+                {**row, "ns_per_op": round(float(row["ns_per_op"]), 1)}
+                for row in MEASUREMENTS
+            ],
+            "intern": {
+                "enabled": stats.enabled,
+                "size": stats.size,
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "hit_rate": round(stats.hit_rate, 4),
+            },
+            "shared_memo": SHARED_MEMO.stats(),
+        }
+        with open(BENCH_SUBTYPE_PATH, "w", encoding="utf-8") as handle:
+            json.dump(bench, handle, indent=2, ensure_ascii=False)
+            handle.write("\n")
+        print(f"wrote {BENCH_SUBTYPE_PATH}", file=sys.stderr)
     return 0
 
 

@@ -89,6 +89,22 @@ def _build_argument_parser() -> argparse.ArgumentParser:
         help="collect telemetry and print the metrics table after checking",
     )
     parser.add_argument(
+        "--no-intern",
+        action="store_true",
+        help=(
+            "disable the hash-consing term intern table for this run "
+            "(differential-testing escape hatch; seed representation)"
+        ),
+    )
+    parser.add_argument(
+        "--no-shared-memo",
+        action="store_true",
+        help=(
+            "disable the process-wide shared subtype memo; every engine "
+            "keeps its own cold memo (seed behaviour)"
+        ),
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -354,45 +370,63 @@ def _check_files(arguments) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point (also installed as the ``tlp-check`` console script)."""
+    from ..core.shared_memo import SHARED_MEMO
+    from ..terms.term import set_interning
+
     parser = _build_argument_parser()
     arguments = parser.parse_args(argv)
-    if not arguments.stats and arguments.trace is None:
-        return _check_files(arguments)
-
-    # Observed run: enable telemetry (and tracing) for the duration,
-    # restoring the process-wide obs state on the way out so library
-    # callers of main() are unaffected.
-    was_enabled = obs.METRICS.enabled
-    obs.reset()
-    obs.METRICS.enabled = True
-    sink = None
-    stream = None
+    # Escape hatches (restored on exit so library callers of main() keep
+    # their process-wide settings).
+    intern_before = set_interning(False) if arguments.no_intern else None
+    memo_before = (
+        SHARED_MEMO.set_enabled(False) if arguments.no_shared_memo else None
+    )
     try:
-        if arguments.trace is not None:
-            if arguments.trace == "-":
-                sink = obs.JsonlSink(sys.stderr)
-            else:
-                try:
-                    stream = open(arguments.trace, "w", encoding="utf-8")
-                except OSError as error:
-                    print(
-                        f"{arguments.trace}: cannot write trace: {error}",
-                        file=sys.stderr,
-                    )
-                    return 2
-                sink = obs.JsonlSink(stream)
-            obs.TRACER.add_sink(sink)
-        exit_code = _check_files(arguments)
-        if arguments.stats:
-            print()
-            print(obs.render_summary())
-        return exit_code
+        if not arguments.stats and arguments.trace is None:
+            return _check_files(arguments)
+
+        # Observed run: enable telemetry (and tracing) for the duration,
+        # restoring the process-wide obs state on the way out so library
+        # callers of main() are unaffected.
+        was_enabled = obs.METRICS.enabled
+        obs.reset()
+        obs.METRICS.enabled = True
+        sink = None
+        stream = None
+        try:
+            if arguments.trace is not None:
+                if arguments.trace == "-":
+                    sink = obs.JsonlSink(sys.stderr)
+                else:
+                    try:
+                        stream = open(arguments.trace, "w", encoding="utf-8")
+                    except OSError as error:
+                        print(
+                            f"{arguments.trace}: cannot write trace: {error}",
+                            file=sys.stderr,
+                        )
+                        return 2
+                    sink = obs.JsonlSink(stream)
+                obs.TRACER.add_sink(sink)
+            exit_code = _check_files(arguments)
+            if arguments.stats:
+                obs.publish_runtime_gauges()
+                print()
+                print(obs.render_summary())
+                for line in obs.runtime_stats_lines():
+                    print(line)
+            return exit_code
+        finally:
+            if sink is not None:
+                obs.TRACER.remove_sink(sink)
+            if stream is not None:
+                stream.close()
+            obs.METRICS.enabled = was_enabled
     finally:
-        if sink is not None:
-            obs.TRACER.remove_sink(sink)
-        if stream is not None:
-            stream.close()
-        obs.METRICS.enabled = was_enabled
+        if intern_before is not None:
+            set_interning(intern_before)
+        if memo_before is not None:
+            SHARED_MEMO.set_enabled(memo_before)
 
 
 if __name__ == "__main__":

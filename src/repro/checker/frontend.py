@@ -36,6 +36,7 @@ from ..core.moded_welltyped import ModedWellTypedChecker
 from ..core.modes import ModeChecker, ModeEnv
 from ..core.predicate_types import PredicateTypeEnv
 from ..core.restrictions import non_uniform_constraints, unguarded_constructors
+from ..core.shared_memo import SHARED_MEMO
 from ..core.subtype import SubtypeEngine
 from ..core.welltyped import WellTypedChecker
 from ..lang.ast import (
@@ -274,8 +275,11 @@ def _check_source(source: SourceFile) -> CheckedModule:
     checker = WellTypedChecker(constraints, predicate_types)
     module.checker = checker
     # Restrictions were just validated (step 3), so the module-wide shared
-    # engine skips re-validation.
-    engine = SubtypeEngine(constraints, validate=False)
+    # engine skips re-validation.  The engine also attaches to the
+    # process-wide subtype memo: modules over the same declaration scope
+    # (batch corpora with a shared prelude, daemon re-checks) start with
+    # every verdict earlier engines already derived.
+    engine = SubtypeEngine(constraints, validate=False, shared_memo=SHARED_MEMO)
     module.engine = engine
     moded: Optional[ModedWellTypedChecker] = None
     if len(modes):

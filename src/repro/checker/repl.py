@@ -138,7 +138,11 @@ class Repl:
         if rest:
             return ["usage: :stats [on|off|reset]"]
         state = "on" if obs.METRICS.enabled else "off (`:stats on` to enable)"
-        return [f"telemetry {state}"] + obs.render_summary().splitlines()
+        return (
+            [f"telemetry {state}"]
+            + obs.render_summary().splitlines()
+            + obs.runtime_stats_lines()
+        )
 
     def _why(self, rest: str) -> List[str]:
         text = rest if rest.startswith(":-") else f":- {rest}"

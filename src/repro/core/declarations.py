@@ -23,7 +23,8 @@ side.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..terms.pretty import UNION_TYPE, pretty
@@ -164,12 +165,25 @@ class SubtypeConstraint:
 
     lhs: Struct
     rhs: Term
+    #: Compiled expansion template (lazily built, see ``_template_of``).
+    #: Not part of equality/hash — it is derived from lhs/rhs.
+    _template: object = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _template_ready: bool = field(
+        default=False, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not variables_of(self.rhs) <= variables_of(self.lhs):
             raise DeclarationError(
                 f"constraint {self} violates var(rhs) ⊆ var(lhs) (Definition 2)"
             )
+        args = self.lhs.args
+        uniform = (
+            all(isinstance(a, Var) for a in args) and len(set(args)) == len(args)
+        )
+        object.__setattr__(self, "_uniform", uniform)
 
     @property
     def constructor(self) -> str:
@@ -179,11 +193,67 @@ class SubtypeConstraint:
     @property
     def is_uniform(self) -> bool:
         """Definition 6: the lhs arguments are distinct variables."""
-        args = self.lhs.args
-        return all(isinstance(a, Var) for a in args) and len(set(args)) == len(args)
+        return self._uniform  # type: ignore[attr-defined]
 
     def __str__(self) -> str:
         return f"{pretty(self.lhs)} >= {pretty(self.rhs)}."
+
+
+# -- compiled expansion templates ------------------------------------------------
+#
+# For a *uniform* constraint ``c(α1,...,αn) >= τ`` the one-step expansion of
+# ``c(τ1,...,τn)`` is ``τ{α_i ↦ τ_i}`` — a pure positional rewrite.  Instead
+# of running a generic substitution walk per expansion (building a mapping
+# dict, traversing τ, re-checking groundness along the way), the rhs is
+# compiled once per constraint into a *template* tree whose nodes are
+#
+# * ``int i``   — copy the supertype's i-th argument into this slot,
+# * a ``Term``  — a ground subtree of τ, shared verbatim across expansions,
+# * ``(functor, children)`` — build a struct around recursively
+#   instantiated children.
+#
+# Instantiating a template is then a handful of tuple builds proportional to
+# the *non-ground* part of τ — the inner-loop cost the subtype engine's
+# Theorem 2 rule actually pays.  Non-uniform constraints (excluded from the
+# paper's algorithms) have no template and keep the rename+unify path.
+
+def _compile_rhs(rhs: Term, slots: Dict[Var, int]) -> object:
+    if isinstance(rhs, Var):
+        return slots[rhs]
+    if rhs.ground:
+        return rhs
+    return (rhs.functor, tuple(_compile_rhs(arg, slots) for arg in rhs.args))
+
+
+def _instantiate(node: object, args: Tuple[Term, ...]) -> Term:
+    kind = type(node)
+    if kind is int:
+        return args[node]  # type: ignore[index]
+    if kind is tuple:
+        functor, children = node  # type: ignore[misc]
+        return Struct(
+            functor, tuple(_instantiate(child, args) for child in children)
+        )
+    return node  # type: ignore[return-value]
+
+
+def _template_of(constraint: SubtypeConstraint) -> object:
+    """The compiled template of ``constraint`` (``None`` if non-uniform).
+
+    Cached on the constraint itself: the template depends only on the
+    constraint's two sides, so one compilation serves every constraint
+    set the object participates in.
+    """
+    if constraint._template_ready:
+        return constraint._template
+    if constraint.is_uniform:
+        slots = {var: i for i, var in enumerate(constraint.lhs.args)}
+        template: object = _compile_rhs(constraint.rhs, slots)
+    else:
+        template = None
+    object.__setattr__(constraint, "_template", template)
+    object.__setattr__(constraint, "_template_ready", True)
+    return template
 
 
 def _union_constraints() -> Tuple[SubtypeConstraint, ...]:
@@ -207,6 +277,10 @@ class ConstraintSet:
         self.symbols = symbols.copy()
         self.constraints: List[SubtypeConstraint] = []
         self._by_constructor: Dict[str, List[SubtypeConstraint]] = {}
+        #: Per-constructor dispatch table for the compiled expansion path:
+        #: ``constructor -> [(arity, template-or-None, constraint), ...]``.
+        self._compiled: Dict[str, List[Tuple[int, object, SubtypeConstraint]]] = {}
+        self._fingerprint: Optional[str] = None
         if include_union and not self.symbols.is_type_constructor(UNION_TYPE):
             self.symbols.declare_type_constructor(UNION_TYPE, 2)
         for constraint in constraints:
@@ -226,6 +300,35 @@ class ConstraintSet:
         self.symbols.check_type(constraint.rhs)
         self.constraints.append(constraint)
         self._by_constructor.setdefault(constraint.constructor, []).append(constraint)
+        self._compiled.setdefault(constraint.constructor, []).append(
+            (len(constraint.lhs.args), _template_of(constraint), constraint)
+        )
+        self._fingerprint = None
+
+    def fingerprint(self) -> str:
+        """A stable digest of the whole declaration scope.
+
+        Covers both alphabets (with arities) and every constraint, in
+        insertion order.  Two constraint sets with equal fingerprints
+        answer every ``⪰_C`` query identically, which is what lets the
+        process-wide shared subtype memo key its tables by this value
+        (see ``repro.core.shared_memo``).  Cached until the next ``add``.
+        """
+        cached = self._fingerprint
+        if cached is not None:
+            return cached
+        hasher = hashlib.sha256()
+        for name in sorted(self.symbols.functions):
+            hasher.update(f"f {name}/{self.symbols.functions[name]}\n".encode())
+        for name in sorted(self.symbols.type_constructors):
+            hasher.update(
+                f"t {name}/{self.symbols.type_constructors[name]}\n".encode()
+            )
+        for constraint in self.constraints:
+            hasher.update(f"c {constraint}\n".encode())
+        digest = hasher.hexdigest()
+        self._fingerprint = digest
+        return digest
 
     def __iter__(self) -> Iterator[SubtypeConstraint]:
         return iter(self.constraints)
@@ -254,9 +357,19 @@ class ConstraintSet:
         ``type_term`` itself are skipped, conservatively — the algorithms
         of Sections 3-6 are only defined for uniform sets anyway.
         """
+        compiled = self._compiled.get(type_term.functor)
+        if not compiled:
+            return []
+        args = type_term.args
+        arity = len(args)
         out: List[Term] = []
-        for constraint in self.constraints_for(type_term.functor):
-            expansion = self.expand_with(type_term, constraint)
+        for expected_arity, template, constraint in compiled:
+            if expected_arity != arity:
+                continue
+            if template is not None:
+                out.append(_instantiate(template, args))
+                continue
+            expansion = self._expand_general(type_term, constraint)
             if expansion is not None:
                 out.append(expansion)
         return out
@@ -269,13 +382,16 @@ class ConstraintSet:
             return None
         if len(constraint.lhs.args) != len(type_term.args):
             return None
-        if constraint.is_uniform:
-            mapping = {
-                alpha: actual
-                for alpha, actual in zip(constraint.lhs.args, type_term.args)
-                if isinstance(alpha, Var)
-            }
-            return Substitution(mapping).apply(constraint.rhs)
+        template = _template_of(constraint)
+        if template is not None:
+            return _instantiate(template, type_term.args)
+        return self._expand_general(type_term, constraint)
+
+    @staticmethod
+    def _expand_general(
+        type_term: Struct, constraint: SubtypeConstraint
+    ) -> Optional[Term]:
+        """The non-uniform fallback: rename the lhs apart and unify."""
         renamed_lhs, mapping = rename_apart(constraint.lhs)
         renamed_rhs = Substitution(dict(mapping)).apply(constraint.rhs)
         theta = unify(renamed_lhs, type_term)

@@ -76,6 +76,7 @@ class SubtypeEngine:
         constraints: ConstraintSet,
         memoize: bool = True,
         validate: bool = True,
+        shared_memo: "object" = None,
     ) -> None:
         if validate:
             validate_restrictions(constraints)
@@ -84,6 +85,18 @@ class SubtypeEngine:
         self.memoize = memoize
         self.stats = SubtypeStats()
         self._memo: Dict[Tuple[Term, Term], bool] = {}
+        #: True when ``_memo`` is a table borrowed from a process-wide
+        #: :class:`repro.core.shared_memo.SharedSubtypeMemo` rather than
+        #: this engine's own dict.  Sharing is strictly opt-in: the plain
+        #: constructor always starts cold (differential tests and the
+        #: engine-sharing regression tests rely on that), the checker
+        #: frontend and the batch service pass ``shared_memo=SHARED_MEMO``.
+        self._memo_shared = False
+        if shared_memo is not None and memoize:
+            table = shared_memo.table_for(constraints)
+            if table is not None:
+                self._memo = table
+                self._memo_shared = True
         self._bindings: Dict[Var, Term] = {}
         self._trail: List[Var] = []
 
@@ -127,6 +140,17 @@ class SubtypeEngine:
             bindings = stats.variable_bindings - before[4]
             if bindings:
                 METRICS.inc("subtype.variable_bindings", bindings)
+            if self._memo_shared:
+                # Mirror the memo traffic under the shared-memo namespace so
+                # cross-engine reuse is visible separately from per-engine
+                # memoisation (the per-file engines of a batch run all write
+                # into one table; see repro.core.shared_memo).
+                shared_hits = stats.memo_hits - before[2]
+                if shared_hits:
+                    METRICS.inc("subtype.shared_memo.hits", shared_hits)
+                shared_entries = stats.memo_entries - before[3]
+                if shared_entries:
+                    METRICS.inc("subtype.shared_memo.entries", shared_entries)
             METRICS.observe("subtype.holds", elapsed)
         if handle is not None:
             TRACER.end(
@@ -210,11 +234,9 @@ class SubtypeEngine:
         if same_symbol:
             self.stats.substitution_steps += 1
             alternatives.append(tuple(zip(supertype.args, subtype.args)))
-        for constraint in self.constraints.constraints_for(supertype.functor):
-            expansion = self.constraints.expand_with(supertype, constraint)
-            if expansion is None:
-                continue
-            self.stats.constraint_expansions += 1
+        expansions = self.constraints.expansions(supertype)
+        self.stats.constraint_expansions += len(expansions)
+        for expansion in expansions:
             if trace_on:
                 TRACER.point(
                     PhaseEvent,
@@ -313,15 +335,32 @@ class SubtypeEngine:
             return term, True
         if not self._bindings:
             return term, False
-        if not term.args:
-            return term, True
-        ground = True
-        new_args: List[Term] = []
-        for arg in term.args:
-            resolved, arg_ground = self._resolve(arg)
-            ground = ground and arg_ground
-            new_args.append(resolved)
-        return Struct(term.functor, tuple(new_args)), ground
+        # Iterative rebuild (deep terms must not exhaust the C stack).
+        # Each frame is [node, built_args]; len(built_args) is the index
+        # of the next child to process.  A variable child walks to its
+        # binding first; a ground child is shared untouched.
+        frames: List[List[object]] = [[term, []]]
+        result: Term = term
+        result_ground = False
+        while frames:
+            node, built = frames[-1]
+            args = node.args  # type: ignore[union-attr]
+            index = len(built)  # type: ignore[arg-type]
+            if index < len(args):
+                child = self._walk(args[index])
+                if isinstance(child, Var) or child.ground:
+                    built.append(child)  # type: ignore[union-attr]
+                else:
+                    frames.append([child, []])
+                continue
+            frames.pop()
+            rebuilt: Term = Struct(node.functor, tuple(built))  # type: ignore[union-attr,arg-type]
+            if frames:
+                frames[-1][1].append(rebuilt)  # type: ignore[union-attr]
+            else:
+                result = rebuilt
+                result_ground = rebuilt.ground
+        return result, result_ground
 
     def _occurs(self, var: Var, term: Term) -> bool:
         stack = [term]
@@ -439,10 +478,7 @@ class SubtypeEngine:
                     detail=f"substitution {supertype.functor}/{len(supertype.args)}",
                 )
             yield from self._prove_pairs(tuple(zip(supertype.args, subtype.args)))
-        for constraint in self.constraints.constraints_for(supertype.functor):
-            expansion = self.constraints.expand_with(supertype, constraint)
-            if expansion is None:
-                continue
+        for expansion in self.constraints.expansions(supertype):
             self.stats.constraint_expansions += 1
             if TRACER.enabled:
                 TRACER.point(

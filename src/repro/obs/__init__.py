@@ -67,6 +67,8 @@ __all__ = [
     "reset",
     "summary",
     "render_summary",
+    "publish_runtime_gauges",
+    "runtime_stats_lines",
     "collect",
     "trace_to_memory",
     "trace_to_stream",
@@ -127,6 +129,71 @@ def summary() -> Dict[str, Any]:
 def render_summary() -> str:
     """The human-readable metrics table (what ``tlp-check --stats`` prints)."""
     return METRICS.render()
+
+
+def publish_runtime_gauges() -> None:
+    """Record the term-kernel runtime state as gauges (no-op when off).
+
+    Covers the intern table (``intern.size``/``intern.hit_rate``) and the
+    process-wide shared subtype memo (``subtype.shared_memo.size`` and
+    friends) — point-in-time sizes, complementing the per-goal
+    ``subtype.shared_memo.hits``/``.entries`` counters the engine itself
+    increments.  Imports lazily: ``repro.obs`` must stay importable
+    before ``repro.terms``/``repro.core`` (they import it for METRICS).
+    """
+    if not METRICS.enabled:
+        return
+    from ..core.shared_memo import SHARED_MEMO
+    from ..terms.term import intern_stats
+
+    interned = intern_stats()
+    METRICS.gauge("intern.enabled", int(interned.enabled))
+    METRICS.gauge("intern.size", interned.size)
+    METRICS.gauge("intern.hits", interned.hits)
+    METRICS.gauge("intern.misses", interned.misses)
+    METRICS.gauge("intern.hit_rate", round(interned.hit_rate, 4))
+    memo = SHARED_MEMO.stats()
+    METRICS.gauge("subtype.shared_memo.enabled", memo["enabled"])
+    METRICS.gauge("subtype.shared_memo.scopes", memo["scopes"])
+    METRICS.gauge("subtype.shared_memo.size", memo["entries"])
+    METRICS.gauge("subtype.shared_memo.attachments", memo["attachments"])
+    METRICS.gauge("subtype.shared_memo.evictions", memo["evictions"])
+
+
+def runtime_stats_lines() -> "list[str]":
+    """Human-readable intern-table / shared-memo state for ``:stats`` & co.
+
+    The shared-memo hit rate is derived from the engine-side counters
+    (``subtype.shared_memo.hits`` vs ``.entries`` — every miss that
+    completes a derivation writes one entry), so it reflects goals posed
+    while telemetry was on.
+    """
+    from ..core.shared_memo import SHARED_MEMO
+    from ..terms.term import intern_stats
+
+    interned = intern_stats()
+    if interned.enabled:
+        intern_line = (
+            f"intern table: {interned.size} nodes "
+            f"({interned.structs} structs, {interned.vars} vars), "
+            f"hit rate {interned.hit_rate:.1%}"
+        )
+    else:
+        intern_line = "intern table: disabled (--no-intern)"
+    memo = SHARED_MEMO.stats()
+    if memo["enabled"]:
+        hits = METRICS.counter("subtype.shared_memo.hits")
+        entries = METRICS.counter("subtype.shared_memo.entries")
+        probes = hits + entries
+        rate = f", hit rate {hits / probes:.1%}" if probes else ""
+        memo_line = (
+            f"shared subtype memo: {memo['entries']} entries across "
+            f"{memo['scopes']} scope(s), {memo['attachments']} engine "
+            f"attachment(s){rate}"
+        )
+    else:
+        memo_line = "shared subtype memo: disabled (--no-shared-memo)"
+    return [intern_line, memo_line]
 
 
 def trace_to_memory() -> MemorySink:

@@ -35,8 +35,9 @@ from typing import Any, Dict, List, Optional, Tuple
 from .. import obs
 from ..analysis import LintConfig, lint_text
 from ..checker.frontend import check_text
+from ..core.shared_memo import SHARED_MEMO
 from ..obs import METRICS
-from .cache import CachedResult, ResultCache
+from .cache import CHECKER_VERSION, CachedResult, ResultCache
 from .project import Project, ProjectFile
 
 __all__ = ["FileResult", "BatchReport", "check_one_text", "run_batch"]
@@ -199,6 +200,12 @@ def run_batch(
     jobs = max(1, jobs)
     report = BatchReport(jobs=jobs)
     decls_digest = project.declarations_digest
+    # Fence the process-wide subtype memo on the same version that keys
+    # the persistent result cache: a checker bump that invalidates cached
+    # verdicts also drops every cross-engine memoised subtype verdict.
+    # (Process-pool workers fork their own copy of the memo; sharing pays
+    # off inline, under thread pools, and across daemon requests.)
+    SHARED_MEMO.ensure_version(CHECKER_VERSION)
     start = time.perf_counter()
 
     # Phase 1: cache probes (coordinator only — workers never touch disk).
@@ -295,4 +302,5 @@ def run_batch(
                 "service.worker_utilisation",
                 min(1.0, busy / (report.wall_s * jobs)),
             )
+        obs.publish_runtime_gauges()
     return report

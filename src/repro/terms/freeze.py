@@ -17,9 +17,9 @@ round-trip.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
-from .term import Struct, Term, Var
+from .term import Struct, Term, Var, map_variables
 
 __all__ = ["FROZEN_PREFIX", "freeze", "freeze_many", "melt", "is_frozen_constant"]
 
@@ -45,20 +45,26 @@ def freeze(term: Term) -> Term:
     return frozen
 
 
+def _fresh_frozen(_variable: Var) -> Struct:
+    return Struct(f"{FROZEN_PREFIX}{next(_freeze_counter)}", ())
+
+
 def freeze_with_mapping(term: Term) -> Tuple[Term, Dict[Var, Struct]]:
-    """Like :func:`freeze` but also return the variable → constant mapping."""
+    """Like :func:`freeze` but also return the variable → constant mapping.
+
+    A ground term is its own bar (``t̄ = t``) and is returned as-is — an
+    O(1) check on the cached groundness flag that makes the Definition
+    5/10 "more general" comparisons free on their ground side.  The
+    non-ground walk is iterative (``map_variables``) and shares ground
+    subtrees instead of rebuilding them.  Results are never cached across
+    calls: each freeze must mint *fresh* constants ("not appearing in any
+    type"), so two freezes of the same non-ground term are deliberately
+    different.
+    """
+    if isinstance(term, Struct) and term.ground:
+        return term, {}
     mapping: Dict[Var, Struct] = {}
-
-    def walk(t: Term) -> Term:
-        if isinstance(t, Var):
-            if t not in mapping:
-                mapping[t] = Struct(f"{FROZEN_PREFIX}{next(_freeze_counter)}", ())
-            return mapping[t]
-        if not t.args:
-            return t
-        return Struct(t.functor, tuple(walk(a) for a in t.args))
-
-    return walk(term), mapping
+    return map_variables(term, mapping, default=_fresh_frozen), mapping
 
 
 def freeze_many(terms: "list[Term]") -> "list[Term]":
@@ -71,29 +77,53 @@ def freeze_many(terms: "list[Term]") -> "list[Term]":
     consistent freezing.
     """
     mapping: Dict[Var, Struct] = {}
-
-    def walk(t: Term) -> Term:
-        if isinstance(t, Var):
-            if t not in mapping:
-                mapping[t] = Struct(f"{FROZEN_PREFIX}{next(_freeze_counter)}", ())
-            return mapping[t]
-        if not t.args:
-            return t
-        return Struct(t.functor, tuple(walk(a) for a in t.args))
-
-    return [walk(term) for term in terms]
+    return [
+        term
+        if isinstance(term, Struct) and term.ground
+        else map_variables(term, mapping, default=_fresh_frozen)
+        for term in terms
+    ]
 
 
 def melt(term: Term, mapping: Dict[Var, Struct]) -> Term:
-    """Invert :func:`freeze_with_mapping`: constants back to their variables."""
-    inverse = {const: var for var, const in mapping.items()}
+    """Invert :func:`freeze_with_mapping`: constants back to their variables.
 
-    def walk(t: Term) -> Term:
-        if isinstance(t, Struct):
-            if t in inverse:
-                return inverse[t]
-            if t.args:
-                return Struct(t.functor, tuple(walk(a) for a in t.args))
-        return t
-
-    return walk(term)
+    Frozen constants are themselves ground, so — unlike :func:`freeze` —
+    melting cannot skip ground subtrees; it walks everything, iteratively.
+    """
+    inverse: Dict[Struct, Var] = {const: var for var, const in mapping.items()}
+    if not inverse:
+        return term
+    if isinstance(term, Var):
+        return term
+    replacement = inverse.get(term)
+    if replacement is not None:
+        return replacement
+    # Each frame is [node, built_args]; len(built_args) indexes the next child.
+    frames: List[List[object]] = [[term, []]]
+    result: Term = term
+    while frames:
+        node, built = frames[-1]
+        args = node.args  # type: ignore[union-attr]
+        index = len(built)  # type: ignore[arg-type]
+        if index < len(args):
+            child = args[index]
+            if isinstance(child, Struct):
+                melted = inverse.get(child)
+                if melted is not None:
+                    built.append(melted)  # type: ignore[union-attr]
+                    continue
+                if child.args:
+                    frames.append([child, []])
+                    continue
+            built.append(child)  # type: ignore[union-attr]
+            continue
+        frames.pop()
+        rebuilt: Term = (
+            Struct(node.functor, tuple(built)) if args else node  # type: ignore[union-attr,arg-type]
+        )
+        if frames:
+            frames[-1][1].append(rebuilt)  # type: ignore[union-attr]
+        else:
+            result = rebuilt
+    return result

@@ -17,11 +17,33 @@ __all__ = ["pretty", "pretty_args", "UNION_TYPE"]
 
 UNION_TYPE = "+"
 
+#: Renderings at most this long are cached on the node (``Struct._pretty``).
+#: The bound keeps deep terms from pinning O(depth²) characters: a
+#: 50k-deep ``succ`` tower would otherwise cache every suffix of its own
+#: rendering.  Types and atoms — the terms printed over and over in
+#: diagnostics and trace events — are far below the limit.
+_PRETTY_CACHE_LIMIT = 120
+
 
 def pretty(term: Term) -> str:
-    """Render ``term`` in the paper's concrete syntax."""
+    """Render ``term`` in the paper's concrete syntax.
+
+    Short renderings are cached per node, so with hash-consing on the
+    hot printers (trace events, diagnostics) render each distinct type
+    once per process rather than once per occurrence.
+    """
     if isinstance(term, Var):
         return term.name
+    cached = term._pretty
+    if cached is not None:
+        return cached
+    text = _render(term)
+    if len(text) <= _PRETTY_CACHE_LIMIT:
+        term._pretty = text
+    return text
+
+
+def _render(term: Struct) -> str:
     if term.functor == ">=" and len(term.args) == 2:
         # Subtype atoms of the Horn theory H_C display infix.
         return f"{pretty(term.args[0])} >= {pretty(term.args[1])}"

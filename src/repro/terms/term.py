@@ -17,15 +17,32 @@ symbols", and so do we.
 
 Terms are immutable and hashable, so they can live in sets, dict keys and
 memo tables.  All structural traversals (variables, size, depth, ground
-test) are iterative to stay robust on the deep terms produced by the
-benchmark generators.
+test, renaming) are iterative to stay robust on the deep terms produced
+by the benchmark generators.
+
+**Hash-consing.**  By default every ``Var``/``Struct`` construction is
+routed through a canonicalizing intern table (weak-valued and
+thread-safe), so structurally equal terms built anywhere in the process
+are the *same object*.  That turns the deep structural comparisons the
+subtype engine's memo tables would otherwise perform into pointer
+checks: dictionary lookups on interned terms hit the identity fast path
+before ever calling ``__eq__``, and ``__eq__`` itself starts with an
+``is`` check.  Per-node derived results (the hash, the groundness flag,
+the variable set, short pretty-printings) are computed once per
+canonical node instead of once per structurally-equal copy.  Interning
+can be switched off (``set_interning(False)``, the ``--no-intern`` CLI
+flags, or ``TLP_NO_INTERN=1`` in the environment) to recover the seed
+representation for differential testing; terms built under either
+setting compare and hash identically, so the two populations mix freely.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Set, Tuple, Union
+import os
+import threading
+import weakref
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 __all__ = [
     "Var",
@@ -39,23 +56,172 @@ __all__ = [
     "term_depth",
     "subterms",
     "occurs_in",
+    "variables_in_order",
+    "map_variables",
     "rename_apart",
     "fresh_variable",
     "symbols_of",
     "functors_of",
+    "InternStats",
+    "interning_enabled",
+    "set_interning",
+    "intern_stats",
+    "clear_intern_table",
 ]
 
 
-@dataclass(frozen=True)
+class InternStats:
+    """A point-in-time snapshot of the intern table's traffic and size."""
+
+    __slots__ = ("enabled", "structs", "vars", "hits", "misses")
+
+    def __init__(
+        self, enabled: bool, structs: int, vars: int, hits: int, misses: int
+    ) -> None:
+        self.enabled = enabled
+        self.structs = structs
+        self.vars = vars
+        self.hits = hits
+        self.misses = misses
+
+    @property
+    def size(self) -> int:
+        """Live canonical nodes (structs + variables)."""
+        return self.structs + self.vars
+
+    @property
+    def hit_rate(self) -> float:
+        probes = self.hits + self.misses
+        return self.hits / probes if probes else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"InternStats(enabled={self.enabled}, structs={self.structs}, "
+            f"vars={self.vars}, hits={self.hits}, misses={self.misses})"
+        )
+
+
+class _InternTable:
+    """The process-wide canonicalizing table behind ``Var``/``Struct``.
+
+    Values are weak: a canonical node lives exactly as long as something
+    outside the table references it, so the table never pins memory the
+    program has let go of.  All lookups and inserts happen under one
+    lock — the critical section is a dict probe plus (on a miss) a plain
+    object allocation, so contention stays low even under the batch
+    service's thread pools.
+    """
+
+    __slots__ = ("lock", "structs", "vars", "hits", "misses", "enabled")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.structs: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+        self.vars: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+        self.hits = 0
+        self.misses = 0
+        self.enabled = os.environ.get("TLP_NO_INTERN", "") == ""
+
+    def clear(self) -> None:
+        with self.lock:
+            self.structs.clear()
+            self.vars.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+_INTERN = _InternTable()
+
+
+def interning_enabled() -> bool:
+    """True iff term construction currently routes through the intern table."""
+    return _INTERN.enabled
+
+
+def set_interning(on: bool) -> bool:
+    """Enable/disable hash-consing; returns the previous setting.
+
+    Disabling only affects *future* constructions: already-interned terms
+    stay canonical (and keep comparing by identity first), terms built
+    while disabled are ordinary unshared objects.  The two populations
+    compare and hash identically, so toggling mid-run is always safe —
+    it is a performance switch, never a semantic one.
+    """
+    previous = _INTERN.enabled
+    _INTERN.enabled = bool(on)
+    return previous
+
+
+def intern_stats() -> InternStats:
+    """Current intern-table statistics (size, hit/miss traffic)."""
+    with _INTERN.lock:
+        return InternStats(
+            enabled=_INTERN.enabled,
+            structs=len(_INTERN.structs),
+            vars=len(_INTERN.vars),
+            hits=_INTERN.hits,
+            misses=_INTERN.misses,
+        )
+
+
+def clear_intern_table() -> None:
+    """Drop every canonical node and zero the traffic counters.
+
+    Existing terms are unaffected (they simply stop being the canonical
+    representative for new constructions).  Mainly for tests and for
+    long-lived daemons that want a clean measurement window.
+    """
+    _INTERN.clear()
+
+
 class Var:
     """A logical variable.
 
     Variables are compared by name: two ``Var("X")`` objects are the same
-    variable.  Scoping (keeping the variables of two clauses apart) is the
-    caller's job and is normally done with :func:`rename_apart`.
+    variable — and, with interning on, the same *object*.  Scoping
+    (keeping the variables of two clauses apart) is the caller's job and
+    is normally done with :func:`rename_apart`.
     """
 
-    name: str
+    __slots__ = ("name", "_hash", "__weakref__")
+
+    def __new__(cls, name: str) -> "Var":
+        table = _INTERN
+        if table.enabled and cls is Var:
+            with table.lock:
+                existing = table.vars.get(name)
+                if existing is not None:
+                    table.hits += 1
+                    return existing
+                table.misses += 1
+                self = object.__new__(cls)
+                self.name = name
+                self._hash = hash((name,))
+                table.vars[name] = self
+                return self
+        self = object.__new__(cls)
+        self.name = name
+        self._hash = hash((name,))
+        return self
+
+    def __setattr__(self, attr: str, value: object) -> None:
+        if attr in ("name", "_hash") and not hasattr(self, "_hash"):
+            object.__setattr__(self, attr, value)
+            return
+        raise AttributeError(f"Var is immutable (cannot set {attr!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, Var):
+            return self.name == other.name
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (Var, (self.name,))
 
     def __repr__(self) -> str:
         return f"Var({self.name!r})"
@@ -64,32 +230,62 @@ class Var:
         return self.name
 
 
-@dataclass(frozen=True)
 class Struct:
     """A compound term ``functor(arg1, ..., argn)``.
 
     ``args`` is a tuple; a nullary struct (``args == ()``) is a constant.
-    The hash and the groundness flag are computed once at construction:
-    terms are used heavily as dictionary keys in the subtype engine's memo
-    tables, and the engine asks "is this ground?" at every recursion step
-    — both must be O(1).
+    The hash and the groundness flag are computed once per canonical
+    node: terms are used heavily as dictionary keys in the subtype
+    engine's memo tables, and the engine asks "is this ground?" at every
+    step — both must be O(1).  With interning on, constructing a term
+    that already exists returns the existing node without recomputing
+    anything.
     """
 
-    functor: str
-    args: Tuple["Term", ...] = ()
-    _hash: int = field(init=False, repr=False, compare=False, default=0)
-    ground: bool = field(init=False, repr=False, compare=False, default=True)
+    __slots__ = ("functor", "args", "_hash", "ground", "_vars", "_pretty", "__weakref__")
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "_hash", hash((self.functor, self.args)))
-        object.__setattr__(
-            self,
-            "ground",
-            all(isinstance(a, Struct) and a.ground for a in self.args),
-        )
+    def __new__(cls, functor: str, args: Tuple["Term", ...] = ()) -> "Struct":
+        table = _INTERN
+        if table.enabled and cls is Struct:
+            key = (functor, args)
+            with table.lock:
+                existing = table.structs.get(key)
+                if existing is not None:
+                    table.hits += 1
+                    return existing
+                table.misses += 1
+                self = object.__new__(cls)
+                _init_struct(self, functor, args, hash(key))
+                table.structs[key] = self
+                return self
+        self = object.__new__(cls)
+        _init_struct(self, functor, args, hash((functor, args)))
+        return self
+
+    def __setattr__(self, attr: str, value: object) -> None:
+        # The two derived-result caches stay writable (idempotent lazy
+        # fills); everything structural is frozen after construction.
+        if attr in ("_vars", "_pretty") or not hasattr(self, "ground"):
+            object.__setattr__(self, attr, value)
+            return
+        raise AttributeError(f"Struct is immutable (cannot set {attr!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, Struct):
+            return (
+                self._hash == other._hash
+                and self.functor == other.functor
+                and self.args == other.args
+            )
+        return NotImplemented
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        return (Struct, (self.functor, self.args))
 
     @property
     def arity(self) -> int:
@@ -110,6 +306,21 @@ class Struct:
         if not self.args:
             return self.functor
         return f"{self.functor}({', '.join(str(a) for a in self.args)})"
+
+
+def _init_struct(self: Struct, functor: str, args: Tuple["Term", ...], hashed: int) -> None:
+    """Populate a freshly allocated struct (both intern paths share this)."""
+    object.__setattr__(self, "functor", functor)
+    object.__setattr__(self, "args", args)
+    object.__setattr__(self, "_hash", hashed)
+    ground = True
+    for arg in args:
+        if not (isinstance(arg, Struct) and arg.ground):
+            ground = False
+            break
+    object.__setattr__(self, "ground", ground)
+    object.__setattr__(self, "_vars", None)
+    object.__setattr__(self, "_pretty", None)
 
 
 Term = Union[Var, Struct]
@@ -136,8 +347,44 @@ def subterms(term: Term) -> Iterator[Term]:
 
 
 def variables_of(term: Term) -> Set[Var]:
-    """The set of variables occurring in ``term`` (``var(t)`` in the paper)."""
-    return {t for t in subterms(term) if isinstance(t, Var)}
+    """The set of variables occurring in ``term`` (``var(t)`` in the paper).
+
+    The result is cached per node (a ground struct answers in O(1) from
+    its groundness flag; a non-ground struct computes the set once and
+    keeps it), so repeated queries — the well-typedness checker poses
+    them per atom per clause — do not re-traverse the term.
+    """
+    if isinstance(term, Var):
+        return {term}
+    if term.ground:
+        return set()
+    return set(_variables_frozen(term))
+
+
+def _variables_frozen(term: Struct) -> "frozenset[Var]":
+    """The cached variable set of a non-ground struct."""
+    cached = term._vars
+    if cached is not None:
+        return cached
+    # Iterative post-order so children's caches fill first and deep terms
+    # cannot exhaust the C stack.
+    out: Set[Var] = set()
+    stack: List[Term] = [term]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Var):
+            out.add(current)
+            continue
+        if current.ground:
+            continue
+        cached = current._vars
+        if cached is not None:
+            out |= cached
+            continue
+        stack.extend(current.args)
+    frozen = frozenset(out)
+    term._vars = frozen
+    return frozen
 
 
 def variables_in_order(term: Term) -> List[Var]:
@@ -202,6 +449,59 @@ def fresh_variable(stem: str = "_G") -> Var:
     return Var(f"{stem}{next(_fresh_counter)}")
 
 
+def map_variables(term: Term, mapping: Dict[Var, Term], default=None) -> Term:
+    """Rebuild ``term`` with each variable replaced per ``mapping``.
+
+    ``default`` (if given) is called for variables absent from the
+    mapping and its result is recorded there, so shared variables map
+    consistently.  Ground subtrees are shared, not rebuilt.  The walk is
+    iterative — deep terms from the workload generators cannot exhaust
+    the C stack.
+    """
+    if isinstance(term, Var):
+        replacement = mapping.get(term)
+        if replacement is None:
+            if default is None:
+                return term
+            replacement = mapping[term] = default(term)
+        return replacement
+    if term.ground:
+        return term
+    # Each frame is [node, built_args]; len(built_args) doubles as the
+    # index of the next child to process.
+    frames: List[List[object]] = [[term, []]]
+    result: Optional[Term] = None
+    while frames:
+        node, built = frames[-1]
+        args = node.args  # type: ignore[union-attr]
+        index = len(built)  # type: ignore[arg-type]
+        if index < len(args):
+            child = args[index]
+            if isinstance(child, Var):
+                replacement = mapping.get(child)
+                if replacement is None:
+                    if default is None:
+                        replacement = child
+                    else:
+                        replacement = mapping[child] = default(child)
+                built.append(replacement)  # type: ignore[union-attr]
+            elif child.ground:
+                built.append(child)  # type: ignore[union-attr]
+            else:
+                frames.append([child, []])
+            continue
+        frames.pop()
+        rebuilt: Term = (
+            Struct(node.functor, tuple(built)) if args else node  # type: ignore[union-attr,arg-type]
+        )
+        if frames:
+            frames[-1][1].append(rebuilt)  # type: ignore[union-attr]
+        else:
+            result = rebuilt
+    assert result is not None
+    return result
+
+
 def rename_apart(term: Term, taken: Iterable[Var] = ()) -> Tuple[Term, Dict[Var, Var]]:
     """Rename the variables of ``term`` to globally fresh ones.
 
@@ -216,14 +516,5 @@ def rename_apart(term: Term, taken: Iterable[Var] = ()) -> Tuple[Term, Dict[Var,
     """
     del taken  # freshness is global; parameter kept for call-site clarity
     mapping: Dict[Var, Var] = {}
-
-    def walk(t: Term) -> Term:
-        if isinstance(t, Var):
-            if t not in mapping:
-                mapping[t] = fresh_variable()
-            return mapping[t]
-        if not t.args:
-            return t
-        return Struct(t.functor, tuple(walk(a) for a in t.args))
-
-    return walk(term), mapping
+    renamed = map_variables(term, mapping, default=lambda _v: fresh_variable())
+    return renamed, mapping

@@ -7,4 +7,21 @@ from warning about a mid-test limit change.
 
 import sys
 
+import pytest
+
 sys.setrecursionlimit(max(sys.getrecursionlimit(), 20_000))
+
+
+@pytest.fixture(autouse=True)
+def _cold_shared_memo():
+    """Start every test with a cold process-wide subtype memo.
+
+    The shared memo deliberately leaks verdicts across engines — that is
+    its job — but tests that count memo hits/entries must see the same
+    cold-start behaviour the seed code had, independent of test order.
+    """
+    from repro.core.shared_memo import SHARED_MEMO
+
+    SHARED_MEMO.clear()
+    yield
+    SHARED_MEMO.clear()
