@@ -1,0 +1,183 @@
+"""Abstract-interpretation benchmarks: the success-set fixpoint's cost.
+
+The whole-program inference (``repro.analysis.absint``) runs a least
+fixpoint over the call graph's SCCs, so its pitch is *linear* scaling in
+program size: a delegation chain of N predicates is N singleton SCCs and
+the per-predicate cost must stay flat as N grows.  This module measures
+three shapes:
+
+* **A1 corpus** — ``infer_text`` over every repository example program
+  (the cost ``tlp-lint --infer`` adds per file);
+* **A2 chain** — the fixpoint on a declared N-predicate delegation
+  chain, reported per predicate so scaling regressions surface as a
+  growing ns/op rather than a bigger total;
+* **A3 reconstruct** — the same chain with every ``PRED`` declaration
+  stripped, so inference also folds, repairs, and checker-validates a
+  reconstructed declaration for all N predicates.
+
+Run standalone::
+
+    python benchmarks/bench_absint.py [--quick] [--json OUT]
+
+or let ``benchmarks/summary.py`` pull the rows into the one-shot table
+(ids ``absint.*`` land in ``BENCH_subtype.json`` for the CI regression
+gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.absint import infer_text
+from repro.workloads import synthetic_list_program
+
+Row = Tuple[str, str]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PROGRAM_DIRS = (
+    REPO_ROOT / "examples" / "programs",
+    REPO_ROOT / "examples" / "corpus" / "members",
+)
+
+_PRED_LINE = re.compile(r"^PRED .*$", re.MULTILINE)
+
+
+def fmt(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}µs"
+    if seconds < 1:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def _timed(thunk):
+    start = time.perf_counter()
+    value = thunk()
+    return value, time.perf_counter() - start
+
+
+def _corpus_texts() -> List[Tuple[str, str]]:
+    texts = []
+    for directory in PROGRAM_DIRS:
+        if directory.is_dir():
+            for path in sorted(directory.glob("*.tlp")):
+                texts.append((path.name, path.read_text()))
+    return texts
+
+
+def _strip_declarations(text: str) -> str:
+    """Remove every ``PRED`` line so reconstruction has to supply them."""
+    return _PRED_LINE.sub("", text)
+
+
+def absint_measurements(
+    quick: bool = False,
+) -> Tuple[List[Row], List[Dict[str, object]]]:
+    """Run the abstract-interpretation benchmarks once.
+
+    Returns human-readable ``(label, measured)`` rows and machine rows
+    (``{"id", "label", "ns_per_op"}``) for ``BENCH_subtype.json``.
+    """
+    rows: List[Row] = []
+    machine: List[Dict[str, object]] = []
+
+    # -- A1: every repository example program -----------------------------
+    texts = _corpus_texts()
+    predicates = 0
+
+    def run_corpus():
+        count = 0
+        for _, text in texts:
+            inference = infer_text(text)
+            if inference is not None:
+                count += len(inference.success)
+        return count
+
+    predicates, dt = _timed(run_corpus)
+    rows.append(
+        (
+            f"A1 success-set inference, {len(texts)}-file corpus "
+            f"({predicates} predicates)",
+            fmt(dt),
+        )
+    )
+    machine.append(
+        {
+            "id": "absint.corpus",
+            "label": f"infer {len(texts)}-file example corpus",
+            "ns_per_op": dt * 1e9 / max(1, len(texts)),
+        }
+    )
+
+    # -- A2/A3: scaling on the delegation chain ---------------------------
+    chain_sizes = (16,) if quick else (64, 256)
+    for size in chain_sizes:
+        declared = synthetic_list_program(size)
+        inference, dt = _timed(lambda: infer_text(declared))
+        assert inference is not None and len(inference.success) == size
+        rows.append((f"A2 fixpoint, {size}-predicate chain", fmt(dt)))
+        machine.append(
+            {
+                "id": f"absint.chain.{size}",
+                "label": f"fixpoint per predicate, {size}-chain",
+                "ns_per_op": dt * 1e9 / size,
+            }
+        )
+
+        stripped = _strip_declarations(declared)
+
+        def run_stripped():
+            # reconstructions() is lazy; force it so the timing covers
+            # fold + repair + checker validation, not just the fixpoint.
+            result = infer_text(stripped)
+            result.reconstructions()
+            return result
+
+        inference, dt = _timed(run_stripped)
+        assert inference is not None
+        reconstructed = sum(
+            1 for r in inference.reconstructions().values() if r.defined
+        )
+        assert reconstructed == size, f"expected {size}, got {reconstructed}"
+        rows.append(
+            (f"A3 + declaration reconstruction, {size} undeclared", fmt(dt))
+        )
+        machine.append(
+            {
+                "id": f"absint.reconstruct.{size}",
+                "label": f"reconstruct per predicate, {size}-chain",
+                "ns_per_op": dt * 1e9 / size,
+            }
+        )
+
+    return rows, machine
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny CI-smoke workload sizes"
+    )
+    parser.add_argument(
+        "--json", metavar="OUT", default=None, help="write machine rows to OUT"
+    )
+    arguments = parser.parse_args(argv)
+
+    rows, machine = absint_measurements(quick=arguments.quick)
+    width = max(len(label) for label, _ in rows) + 2
+    for label, value in rows:
+        print(label.ljust(width) + value)
+    if arguments.json is not None:
+        Path(arguments.json).write_text(json.dumps(machine, indent=2) + "\n")
+        print(f"wrote {arguments.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -204,6 +204,13 @@ def build_rows(quick: bool = False) -> List[Row]:
     intern_rows, intern_machine_rows = intern_measurements(quick=quick)
     rows.extend(intern_rows)
     MEASUREMENTS.extend(intern_machine_rows)
+
+    # -- A1-A3: whole-program success-set inference ------------------------
+    from bench_absint import absint_measurements
+
+    absint_rows, absint_machine_rows = absint_measurements(quick=quick)
+    rows.extend(absint_rows)
+    MEASUREMENTS.extend(absint_machine_rows)
     return rows
 
 

@@ -1,0 +1,63 @@
+"""repro.analysis.absint — whole-program success-set inference.
+
+A generic abstract-interpretation layer over the predicate call graph:
+
+* :mod:`.callgraph` — the call graph and its SCCs (iterative Tarjan,
+  callee-first order);
+* :mod:`.domain` — the success-set type domain (members + folded views
+  in the paper's ``>=`` constraint form, capped joins, depth-bounded
+  widening);
+* :mod:`.interpreter` — the per-SCC least fixpoint,
+  :class:`ProgramInference`;
+* :mod:`.reconstruct` — ``PRED`` declaration synthesis for undeclared
+  predicates, validated against the Definition 16 checker;
+* :mod:`.rules` — the ``TLP401``–``TLP404`` lint rules built on top.
+
+Quick use::
+
+    from repro.analysis.absint import infer_text
+
+    inference = infer_text(open("prog.tlp").read())
+    for line in inference.declaration_lines():
+        print(line)           # PRED app(list(A), list(A), list(A)).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .callgraph import CallGraph, Indicator
+from .domain import SuccessSet, TypeDomain, canonical, truncate_depth
+from .interpreter import GoalVerdict, ProgramInference
+from .reconstruct import Reconstruction, reconstruct_declarations, render_declaration
+
+__all__ = [
+    "CallGraph",
+    "GoalVerdict",
+    "Indicator",
+    "ProgramInference",
+    "Reconstruction",
+    "SuccessSet",
+    "TypeDomain",
+    "canonical",
+    "infer_text",
+    "reconstruct_declarations",
+    "render_declaration",
+    "truncate_depth",
+]
+
+
+def infer_text(text: str, path: str = "<text>") -> Optional[ProgramInference]:
+    """Parse ``text`` and run success-set inference; None when the file
+    does not parse or its constraint set falls outside the uniform +
+    guarded fragment the subtype engine needs."""
+    from ...lang.lexer import LexError
+    from ...lang.parser import ParseError, parse_file
+    from ..context import LintContext
+
+    try:
+        source = parse_file(text)
+    except (ParseError, LexError):
+        return None
+    ctx = LintContext.build(source, path=path)
+    return ctx.inference

@@ -1,0 +1,130 @@
+"""The predicate call graph and its strongly-connected components.
+
+Whole-program success-set inference (see :mod:`.interpreter`) is a least
+fixpoint per SCC of the call graph: a predicate's success set depends
+only on the success sets of the predicates its clause bodies call, so
+processing SCCs callee-first turns the global fixpoint into a sequence
+of small local ones — non-recursive predicates are finished in a single
+pass and only genuinely (mutually) recursive groups iterate.
+
+Nodes are predicate indicators ``(name, arity)``; an edge ``p → q``
+records that some clause of ``p`` calls ``q``.  Section 7 typed
+unification goals ``t : τ`` are constraints, not calls, and do not
+contribute edges.  :meth:`CallGraph.sccs` runs an iterative Tarjan — the
+classic property that an SCC is emitted only after every SCC reachable
+from it makes the output order exactly the callee-first order the
+fixpoint needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ...lang.ast import ClauseDecl
+
+__all__ = ["Indicator", "CallGraph"]
+
+Indicator = Tuple[str, int]
+
+
+def _is_constraint_goal(goal) -> bool:
+    """Section 7 typed-unification goals ``':'(t, τ)`` are not calls."""
+    return goal.functor == ":" and len(goal.args) == 2
+
+
+class CallGraph:
+    """A directed graph over predicate indicators."""
+
+    def __init__(self) -> None:
+        self._edges: Dict[Indicator, Set[Indicator]] = {}
+
+    def add_node(self, node: Indicator) -> None:
+        self._edges.setdefault(node, set())
+
+    def add_edge(self, caller: Indicator, callee: Indicator) -> None:
+        self.add_node(caller)
+        self.add_node(callee)
+        self._edges[caller].add(callee)
+
+    @property
+    def nodes(self) -> List[Indicator]:
+        return sorted(self._edges)
+
+    def callees(self, node: Indicator) -> Set[Indicator]:
+        return set(self._edges.get(node, ()))
+
+    @classmethod
+    def from_clauses(cls, clauses: Iterable[ClauseDecl]) -> "CallGraph":
+        """Build the graph of one file's program clauses."""
+        graph = cls()
+        for clause in clauses:
+            caller = clause.head.indicator
+            graph.add_node(caller)
+            for goal in clause.body:
+                if _is_constraint_goal(goal):
+                    continue
+                graph.add_edge(caller, goal.indicator)
+        return graph
+
+    def sccs(self) -> List[Tuple[Indicator, ...]]:
+        """Strongly-connected components, callee-first (reverse
+        topological order of the condensation).  Iterative Tarjan, so
+        deep call chains cannot hit the Python recursion limit."""
+        index: Dict[Indicator, int] = {}
+        lowlink: Dict[Indicator, int] = {}
+        on_stack: Set[Indicator] = set()
+        stack: List[Indicator] = []
+        components: List[Tuple[Indicator, ...]] = []
+        counter = 0
+
+        for root in self.nodes:
+            if root in index:
+                continue
+            # Each work item is (node, iterator over remaining callees).
+            work: List[Tuple[Indicator, List[Indicator]]] = [
+                (root, sorted(self._edges[root]))
+            ]
+            index[root] = lowlink[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, callees = work[-1]
+                advanced = False
+                while callees:
+                    callee = callees.pop()
+                    if callee not in index:
+                        index[callee] = lowlink[callee] = counter
+                        counter += 1
+                        stack.append(callee)
+                        on_stack.add(callee)
+                        work.append((callee, sorted(self._edges[callee])))
+                        advanced = True
+                        break
+                    if callee in on_stack:
+                        lowlink[node] = min(lowlink[node], index[callee])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component: List[Indicator] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(tuple(sorted(component)))
+        return components
+
+    def recursive(self, component: Sequence[Indicator]) -> bool:
+        """True when the component can reach itself (a self-loop or a
+        multi-node cycle) — the only case the fixpoint must iterate."""
+        members = set(component)
+        if len(members) > 1:
+            return True
+        only = next(iter(members))
+        return only in self._edges.get(only, ())

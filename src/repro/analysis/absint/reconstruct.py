@@ -1,0 +1,227 @@
+"""Declaration reconstruction: ``PRED p(τ1,…,τn)`` from success sets.
+
+For every predicate *defined but not declared* in a file, synthesize a
+declaration candidate from its inferred success set and validate it with
+the existing Definition 16 checker (:mod:`repro.core.welltyped`) — the
+acceptance bar is not "describes the success set" but "makes every
+clause of the predicate well-typed", which is strictly harder: a
+success-set component can be ⊤ (``app``'s second argument succeeds on
+anything) while well-typedness needs the agreement between positions
+that the declared ``app(list(A), list(A), list(A))`` provides.
+
+The search is deliberately small and deterministic:
+
+1. **candidate 0** — the folded success tuple itself, display-renamed;
+2. **candidate 1** (the *agreement repair*) — when the tuple mixes ⊤
+   positions with exactly one distinct non-⊤ component, the ⊤ positions
+   are replaced by *that same term object*, sharing its type variables
+   across positions (``(list(A), ⊤, ⊤) → (list(A), list(A),
+   list(A))``).  This is the move Definition 16 forces whenever one
+   clause variable occurs in several head positions: their types must
+   agree up to the rigid-variable unification, and a shared variable is
+   the only way an open component survives it.
+
+Each candidate is validated by checking the predicate's own clauses
+under an environment holding the file's real declarations, the current
+candidates for its undeclared defined predicates, and all-distinct-
+variable ⊤ declarations for undeclared *undefined* predicates (an open
+world cannot refute those).  The first validating candidate wins; if
+none validates the folded tuple is kept with ``validated=False`` and
+surfaces (TLP201's fix-it) fall back to a hedged wording.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from string import ascii_uppercase
+from typing import Dict, List, Optional, Tuple
+
+from ...core.predicate_types import PredicateTypeEnv
+from ...core.welltyped import WellTypedChecker
+from ...lp.clause import Clause
+from ...terms.pretty import pretty
+from ...terms.term import Struct, Term, Var, variables_in_order
+from .callgraph import Indicator, _is_constraint_goal
+from .domain import canonical
+
+__all__ = ["Reconstruction", "reconstruct_declarations", "render_declaration"]
+
+
+def _display_rename(components: Tuple[Term, ...]) -> Tuple[Term, ...]:
+    """Rename type variables to ``A, B, …`` across the whole tuple (in
+    order of first appearance, preserving sharing between positions)."""
+    carrier = Struct("$tuple", tuple(components))
+    mapping: Dict[Var, Var] = {}
+    for variable in variables_in_order(carrier):
+        index = len(mapping)
+        letters = ascii_uppercase[index % 26]
+        suffix = "" if index < 26 else str(index // 26)
+        mapping[variable] = Var(letters + suffix)
+
+    def walk(term: Term) -> Term:
+        if isinstance(term, Var):
+            return mapping[term]
+        if not term.args:
+            return term
+        return Struct(term.functor, tuple(walk(arg) for arg in term.args))
+
+    return tuple(walk(component) for component in components)
+
+
+def render_declaration(indicator: Indicator, components: Tuple[Term, ...]) -> str:
+    """The concrete ``PRED …`` source line for a component tuple."""
+    name, _arity = indicator
+    renamed = _display_rename(components)
+    return f"PRED {pretty(Struct(name, renamed))}."
+
+
+@dataclass(frozen=True)
+class Reconstruction:
+    """One synthesized declaration and how far it got."""
+
+    indicator: Indicator
+    #: The declaration head as a term (``app(list(A), list(A), list(A))``).
+    head: Struct
+    #: True when the Definition 16 checker accepts every clause under it
+    #: (vacuously true for open-world predicates with no clauses).
+    validated: bool
+    #: The ready-to-paste source line (``PRED app(list(A), …).``).
+    line: str
+    #: False for open-world predicates (called but not defined in the
+    #: file): their tuple is all-⊤, not inferred from clauses.
+    defined: bool = True
+
+
+def _agreement_repair(components: Tuple[Term, ...]) -> Optional[Tuple[Term, ...]]:
+    """Candidate 1 of the module docstring, or None when inapplicable."""
+    open_positions = [
+        index for index, c in enumerate(components) if isinstance(c, Var)
+    ]
+    closed = [c for c in components if not isinstance(c, Var)]
+    if not open_positions or not closed:
+        return None
+    distinct: List[Term] = []
+    for component in closed:
+        if not any(canonical(component) == canonical(seen) for seen in distinct):
+            distinct.append(component)
+    if len(distinct) != 1:
+        return None
+    shared = distinct[0]
+    return tuple(
+        shared if index in open_positions else component
+        for index, component in enumerate(components)
+    )
+
+
+def reconstruct_declarations(inference) -> Dict[Indicator, Reconstruction]:
+    """Synthesize + validate declarations for every undeclared defined
+    predicate of a :class:`~repro.analysis.absint.ProgramInference`."""
+    # Open-world indicators: called somewhere but neither declared nor
+    # defined — give them all-distinct-variable ⊤ declarations so the
+    # checker has a predicate type for every body atom (and so a caller
+    # pasting the reconstructed block gets a checkable file).
+    mentioned = set()
+    for clause in inference.clauses:
+        for goal in clause.body:
+            if not _is_constraint_goal(goal):
+                mentioned.add(goal.indicator)
+    for query in inference.queries:
+        for goal in query.body:
+            if not _is_constraint_goal(goal):
+                mentioned.add(goal.indicator)
+    unknown = [
+        indicator
+        for indicator in sorted(mentioned)
+        if indicator not in inference.pred_decls
+        and indicator not in inference.clauses_by_pred
+    ]
+    undeclared = sorted(
+        indicator
+        for indicator in inference.clauses_by_pred
+        if indicator not in inference.pred_decls
+    )
+    if not undeclared and not unknown:
+        return {}
+
+    def candidates_for(indicator: Indicator) -> List[Tuple[Term, ...]]:
+        success = inference.success[indicator]
+        if success.bottom:
+            # An empty success set constrains nothing; all-⊤ is the only
+            # honest candidate.
+            _name, arity = indicator
+            return [tuple(Var(f"_B{i}") for i in range(arity))]
+        out = [success.folded]
+        repaired = _agreement_repair(success.folded)
+        if repaired is not None:
+            out.append(repaired)
+        return out
+
+    chosen: Dict[Indicator, Tuple[Term, ...]] = {
+        indicator: candidates_for(indicator)[0] for indicator in undeclared
+    }
+
+    def build_environment() -> PredicateTypeEnv:
+        environment = PredicateTypeEnv(inference.constraints)
+        for declaration in inference.pred_decls.values():
+            environment.declare(declaration.head)
+        for indicator, components in chosen.items():
+            name, _arity = indicator
+            environment.declare(Struct(name, _display_rename(components)))
+        for indicator in unknown:
+            name, arity = indicator
+            environment.declare(
+                Struct(name, tuple(Var(f"_B{i}") for i in range(arity)))
+            )
+        return environment
+
+    def validates(indicator: Indicator) -> bool:
+        try:
+            checker = WellTypedChecker(inference.constraints, build_environment())
+        except Exception:
+            return False
+        for clause_decl in inference.clauses_by_pred[indicator]:
+            body = tuple(
+                goal for goal in clause_decl.body if not _is_constraint_goal(goal)
+            )
+            try:
+                report = checker.check_clause(Clause(clause_decl.head, body))
+            except Exception:
+                return False
+            if not report.well_typed:
+                return False
+        return True
+
+    validated: Dict[Indicator, bool] = {}
+    for indicator in undeclared:
+        verdict = validates(indicator)
+        if not verdict:
+            for alternative in candidates_for(indicator)[1:]:
+                chosen[indicator] = alternative
+                verdict = validates(indicator)
+                if verdict:
+                    break
+            if not verdict:
+                chosen[indicator] = candidates_for(indicator)[0]
+        validated[indicator] = verdict
+
+    out: Dict[Indicator, Reconstruction] = {}
+    for indicator in undeclared:
+        name, _arity = indicator
+        renamed = _display_rename(chosen[indicator])
+        out[indicator] = Reconstruction(
+            indicator=indicator,
+            head=Struct(name, renamed),
+            validated=validated[indicator],
+            line=render_declaration(indicator, chosen[indicator]),
+        )
+    for indicator in unknown:
+        name, arity = indicator
+        components = tuple(Var(f"_B{i}") for i in range(arity))
+        out[indicator] = Reconstruction(
+            indicator=indicator,
+            head=Struct(name, _display_rename(components)),
+            validated=True,  # vacuous: no clauses to refute it
+            line=render_declaration(indicator, components),
+            defined=False,
+        )
+    return out

@@ -1,0 +1,148 @@
+"""Semantic lint rules ``TLP401``–``TLP404`` over inferred success sets.
+
+These rules consume the whole-file success-set inference
+(:class:`~repro.analysis.absint.ProgramInference`, reached lazily
+through ``ctx.inference``) and compare what the clauses *actually
+compute* with what the declarations *promise* — the interprocedural
+complement to the per-clause Definition 16 check:
+
+* **TLP401 dead clause** — a clause that can never produce a successful
+  instance: some body goal always fails under the (over-approximated)
+  success sets, or the head never matches its declared types;
+* **TLP402 always-fail goal** — a body/query goal structurally
+  incompatible with its predicate's inferred or declared success set
+  (including calls to predicates whose success set is ⊥);
+* **TLP403 loose declaration** — the inferred success type is a strict
+  subtype of the declared one at some position (and no position exceeds
+  it); the fix-it is the tighter declaration;
+* **TLP404 declaration/clauses incompatibility** — some position where
+  the declared type and the inferred success set share no instances.
+
+All four default to *warning*: the analysis is sound but the program is
+merely suspect, not ill-typed.  The over-approximation contract of the
+interpreter (degradations go to ⊤, never to failure) is what makes the
+TLP401/TLP402 verdicts false-positive-free; TLP404's member-level fit
+test plays the same role on the comparison side.  The rules run only
+when the file's constraint set is uniform and guarded (``ctx.inference``
+is None otherwise) — the same gate as the TLP301 flow analysis.
+"""
+
+from __future__ import annotations
+
+from ...checker.diagnostics import FixIt, Severity
+from ...terms.pretty import pretty
+from ..context import LintContext
+from ..registry import register
+from .reconstruct import render_declaration
+
+_PAPER = "§7 (constraint collection) + abstract interpretation of success sets"
+
+
+@register(
+    "TLP401",
+    "dead-clause",
+    Severity.WARNING,
+    "clause can never produce a successful instance (a body goal always "
+    "fails, or the head never matches the declared types)",
+    _PAPER,
+)
+def check_dead_clauses(ctx: LintContext) -> None:
+    inference = ctx.inference
+    if inference is None:
+        return
+    for clause in ctx.clause_items:
+        reason = inference.dead_clause_reason(clause)
+        if reason is not None:
+            name, arity = clause.head.indicator
+            ctx.report(
+                check_dead_clauses._rule,
+                f"clause of {name}/{arity} is dead: {reason}",
+                clause.position,
+                fixits=(FixIt("remove the clause or fix the mismatched term"),),
+            )
+
+
+@register(
+    "TLP402",
+    "always-fail-goal",
+    Severity.WARNING,
+    "goal can never succeed against its predicate's inferred/declared "
+    "success set",
+    _PAPER,
+)
+def check_always_fail_goals(ctx: LintContext) -> None:
+    inference = ctx.inference
+    if inference is None:
+        return
+    for owner, goal, is_head in ctx.predicate_goals():
+        if is_head:
+            continue
+        reason = inference.goal_failure(goal)
+        if reason is not None:
+            ctx.report(
+                check_always_fail_goals._rule,
+                f"goal {pretty(goal)} always fails: {reason}",
+                owner.position,
+            )
+
+
+@register(
+    "TLP403",
+    "loose-declaration",
+    Severity.WARNING,
+    "declared type is strictly looser than the inferred success type",
+    _PAPER,
+)
+def check_loose_declarations(ctx: LintContext) -> None:
+    inference = ctx.inference
+    if inference is None:
+        return
+    for indicator in sorted(inference.success):
+        verdict, details = inference.compare_with_declaration(indicator)
+        if verdict != "loose":
+            continue
+        name, arity = indicator
+        tighter = render_declaration(indicator, details)
+        ctx.report(
+            check_loose_declarations._rule,
+            f"declaration of {name}/{arity} is looser than what its "
+            f"clauses can compute: the inferred success type fits "
+            f"`{tighter}`",
+            ctx.pred_decls[indicator].position,
+            fixits=(
+                FixIt(
+                    f"tighten the declaration to `{tighter}`",
+                    replacement=tighter,
+                ),
+            ),
+        )
+
+
+@register(
+    "TLP404",
+    "incompatible-declaration",
+    Severity.WARNING,
+    "declared type and inferred success set share no instances at some "
+    "argument position",
+    _PAPER,
+)
+def check_incompatible_declarations(ctx: LintContext) -> None:
+    inference = ctx.inference
+    if inference is None:
+        return
+    for indicator in sorted(inference.success):
+        verdict, details = inference.compare_with_declaration(indicator)
+        if verdict != "incompatible":
+            continue
+        name, arity = indicator
+        declaration = ctx.pred_decls[indicator]
+        success = inference.success[indicator]
+        for position in details:
+            ctx.report(
+                check_incompatible_declarations._rule,
+                f"{name}/{arity} argument {position + 1}: the declared "
+                f"type {pretty(declaration.head.args[position])} and the "
+                f"inferred success type "
+                f"{pretty(success.folded[position])} share no instances",
+                declaration.position,
+            )

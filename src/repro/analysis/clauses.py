@@ -45,15 +45,39 @@ def check_undeclared_predicates(ctx: LintContext) -> None:
             continue  # declared at another arity: TLP202's business
         reported.add(indicator)
         name, arity = indicator
-        placeholder = ", ".join(f"T{i + 1}" for i in range(arity))
-        suggestion = f"PRED {name}({placeholder})." if arity else f"PRED {name}."
+        fixit = _declaration_fixit(ctx, indicator)
         ctx.report(
             check_undeclared_predicates._rule,
             f"no PRED declaration for {name}/{arity}: declare its "
             f"argument types before using it",
             owner.position,
-            fixits=(FixIt(f"add `{suggestion}` with the intended types"),),
+            fixits=(fixit,),
         )
+
+
+def _declaration_fixit(ctx: LintContext, indicator: Tuple[str, int]) -> FixIt:
+    """The TLP201 fix-it: the *reconstructed* declaration when the
+    success-set inference produced a checker-validated one for this
+    predicate, else the generic placeholder."""
+    inference = ctx.inference
+    if inference is not None:
+        reconstruction = inference.reconstructions().get(indicator)
+        if reconstruction is not None and reconstruction.defined:
+            if reconstruction.validated:
+                return FixIt(
+                    f"declare `{reconstruction.line}` (inferred from the "
+                    f"predicate's clauses and accepted by the checker)",
+                    replacement=reconstruction.line,
+                )
+            return FixIt(
+                f"declare it; the inferred success set suggests "
+                f"`{reconstruction.line}` as a starting point",
+                replacement=reconstruction.line,
+            )
+    name, arity = indicator
+    placeholder = ", ".join(f"T{i + 1}" for i in range(arity))
+    suggestion = f"PRED {name}({placeholder})." if arity else f"PRED {name}."
+    return FixIt(f"add `{suggestion}` with the intended types")
 
 
 @register(

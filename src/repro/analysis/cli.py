@@ -88,6 +88,15 @@ def _build_argument_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
     parser.add_argument(
+        "--infer",
+        action="store_true",
+        help=(
+            "run whole-program success-set inference and print "
+            "reconstructed PRED declarations for undeclared predicates "
+            "(included under \"inferred\" in --format json)"
+        ),
+    )
+    parser.add_argument(
         "--no-fixits",
         action="store_true",
         help="omit fix-it suggestion lines from text output",
@@ -209,10 +218,19 @@ def _run(arguments) -> int:
         return 2
 
     reports: List[LintReport] = []
+    inferred: dict = {}
     for display, text in jobs:
         reports.append(
             lint_text(text, path=display, config=config, registry=registry)
         )
+        if arguments.infer:
+            from .absint import infer_text
+
+            inference = infer_text(text, path=display)
+            if inference is not None:
+                lines = inference.declaration_lines()
+                if lines:
+                    inferred[display] = lines
 
     findings: List[Tuple[str, Diagnostic]] = [
         (report.path, diagnostic)
@@ -236,6 +254,11 @@ def _run(arguments) -> int:
                     "diagnostics": [
                         _diagnostic_payload(d) for d in report.diagnostics
                     ],
+                    **(
+                        {"inferred": inferred[report.path]}
+                        if report.path in inferred
+                        else {}
+                    ),
                 }
                 for report in reports
             ],
@@ -247,6 +270,8 @@ def _run(arguments) -> int:
     else:
         for report in reports:
             _render_text(report, show_fixits=not arguments.no_fixits)
+            for line in inferred.get(report.path, []):
+                print(f"{report.path}: inferred {line}")
         noun = "file" if len(reports) == 1 else "files"
         print(
             f"linted {len(reports)} {noun}: "

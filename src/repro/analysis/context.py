@@ -67,6 +67,8 @@ class LintContext:
     _constraints_failed: bool = field(default=False, repr=False)
     _engine: Optional[SubtypeEngine] = field(default=None, repr=False)
     _engine_failed: bool = field(default=False, repr=False)
+    _inference: Optional[object] = field(default=None, repr=False)
+    _inference_failed: bool = field(default=False, repr=False)
 
     # -- construction --------------------------------------------------------
 
@@ -195,6 +197,25 @@ class LintContext:
                 return None
             self._engine = SubtypeEngine(constraints, validate=False)
         return self._engine
+
+    @property
+    def inference(self):
+        """Whole-file success-set inference
+        (:class:`~repro.analysis.absint.ProgramInference`), or None when
+        the engine is unavailable or the fixpoint cannot be built.  Like
+        the other lazy pieces this is best-effort: the TLP4xx rules and
+        the reconstruction-backed fix-its all degrade to silence."""
+        if self._inference is None and not self._inference_failed:
+            if self.engine is None:
+                self._inference_failed = True
+                return None
+            from .absint import ProgramInference
+
+            try:
+                self._inference = ProgramInference.from_context(self)
+            except (DeclarationError, RecursionError, ValueError):
+                self._inference_failed = True
+        return self._inference
 
     # -- reporting -----------------------------------------------------------
 

@@ -21,7 +21,9 @@ Code space:
 * ``TLP001`` — syntax errors surfaced by the linter;
 * ``TLP1xx`` — constraint-set (declaration) analyses;
 * ``TLP2xx`` — clause/query analyses;
-* ``TLP3xx`` — dataflow (mode / information-flow) analyses.
+* ``TLP3xx`` — dataflow (mode / information-flow) analyses;
+* ``TLP4xx`` — interprocedural success-set analyses (abstract
+  interpretation over the call graph, ``repro.analysis.absint``).
 """
 
 from __future__ import annotations
@@ -45,7 +47,8 @@ __all__ = [
 
 #: Bumped on any change to a rule's semantics or message wording; part
 #: of the rule-set fingerprint (and hence of batch cache keys).
-ANALYZER_VERSION = "1"
+#: "2": the TLP4xx success-set family + inference-backed TLP201 fix-its.
+ANALYZER_VERSION = "2"
 
 #: Code attached to lexer/parser failures reported through the linter.
 SYNTAX_ERROR_CODE = "TLP001"

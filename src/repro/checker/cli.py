@@ -84,6 +84,14 @@ def _build_argument_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--infer",
+        action="store_true",
+        help=(
+            "run whole-program success-set inference and print "
+            "reconstructed PRED declarations for undeclared predicates"
+        ),
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="collect telemetry and print the metrics table after checking",
@@ -297,11 +305,17 @@ def _check_files_batched(arguments, files: List[str]) -> int:
         lint_config = LintConfig()
         ruleset = ruleset_fingerprint(lint_config)
     cache = (
-        ResultCache(arguments.cache_dir, ruleset=ruleset)
+        ResultCache(arguments.cache_dir, ruleset=ruleset, infer=arguments.infer)
         if arguments.cache_dir
         else None
     )
-    report = run_batch(project, cache=cache, jobs=arguments.jobs, lint=lint_config)
+    report = run_batch(
+        project,
+        cache=cache,
+        jobs=arguments.jobs,
+        lint=lint_config,
+        infer=arguments.infer,
+    )
     lint_errors = 0
     for result in report.results:
         for diagnostic in result.diagnostics:
@@ -310,6 +324,8 @@ def _check_files_batched(arguments, files: List[str]) -> int:
             print(f"{result.display}:{finding}")
             if "error[TLP" in finding:
                 lint_errors += 1
+        for line in result.inferred:
+            print(f"{result.display}: inferred {line}")
         print(result.summary_line())
     if arguments.lint == "error" and lint_errors:
         return 1
@@ -349,6 +365,13 @@ def _check_files(arguments) -> int:
                 print(f"{path}:{finding}")
             if arguments.lint == "error" and lint_report.errors:
                 exit_code = 1
+        if arguments.infer:
+            from ..analysis.absint import infer_text
+
+            inference = infer_text(text, path=path)
+            if inference is not None:
+                for line in inference.declaration_lines():
+                    print(f"{path}: inferred {line}")
         if module.ok:
             print(f"{path}: well-typed ({len(module.program)} clauses, "
                   f"{len(module.queries)} queries)")

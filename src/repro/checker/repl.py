@@ -45,6 +45,7 @@ _HELP = """commands:
   :types  TERM             declared constructors able to type a ground term
   :why  <goal>, ...        explain the query's well-typedness check
   :lint [CODE,...]         run the static analyzer (optionally disabling rules)
+  :infer                   inferred success sets + reconstructed PRED lines
   :stats [on|off|reset]    telemetry: show the metrics table / toggle / zero
   :help                    this message
   :quit                    leave"""
@@ -99,6 +100,8 @@ class Repl:
             return self._why(rest)
         if command == ":lint":
             return self._lint(rest)
+        if command == ":infer":
+            return self._infer(rest)
         if command == ":stats":
             return self._stats(rest)
         return [f"unknown command {command!r} — try :help"]
@@ -124,6 +127,28 @@ class Repl:
             f"{len(report.errors)} error(s), {len(report.warnings)} warning(s)"
         )
         return out
+
+    def _infer(self, rest: str) -> List[str]:
+        if rest:
+            return ["usage: :infer (no arguments)"]
+        if self.source_text is None:
+            return ["no source text available to analyze"]
+        from ..analysis.absint import infer_text
+
+        inference = infer_text(self.source_text)
+        if inference is None:
+            return [
+                "inference unavailable: the file does not parse or its "
+                "constraint set falls outside the uniform + guarded fragment"
+            ]
+        out: List[str] = []
+        for indicator in sorted(inference.success):
+            out.extend(inference.success[indicator].render())
+        declarations = inference.declaration_lines()
+        if declarations:
+            out.append("reconstructed declarations:")
+            out.extend(f"  {line}" for line in declarations)
+        return out or ["no predicates to analyze"]
 
     def _stats(self, rest: str) -> List[str]:
         if rest == "on":

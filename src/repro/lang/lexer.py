@@ -80,11 +80,14 @@ class LexError(Exception):
 
 
 def _is_name_start(ch: str) -> bool:
-    return ch.islower() or ch.isdigit()
+    # Require isalnum() too: some cased code points (e.g. circled
+    # letters, combining marks) pass islower()/isupper() without being
+    # alphanumeric, and would otherwise start a zero-length identifier.
+    return (ch.islower() or ch.isdigit()) and ch.isalnum()
 
 
 def _is_variable_start(ch: str) -> bool:
-    return ch.isupper() or ch == "_"
+    return (ch.isupper() and ch.isalnum()) or ch == "_"
 
 
 def _is_ident_char(ch: str) -> bool:

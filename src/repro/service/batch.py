@@ -105,6 +105,15 @@ def _build_argument_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--infer",
+        action="store_true",
+        help=(
+            "run whole-program success-set inference on checked files and "
+            "print reconstructed PRED declarations for undeclared "
+            "predicates (results ride the cache like lint findings)"
+        ),
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="collect telemetry and print the metrics table",
@@ -153,7 +162,9 @@ def _run(arguments) -> int:
     cache = (
         None
         if arguments.no_cache
-        else ResultCache(arguments.cache_dir, ruleset=ruleset)
+        else ResultCache(
+            arguments.cache_dir, ruleset=ruleset, infer=arguments.infer
+        )
     )
     report = run_batch(
         project,
@@ -162,6 +173,7 @@ def _run(arguments) -> int:
         use=arguments.workers,
         force=arguments.force,
         lint=lint_config,
+        infer=arguments.infer,
     )
     # With ``--json -`` stdout is the machine-readable report; route the
     # human-readable lines to stderr so the stream stays parseable.
@@ -174,6 +186,8 @@ def _run(arguments) -> int:
             print(f"{result.display}:{finding}", file=human)
             if _LINT_ERROR.search(finding):
                 lint_errors += 1
+        for line in result.inferred:
+            print(f"{result.display}: inferred {line}", file=human)
         if not arguments.quiet:
             print(result.summary_line(), file=human)
     well_typed = sum(1 for r in report.results if r.ok)

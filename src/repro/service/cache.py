@@ -49,7 +49,10 @@ __all__ = ["CHECKER_VERSION", "CachedResult", "ResultCache"]
 #: any change that can alter verdicts or diagnostic text.
 #: "2": diagnostics carry stable TLP codes and cached records may hold
 #: lint findings — pre-lint indexes must not replay.
-CHECKER_VERSION = "2"
+#: "3": cached records may hold inferred ``PRED`` declarations from the
+#: success-set analysis (``--infer``) — pre-inference indexes must not
+#: replay.
+CHECKER_VERSION = "3"
 
 INDEX_NAME = "tlp-cache.json"
 
@@ -65,11 +68,15 @@ class CachedResult:
     duration_s: float
     checked_at: float
     lint: Tuple[str, ...] = ()
+    #: Inferred ``PRED`` declarations (the ``--infer`` surfaces); empty
+    #: when inference was off or found nothing undeclared.
+    inferred: Tuple[str, ...] = ()
 
     def to_json(self) -> Dict[str, object]:
         payload = asdict(self)
         payload["diagnostics"] = list(self.diagnostics)
         payload["lint"] = list(self.lint)
+        payload["inferred"] = list(self.inferred)
         return payload
 
     @classmethod
@@ -82,6 +89,7 @@ class CachedResult:
             duration_s=float(payload["duration_s"]),
             checked_at=float(payload["checked_at"]),
             lint=tuple(str(line) for line in payload.get("lint", [])),
+            inferred=tuple(str(line) for line in payload.get("inferred", [])),
         )
 
 
@@ -93,11 +101,15 @@ class ResultCache:
         cache_dir: str,
         checker_version: str = CHECKER_VERSION,
         ruleset: str = "",
+        infer: bool = False,
     ) -> None:
         self.cache_dir = Path(cache_dir)
         self.checker_version = checker_version
         #: Lint rule-set fingerprint folded into every key ("" = no lint).
         self.ruleset = ruleset
+        #: Whether records carry inferred declarations; folded into every
+        #: key so an inference-free record never replays for ``--infer``.
+        self.infer = infer
         self.index_path = self.cache_dir / INDEX_NAME
         self.hits = 0
         self.misses = 0
@@ -150,22 +162,31 @@ class ResultCache:
     # -- the store -----------------------------------------------------------
 
     @staticmethod
-    def key(file_digest: str, decls_digest: str, ruleset: str = "") -> str:
-        """Cache key: two digests, plus the lint fingerprint when set.
+    def key(
+        file_digest: str,
+        decls_digest: str,
+        ruleset: str = "",
+        infer: bool = False,
+    ) -> str:
+        """Cache key: two digests, plus the lint fingerprint when set and
+        an ``infer`` marker when inference ran.
 
         The two-part form is the pre-lint key, kept so existing entries
         (and tests) keep their addresses when no lint runs.
         """
+        key = f"{file_digest}.{decls_digest}"
         if ruleset:
-            return f"{file_digest}.{decls_digest}.{ruleset}"
-        return f"{file_digest}.{decls_digest}"
+            key = f"{key}.{ruleset}"
+        if infer:
+            key = f"{key}.infer"
+        return key
 
     def get(
         self, file_digest: str, decls_digest: str
     ) -> Optional[CachedResult]:
         """Probe for a verdict; hit/miss is counted and traced."""
         payload = self._entries.get(
-            self.key(file_digest, decls_digest, self.ruleset)
+            self.key(file_digest, decls_digest, self.ruleset, self.infer)
         )
         hit = payload is not None
         if hit:
@@ -182,7 +203,9 @@ class ResultCache:
             return CachedResult.from_json(payload)
         except (KeyError, TypeError, ValueError):
             # A malformed entry behaves like a miss (and is purged).
-            del self._entries[self.key(file_digest, decls_digest, self.ruleset)]
+            del self._entries[
+                self.key(file_digest, decls_digest, self.ruleset, self.infer)
+            ]
             self._dirty = True
             return None
 
@@ -195,7 +218,9 @@ class ResultCache:
     ) -> None:
         payload = result.to_json()
         payload["path"] = display
-        self._entries[self.key(file_digest, decls_digest, self.ruleset)] = payload
+        self._entries[
+            self.key(file_digest, decls_digest, self.ruleset, self.infer)
+        ] = payload
         self._dirty = True
 
     def invalidate(self, display: Optional[str] = None) -> int:

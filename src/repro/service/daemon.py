@@ -15,6 +15,7 @@ line, one response object per line, in order.  Requests::
     {"op": "check", "text": "FUNC nil. ..."}
     {"op": "lint", "path": "examples/programs/append.tlp"}
     {"op": "lint", "text": "FUNC nil. ...", "disable": "TLP203"}
+    {"op": "infer", "path": "examples/programs/append.tlp"}
     {"op": "stats"}
     {"op": "invalidate"}                  # drop all hot/cached state
     {"op": "invalidate", "path": "..."}   # drop one file's state
@@ -27,8 +28,12 @@ reports ``"well_typed"``, ``"diagnostics"``, clause/query counts, and
 ``"checked"`` (full Definition 16 run).  A ``lint`` response carries the
 static analyzer's findings as structured objects (``code``, ``severity``,
 ``message``, position fields, fix-it descriptions) plus error/warning
-counts and the rule-set ``fingerprint``.  Malformed lines get an
-``{"ok": false, "error": ...}`` response rather than killing the daemon.
+counts and the rule-set ``fingerprint``.  An ``infer`` response carries
+the success-set analysis: ``"declarations"`` (reconstructed ``PRED``
+lines for undeclared predicates, checker-validated where possible) and
+``"success_sets"`` (the rendered per-predicate inferred types).
+Malformed lines get an ``{"ok": false, "error": ...}`` response rather
+than killing the daemon.
 
 A worked session lives in ``docs/service.md``.
 """
@@ -68,6 +73,7 @@ class CheckService:
         self.requests = 0
         self.checks = 0
         self.lints = 0
+        self.infers = 0
         self.hot_hits = 0
         self.cache_hits = 0
         self.errors = 0
@@ -88,6 +94,8 @@ class CheckService:
                 return self._op_check(request)
             if op == "lint":
                 return self._op_lint(request)
+            if op == "infer":
+                return self._op_infer(request)
             if op == "stats":
                 return self._op_stats()
             if op == "invalidate":
@@ -262,11 +270,50 @@ class CheckService:
             "duration_s": time.perf_counter() - started,
         }
 
+    def _op_infer(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        path = request.get("path")
+        text = request.get("text")
+        if (path is None) == (text is None):
+            return self._error("infer", "infer needs exactly one of 'path' or 'text'")
+        display = str(path) if path is not None else "<text>"
+        if path is not None:
+            try:
+                text = Path(path).read_text(encoding="utf-8")
+            except OSError as error:
+                return self._error("infer", f"{path}: cannot read: {error}")
+        assert isinstance(text, str)
+        from ..analysis.absint import infer_text
+
+        self.infers += 1
+        if METRICS.enabled:
+            METRICS.inc("service.daemon.infers")
+        started = time.perf_counter()
+        inference = infer_text(text, path=display)
+        if inference is None:
+            return self._error(
+                "infer",
+                f"{display}: does not parse or falls outside the "
+                f"uniform + guarded fragment",
+            )
+        success_sets: List[str] = []
+        for indicator in sorted(inference.success):
+            success_sets.extend(inference.success[indicator].render())
+        return {
+            "ok": True,
+            "op": "infer",
+            "path": display,
+            "digest": fingerprint(text),
+            "declarations": inference.declaration_lines(),
+            "success_sets": success_sets,
+            "duration_s": time.perf_counter() - started,
+        }
+
     def _op_stats(self) -> Dict[str, Any]:
         stats: Dict[str, Any] = {
             "requests": self.requests,
             "checks": self.checks,
             "lints": self.lints,
+            "infers": self.infers,
             "hot_hits": self.hot_hits,
             "cache_hits": self.cache_hits,
             "errors": self.errors,

@@ -56,6 +56,10 @@ class FileResult:
     duration_s: float
     from_cache: bool
     lint: Tuple[str, ...] = ()
+    #: Inferred ``PRED`` declarations for undeclared predicates (the
+    #: ``--infer`` surfaces); empty when inference was off or the file
+    #: declares everything it defines.
+    inferred: Tuple[str, ...] = ()
 
     def summary_line(self) -> str:
         """The per-file line batch surfaces print."""
@@ -114,6 +118,7 @@ class BatchReport:
                     "well_typed": result.ok,
                     "diagnostics": list(result.diagnostics),
                     "lint": list(result.lint),
+                    "inferred": list(result.inferred),
                     "clauses": result.clauses,
                     "queries": result.queries,
                     "duration_s": result.duration_s,
@@ -137,12 +142,14 @@ def check_one_text(text: str) -> Tuple[bool, Tuple[str, ...], int, int]:
 
 _WorkerReturn = Tuple[
     int, bool, Tuple[str, ...], int, int, float,
-    Tuple[str, ...], Optional[Dict[str, Any]],
+    Tuple[str, ...], Tuple[str, ...], Optional[Dict[str, Any]],
 ]
 
 
-def _check_job(job: Tuple[int, str, bool, Optional[LintConfig]]) -> _WorkerReturn:
-    """Pool worker: check (and optionally lint) one text.
+def _check_job(
+    job: Tuple[int, str, bool, Optional[LintConfig], bool]
+) -> _WorkerReturn:
+    """Pool worker: check (and optionally lint/infer) one text.
 
     ``ship_telemetry`` is set only for *process* workers of an observed
     run: the forked child resets its inherited copy of the registry
@@ -154,9 +161,10 @@ def _check_job(job: Tuple[int, str, bool, Optional[LintConfig]]) -> _WorkerRetur
 
     ``lint`` (a picklable :class:`~repro.analysis.registry.LintConfig`)
     turns the analyzer on; findings travel home rendered, same as the
-    checker's diagnostics.
+    checker's diagnostics.  ``infer`` additionally runs success-set
+    inference and ships the reconstructed ``PRED`` lines.
     """
-    index, text, ship_telemetry, lint = job
+    index, text, ship_telemetry, lint, infer = job
     snapshot: Optional[Dict[str, Any]] = None
     if ship_telemetry:
         obs.TRACER.clear_sinks()
@@ -168,10 +176,20 @@ def _check_job(job: Tuple[int, str, bool, Optional[LintConfig]]) -> _WorkerRetur
     if lint is not None:
         report = lint_text(text, config=lint)
         lint_lines = tuple(str(finding) for finding in report.diagnostics)
+    inferred_lines: Tuple[str, ...] = ()
+    if infer:
+        from ..analysis.absint import infer_text
+
+        inference = infer_text(text)
+        if inference is not None:
+            inferred_lines = tuple(inference.declaration_lines())
     duration = time.perf_counter() - start
     if ship_telemetry:
         snapshot = METRICS.snapshot()
-    return index, ok, diagnostics, clauses, queries, duration, lint_lines, snapshot
+    return (
+        index, ok, diagnostics, clauses, queries, duration,
+        lint_lines, inferred_lines, snapshot,
+    )
 
 
 def _make_executor(use: str, jobs: int) -> Executor:
@@ -189,13 +207,18 @@ def run_batch(
     use: str = "process",
     force: bool = False,
     lint: Optional[LintConfig] = None,
+    infer: bool = False,
 ) -> BatchReport:
     """One batch pass: probe the cache, check the misses, record verdicts.
 
     With ``lint`` set, misses also run the static analyzer and the
     findings ride in each :class:`FileResult` (and the cache record).
     Callers enabling lint should build the cache with the matching
-    rule-set fingerprint so cached lint output can never go stale.
+    rule-set fingerprint so cached lint output can never go stale.  With
+    ``infer`` set, misses also run whole-program success-set inference
+    and the reconstructed ``PRED`` declarations ride the same way (the
+    cache must be built with ``infer=True`` so keys stay distinct from
+    inference-free runs).
     """
     jobs = max(1, jobs)
     report = BatchReport(jobs=jobs)
@@ -227,6 +250,7 @@ def run_batch(
                     duration_s=cached.duration_s,
                     from_cache=True,
                     lint=cached.lint,
+                    inferred=cached.inferred,
                 )
             )
         else:
@@ -239,13 +263,13 @@ def run_batch(
     outcomes: List[_WorkerReturn] = []
     if misses:
         job_list = [
-            (index, project.effective_text(member), ship_telemetry, lint)
+            (index, project.effective_text(member), ship_telemetry, lint, infer)
             for index, member in misses
         ]
         if jobs == 1 or len(job_list) == 1:
             outcomes = [
-                _check_job((index, text, False, job_lint))
-                for index, text, _, job_lint in job_list
+                _check_job((index, text, False, job_lint, job_infer))
+                for index, text, _, job_lint, job_infer in job_list
             ]
         else:
             with _make_executor(use, jobs) as pool:
@@ -254,7 +278,10 @@ def run_batch(
     # Phase 3: record — verdicts into the cache, telemetry into obs.
     members_by_index = {index: member for index, member in misses}
     busy = 0.0
-    for index, ok, diagnostics, clauses, queries, duration, lint_lines, snapshot in outcomes:
+    for (
+        index, ok, diagnostics, clauses, queries, duration,
+        lint_lines, inferred_lines, snapshot,
+    ) in outcomes:
         member = members_by_index[index]
         busy += duration
         result = FileResult(
@@ -267,6 +294,7 @@ def run_batch(
             duration_s=duration,
             from_cache=False,
             lint=lint_lines,
+            inferred=inferred_lines,
         )
         placeholders[index] = result
         if cache is not None:
@@ -281,6 +309,7 @@ def run_batch(
                     duration_s=duration,
                     checked_at=ResultCache.now(),
                     lint=lint_lines,
+                    inferred=inferred_lines,
                 ),
                 display=member.display,
             )

@@ -127,8 +127,16 @@ def test_seeded_corpus_codes(capsys):
         for entry in payload["files"]
     }
     assert by_file["examples/corpus/lint/unguarded.tlp"] == ["TLP102", "TLP102"]
-    assert by_file["examples/corpus/lint/uninhabited.tlp"] == ["TLP103"]
+    # TLP401/402 ride along on the uninhabited fixture: a predicate whose
+    # argument type is empty has an empty success set, so its clause is
+    # dead and calls to it always fail.
+    assert by_file["examples/corpus/lint/uninhabited.tlp"] == [
+        "TLP103", "TLP401", "TLP402",
+    ]
     assert by_file["examples/corpus/lint/missing_filter.tlp"] == ["TLP301"]
+    assert by_file["examples/corpus/lint/success_sets.tlp"] == [
+        "TLP401", "TLP401", "TLP402", "TLP403", "TLP404",
+    ]
     # Manifest members are linted with the shared prelude: no undeclared
     # noise, only genuine singleton warnings.
     members = [path for path in by_file if "/members/" in path]

@@ -24,6 +24,7 @@ def test_default_registry_has_all_builtin_rules():
         "TLP101", "TLP102", "TLP103", "TLP104", "TLP105",
         "TLP201", "TLP202", "TLP203", "TLP204",
         "TLP301",
+        "TLP401", "TLP402", "TLP403", "TLP404",
     ]
 
 

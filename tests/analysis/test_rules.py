@@ -169,6 +169,23 @@ def test_undeclared_predicate_flagged_with_fixit():
     found = findings(text, "TLP201")
     assert len(found) == 1
     assert "rev/2" in found[0].message
+    # The fix-it is the checker-validated declaration reconstructed from
+    # the success-set inference, not a generic placeholder.
+    assert any(
+        f.replacement == "PRED rev(elist, elist)." for f in found[0].fixits
+    )
+
+
+def test_undeclared_predicate_placeholder_fixit_without_inference():
+    # A constraint set outside the uniform fragment has no inference;
+    # the fix-it falls back to the generic placeholder.
+    text = (
+        "FUNC a.\nTYPE t.\n"
+        "t(A) >= a.\nt(a) >= a.\n"
+        "rev(a, a).\n"
+    )
+    found = findings(text, "TLP201")
+    assert len(found) == 1
     assert any("PRED rev(T1, T2)." in f.description for f in found[0].fixits)
 
 
@@ -205,6 +222,32 @@ def test_singleton_variable_flagged_with_rename_fixit():
 
 def test_underscore_prefixed_singleton_not_flagged():
     text = LIST_PRELUDE + "app(nil,_L,_M).\n"
+    assert "TLP203" not in codes(text)
+
+
+def test_bare_underscore_not_flagged():
+    text = LIST_PRELUDE + "app(nil,_,_X).\n"
+    assert "TLP203" not in codes(text)
+
+
+def test_underscore_skip_applies_in_queries_too():
+    text = LIST_PRELUDE + ":- app(nil,_L,_R).\n"
+    assert "TLP203" not in codes(text)
+
+
+def test_underscore_skip_is_per_variable_not_per_clause():
+    # _L is exempt, but the plain singleton M beside it still fires —
+    # the skip must not silence the whole clause.
+    text = LIST_PRELUDE + "app(nil,_L,M).\n"
+    found = findings(text, "TLP203")
+    assert len(found) == 1
+    assert "M" in found[0].message and "_L" not in found[0].message
+
+
+def test_underscore_prefixed_repeated_variable_not_flagged():
+    # Occurring twice AND underscore-prefixed: doubly exempt, and the
+    # duplicate must not un-exempt it.
+    text = LIST_PRELUDE + "app(nil,_L,_L).\n"
     assert "TLP203" not in codes(text)
 
 

@@ -100,7 +100,9 @@ def test_schema_and_version_pinned():
 def test_results_carry_rule_ids_and_regions():
     document = document_for(DEFECT)
     results = document["runs"][0]["results"]
-    assert [r["ruleId"] for r in results] == ["TLP103"]
+    # The uninhabited-type defect also deadens the predicate built on
+    # it: the success-set rules ride along.
+    assert [r["ruleId"] for r in results] == ["TLP103", "TLP401", "TLP402"]
     region = results[0]["locations"][0]["physicalLocation"]["region"]
     assert region["startLine"] == 3  # the nat >= s(nat). constraint
     assert region["endColumn"] > region["startColumn"]

@@ -101,3 +101,47 @@ def test_inferred_type_always_covers(engine, inference):
         assert inferred is not None, texts
         for term in terms:
             assert engine.contains(inferred, term), (texts, inferred)
+
+
+# -- the preference order, explicitly -----------------------------------------
+#
+# infer() commits to the first applicable rung of a fixed ladder:
+#   1. a single distinct term is returned as-is (exact observation);
+#   2. a declared type constructor covering every term, in declaration
+#      order (minimal before looser ones);
+#   3. a shared outermost functor, recursing on the argument columns;
+#   4. the union of the (distinct) terms.
+
+
+def test_preference_singleton_beats_covering_type(inference):
+    # 0 is covered by nat and int, but the exact term wins.
+    assert inference.infer([T("0")]) == T("0")
+
+
+def test_preference_declared_constructor_beats_common_functor(inference):
+    # Both terms share the functor succ, so rung 3 could build
+    # succ(0 + succ(0)) — but nat covers both and takes precedence.
+    assert inference.infer([T("succ(0)"), T("succ(succ(0))")]) == T("nat")
+
+
+def test_preference_common_functor_beats_union(inference, engine):
+    # No declared type contains succ(nil), so rung 2 fails; the shared
+    # functor rung recurses on the argument column instead of committing
+    # to the top-level union succ(nil) + succ(0).
+    inferred = inference.infer([T("succ(nil)"), T("succ(0)")])
+    assert inferred == T("succ(nil + 0)")
+    assert engine.contains(inferred, T("succ(nil)"))
+    assert engine.contains(inferred, T("succ(0)"))
+
+
+def test_preference_union_is_the_last_resort(inference):
+    # Different functors, no cover: nothing left but the union.
+    assert inference.infer([T("nil"), T("0")]) == T("nil + 0")
+
+
+def test_nonground_terms_are_uninferable_at_any_depth(inference):
+    # The paper's name-based inference speaks only about ground
+    # observations; a variable anywhere makes the group uninferable.
+    assert inference.infer([T("X")]) is None
+    assert inference.infer([T("cons(cons(X, nil), nil)")]) is None
+    assert inference.infer([T("0"), T("succ(X)")]) is None

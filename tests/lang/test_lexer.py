@@ -82,6 +82,15 @@ def test_unexpected_character():
     assert info.value.column == 3
 
 
+def test_cased_non_alphanumeric_codepoint_is_lex_error():
+    # U+24B6 CIRCLED LATIN CAPITAL LETTER A passes str.isupper() without
+    # being alphanumeric; it must surface as a LexError, not an
+    # IndexError from a zero-length identifier (found by the fuzzer).
+    with pytest.raises(LexError) as info:
+        tokenize("Ⓐ")
+    assert "unexpected character" in str(info.value)
+
+
 def test_bare_colon_is_constraint_token():
     tokens = tokenize("X : nat")
     assert [t.kind for t in tokens[:-1]] == [

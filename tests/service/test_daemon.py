@@ -163,3 +163,53 @@ def test_daemon_subprocess_round_trip(tmp_path):
     assert responses[0]["well_typed"] is True
     assert responses[1]["stats"]["checks"] == 1
     assert "ready" in completed.stderr
+
+
+# -- the infer op ------------------------------------------------------------
+
+
+NODECL_APP = """\
+FUNC nil, cons.
+TYPE elist, nelist, list.
+elist >= nil.
+nelist(A) >= cons(A,list(A)).
+list(A) >= elist + nelist(A).
+app(nil,L,L).
+app(cons(X,L),M,cons(X,N)) :- app(L,M,N).
+"""
+
+
+def test_infer_by_text():
+    response = CheckService().handle({"op": "infer", "text": NODECL_APP})
+    assert response["ok"] and response["op"] == "infer"
+    assert response["declarations"] == ["PRED app(list(A), list(A), list(A))."]
+    assert any("app/arg1" in line for line in response["success_sets"])
+
+
+def test_infer_by_path(tmp_path):
+    path = tmp_path / "nodecl.tlp"
+    path.write_text(NODECL_APP)
+    response = CheckService().handle({"op": "infer", "path": str(path)})
+    assert response["ok"] and response["path"] == str(path)
+    assert response["declarations"] == ["PRED app(list(A), list(A), list(A))."]
+
+
+def test_infer_fully_declared_file_reconstructs_nothing():
+    response = CheckService().handle({"op": "infer", "text": APPEND})
+    assert response["ok"] and response["declarations"] == []
+    assert response["success_sets"]
+
+
+def test_infer_argument_validation():
+    service = CheckService()
+    assert not service.handle({"op": "infer"})["ok"]
+    assert not service.handle({"op": "infer", "path": "a", "text": "b"})["ok"]
+    broken = service.handle({"op": "infer", "text": "FUNC ."})
+    assert not broken["ok"]
+
+
+def test_infer_counts_in_stats():
+    service = CheckService()
+    service.handle({"op": "infer", "text": NODECL_APP})
+    stats = service.handle({"op": "stats"})["stats"]
+    assert stats["infers"] == 1

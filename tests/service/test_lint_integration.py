@@ -29,9 +29,9 @@ def make_project(tmp_path, text=CLEAN_WITH_SINGLETON):
 
 
 def test_checker_version_is_bumped():
-    # Diagnostics gained stable codes and records gained lint lines:
-    # version "1" indexes must not replay into this build.
-    assert CHECKER_VERSION == "2"
+    # Records gained inferred declaration lines (--infer): version "2"
+    # indexes (and the pre-lint "1") must not replay into this build.
+    assert CHECKER_VERSION == "3"
 
 
 def test_lint_findings_ride_in_results_and_cache(tmp_path):

@@ -184,3 +184,66 @@ def test_cache_plus_process_pool(tmp_path):
 def test_unknown_executor_kind_rejected(corpus_dir):
     with pytest.raises(ValueError):
         batch(corpus_dir, jobs=2, use="fibers")
+
+
+# -- success-set inference through the batch layer ---------------------------
+
+
+NODECL = """\
+FUNC nil, cons.
+TYPE elist, nelist, list.
+elist >= nil.
+nelist(A) >= cons(A,list(A)).
+list(A) >= elist + nelist(A).
+app(nil,L,L).
+app(cons(X,L),M,cons(X,N)) :- app(L,M,N).
+"""
+
+
+@pytest.fixture()
+def nodecl_corpus_dir(tmp_path):
+    """One member that defines app without declaring it."""
+    (tmp_path / "nodecl.tlp").write_text(NODECL)
+    return tmp_path
+
+
+def test_infer_results_ride_the_batch_report(nodecl_corpus_dir):
+    report = batch(nodecl_corpus_dir, infer=True)
+    (result,) = report.results
+    assert result.inferred == ("PRED app(list(A), list(A), list(A)).",)
+    assert report.to_json()["files"][0]["inferred"] == list(result.inferred)
+
+
+def test_infer_off_means_no_inferred_lines(nodecl_corpus_dir):
+    report = batch(nodecl_corpus_dir)
+    assert report.results[0].inferred == ()
+
+
+def test_infer_results_are_cache_stable(nodecl_corpus_dir, tmp_path):
+    """Differential acceptance: a warm --infer run replays the cold
+    run's inferred declarations byte-for-byte from the cache."""
+    cache = ResultCache(str(tmp_path / "cache"), infer=True)
+    cold = batch(nodecl_corpus_dir, cache, infer=True)
+    assert cold.cache_hits == 0
+    warm_cache = ResultCache(str(tmp_path / "cache"), infer=True)  # reload
+    warm = batch(nodecl_corpus_dir, warm_cache, infer=True)
+    assert warm.hit_rate == 1.0 and warm.files_checked == 0
+    assert [r.inferred for r in warm.results] == [
+        r.inferred for r in cold.results
+    ]
+    assert warm.results[0].inferred == (
+        "PRED app(list(A), list(A), list(A)).",
+    )
+
+
+def test_infer_and_plain_runs_do_not_share_cache_entries(
+    nodecl_corpus_dir, tmp_path
+):
+    plain_cache = ResultCache(str(tmp_path / "cache"))
+    batch(nodecl_corpus_dir, plain_cache)
+    # Same directory, inference on: the plain entry must NOT replay (it
+    # has no inferred lines to offer).
+    infer_cache = ResultCache(str(tmp_path / "cache"), infer=True)
+    report = batch(nodecl_corpus_dir, infer_cache, infer=True)
+    assert report.cache_hits == 0
+    assert report.results[0].inferred
