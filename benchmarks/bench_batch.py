@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.service.cache import ResultCache
 from repro.service.project import load_project
+from repro.service.report import build_run_report
 from repro.service.runner import run_batch
 from repro.workloads import synthetic_list_program
 
@@ -63,12 +64,18 @@ def build_corpus(root: Path, synthetic_files: int, predicates: int) -> Path:
 
 
 def batch_rows(
-    quick: bool = False, measurements: Optional[List[Dict[str, object]]] = None
+    quick: bool = False,
+    measurements: Optional[List[Dict[str, object]]] = None,
+    run_report: Optional[Dict[str, object]] = None,
 ) -> List[Row]:
     """Run the batch benchmarks once; return (label, measured) rows.
 
     With ``measurements`` given, machine rows (``{"id", "label",
-    "ns_per_op"}``) are appended to it for ``BENCH_subtype.json``.
+    "ns_per_op"}``) are appended to it for ``BENCH_subtype.json``.  With
+    ``run_report`` given (an empty dict), it is filled in place with the
+    warm re-check's run report (``tlp-run-report/1`` schema) — the
+    incrementality claim as a machine artifact: CI gates on its cache
+    hit rate via ``check_regression.py --run-report``.
     """
     synthetic_files = 4 if quick else 12
     predicates = 8 if quick else 24
@@ -87,6 +94,13 @@ def batch_rows(
         assert {r.display: r.diagnostics for r in warm.results} == {
             r.display: r.diagnostics for r in cold.results
         }, "warm diagnostics must replay the cold run byte-for-byte"
+        if run_report is not None:
+            run_report.update(
+                build_run_report(
+                    warm,
+                    project={"name": "bench-batch-warm", "files": files},
+                )
+            )
         speedup = cold.wall_s / warm.wall_s if warm.wall_s else float("inf")
         assert speedup >= 5.0, (
             f"warm re-check only {speedup:.1f}x faster than cold "
@@ -143,8 +157,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI-smoke sizes")
     parser.add_argument("--json", metavar="OUT", default=None)
+    parser.add_argument(
+        "--report",
+        metavar="OUT",
+        default=None,
+        help="write the warm re-check's run report (tlp-run-report/1) to OUT",
+    )
     arguments = parser.parse_args(argv)
-    rows = batch_rows(quick=arguments.quick)
+    run_report: Optional[Dict[str, object]] = (
+        {} if arguments.report is not None else None
+    )
+    rows = batch_rows(quick=arguments.quick, run_report=run_report)
     width = max(len(label) for label, _ in rows) + 2
     for label, value in rows:
         print(label.ljust(width) + value)
@@ -153,8 +176,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             "quick": arguments.quick,
             "rows": [{"experiment": label, "measured": value} for label, value in rows],
         }
+        if run_report:
+            payload["run_report"] = run_report
         with open(arguments.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, ensure_ascii=False)
+            handle.write("\n")
+    if arguments.report is not None:
+        with open(arguments.report, "w", encoding="utf-8") as handle:
+            json.dump(run_report, handle, indent=2, sort_keys=True)
             handle.write("\n")
     return 0
 

@@ -1,8 +1,8 @@
-"""Compare two ``BENCH_subtype.json`` files and fail on perf regressions.
+"""Gate CI on perf measurements and batch run reports.
 
-CI runs ``benchmarks/summary.py --quick --json`` (which rewrites
-``BENCH_subtype.json`` at the repo root), then calls this script with the
-*committed* baseline and the fresh measurement::
+Perf mode — CI runs ``benchmarks/summary.py --quick --json`` (which
+rewrites ``BENCH_subtype.json`` at the repo root), then calls this
+script with the *committed* baseline and the fresh measurement::
 
     python benchmarks/check_regression.py baseline.json current.json [--factor 2.0]
 
@@ -13,6 +13,18 @@ exists to catch order-of-magnitude breakage (a dropped memo, an
 accidentally disabled intern table), not 10% drift.  Ids present in only
 one file are reported but never fatal, so adding or retiring benchmarks
 doesn't break the gate.
+
+Run-report mode — gate a ``tlp-run-report/1`` artifact (written by
+``tlp-batch --report`` or ``bench_batch.py --report``) on cache
+effectiveness::
+
+    python benchmarks/check_regression.py --run-report run-report.json --min-hit-rate 0.99
+
+Fails when the report's ``cache.hit_rate`` falls below the floor — the
+observable symptom of a broken fingerprint, a silently bumped checker
+version, or a cache that stopped persisting.  Both modes compose: give
+baseline+current *and* ``--run-report`` and the exit status is the
+conjunction.
 """
 
 from __future__ import annotations
@@ -42,17 +54,88 @@ def fmt_ns(ns: float) -> str:
     return f"{ns / 1e9:.2f}s"
 
 
+def check_run_report(path: str, min_hit_rate: float) -> int:
+    """Gate a ``tlp-run-report/1`` file on its cache hit rate."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"run report {path}: unreadable: {error}", file=sys.stderr)
+        return 1
+    schema = report.get("schema")
+    if schema != "tlp-run-report/1":
+        print(f"run report {path}: unknown schema {schema!r}", file=sys.stderr)
+        return 1
+    cache = report.get("cache", {})
+    hit_rate = float(cache.get("hit_rate", 0.0))
+    files = report.get("files", {})
+    print(
+        f"run report: {files.get('total', '?')} files in "
+        f"{float(report.get('wall_s', 0.0)) * 1e3:.1f}ms, "
+        f"cache {cache.get('hits', '?')}/{cache.get('hits', 0) + cache.get('misses', 0)} "
+        f"({hit_rate:.1%} hit rate), "
+        f"worker utilisation {float(report.get('worker_utilisation', 0.0)):.0%}"
+    )
+    for entry in report.get("top_slow_files", [])[:5]:
+        print(
+            f"  slow: {entry.get('path')}  "
+            f"{float(entry.get('duration_s', 0.0)) * 1e3:.2f}ms"
+        )
+    if hit_rate < min_hit_rate:
+        print(
+            f"cache hit rate {hit_rate:.1%} below the "
+            f"--min-hit-rate floor {min_hit_rate:.1%}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"cache hit rate {hit_rate:.1%} >= floor {min_hit_rate:.1%}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="committed BENCH_subtype.json")
-    parser.add_argument("current", help="freshly measured BENCH_subtype.json")
+    parser.add_argument(
+        "baseline", nargs="?", default=None, help="committed BENCH_subtype.json"
+    )
+    parser.add_argument(
+        "current", nargs="?", default=None, help="freshly measured BENCH_subtype.json"
+    )
     parser.add_argument(
         "--factor",
         type=float,
         default=2.0,
         help="fail when current > factor * baseline (default 2.0)",
     )
+    parser.add_argument(
+        "--run-report",
+        metavar="FILE",
+        default=None,
+        help="also gate a tlp-run-report/1 file on cache effectiveness",
+    )
+    parser.add_argument(
+        "--min-hit-rate",
+        type=float,
+        default=0.99,
+        help=(
+            "minimum cache.hit_rate accepted with --run-report "
+            "(default 0.99)"
+        ),
+    )
     arguments = parser.parse_args(argv)
+
+    if (arguments.baseline is None) != (arguments.current is None):
+        parser.error("give both baseline and current, or neither")
+    if arguments.baseline is None and arguments.run_report is None:
+        parser.error("nothing to check: give baseline+current or --run-report")
+
+    report_status = 0
+    if arguments.run_report is not None:
+        report_status = check_run_report(
+            arguments.run_report, arguments.min_hit_rate
+        )
+        if arguments.baseline is None:
+            return report_status
+        print()
 
     baseline = load_rows(arguments.baseline)
     current = load_rows(arguments.current)
@@ -89,7 +172,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 1
     print(f"\nall {len(common)} common measurements within {arguments.factor:.1f}x")
-    return 0
+    return report_status
 
 
 if __name__ == "__main__":

@@ -59,6 +59,10 @@ MEASUREMENTS: List[Dict[str, object]] = []
 #: Where the stable perf-trajectory file lands (repo root).
 BENCH_SUBTYPE_PATH = Path(__file__).resolve().parent.parent / "BENCH_subtype.json"
 
+#: The warm batch pass's run report (tlp-run-report/1), filled while
+#: ``build_rows`` runs and embedded in the ``--json`` payload.
+RUN_REPORT: Dict[str, object] = {}
+
 
 def record(measurement_id: str, label: str, seconds: float, ops: int = 1) -> None:
     """Append one machine row (``ops`` > 1 divides into per-op cost)."""
@@ -196,7 +200,10 @@ def build_rows(quick: bool = False) -> List[Row]:
     # -- B1/B2: the batch checking service ---------------------------------
     from bench_batch import batch_rows
 
-    rows.extend(batch_rows(quick=quick, measurements=MEASUREMENTS))
+    RUN_REPORT.clear()
+    rows.extend(
+        batch_rows(quick=quick, measurements=MEASUREMENTS, run_report=RUN_REPORT)
+    )
 
     # -- I1/I2: the interned term kernel and shared memo -------------------
     from bench_intern import intern_measurements
@@ -254,6 +261,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "quick": arguments.quick,
             "rows": [{"experiment": label, "measured": value} for label, value in rows],
             "telemetry": telemetry,
+            "run_report": RUN_REPORT or None,
         }
         with open(arguments.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, ensure_ascii=False)

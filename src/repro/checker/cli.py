@@ -13,6 +13,12 @@ Observability (``repro.obs``):
   machinery — not just ``match`` — shows up in the counters.
 - ``--trace[=FILE]`` streams structured trace events as JSON Lines to
   ``FILE`` (or stderr when no file is given) while checking runs.
+- ``--profile[=FILE]`` rides the same span stream through a
+  :class:`~repro.obs.profile.SpanProfiler`: after the run it prints the
+  per-span-name self/cumulative time table, and with ``FILE`` writes
+  collapsed-stack lines for flamegraph tooling.
+- ``--metrics-out FILE`` writes the run's telemetry as Prometheus text
+  exposition (the same document ``tlp-serve``'s ``metrics`` op returns).
 
 Exit status: 0 when every file is well-typed, 1 otherwise, 2 on usage
 errors.
@@ -140,6 +146,27 @@ def _build_argument_parser() -> argparse.ArgumentParser:
         help=(
             "stream structured trace events as JSON Lines to FILE "
             "(stderr when FILE is omitted)"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help=(
+            "profile the run via the span stream and print the "
+            "self/cumulative time table; with FILE, also write "
+            "collapsed-stack lines (flamegraph.pl/speedscope input) there"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write the run's telemetry as Prometheus text exposition to "
+            "FILE after checking (implies telemetry collection)"
         ),
     )
     return parser
@@ -353,41 +380,50 @@ def _check_files(arguments) -> int:
         except OSError as error:
             print(f"{path}: cannot read: {error}", file=sys.stderr)
             return 2
-        module = check_text(text)
-        if len(module.diagnostics):
-            for diagnostic in module.diagnostics:
-                print(f"{path}:{diagnostic}")
-        if lint_config is not None:
-            from ..analysis import lint_text
+        # Per-file span: ``--profile``/``--trace`` attribute everything a
+        # file costs (check, lint, inference, query runs) to its path.
+        with obs.TRACER.span("check_file", path):
+            module = check_text(text)
+            if len(module.diagnostics):
+                for diagnostic in module.diagnostics:
+                    print(f"{path}:{diagnostic}")
+            if lint_config is not None:
+                from ..analysis import lint_text
 
-            lint_report = lint_text(text, path=path, config=lint_config)
-            for finding in lint_report.diagnostics:
-                print(f"{path}:{finding}")
-            if arguments.lint == "error" and lint_report.errors:
-                exit_code = 1
-        if arguments.infer:
-            from ..analysis.absint import infer_text
-
-            inference = infer_text(text, path=path)
-            if inference is not None:
-                for line in inference.declaration_lines():
-                    print(f"{path}: inferred {line}")
-        if module.ok:
-            print(f"{path}: well-typed ({len(module.program)} clauses, "
-                  f"{len(module.queries)} queries)")
-            if arguments.stats:
-                witnesses = _audit_typing_witnesses(module)
-                print(f"{path}: {witnesses} typing witnesses verified respectful")
-            if arguments.run and module.queries:
-                violations = _run_queries(
-                    module, arguments.max_answers, arguments.depth_limit
-                )
-                if violations:
+                lint_report = lint_text(text, path=path, config=lint_config)
+                for finding in lint_report.diagnostics:
+                    print(f"{path}:{finding}")
+                if arguments.lint == "error" and lint_report.errors:
                     exit_code = 1
-        else:
-            if multi:
-                print(f"{path}: ill-typed ({len(module.diagnostics)} diagnostics)")
-            exit_code = 1
+            if arguments.infer:
+                from ..analysis.absint import infer_text
+
+                inference = infer_text(text, path=path)
+                if inference is not None:
+                    for line in inference.declaration_lines():
+                        print(f"{path}: inferred {line}")
+            if module.ok:
+                print(f"{path}: well-typed ({len(module.program)} clauses, "
+                      f"{len(module.queries)} queries)")
+                if arguments.stats:
+                    witnesses = _audit_typing_witnesses(module)
+                    print(
+                        f"{path}: {witnesses} typing witnesses verified "
+                        f"respectful"
+                    )
+                if arguments.run and module.queries:
+                    violations = _run_queries(
+                        module, arguments.max_answers, arguments.depth_limit
+                    )
+                    if violations:
+                        exit_code = 1
+            else:
+                if multi:
+                    print(
+                        f"{path}: ill-typed "
+                        f"({len(module.diagnostics)} diagnostics)"
+                    )
+                exit_code = 1
     return exit_code
 
 
@@ -405,32 +441,44 @@ def main(argv: Optional[List[str]] = None) -> int:
         SHARED_MEMO.set_enabled(False) if arguments.no_shared_memo else None
     )
     try:
-        if not arguments.stats and arguments.trace is None:
+        observed = (
+            arguments.stats
+            or arguments.trace is not None
+            or arguments.profile is not None
+            or arguments.metrics_out is not None
+        )
+        if not observed:
             return _check_files(arguments)
 
         # Observed run: enable telemetry (and tracing) for the duration,
         # restoring the process-wide obs state on the way out so library
-        # callers of main() are unaffected.
+        # callers of main() are unaffected.  Sinks detach and close via
+        # ``TRACER.close_sinks()`` in the ``finally`` — a trace file is
+        # flushed and complete on disk even when checking raises.
         was_enabled = obs.METRICS.enabled
         obs.reset()
         obs.METRICS.enabled = True
-        sink = None
-        stream = None
+        profiler = None
+        root = None
         try:
             if arguments.trace is not None:
                 if arguments.trace == "-":
-                    sink = obs.JsonlSink(sys.stderr)
+                    obs.TRACER.add_sink(obs.JsonlSink(sys.stderr))
                 else:
                     try:
-                        stream = open(arguments.trace, "w", encoding="utf-8")
+                        obs.trace_to_path(arguments.trace)
                     except OSError as error:
                         print(
                             f"{arguments.trace}: cannot write trace: {error}",
                             file=sys.stderr,
                         )
                         return 2
-                    sink = obs.JsonlSink(stream)
-                obs.TRACER.add_sink(sink)
+            if arguments.profile is not None:
+                profiler = obs.profile_spans()
+                # One root span around the whole run: per-file spans (and
+                # any gaps between them) partition it, so the profile's
+                # self times always sum to the profiled wall time.
+                root = obs.TRACER.begin()
             exit_code = _check_files(arguments)
             if arguments.stats:
                 obs.publish_runtime_gauges()
@@ -438,12 +486,51 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(obs.render_summary())
                 for line in obs.runtime_stats_lines():
                     print(line)
+            if profiler is not None and root is not None:
+                obs.TRACER.end(root, obs.PhaseEvent, name="tlp_check")
+                root = None
+                report = profiler.report()
+                print()
+                print(report.render_table())
+                print(
+                    f"profile: spans={report.span_count} "
+                    f"wall_s={report.wall_s:.6f} "
+                    f"self_total_s={report.total_self_s:.6f} "
+                    f"coverage={report.coverage:.3f}"
+                )
+                if arguments.profile != "-":
+                    try:
+                        with open(
+                            arguments.profile, "w", encoding="utf-8"
+                        ) as handle:
+                            for line in report.collapsed_lines():
+                                handle.write(line + "\n")
+                    except OSError as error:
+                        print(
+                            f"{arguments.profile}: cannot write profile: "
+                            f"{error}",
+                            file=sys.stderr,
+                        )
+                        return 2
+            if arguments.metrics_out is not None:
+                obs.publish_runtime_gauges()
+                try:
+                    with open(
+                        arguments.metrics_out, "w", encoding="utf-8"
+                    ) as handle:
+                        handle.write(obs.prometheus_text())
+                except OSError as error:
+                    print(
+                        f"{arguments.metrics_out}: cannot write metrics: "
+                        f"{error}",
+                        file=sys.stderr,
+                    )
+                    return 2
             return exit_code
         finally:
-            if sink is not None:
-                obs.TRACER.remove_sink(sink)
-            if stream is not None:
-                stream.close()
+            if root is not None:  # checking raised mid-profile
+                obs.TRACER.end(root, obs.PhaseEvent, name="tlp_check")
+            obs.TRACER.close_sinks()
             obs.METRICS.enabled = was_enabled
     finally:
         if intern_before is not None:

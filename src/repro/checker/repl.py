@@ -47,6 +47,7 @@ _HELP = """commands:
   :lint [CODE,...]         run the static analyzer (optionally disabling rules)
   :infer                   inferred success sets + reconstructed PRED lines
   :stats [on|off|reset]    telemetry: show the metrics table / toggle / zero
+  :profile [on|off|reset]  span profiler: show self/cumulative table / toggle
   :help                    this message
   :quit                    leave"""
 
@@ -71,6 +72,8 @@ class Repl:
         checker = module.moded_checker or module.checker
         self.interpreter = TypedInterpreter(checker, module.program, check_program=False)
         self.engine = SubtypeEngine(module.constraints)
+        #: Span profiler attached while ``:profile on`` is active.
+        self.profiler: Optional[obs.SpanProfiler] = None
 
     # -- command dispatch ---------------------------------------------------------
 
@@ -104,6 +107,8 @@ class Repl:
             return self._infer(rest)
         if command == ":stats":
             return self._stats(rest)
+        if command == ":profile":
+            return self._profile(rest)
         return [f"unknown command {command!r} — try :help"]
 
     def _lint(self, rest: str) -> List[str]:
@@ -168,6 +173,36 @@ class Repl:
             + obs.render_summary().splitlines()
             + obs.runtime_stats_lines()
         )
+
+    def _profile(self, rest: str) -> List[str]:
+        """``:profile``: span-level self/cumulative times of REPL queries.
+
+        ``on`` attaches a :class:`~repro.obs.SpanProfiler` to the tracer
+        (queries then emit ``typed_query``/``match_call``/``subtype_goal``
+        spans); bare ``:profile`` renders the aggregated table; ``reset``
+        drops collected spans; ``off`` detaches.
+        """
+        if rest == "on":
+            if self.profiler is not None:
+                return ["profiler already on"]
+            self.profiler = obs.profile_spans()
+            return ["profiler on — run queries, then :profile for the table"]
+        if rest == "off":
+            if self.profiler is None:
+                return ["profiler is not on"]
+            obs.TRACER.remove_sink(self.profiler)
+            self.profiler = None
+            return ["profiler off"]
+        if rest == "reset":
+            if self.profiler is None:
+                return ["profiler is not on"]
+            self.profiler.clear()
+            return ["profiler spans dropped"]
+        if rest:
+            return ["usage: :profile [on|off|reset]"]
+        if self.profiler is None:
+            return ["profiler off (`:profile on` to enable)"]
+        return self.profiler.report().render_table().splitlines()
 
     def _why(self, rest: str) -> List[str]:
         text = rest if rest.startswith(":-") else f":- {rest}"

@@ -47,6 +47,10 @@ from .events import (
     SubtypeGoalEvent,
     TraceEvent,
 )
+from .export import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from .export import parse_exposition, render_prometheus
+from .histogram import HistogramStat
+from .profile import ProfileReport, SpanProfiler
 from .registry import TelemetryRegistry, TimerStat
 from .trace import (
     JsonlSink,
@@ -67,13 +71,22 @@ __all__ = [
     "reset",
     "summary",
     "render_summary",
+    "prometheus_text",
     "publish_runtime_gauges",
     "runtime_stats_lines",
     "collect",
     "trace_to_memory",
     "trace_to_stream",
+    "trace_to_path",
+    "profile_spans",
     "TelemetryRegistry",
     "TimerStat",
+    "HistogramStat",
+    "SpanProfiler",
+    "ProfileReport",
+    "PROMETHEUS_CONTENT_TYPE",
+    "parse_exposition",
+    "render_prometheus",
     "Tracer",
     "TraceSink",
     "MemorySink",
@@ -208,6 +221,39 @@ def trace_to_stream(stream: IO[str]) -> JsonlSink:
     sink = JsonlSink(stream)
     TRACER.add_sink(sink)
     return sink
+
+
+def trace_to_path(path: str) -> JsonlSink:
+    """Attach a JSONL sink that owns a freshly opened trace file.
+
+    The returned sink flushes every line and closes its file from
+    ``close()`` — call ``TRACER.close_sinks()`` (or ``sink.close()``) in
+    a ``finally`` so the trace survives an exception mid-operation.
+    """
+    sink = JsonlSink(open(path, "w", encoding="utf-8"), owns_stream=True)
+    TRACER.add_sink(sink)
+    return sink
+
+
+def profile_spans() -> SpanProfiler:
+    """Attach (and return) a span profiler; tracing turns on.
+
+    Detach with ``TRACER.remove_sink(profiler)`` and read
+    ``profiler.report()`` — see :mod:`repro.obs.profile`.
+    """
+    profiler = SpanProfiler()
+    TRACER.add_sink(profiler)
+    return profiler
+
+
+def prometheus_text(
+    labels: "Optional[Dict[str, str]]" = None,
+    extra_gauges: "Optional[Dict[str, float]]" = None,
+) -> str:
+    """The current registry state as Prometheus text exposition."""
+    return render_prometheus(
+        METRICS.snapshot(), labels=labels, extra_gauges=extra_gauges
+    )
 
 
 @contextlib.contextmanager

@@ -1,0 +1,167 @@
+"""Span-stack profiler riding the trace-event stream.
+
+:class:`SpanProfiler` is a :class:`~repro.obs.trace.TraceSink`: attach
+it to ``obs.TRACER`` and every closed span (any event carrying a ``dur``)
+is folded into a compact record.  Because the tracer already threads
+``parent_id`` through per-thread span stacks, the profiler reconstructs
+the full call tree after the fact and attributes time two ways:
+
+* **cumulative** — a span's own wall-clock length (parents include
+  their children, so recursive/overlapping names over-count, as in any
+  cumulative profile);
+* **self** — a span's length minus its *captured* direct children: the
+  time genuinely spent at that span's level.  Self times partition each
+  root span exactly, so they sum to the profiled wall time — the
+  property the ``tlp-check --profile`` acceptance gate checks.
+
+Two outputs:
+
+* :meth:`ProfileReport.render_table` — per-name calls/self/cumulative
+  table, hottest self-time first (what ``--profile`` and the REPL's
+  ``:profile`` print);
+* :meth:`ProfileReport.collapsed_lines` — Brendan Gregg collapsed-stack
+  format (``root;child;leaf <self-µs>`` per line), ready for
+  ``flamegraph.pl`` or speedscope.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .events import TraceEvent
+from .trace import TraceSink
+
+__all__ = ["SpanProfiler", "ProfileReport"]
+
+#: One closed span: (span_id, parent_id, name, duration).
+_Record = Tuple[int, Optional[int], str, float]
+
+
+class SpanProfiler(TraceSink):
+    """Collects closed spans; ``report()`` aggregates them."""
+
+    def __init__(self) -> None:
+        self.records: List[_Record] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        duration = event.dur
+        if duration is None:  # instantaneous events carry no time
+            return
+        name = getattr(event, "name", "") or event.kind
+        self.records.append(
+            (event.span_id, event.parent_id, name, duration)
+        )
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def report(self) -> "ProfileReport":
+        return ProfileReport(self.records)
+
+
+class ProfileReport:
+    """Aggregated self/cumulative time per span name + collapsed stacks."""
+
+    def __init__(self, records: List[_Record]) -> None:
+        self.span_count = len(records)
+        parent_of: Dict[int, Optional[int]] = {}
+        name_of: Dict[int, str] = {}
+        child_time: Dict[int, float] = {}
+        for span_id, parent_id, name, duration in records:
+            parent_of[span_id] = parent_id
+            name_of[span_id] = name
+            if parent_id is not None:
+                child_time[parent_id] = child_time.get(parent_id, 0.0) + duration
+
+        self.calls: Dict[str, int] = {}
+        self.cumulative_s: Dict[str, float] = {}
+        self.self_s: Dict[str, float] = {}
+        #: ``"root;child;leaf" -> self seconds`` (the flamegraph input).
+        self.collapsed: Dict[str, float] = {}
+        #: Wall time actually profiled: the summed length of root spans
+        #: (spans whose parent was not captured).
+        self.wall_s = 0.0
+
+        stack_cache: Dict[int, str] = {}
+
+        def stack_of(span_id: int) -> str:
+            cached = stack_cache.get(span_id)
+            if cached is not None:
+                return cached
+            parent = parent_of.get(span_id)
+            if parent is None or parent not in name_of:
+                path = name_of[span_id]
+            else:
+                path = stack_of(parent) + ";" + name_of[span_id]
+            stack_cache[span_id] = path
+            return path
+
+        for span_id, parent_id, name, duration in records:
+            self.calls[name] = self.calls.get(name, 0) + 1
+            self.cumulative_s[name] = self.cumulative_s.get(name, 0.0) + duration
+            own = max(0.0, duration - child_time.get(span_id, 0.0))
+            self.self_s[name] = self.self_s.get(name, 0.0) + own
+            if own > 0.0:
+                path = stack_of(span_id)
+                self.collapsed[path] = self.collapsed.get(path, 0.0) + own
+            if parent_id is None or parent_id not in name_of:
+                self.wall_s += duration
+
+    @property
+    def total_self_s(self) -> float:
+        return sum(self.self_s.values())
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of profiled wall time attributed to some span name."""
+        return self.total_self_s / self.wall_s if self.wall_s else 0.0
+
+    def render_table(self, top: int = 25) -> str:
+        """Per-name profile, hottest self-time first."""
+        if not self.span_count:
+            return "(no spans profiled)"
+        names = sorted(self.self_s, key=self.self_s.get, reverse=True)[:top]
+        width = max(len(name) for name in names) + 2
+        lines = [
+            f"span profile: {self.span_count} spans, "
+            f"{self.total_self_s * 1e3:.2f}ms self over "
+            f"{self.wall_s * 1e3:.2f}ms wall "
+            f"({self.coverage:.0%} attributed)",
+            f"  {'name'.ljust(width)}{'calls':>8}{'self':>12}"
+            f"{'cumulative':>13}{'self%':>8}",
+        ]
+        for name in names:
+            share = self.self_s[name] / self.wall_s if self.wall_s else 0.0
+            lines.append(
+                f"  {name.ljust(width)}"
+                f"{self.calls[name]:>8,}"
+                f"{self.self_s[name] * 1e3:>10.2f}ms"
+                f"{self.cumulative_s[name] * 1e3:>11.2f}ms"
+                f"{share:>8.1%}"
+            )
+        return "\n".join(lines)
+
+    def collapsed_lines(self) -> List[str]:
+        """Collapsed-stack lines (integer µs weights, zero-weight dropped)."""
+        lines = []
+        for path in sorted(self.collapsed):
+            weight = int(round(self.collapsed[path] * 1e6))
+            if weight > 0:
+                lines.append(f"{path} {weight}")
+        return lines
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "spans": self.span_count,
+            "wall_s": self.wall_s,
+            "self_total_s": self.total_self_s,
+            "coverage": self.coverage,
+            "by_name": {
+                name: {
+                    "calls": self.calls[name],
+                    "self_s": self.self_s[name],
+                    "cumulative_s": self.cumulative_s[name],
+                }
+                for name in sorted(self.self_s)
+            },
+        }

@@ -24,24 +24,29 @@ import threading
 import time
 from typing import Any, Callable, Dict, Optional, TypeVar
 
-__all__ = ["TimerStat", "TelemetryRegistry", "NULL_TIMER"]
+from .histogram import HistogramStat
+
+__all__ = ["TimerStat", "HistogramStat", "TelemetryRegistry", "NULL_TIMER"]
 
 _F = TypeVar("_F", bound=Callable[..., Any])
 
 
 class TimerStat:
-    """Accumulated timings for one named span: total, count, max."""
+    """Accumulated timings for one named span: total, count, min, max."""
 
-    __slots__ = ("total_s", "count", "max_s")
+    __slots__ = ("total_s", "count", "min_s", "max_s")
 
     def __init__(self) -> None:
         self.total_s = 0.0
         self.count = 0
+        self.min_s = float("inf")
         self.max_s = 0.0
 
     def record(self, seconds: float) -> None:
         self.total_s += seconds
         self.count += 1
+        if seconds < self.min_s:
+            self.min_s = seconds
         if seconds > self.max_s:
             self.max_s = seconds
 
@@ -49,14 +54,26 @@ class TimerStat:
         return {
             "total_s": self.total_s,
             "count": self.count,
+            "min_s": self.min_s if self.count else 0.0,
             "max_s": self.max_s,
             "mean_s": self.total_s / self.count if self.count else 0.0,
         }
 
     def merge(self, other: Dict[str, float]) -> None:
-        """Fold another timer's snapshot into this one (cross-registry)."""
+        """Fold another timer's snapshot into this one (cross-registry).
+
+        Lossless for every field: counts and totals add, extrema combine.
+        A pre-min snapshot (no ``min_s`` key) merges its other fields and
+        leaves this side's minimum untouched.
+        """
         self.total_s += other.get("total_s", 0.0)
-        self.count += int(other.get("count", 0))
+        other_count = int(other.get("count", 0))
+        self.count += other_count
+        other_min = other.get("min_s")
+        # An empty snapshot reports min_s == 0.0 as a placeholder; only a
+        # snapshot with samples may lower the minimum.
+        if other_count and other_min is not None and other_min < self.min_s:
+            self.min_s = other_min
         other_max = other.get("max_s", 0.0)
         if other_max > self.max_s:
             self.max_s = other_max
@@ -109,6 +126,7 @@ class TelemetryRegistry:
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
         self._timers: Dict[str, TimerStat] = {}
+        self._histograms: Dict[str, HistogramStat] = {}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -124,6 +142,7 @@ class TelemetryRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._timers.clear()
+            self._histograms.clear()
 
     # -- recording -----------------------------------------------------------
 
@@ -150,7 +169,13 @@ class TelemetryRegistry:
                 self._gauges[name] = value
 
     def observe(self, name: str, seconds: float) -> None:
-        """Record one timing observation (no-op while disabled)."""
+        """Record one timing observation (no-op while disabled).
+
+        Each observation feeds both views of the same sample under one
+        lock acquisition: the timer (total/count/min/max — what the mean
+        needs) and the fixed-log-bucket histogram (what p50/p90/p99
+        need).  Disabled, this returns before touching either.
+        """
         if not self.enabled:
             return
         with self._lock:
@@ -158,6 +183,10 @@ class TelemetryRegistry:
             if stat is None:
                 stat = self._timers[name] = TimerStat()
             stat.record(seconds)
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = HistogramStat()
+            histogram.record(seconds)
 
     def time(self, name: str):
         """Context manager timing a block into timer ``name``.
@@ -211,6 +240,11 @@ class TelemetryRegistry:
                 if stat is None:
                     stat = self._timers[name] = TimerStat()
                 stat.merge(sample)
+            for name, sample in snapshot.get("histograms", {}).items():
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    histogram = self._histograms[name] = HistogramStat()
+                histogram.merge(sample)
 
     # -- reading -------------------------------------------------------------
 
@@ -227,6 +261,11 @@ class TelemetryRegistry:
             stat = self._timers.get(name)
             return stat.snapshot() if stat else None
 
+    def histogram(self, name: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            stat = self._histograms.get(name)
+            return stat.snapshot() if stat else None
+
     def snapshot(self) -> Dict[str, Any]:
         """A plain-dict copy of everything recorded so far."""
         with self._lock:
@@ -237,6 +276,10 @@ class TelemetryRegistry:
                 "timers": {
                     name: stat.snapshot()
                     for name, stat in sorted(self._timers.items())
+                },
+                "histograms": {
+                    name: stat.snapshot()
+                    for name, stat in sorted(self._histograms.items())
                 },
             }
 
@@ -263,6 +306,19 @@ class TelemetryRegistry:
                     f"{stat['count']:>8,} calls"
                     f"{stat['total_s'] * 1e3:>12.2f}ms total"
                     f"{stat['mean_s'] * 1e6:>12.1f}µs mean"
+                    f"{stat['min_s'] * 1e6:>12.1f}µs min"
+                    f"{stat['max_s'] * 1e6:>12.1f}µs max"
+                )
+        if snap["histograms"]:
+            lines.append("latency histograms")
+            width = max(len(n) for n in snap["histograms"]) + 2
+            for name, stat in snap["histograms"].items():
+                lines.append(
+                    f"  {name.ljust(width)}"
+                    f"{stat['p50_s'] * 1e6:>12.1f}µs p50"
+                    f"{stat['p90_s'] * 1e6:>12.1f}µs p90"
+                    f"{stat['p99_s'] * 1e6:>12.1f}µs p99"
+                    f"{stat['max_s'] * 1e6:>12.1f}µs max"
                 )
         if not lines:
             return "(no telemetry recorded)"

@@ -46,6 +46,15 @@ class TraceSink:
     def emit(self, event: TraceEvent) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def close(self) -> None:
+        """Release any resource the sink holds (default: nothing).
+
+        Called by :meth:`Tracer.close_sinks` — the shutdown hook the CLIs
+        and the daemon run in their ``finally`` blocks, so file-backed
+        sinks are flushed and closed even when the traced operation
+        raises.
+        """
+
 
 class MemorySink(TraceSink):
     """Collects events in a list (the test/inspection sink)."""
@@ -61,18 +70,46 @@ class MemorySink(TraceSink):
 
 
 class JsonlSink(TraceSink):
-    """Writes one JSON object per event to a text stream."""
+    """Writes one JSON object per event to a text stream.
 
-    def __init__(self, stream: IO[str], flush_every_line: bool = True) -> None:
+    With ``owns_stream=True`` the sink is responsible for the stream's
+    lifetime: :meth:`close` (invoked directly or via
+    :meth:`Tracer.close_sinks`) flushes and closes it, so a trace file
+    ends up complete on disk even when the traced operation raises or
+    the daemon shuts down mid-stream.  Borrowed streams (stderr, a
+    caller-managed file) are flushed but never closed.
+    """
+
+    def __init__(
+        self,
+        stream: IO[str],
+        flush_every_line: bool = True,
+        owns_stream: bool = False,
+    ) -> None:
         self.stream = stream
         self.flush_every_line = flush_every_line
+        self.owns_stream = owns_stream
         self.lines_written = 0
+        self.closed = False
 
     def emit(self, event: TraceEvent) -> None:
+        if self.closed:
+            return
         self.stream.write(json.dumps(event.to_dict(), default=str) + "\n")
         self.lines_written += 1
         if self.flush_every_line:
             self.stream.flush()
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self.stream.flush()
+        except ValueError:  # stream already closed underneath us
+            return
+        if self.owns_stream:
+            self.stream.close()
 
 
 class TreeSink(TraceSink):
@@ -167,6 +204,21 @@ class Tracer:
         with self._lock:
             self._sinks.clear()
             self.enabled = False
+
+    def close_sinks(self) -> None:
+        """Detach every sink and close each one (the shutdown hook).
+
+        Unlike :meth:`clear_sinks` this also runs each sink's ``close``,
+        so file-backed sinks flush their buffers and release their file
+        handles — run this from a ``finally`` around any traced
+        operation that attached an owning :class:`JsonlSink`.
+        """
+        with self._lock:
+            sinks = list(self._sinks)
+            self._sinks.clear()
+            self.enabled = False
+        for sink in sinks:
+            sink.close()
 
     def reset(self) -> None:
         """Restart ids and the clock (sinks stay attached)."""

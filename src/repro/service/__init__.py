@@ -41,9 +41,12 @@ from .project import (
     fingerprint,
     load_project,
 )
+from .report import build_run_report, write_run_report
 from .runner import BatchReport, FileResult, run_batch
 
 __all__ = [
+    "build_run_report",
+    "write_run_report",
     "CHECKER_VERSION",
     "CachedResult",
     "ResultCache",

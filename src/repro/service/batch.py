@@ -32,7 +32,8 @@ from ..checker.diagnostics import Severity
 from ..obs import METRICS
 from .cache import ResultCache
 from .project import ProjectError, load_project
-from .runner import run_batch
+from .report import write_run_report
+from .runner import FileResult, run_batch
 
 __all__ = ["main"]
 
@@ -141,11 +142,59 @@ def _build_argument_parser() -> argparse.ArgumentParser:
         help="write the machine-readable batch report to OUT ('-' for stdout)",
     )
     parser.add_argument(
+        "--report",
+        default=None,
+        metavar="OUT",
+        help=(
+            "write a run report (wall/phase times, cache hit rate, "
+            "worker utilisation, slowest files, histogram summaries "
+            "with --stats) to OUT as JSON"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "render live per-file progress on stderr as members resolve "
+            "(cache hits first, then checks as workers finish)"
+        ),
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress per-file lines (summary and diagnostics still print)",
     )
     return parser
+
+
+class _ProgressRenderer:
+    """Live ``[done/total]`` line on stderr, one rewrite per resolved file.
+
+    Uses carriage-return rewriting (the cheap single-line renderer every
+    terminal understands); the line is cleared before the summary prints
+    so piped stderr stays readable.  Each update shows the member that
+    just resolved and how it resolved (``cached`` / ``ok`` / ``FAIL``).
+    """
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.updates = 0
+        self._width = 0
+
+    def __call__(self, done: int, total: int, result: FileResult) -> None:
+        state = (
+            "cached" if result.from_cache else ("ok" if result.ok else "FAIL")
+        )
+        line = f"[{done}/{total}] {result.display} ({state})"
+        self._width = max(self._width, len(line))
+        self.stream.write("\r" + line.ljust(self._width))
+        self.stream.flush()
+        self.updates += 1
+
+    def finish(self) -> None:
+        if self.updates:
+            self.stream.write("\r" + " " * self._width + "\r")
+            self.stream.flush()
 
 
 def _run(arguments) -> int:
@@ -166,15 +215,21 @@ def _run(arguments) -> int:
             arguments.cache_dir, ruleset=ruleset, infer=arguments.infer
         )
     )
-    report = run_batch(
-        project,
-        cache=cache,
-        jobs=arguments.jobs,
-        use=arguments.workers,
-        force=arguments.force,
-        lint=lint_config,
-        infer=arguments.infer,
-    )
+    renderer = _ProgressRenderer() if arguments.progress else None
+    try:
+        report = run_batch(
+            project,
+            cache=cache,
+            jobs=arguments.jobs,
+            use=arguments.workers,
+            force=arguments.force,
+            lint=lint_config,
+            infer=arguments.infer,
+            progress=renderer,
+        )
+    finally:
+        if renderer is not None:
+            renderer.finish()
     # With ``--json -`` stdout is the machine-readable report; route the
     # human-readable lines to stderr so the stream stays parseable.
     human = sys.stderr if arguments.json == "-" else sys.stdout
@@ -225,6 +280,19 @@ def _run(arguments) -> int:
             with open(arguments.json, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, indent=2)
                 handle.write("\n")
+    if arguments.report is not None:
+        write_run_report(
+            arguments.report,
+            report,
+            project={
+                "name": project.name,
+                "declarations_digest": project.declarations_digest,
+            },
+            # Histogram summaries only exist when the run was observed
+            # (--stats); an unobserved report still carries timings,
+            # cache effectiveness, and the slow-file ranking.
+            telemetry=METRICS.snapshot() if METRICS.enabled else None,
+        )
     if arguments.lint == "error" and lint_errors:
         return 1
     return report.exit_code

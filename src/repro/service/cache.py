@@ -184,7 +184,9 @@ class ResultCache:
     def get(
         self, file_digest: str, decls_digest: str
     ) -> Optional[CachedResult]:
-        """Probe for a verdict; hit/miss is counted and traced."""
+        """Probe for a verdict; hit/miss is counted, timed, and traced."""
+        observed = METRICS.enabled
+        started = time.perf_counter() if observed else 0.0
         payload = self._entries.get(
             self.key(file_digest, decls_digest, self.ruleset, self.infer)
         )
@@ -193,8 +195,15 @@ class ResultCache:
             self.hits += 1
         else:
             self.misses += 1
-        if METRICS.enabled:
+        if observed:
             METRICS.inc("service.cache.hits" if hit else "service.cache.misses")
+            # Probe latency distribution (p50/p99 via the histogram view):
+            # in-memory today, but the ROADMAP's cache-server direction
+            # makes this the metric that will catch a remote store
+            # regressing.
+            METRICS.observe(
+                "service.cache.probe", time.perf_counter() - started
+            )
         if TRACER.enabled:
             TRACER.point(CacheProbeEvent, cache="service.results", hit=hit)
         if not hit:

@@ -17,6 +17,8 @@ line, one response object per line, in order.  Requests::
     {"op": "lint", "text": "FUNC nil. ...", "disable": "TLP203"}
     {"op": "infer", "path": "examples/programs/append.tlp"}
     {"op": "stats"}
+    {"op": "metrics"}                     # Prometheus text exposition
+    {"op": "health"}                      # uptime, LRU occupancy, caches
     {"op": "invalidate"}                  # drop all hot/cached state
     {"op": "invalidate", "path": "..."}   # drop one file's state
     {"op": "shutdown"}
@@ -57,7 +59,7 @@ from ..obs import METRICS, TRACER, CacheProbeEvent
 from .cache import CachedResult, ResultCache
 from .project import EMPTY_DECLS_DIGEST, fingerprint
 
-__all__ = ["CheckService", "serve", "main"]
+__all__ = ["CheckService", "serve", "start_metrics_server", "main"]
 
 #: Checked modules kept resident (each holds parsed declarations plus
 #: the matcher/subtype memo tables grown while checking it).
@@ -98,6 +100,10 @@ class CheckService:
                 return self._op_infer(request)
             if op == "stats":
                 return self._op_stats()
+            if op == "metrics":
+                return self._op_metrics()
+            if op == "health":
+                return self._op_health()
             if op == "invalidate":
                 return self._op_invalidate(request)
             if op == "shutdown":
@@ -329,6 +335,70 @@ class CheckService:
             response["telemetry"] = obs.summary()
         return response
 
+    def _runtime_gauges(self) -> Dict[str, float]:
+        """Point-in-time daemon state injected into every exposition.
+
+        These live outside the telemetry registry (they are properties of
+        the daemon, not accumulated samples), so ``metrics`` responses
+        carry them even when ``--stats`` is off and the registry is
+        empty.
+        """
+        from ..core.shared_memo import SHARED_MEMO
+
+        gauges: Dict[str, float] = {
+            "daemon.uptime_seconds": time.time() - self.started_at,
+            "daemon.requests": self.requests,
+            "daemon.errors": self.errors,
+            "daemon.hot_modules": len(self._hot),
+            "daemon.hot_module_limit": HOT_MODULE_LIMIT,
+            "daemon.hot_module_occupancy": len(self._hot) / HOT_MODULE_LIMIT,
+        }
+        if self.cache is not None:
+            gauges["daemon.cache_entries"] = len(self.cache)
+        memo = SHARED_MEMO.stats()
+        gauges["subtype.shared_memo.entries"] = memo["entries"]
+        gauges["subtype.shared_memo.scopes"] = memo["scopes"]
+        gauges["subtype.shared_memo.attachments"] = memo["attachments"]
+        return gauges
+
+    def _op_metrics(self) -> Dict[str, Any]:
+        """Prometheus text exposition of the registry + daemon gauges."""
+        body = obs.prometheus_text(extra_gauges=self._runtime_gauges())
+        return {
+            "ok": True,
+            "op": "metrics",
+            "content_type": obs.PROMETHEUS_CONTENT_TYPE,
+            "body": body,
+        }
+
+    def _op_health(self) -> Dict[str, Any]:
+        """Liveness/introspection: uptime, LRU occupancy, caches, memo."""
+        from ..core.shared_memo import SHARED_MEMO
+
+        health: Dict[str, Any] = {
+            "uptime_s": time.time() - self.started_at,
+            "pid": os.getpid(),
+            "requests": self.requests,
+            "errors": self.errors,
+            "telemetry_enabled": METRICS.enabled,
+            "hot_modules": {
+                "count": len(self._hot),
+                "limit": HOT_MODULE_LIMIT,
+                "occupancy": len(self._hot) / HOT_MODULE_LIMIT,
+            },
+            "shared_memo": SHARED_MEMO.stats(),
+        }
+        if self.cache is not None:
+            health["cache"] = {
+                "dir": str(self.cache.cache_dir),
+                "entries": len(self.cache),
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+            }
+        else:
+            health["cache"] = None
+        return {"ok": True, "op": "health", "health": health}
+
     def _op_invalidate(self, request: Dict[str, Any]) -> Dict[str, Any]:
         path = request.get("path")
         display = str(path) if path is not None else None
@@ -355,6 +425,54 @@ class CheckService:
             "dropped_hot": dropped_hot,
             "dropped_cached": dropped_cached,
         }
+
+
+def start_metrics_server(service: CheckService, port: int):
+    """Serve ``GET /metrics`` (Prometheus) and ``GET /health`` (JSON).
+
+    A stdlib ``ThreadingHTTPServer`` on ``127.0.0.1`` running in a
+    daemon thread — scrapers poll it while the main thread sits in the
+    stdin request loop.  Handlers only *read* daemon state (the registry
+    locks internally; the LRU/caches are scanned without mutation), so
+    no coordination with the request loop is needed.  ``port=0`` binds
+    an ephemeral port (tests); the bound port is on ``server_address``.
+    Returns the server — call ``shutdown()`` then ``server_close()``.
+    """
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    class _MetricsHandler(BaseHTTPRequestHandler):
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            route = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if route == "/metrics":
+                body = obs.prometheus_text(
+                    extra_gauges=service._runtime_gauges()
+                ).encode("utf-8")
+                content_type = obs.PROMETHEUS_CONTENT_TYPE
+            elif route == "/health":
+                body = (
+                    json.dumps(service._op_health()["health"]) + "\n"
+                ).encode("utf-8")
+                content_type = "application/json; charset=utf-8"
+            else:
+                self.send_error(404, "try /metrics or /health")
+                return
+            self.send_response(200)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *args: Any) -> None:
+            pass  # scrape chatter must not pollute the protocol streams
+
+    server = ThreadingHTTPServer(("127.0.0.1", port), _MetricsHandler)
+    import threading
+
+    thread = threading.Thread(
+        target=server.serve_forever, name="tlp-metrics", daemon=True
+    )
+    thread.start()
+    return server
 
 
 def serve(service: CheckService, in_stream: IO[str], out_stream: IO[str]) -> int:
@@ -396,6 +514,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="collect telemetry; 'stats' responses then embed a snapshot",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve GET /metrics (Prometheus text) and GET /health on "
+            "127.0.0.1:PORT alongside the stdin protocol (0 = ephemeral)"
+        ),
+    )
     arguments = parser.parse_args(argv)
 
     was_enabled = METRICS.enabled
@@ -403,15 +531,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         obs.reset()
         METRICS.enabled = True
     service = CheckService(cache_dir=arguments.cache_dir)
+    metrics_server = None
+    if arguments.metrics_port is not None:
+        metrics_server = start_metrics_server(service, arguments.metrics_port)
     print(
         f"tlp-serve: ready (cache: {arguments.cache_dir or 'off'}, "
-        f"pid {os.getpid()})",
+        f"pid {os.getpid()}"
+        + (
+            f", metrics http://127.0.0.1:{metrics_server.server_address[1]}"
+            if metrics_server is not None
+            else ""
+        )
+        + ")",
         file=sys.stderr,
         flush=True,
     )
     try:
         return serve(service, sys.stdin, sys.stdout)
     finally:
+        if metrics_server is not None:
+            metrics_server.shutdown()
+            metrics_server.server_close()
+        # Flush/close any attached trace sinks so a trace file is intact
+        # even when the daemon dies mid-request (satellite contract).
+        obs.TRACER.close_sinks()
         METRICS.enabled = was_enabled
 
 

@@ -28,9 +28,14 @@ coordinator additionally publishes ``service.jobs`` and
 from __future__ import annotations
 
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .. import obs
 from ..analysis import LintConfig, lint_text
@@ -85,6 +90,11 @@ class BatchReport:
     jobs: int = 1
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Wall time per phase: ``{"probe_s": ..., "check_s": ..., "record_s": ...}``.
+    phases: Dict[str, float] = field(default_factory=dict)
+    #: busy-time / (wall × jobs) over the check phase — 1.0 means every
+    #: worker slot was saturated; 0.0 when nothing was checked.
+    worker_utilisation: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -110,6 +120,8 @@ class BatchReport:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "hit_rate": self.hit_rate,
+            "phases": dict(self.phases),
+            "worker_utilisation": self.worker_utilisation,
             "ok": self.ok,
             "files": [
                 {
@@ -147,7 +159,7 @@ _WorkerReturn = Tuple[
 
 
 def _check_job(
-    job: Tuple[int, str, bool, Optional[LintConfig], bool]
+    job: Tuple[int, str, str, bool, Optional[LintConfig], bool]
 ) -> _WorkerReturn:
     """Pool worker: check (and optionally lint/infer) one text.
 
@@ -159,31 +171,52 @@ def _check_job(
     snapshot for the coordinator to merge.  Thread workers never ship —
     they share the coordinator's registry directly.
 
+    Each stage is observed per file (``service.file.check`` /
+    ``service.file.lint`` / ``service.file.infer`` latency histograms)
+    and the whole job runs under a ``check_file`` span whose detail is
+    the display path — inline and thread runs attribute time to files
+    in ``--profile`` output; process workers detached their sinks, so
+    the span guard keeps it free there.
+
     ``lint`` (a picklable :class:`~repro.analysis.registry.LintConfig`)
     turns the analyzer on; findings travel home rendered, same as the
     checker's diagnostics.  ``infer`` additionally runs success-set
     inference and ships the reconstructed ``PRED`` lines.
     """
-    index, text, ship_telemetry, lint, infer = job
+    index, display, text, ship_telemetry, lint, infer = job
     snapshot: Optional[Dict[str, Any]] = None
     if ship_telemetry:
         obs.TRACER.clear_sinks()
         METRICS.reset()
         METRICS.enabled = True
-    start = time.perf_counter()
-    ok, diagnostics, clauses, queries = check_one_text(text)
-    lint_lines: Tuple[str, ...] = ()
-    if lint is not None:
-        report = lint_text(text, config=lint)
-        lint_lines = tuple(str(finding) for finding in report.diagnostics)
-    inferred_lines: Tuple[str, ...] = ()
-    if infer:
-        from ..analysis.absint import infer_text
+    observed = METRICS.enabled
+    with obs.TRACER.span("check_file", display):
+        start = time.perf_counter()
+        ok, diagnostics, clauses, queries = check_one_text(text)
+        if observed:
+            METRICS.observe("service.file.check", time.perf_counter() - start)
+        lint_lines: Tuple[str, ...] = ()
+        if lint is not None:
+            lint_start = time.perf_counter()
+            report = lint_text(text, config=lint)
+            lint_lines = tuple(str(finding) for finding in report.diagnostics)
+            if observed:
+                METRICS.observe(
+                    "service.file.lint", time.perf_counter() - lint_start
+                )
+        inferred_lines: Tuple[str, ...] = ()
+        if infer:
+            from ..analysis.absint import infer_text
 
-        inference = infer_text(text)
-        if inference is not None:
-            inferred_lines = tuple(inference.declaration_lines())
-    duration = time.perf_counter() - start
+            infer_start = time.perf_counter()
+            inference = infer_text(text)
+            if inference is not None:
+                inferred_lines = tuple(inference.declaration_lines())
+            if observed:
+                METRICS.observe(
+                    "service.file.infer", time.perf_counter() - infer_start
+                )
+        duration = time.perf_counter() - start
     if ship_telemetry:
         snapshot = METRICS.snapshot()
     return (
@@ -200,6 +233,11 @@ def _make_executor(use: str, jobs: int) -> Executor:
     raise ValueError(f"unknown executor kind {use!r} (expected 'process' or 'thread')")
 
 
+#: ``progress(done, total, result)`` — fired once per corpus member, in
+#: completion order (cache hits first, then checks as they finish).
+ProgressCallback = Callable[[int, int, FileResult], None]
+
+
 def run_batch(
     project: Project,
     cache: Optional[ResultCache] = None,
@@ -208,6 +246,7 @@ def run_batch(
     force: bool = False,
     lint: Optional[LintConfig] = None,
     infer: bool = False,
+    progress: Optional[ProgressCallback] = None,
 ) -> BatchReport:
     """One batch pass: probe the cache, check the misses, record verdicts.
 
@@ -219,6 +258,12 @@ def run_batch(
     and the reconstructed ``PRED`` declarations ride the same way (the
     cache must be built with ``infer=True`` so keys stay distinct from
     inference-free runs).
+
+    ``progress`` receives ``(done, total, result)`` as members resolve —
+    cache hits during the probe phase, fresh verdicts as each worker
+    finishes (pooled misses complete out of submission order).  The
+    report's ``phases`` dict and ``worker_utilisation`` field carry the
+    per-phase wall-time split the run report and ``--progress`` surface.
     """
     jobs = max(1, jobs)
     report = BatchReport(jobs=jobs)
@@ -230,17 +275,19 @@ def run_batch(
     # off inline, under thread pools, and across daemon requests.)
     SHARED_MEMO.ensure_version(CHECKER_VERSION)
     start = time.perf_counter()
+    total = len(project.files)
+    done = 0
 
     # Phase 1: cache probes (coordinator only — workers never touch disk).
     placeholders: List[Optional[FileResult]] = []
     misses: List[Tuple[int, ProjectFile]] = []
-    for index, member in enumerate(project.files):
-        cached = None
-        if cache is not None and not force:
-            cached = cache.get(member.digest, decls_digest)
-        if cached is not None:
-            placeholders.append(
-                FileResult(
+    with obs.TRACER.span("batch.probe", project.name):
+        for index, member in enumerate(project.files):
+            cached = None
+            if cache is not None and not force:
+                cached = cache.get(member.digest, decls_digest)
+            if cached is not None:
+                hit = FileResult(
                     display=member.display,
                     digest=member.digest,
                     ok=cached.ok,
@@ -252,84 +299,115 @@ def run_batch(
                     lint=cached.lint,
                     inferred=cached.inferred,
                 )
-            )
-        else:
-            placeholders.append(None)
-            misses.append((index, member))
+                placeholders.append(hit)
+                done += 1
+                if progress is not None:
+                    progress(done, total, hit)
+            else:
+                placeholders.append(None)
+                misses.append((index, member))
+    probe_done = time.perf_counter()
 
     # Phase 2: check the misses (inline, threads, or processes).
     observed = METRICS.enabled
     ship_telemetry = observed and jobs > 1 and use == "process"
-    outcomes: List[_WorkerReturn] = []
-    if misses:
-        job_list = [
-            (index, project.effective_text(member), ship_telemetry, lint, infer)
-            for index, member in misses
-        ]
-        if jobs == 1 or len(job_list) == 1:
-            outcomes = [
-                _check_job((index, text, False, job_lint, job_infer))
-                for index, text, _, job_lint, job_infer in job_list
-            ]
-        else:
-            with _make_executor(use, jobs) as pool:
-                outcomes = list(pool.map(_check_job, job_list))
-
-    # Phase 3: record — verdicts into the cache, telemetry into obs.
     members_by_index = {index: member for index, member in misses}
-    busy = 0.0
-    for (
-        index, ok, diagnostics, clauses, queries, duration,
-        lint_lines, inferred_lines, snapshot,
-    ) in outcomes:
+
+    def to_result(outcome: _WorkerReturn) -> FileResult:
+        index = outcome[0]
         member = members_by_index[index]
-        busy += duration
-        result = FileResult(
+        return FileResult(
             display=member.display,
             digest=member.digest,
-            ok=ok,
-            diagnostics=diagnostics,
-            clauses=clauses,
-            queries=queries,
-            duration_s=duration,
+            ok=outcome[1],
+            diagnostics=outcome[2],
+            clauses=outcome[3],
+            queries=outcome[4],
+            duration_s=outcome[5],
             from_cache=False,
-            lint=lint_lines,
-            inferred=inferred_lines,
+            lint=outcome[6],
+            inferred=outcome[7],
         )
-        placeholders[index] = result
+
+    fresh: List[Tuple[int, FileResult, Optional[Dict[str, Any]]]] = []
+    with obs.TRACER.span("batch.check", project.name):
+        if misses:
+            job_list = [
+                (
+                    index, member.display, project.effective_text(member),
+                    ship_telemetry, lint, infer,
+                )
+                for index, member in misses
+            ]
+            if jobs == 1 or len(job_list) == 1:
+                for index, display, text, _, job_lint, job_infer in job_list:
+                    outcome = _check_job(
+                        (index, display, text, False, job_lint, job_infer)
+                    )
+                    fresh.append((index, to_result(outcome), outcome[8]))
+                    done += 1
+                    if progress is not None:
+                        progress(done, total, fresh[-1][1])
+            else:
+                with _make_executor(use, jobs) as pool:
+                    futures = [pool.submit(_check_job, job) for job in job_list]
+                    for future in as_completed(futures):
+                        outcome = future.result()
+                        fresh.append(
+                            (outcome[0], to_result(outcome), outcome[8])
+                        )
+                        done += 1
+                        if progress is not None:
+                            progress(done, total, fresh[-1][1])
+    check_done = time.perf_counter()
+
+    # Phase 3: record — verdicts into the cache, telemetry into obs.
+    busy = 0.0
+    with obs.TRACER.span("batch.record", project.name):
+        for index, result, snapshot in fresh:
+            busy += result.duration_s
+            placeholders[index] = result
+            if cache is not None:
+                cache.put(
+                    result.digest,
+                    decls_digest,
+                    CachedResult(
+                        ok=result.ok,
+                        diagnostics=result.diagnostics,
+                        clauses=result.clauses,
+                        queries=result.queries,
+                        duration_s=result.duration_s,
+                        checked_at=ResultCache.now(),
+                        lint=result.lint,
+                        inferred=result.inferred,
+                    ),
+                    display=result.display,
+                )
+            if snapshot is not None:
+                METRICS.merge_snapshot(snapshot)
         if cache is not None:
-            cache.put(
-                member.digest,
-                decls_digest,
-                CachedResult(
-                    ok=ok,
-                    diagnostics=diagnostics,
-                    clauses=clauses,
-                    queries=queries,
-                    duration_s=duration,
-                    checked_at=ResultCache.now(),
-                    lint=lint_lines,
-                    inferred=inferred_lines,
-                ),
-                display=member.display,
-            )
-        if snapshot is not None:
-            METRICS.merge_snapshot(snapshot)
-    if cache is not None:
-        cache.save()
+            cache.save()
+    record_done = time.perf_counter()
 
     report.results = [result for result in placeholders if result is not None]
-    report.wall_s = time.perf_counter() - start
+    report.wall_s = record_done - start
     report.cache_hits = sum(1 for result in report.results if result.from_cache)
-    report.cache_misses = len(outcomes)
+    report.cache_misses = len(fresh)
+    report.phases = {
+        "probe_s": probe_done - start,
+        "check_s": check_done - probe_done,
+        "record_s": record_done - check_done,
+    }
+    check_wall = report.phases["check_s"]
+    if check_wall > 0 and fresh:
+        report.worker_utilisation = min(1.0, busy / (check_wall * jobs))
     if observed:
-        METRICS.inc("service.files.checked", len(outcomes))
+        METRICS.inc("service.files.checked", len(fresh))
         METRICS.inc("service.files.cached", report.cache_hits)
         METRICS.gauge("service.jobs", jobs)
-        if report.wall_s > 0 and outcomes:
+        if fresh:
             METRICS.gauge(
-                "service.worker_utilisation",
-                min(1.0, busy / (report.wall_s * jobs)),
+                "service.worker_utilisation", report.worker_utilisation
             )
         obs.publish_runtime_gauges()
     return report

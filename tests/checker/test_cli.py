@@ -71,3 +71,57 @@ def test_max_answers_limits_output(write, capsys):
     assert main([path, "--run", "--max-answers", "2"]) == 0
     out = capsys.readouterr().out
     assert out.count("X = ") == 2
+
+
+# -- observability flags -------------------------------------------------------
+
+
+def test_profile_prints_table_and_machine_line(write, capsys):
+    path = write("append.tlp", APPEND)
+    assert main([path, "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "span profile:" in out
+    assert "tlp_check" in out  # the CLI's own root span
+    machine = [line for line in out.splitlines() if line.startswith("profile: ")]
+    assert len(machine) == 1
+    fields = dict(part.split("=") for part in machine[0].split()[1:])
+    # Acceptance gate: per-name self times attribute >=90% of wall time.
+    assert float(fields["coverage"]) >= 0.9
+    assert int(fields["spans"]) >= 2
+    assert float(fields["self_total_s"]) <= float(fields["wall_s"]) * 1.001
+
+
+def test_profile_to_file_writes_collapsed_stacks(write, tmp_path, capsys):
+    path = write("append.tlp", APPEND)
+    collapsed = tmp_path / "flame.collapsed"
+    assert main([path, f"--profile={collapsed}"]) == 0
+    capsys.readouterr()
+    lines = collapsed.read_text().splitlines()
+    assert lines
+    for line in lines:
+        stack, weight = line.rsplit(" ", 1)
+        assert stack and int(weight) > 0
+    # Every stack is rooted at the CLI's own span.
+    assert all(line.startswith("tlp_check") for line in lines)
+
+
+def test_metrics_out_writes_parseable_exposition(write, tmp_path, capsys):
+    from repro.obs import parse_exposition
+
+    path = write("append.tlp", APPEND)
+    out = tmp_path / "metrics.prom"
+    assert main([path, "--metrics-out", str(out)]) == 0
+    capsys.readouterr()
+    samples = parse_exposition(out.read_text())
+    assert samples["tlp_checker_modules_checked_total"] == 1
+    assert any(name.endswith('_bucket{le="+Inf"}') for name in samples)
+
+
+def test_profile_restores_disabled_state(write, capsys):
+    from repro import obs
+
+    path = write("append.tlp", APPEND)
+    assert main([path, "--profile"]) == 0
+    capsys.readouterr()
+    assert not obs.METRICS.enabled
+    assert not obs.TRACER.enabled

@@ -117,3 +117,31 @@ def test_max_answers_respected():
     repl = Repl(module, max_answers=2)
     out = repl.execute("app(X, Y, cons(nil, cons(nil, nil))).")
     assert len(out) == 2
+
+
+def test_profile_command_cycle():
+    from repro import obs
+
+    try:
+        out = run_session(
+            APPEND,
+            [
+                ":profile",  # off: hint message
+                ":profile on",
+                "app(cons(nil,nil), nil, R).",
+                ":profile",  # table over the recorded query spans
+                ":profile reset",
+                ":profile",  # cleared: nothing profiled yet
+                ":profile off",
+            ],
+        )
+    finally:
+        obs.TRACER.clear_sinks()
+    text = "\n".join(out)
+    assert "profiler off" in out[0]
+    assert "profiler on" in text
+    assert "span profile:" in text
+    assert "typed_query" in text  # real resolution spans were captured
+    assert "(no spans profiled)" in text  # after :profile reset
+    assert out[-1] == "profiler off"
+    assert not obs.TRACER.enabled

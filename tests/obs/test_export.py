@@ -1,0 +1,93 @@
+"""Prometheus text exposition: rendering validity and round-tripping."""
+
+import pytest
+
+from repro import obs
+from repro.obs import TelemetryRegistry, parse_exposition, render_prometheus
+from repro.obs.histogram import BUCKET_BOUNDS_S
+
+
+def observed_registry():
+    registry = TelemetryRegistry()
+    registry.enable()
+    registry.inc("files.checked", 7)
+    registry.gauge("jobs", 4)
+    for value in (0.5e-6, 3e-6, 3.5e-6, 0.002):
+        registry.observe("subtype.holds", value)
+    return registry
+
+
+def test_counters_gauges_and_names_render():
+    text = render_prometheus(observed_registry().snapshot())
+    samples = parse_exposition(text)
+    assert samples["tlp_files_checked_total"] == 7
+    assert samples["tlp_jobs"] == 4
+    # Dots became underscores; everything is namespaced.
+    assert all(name.startswith("tlp_") for name in samples)
+
+
+def test_histogram_buckets_are_cumulative_and_end_at_count():
+    text = render_prometheus(observed_registry().snapshot())
+    samples = parse_exposition(text)
+    buckets = [
+        samples[f'tlp_subtype_holds_seconds_bucket{{le="{bound:.9g}"}}']
+        for bound in BUCKET_BOUNDS_S
+    ]
+    assert buckets == sorted(buckets), "bucket series must be cumulative"
+    assert samples['tlp_subtype_holds_seconds_bucket{le="+Inf"}'] == 4
+    assert samples["tlp_subtype_holds_seconds_count"] == 4
+    assert samples["tlp_subtype_holds_seconds_sum"] == pytest.approx(
+        0.5e-6 + 3e-6 + 3.5e-6 + 0.002
+    )
+
+
+def test_timer_histogram_name_collision_keeps_one_sum_count():
+    """observe() feeds a timer AND a histogram under the same name; the
+    exposition must emit exactly one _sum/_count pair for it (duplicate
+    sample lines are invalid — parse_exposition would raise)."""
+    text = render_prometheus(observed_registry().snapshot())
+    assert text.count("tlp_subtype_holds_seconds_sum ") == 1
+    assert text.count("tlp_subtype_holds_seconds_count ") == 1
+    samples = parse_exposition(text)  # raises on duplicates
+    # The timer still contributes what the histogram lacks: extrema.
+    assert samples["tlp_subtype_holds_seconds_min"] == pytest.approx(0.5e-6)
+    assert samples["tlp_subtype_holds_seconds_max"] == pytest.approx(0.002)
+
+
+def test_labels_attach_to_every_sample():
+    text = render_prometheus(
+        observed_registry().snapshot(), labels={"job": "tlp", "instance": "a"}
+    )
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        assert 'instance="a"' in line and 'job="tlp"' in line
+
+
+def test_extra_gauges_ride_along():
+    text = render_prometheus(
+        TelemetryRegistry().snapshot(),
+        extra_gauges={"daemon.uptime_seconds": 12.5},
+    )
+    assert parse_exposition(text)["tlp_daemon_uptime_seconds"] == 12.5
+
+
+def test_empty_snapshot_renders_parseable_nothing():
+    assert parse_exposition(render_prometheus(TelemetryRegistry().snapshot())) == {}
+
+
+def test_parse_rejects_garbage_and_duplicates():
+    with pytest.raises(ValueError, match="not valid exposition"):
+        parse_exposition("tlp_x{unclosed 1\n")
+    with pytest.raises(ValueError, match="repeats sample"):
+        parse_exposition("tlp_x 1\ntlp_x 2\n")
+
+
+def test_prometheus_text_helper_uses_process_registry():
+    obs.METRICS.enable()
+    obs.METRICS.inc("helper.check")
+    samples = parse_exposition(
+        obs.prometheus_text(extra_gauges={"up": 1.0})
+    )
+    assert samples["tlp_helper_check_total"] == 1
+    assert samples["tlp_up"] == 1.0

@@ -1,0 +1,168 @@
+"""HistogramStat: fixed-bucket recording, quantiles, mergeability.
+
+The load-bearing property is *merge-order invariance*: quantiles are a
+pure function of the merged bucket counts plus the tracked min/max, so
+folding worker snapshots in any order — or any grouping — yields the
+same p50/p90/p99.  That is what lets ``run_batch`` merge process-pool
+snapshots in completion order without making percentiles
+nondeterministic.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.obs.histogram import (
+    BUCKET_BOUNDS_S,
+    SCHEME,
+    HistogramStat,
+    bucket_index,
+    summarise,
+)
+
+
+def test_bucket_grid_is_log2_from_one_microsecond():
+    assert len(BUCKET_BOUNDS_S) == 26
+    assert BUCKET_BOUNDS_S[0] == pytest.approx(1e-6)
+    for lower, upper in zip(BUCKET_BOUNDS_S, BUCKET_BOUNDS_S[1:]):
+        assert upper == pytest.approx(2 * lower)
+    assert bucket_index(0.0) == 0
+    assert bucket_index(1e-6) == 0
+    assert bucket_index(1.1e-6) == 1
+    assert bucket_index(1e9) == len(BUCKET_BOUNDS_S)  # overflow bucket
+
+
+def test_record_tracks_count_total_extrema():
+    stat = HistogramStat()
+    for value in (0.001, 0.004, 0.002):
+        stat.record(value)
+    snapshot = stat.snapshot()
+    assert snapshot["scheme"] == SCHEME
+    assert snapshot["count"] == 3
+    assert snapshot["total_s"] == pytest.approx(0.007)
+    assert snapshot["min_s"] == pytest.approx(0.001)
+    assert snapshot["max_s"] == pytest.approx(0.004)
+    assert snapshot["mean_s"] == pytest.approx(0.007 / 3)
+
+
+def test_empty_snapshot_is_all_zero():
+    snapshot = HistogramStat().snapshot()
+    assert snapshot["count"] == 0
+    assert snapshot["min_s"] == 0.0
+    assert snapshot["max_s"] == 0.0
+    assert snapshot["p99_s"] == 0.0
+    assert snapshot["buckets"] == {}
+
+
+def test_quantiles_are_bucket_bounds_clamped_to_observed_range():
+    stat = HistogramStat()
+    # 99 fast samples in the 1-2µs bucket, one slow outlier.
+    for _ in range(99):
+        stat.record(1.5e-6)
+    stat.record(0.5)
+    snapshot = stat.snapshot()
+    # p50/p90 land in the fast bucket: upper bound 2µs, but clamped no
+    # lower than the observed minimum.
+    assert snapshot["p50_s"] == pytest.approx(2e-6)
+    assert snapshot["p90_s"] == pytest.approx(2e-6)
+    # p99 bound would be the outlier's bucket bound; clamped to max.
+    assert snapshot["p99_s"] <= snapshot["max_s"] + 1e-12
+    assert snapshot["p99_s"] >= snapshot["p50_s"]
+
+
+def test_single_sample_quantiles_collapse_to_the_sample():
+    stat = HistogramStat()
+    stat.record(0.003)
+    snapshot = stat.snapshot()
+    assert snapshot["p50_s"] == pytest.approx(0.003)
+    assert snapshot["p99_s"] == pytest.approx(0.003)
+
+
+def shard(seed, samples=200):
+    rng = random.Random(seed)
+    stat = HistogramStat()
+    for _ in range(samples):
+        stat.record(rng.uniform(1e-6, 0.05))
+    return stat.snapshot()
+
+
+def test_merge_is_associative_and_commutative():
+    """Every permutation AND grouping of shard merges yields the same
+    summary — the property that makes pool-completion-order irrelevant."""
+    shards = [shard(seed) for seed in range(5)]
+    summaries = set()
+    for order in itertools.permutations(range(5)):
+        merged = HistogramStat()
+        for index in order:
+            merged.merge(shards[index])
+        snapshot = merged.snapshot()
+        summaries.add(
+            (
+                snapshot["count"],
+                round(snapshot["total_s"], 12),
+                snapshot["min_s"],
+                snapshot["max_s"],
+                snapshot["p50_s"],
+                snapshot["p90_s"],
+                snapshot["p99_s"],
+            )
+        )
+    assert len(summaries) == 1
+    # Tree-shaped grouping (merge of merges) matches the linear fold.
+    left = HistogramStat.from_snapshot(shards[0])
+    left.merge(shards[1])
+    right = HistogramStat.from_snapshot(shards[2])
+    right.merge(shards[3])
+    right.merge(shards[4])
+    left.merge(right.snapshot())
+    tree = left.snapshot()
+    linear = HistogramStat()
+    for piece in shards:
+        linear.merge(piece)
+    expected = linear.snapshot()
+    for key, value in expected.items():
+        if key in ("total_s", "mean_s"):  # float summation order noise
+            assert tree[key] == pytest.approx(value)
+        else:
+            assert tree[key] == value
+
+
+def test_merge_of_empty_snapshot_changes_nothing():
+    stat = HistogramStat()
+    stat.record(0.002)
+    before = stat.snapshot()
+    stat.merge(HistogramStat().snapshot())
+    assert stat.snapshot() == before
+
+
+def test_merge_foreign_scheme_folds_moments_only():
+    stat = HistogramStat()
+    stat.record(0.002)
+    stat.merge(
+        {
+            "scheme": "someone-elses-grid",
+            "count": 3,
+            "total_s": 0.3,
+            "min_s": 0.05,
+            "max_s": 0.2,
+            "buckets": {"0": 3},
+        }
+    )
+    snapshot = stat.snapshot()
+    assert snapshot["count"] == 4
+    assert snapshot["max_s"] == pytest.approx(0.2)
+    # Foreign buckets must NOT be folded into our grid.
+    assert sum(snapshot["buckets"].values()) == 1
+
+
+def test_from_snapshot_round_trips():
+    original = shard(42)
+    assert HistogramStat.from_snapshot(original).snapshot() == original
+
+
+def test_summarise_drops_buckets():
+    summary = summarise(shard(7))
+    assert "buckets" not in summary
+    assert summary["count"] == 200
+    assert summary["p50_s"] <= summary["p90_s"] <= summary["p99_s"]

@@ -55,11 +55,38 @@ def test_merge_tolerates_partial_snapshots():
 def test_timerstat_merge_keeps_max_and_counts():
     stat = TimerStat()
     stat.record(0.1)
-    stat.merge({"total_s": 0.9, "count": 3, "max_s": 0.7})
+    stat.merge({"total_s": 0.9, "count": 3, "max_s": 0.7, "min_s": 0.05})
     snapshot = stat.snapshot()
     assert snapshot["count"] == 4
     assert abs(snapshot["total_s"] - 1.0) < 1e-9
     assert snapshot["max_s"] == 0.7
+    assert snapshot["min_s"] == 0.05
+
+
+def test_merging_an_empty_snapshot_does_not_clobber_min():
+    """An idle worker ships min_s=0.0; folding it in must not drag the
+    coordinator's real minimum down to zero."""
+    stat = TimerStat()
+    stat.record(0.3)
+    stat.merge(TimerStat().snapshot())
+    assert stat.snapshot()["min_s"] == 0.3
+    main = TelemetryRegistry()
+    main.enable()
+    main.observe("span", 0.3)
+    idle = TelemetryRegistry()
+    idle.enable()
+    main.merge_snapshot(idle.snapshot())
+    assert main.timer("span")["min_s"] == 0.3
+    assert main.histogram("span")["min_s"] == 0.3
+
+
+def test_histograms_fold_through_merge_snapshot():
+    main = observed(2)
+    main.merge_snapshot(observed(5).snapshot())
+    merged = main.histogram("span")
+    assert merged["count"] == 7
+    assert sum(merged["buckets"].values()) == 7
+    assert merged["p50_s"] >= 0.5  # every sample sat in the 0.5s bucket
 
 
 def test_concurrent_increments_and_merges_lose_nothing():

@@ -17,11 +17,6 @@ from repro.core import SubtypeEngine
 from repro.lang import parse_term as T
 from repro.workloads import deep_nat, paper_universe
 
-pytestmark = pytest.mark.skipif(
-    os.environ.get("REPRO_SKIP_OVERHEAD_GUARD") == "1",
-    reason="REPRO_SKIP_OVERHEAD_GUARD=1",
-)
-
 ROUNDS = 9
 CALLS_PER_ROUND = 12
 
@@ -33,6 +28,10 @@ def _best_time(callable_, calls=CALLS_PER_ROUND):
     return time.perf_counter() - start
 
 
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_OVERHEAD_GUARD") == "1",
+    reason="REPRO_SKIP_OVERHEAD_GUARD=1",
+)
 def test_disabled_overhead_below_five_percent():
     assert not obs.enabled()  # conftest guarantees this
     # memoize=False so every call performs the full ground AND-OR
@@ -58,3 +57,16 @@ def test_disabled_overhead_below_five_percent():
         f"disabled instrumentation overhead {ratio:.3f}x "
         f"(instrumented {best_instrumented * 1e6:.0f}µs vs seed {best_seed * 1e6:.0f}µs)"
     )
+
+
+def test_disabled_observe_allocates_no_histograms():
+    """The histogram layer must ride the same single-flag fast path:
+    while disabled, observe() must not create timer OR histogram state
+    (an allocation per call would defeat the <5% contract)."""
+    assert not obs.METRICS.enabled
+    for _ in range(100):
+        obs.METRICS.observe("hot.span", 1e-6)
+    snapshot = obs.METRICS.snapshot()
+    assert snapshot["timers"] == {}
+    assert snapshot["histograms"] == {}
+    assert obs.METRICS.histogram("hot.span") is None

@@ -1,0 +1,109 @@
+"""SpanProfiler/ProfileReport: self vs cumulative time, collapsed stacks.
+
+The report's invariant — per-name self times partition the profiled
+wall time exactly (children subtracted once each, gaps credited to the
+parent) — is what backs the ``tlp-check --profile`` acceptance gate.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs.events import PhaseEvent
+
+
+def span(tracer, name, body=None):
+    handle = tracer.begin()
+    if body is not None:
+        body()
+    tracer.end(handle, PhaseEvent, name=name)
+
+
+def test_nested_spans_split_self_and_cumulative():
+    profiler = obs.profile_spans()
+    try:
+        root = obs.TRACER.begin()
+        inner = obs.TRACER.begin()
+        obs.TRACER.end(inner, PhaseEvent, name="child")
+        obs.TRACER.end(root, PhaseEvent, name="root")
+    finally:
+        obs.TRACER.remove_sink(profiler)
+    report = profiler.report()
+    assert report.span_count == 2
+    assert report.calls == {"root": 1, "child": 1}
+    # Parent cumulative covers the child; parent self excludes it.
+    assert report.cumulative_s["root"] >= report.cumulative_s["child"]
+    assert report.self_s["root"] == pytest.approx(
+        report.cumulative_s["root"] - report.cumulative_s["child"]
+    )
+    # Self times partition the root span: 100% coverage by construction.
+    assert report.total_self_s == pytest.approx(report.wall_s)
+    assert report.coverage == pytest.approx(1.0)
+
+
+def test_collapsed_stacks_carry_ancestry_paths():
+    profiler = obs.profile_spans()
+    try:
+        root = obs.TRACER.begin()
+        mid = obs.TRACER.begin()
+        leaf = obs.TRACER.begin()
+        for _ in range(2000):
+            pass
+        obs.TRACER.end(leaf, PhaseEvent, name="leaf")
+        obs.TRACER.end(mid, PhaseEvent, name="mid")
+        obs.TRACER.end(root, PhaseEvent, name="root")
+    finally:
+        obs.TRACER.remove_sink(profiler)
+    report = profiler.report()
+    paths = {line.rsplit(" ", 1)[0] for line in report.collapsed_lines()}
+    assert "root;mid;leaf" in paths
+    for line in report.collapsed_lines():
+        weight = line.rsplit(" ", 1)[1]
+        assert int(weight) > 0  # zero-weight frames are dropped
+
+
+def test_orphan_spans_promote_to_roots():
+    """A span whose parent was never captured (profiler attached
+    mid-flight) counts as a root rather than vanishing."""
+    profiler = obs.SpanProfiler()
+    profiler.emit(
+        PhaseEvent(span_id=7, parent_id=99, ts=0.0, dur=0.5, name="orphan")
+    )
+    report = profiler.report()
+    assert report.wall_s == pytest.approx(0.5)
+    assert report.collapsed == {"orphan": pytest.approx(0.5)}
+
+
+def test_instantaneous_events_are_ignored():
+    profiler = obs.SpanProfiler()
+    profiler.emit(PhaseEvent(span_id=1, parent_id=None, ts=0.0, dur=None, name="p"))
+    assert profiler.records == []
+    assert profiler.report().render_table() == "(no spans profiled)"
+
+
+def test_render_table_and_json_agree():
+    profiler = obs.profile_spans()
+    try:
+        span(obs.TRACER, "alpha")
+        span(obs.TRACER, "alpha")
+        span(obs.TRACER, "beta")
+    finally:
+        obs.TRACER.remove_sink(profiler)
+    report = profiler.report()
+    table = report.render_table()
+    assert "span profile: 3 spans" in table
+    assert "alpha" in table and "beta" in table
+    payload = report.to_json()
+    assert payload["spans"] == 3
+    assert payload["by_name"]["alpha"]["calls"] == 2
+    assert payload["coverage"] == pytest.approx(report.coverage)
+
+
+def test_clear_drops_collected_spans():
+    profiler = obs.profile_spans()
+    try:
+        span(obs.TRACER, "x")
+        profiler.clear()
+        span(obs.TRACER, "y")
+    finally:
+        obs.TRACER.remove_sink(profiler)
+    assert profiler.report().calls == {"y": 1}

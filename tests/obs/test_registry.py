@@ -46,8 +46,36 @@ def test_timer_stat_accumulates():
     snap = stat.snapshot()
     assert snap["count"] == 2
     assert snap["total_s"] == 2.0
+    assert snap["min_s"] == 0.5
     assert snap["max_s"] == 1.5
     assert snap["mean_s"] == 1.0
+
+
+def test_empty_timer_reports_zero_min():
+    assert TimerStat().snapshot()["min_s"] == 0.0
+
+
+def test_observe_feeds_timer_and_histogram():
+    registry = fresh()
+    registry.observe("subtype.holds", 0.002)
+    registry.observe("subtype.holds", 0.004)
+    timer = registry.timer("subtype.holds")
+    assert timer["count"] == 2 and timer["min_s"] == 0.002
+    histogram = registry.histogram("subtype.holds")
+    assert histogram is not None
+    assert histogram["count"] == 2
+    assert histogram["min_s"] == 0.002 and histogram["max_s"] == 0.004
+    assert registry.histogram("missing") is None
+
+
+def test_snapshot_and_reset_cover_histograms():
+    registry = fresh()
+    registry.observe("h", 0.001)
+    snap = registry.snapshot()
+    assert snap["histograms"]["h"]["count"] == 1
+    registry.reset()
+    assert registry.histogram("h") is None
+    assert registry.snapshot()["histograms"] == {}
 
 
 def test_time_context_manager_records():

@@ -159,6 +159,72 @@ def test_render_tree_promotes_orphans():
     assert text.splitlines()[0].startswith("phase name=orphan")
 
 
+def test_trace_file_survives_a_raising_operation(tmp_path):
+    """Regression: an exception mid-trace used to leave the file handle
+    open (and, without line flushing, truncated).  trace_to_path +
+    close_sinks in a finally must leave a complete, closed JSONL file."""
+    trace_path = tmp_path / "crash.jsonl"
+    sink = obs.trace_to_path(str(trace_path))
+    try:
+        with obs.TRACER.span("doomed"):
+            obs.TRACER.point(PhaseEvent, name="before-crash")
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    finally:
+        obs.TRACER.close_sinks()
+    assert sink.closed
+    assert sink.stream.closed  # owns_stream: the handle was released
+    assert not obs.TRACER.enabled
+    lines = trace_path.read_text().splitlines()
+    # Everything made it to disk — including the span closed by the
+    # context manager's unwind — and every line parses.
+    assert [json.loads(line)["name"] for line in lines] == [
+        "before-crash",
+        "doomed",
+    ]
+
+
+def test_closed_jsonl_sink_ignores_further_emits():
+    buffer = io.StringIO()
+    sink = JsonlSink(buffer)
+    tracer = Tracer()
+    tracer.add_sink(sink)
+    tracer.point(PhaseEvent, name="kept")
+    sink.close()
+    tracer.point(PhaseEvent, name="dropped")
+    assert sink.lines_written == 1
+    assert "dropped" not in buffer.getvalue()
+    # Borrowed stream: flushed but left open.
+    assert not buffer.closed
+
+
+def test_close_is_idempotent_and_tolerates_dead_streams():
+    buffer = io.StringIO()
+    sink = JsonlSink(buffer, owns_stream=True)
+    sink.close()
+    sink.close()  # second close must be a no-op
+    assert buffer.closed
+    dead = io.StringIO()
+    dead.close()
+    already_dead = JsonlSink(dead, owns_stream=True)
+    already_dead.close()  # flush raises ValueError internally; swallowed
+
+
+def test_close_sinks_closes_every_sink_and_disables():
+    tracer = Tracer()
+    first, second = io.StringIO(), io.StringIO()
+    a = JsonlSink(first)
+    b = JsonlSink(second)
+    tracer.add_sink(a)
+    tracer.add_sink(b)
+    tracer.close_sinks()
+    assert a.closed and b.closed
+    assert not tracer.enabled
+    tracer.point(PhaseEvent, name="late")
+    assert first.getvalue() == second.getvalue() == ""
+
+
 # -- module-level conveniences -------------------------------------------------
 
 

@@ -51,3 +51,45 @@ def test_warm_json_report_records_cache_hits(corpus_dir, tmp_path, capsys):
     report = json.loads(capsys.readouterr().out)
     assert report["hit_rate"] == 1.0
     assert all(f["from_cache"] for f in report["files"])
+
+
+def test_report_flag_writes_run_report(corpus_dir, tmp_path, capsys):
+    out = tmp_path / "run-report.json"
+    cache = str(tmp_path / "cache")
+    assert main([str(corpus_dir), "--cache-dir", cache, "--report", str(out)]) == 0
+    capsys.readouterr()
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == "tlp-run-report/1"
+    assert set(payload) >= {
+        "wall_s",
+        "jobs",
+        "files",
+        "cache",
+        "phases",
+        "top_slow_files",
+        "worker_utilisation",
+    }
+    assert payload["files"]["checked"] == 2
+    assert payload["cache"]["hit_rate"] == 0.0
+    assert payload["project"]["name"]
+    # Warm rerun: the written report reflects the replayed run.
+    assert main([str(corpus_dir), "--cache-dir", cache, "--report", str(out)]) == 0
+    assert json.loads(out.read_text())["cache"]["hit_rate"] == 1.0
+
+
+def test_progress_renders_to_stderr_only(corpus_dir, capsys):
+    assert main([str(corpus_dir), "--no-cache", "--progress"]) == 0
+    captured = capsys.readouterr()
+    assert "\r[1/2] " in captured.err
+    assert "[2/2] " in captured.err
+    # stdout keeps the normal per-file summary, uncorrupted.
+    assert "\r" not in captured.out
+    assert captured.out.count(": well-typed (") == 2
+
+
+def test_progress_composes_with_machine_json(corpus_dir, capsys):
+    assert main([str(corpus_dir), "--no-cache", "--progress", "--json", "-"]) == 0
+    captured = capsys.readouterr()
+    report = json.loads(captured.out)  # stdout still one JSON document
+    assert report["ok"]
+    assert "[2/2] " in captured.err

@@ -213,3 +213,78 @@ def test_infer_counts_in_stats():
     service.handle({"op": "infer", "text": NODECL_APP})
     stats = service.handle({"op": "stats"})["stats"]
     assert stats["infers"] == 1
+
+
+# -- metrics and health ops ---------------------------------------------------
+
+
+def test_metrics_op_returns_parseable_exposition():
+    from repro.obs import parse_exposition
+
+    obs.METRICS.enable()
+    service = CheckService()
+    service.handle({"op": "check", "text": APPEND})
+    response = service.handle({"op": "metrics"})
+    assert response["ok"] and response["op"] == "metrics"
+    assert response["content_type"].startswith("text/plain")
+    samples = parse_exposition(response["body"])
+    # Daemon runtime gauges ride along even without library telemetry.
+    assert samples["tlp_daemon_hot_module_limit"] == 256
+    assert samples["tlp_daemon_hot_modules"] == 1
+    assert samples["tlp_daemon_uptime_seconds"] >= 0
+    assert samples["tlp_daemon_requests"] >= 1
+    # Library telemetry was enabled, so checker counters appear too.
+    assert samples["tlp_checker_modules_checked_total"] == 1
+
+
+def test_metrics_op_works_with_telemetry_disabled():
+    from repro.obs import parse_exposition
+
+    service = CheckService()
+    samples = parse_exposition(service.handle({"op": "metrics"})["body"])
+    assert samples["tlp_daemon_hot_modules"] == 0
+    assert "tlp_checker_modules_checked_total" not in samples
+
+
+def test_health_op_reports_uptime_lru_and_memo(tmp_path):
+    service = CheckService(cache_dir=str(tmp_path / "cache"))
+    service.handle({"op": "check", "text": APPEND})
+    response = service.handle({"op": "health"})
+    assert response["ok"] and response["op"] == "health"
+    health = response["health"]
+    assert health["uptime_s"] >= 0
+    assert health["pid"] == os.getpid()
+    assert health["requests"] == 2 and health["errors"] == 0
+    assert health["hot_modules"] == {
+        "count": 1,
+        "limit": 256,
+        "occupancy": 1 / 256,
+    }
+    assert set(health["shared_memo"]) >= {"entries", "scopes"}
+    assert health["cache"]["dir"] == str(tmp_path / "cache")
+    assert health["cache"]["entries"] == 1
+
+
+def test_health_without_cache_reports_none():
+    health = CheckService().handle({"op": "health"})["health"]
+    assert health["cache"] is None
+    assert health["telemetry_enabled"] is False
+
+
+def test_stats_op_carries_histograms_and_uptime():
+    """Satellite: {"op": "stats"} embeds latency histograms and daemon
+    uptime over the serve loop, not just via direct handle() calls."""
+    obs.METRICS.enable()
+    responses = run_session(
+        [
+            json.dumps({"op": "check", "text": APPEND}) + "\n",
+            json.dumps({"op": "stats"}) + "\n",
+        ]
+    )
+    stats_response = responses[1]
+    assert stats_response["stats"]["uptime_s"] >= 0
+    histograms = stats_response["telemetry"]["histograms"]
+    assert histograms  # at least one latency distribution was recorded
+    for summary in histograms.values():
+        assert summary["count"] >= 1
+        assert "p99_s" in summary

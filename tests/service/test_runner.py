@@ -247,3 +247,103 @@ def test_infer_and_plain_runs_do_not_share_cache_entries(
     report = batch(nodecl_corpus_dir, infer_cache, infer=True)
     assert report.cache_hits == 0
     assert report.results[0].inferred
+
+
+# -- run reports, progress, histograms ----------------------------------------
+
+
+def test_run_report_asserts_hit_ratio_and_slow_files(tmp_path):
+    from repro.service.report import SCHEMA, build_run_report, write_run_report
+
+    root = make_corpus(tmp_path)
+    cache = ResultCache(str(tmp_path / "cache"))
+    cold = run_batch(load_project([str(root)]), cache=cache)
+    cold_report = build_run_report(cold)
+    assert cold_report["schema"] == SCHEMA
+    assert cold_report["cache"] == {"hits": 0, "misses": 6, "hit_rate": 0.0}
+    assert cold_report["files"]["checked"] == 6
+    slow = cold_report["top_slow_files"]
+    assert slow and len(slow) <= 10
+    durations = [entry["duration_s"] for entry in slow]
+    assert durations == sorted(durations, reverse=True)
+    assert all(not entry["from_cache"] for entry in slow)
+
+    warm = run_batch(load_project([str(root)]), cache=cache)
+    warm_report = build_run_report(warm, top_n=3)
+    assert warm_report["cache"]["hit_rate"] == 1.0
+    assert warm_report["files"]["cached"] == 6
+    assert len(warm_report["top_slow_files"]) == 3
+    assert all(entry["from_cache"] for entry in warm_report["top_slow_files"])
+
+    out = tmp_path / "report.json"
+    write_run_report(str(out), warm, project={"name": "t"})
+    import json
+
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == SCHEMA
+    assert payload["project"] == {"name": "t"}
+    assert payload["cache"]["hit_rate"] == 1.0
+
+
+def test_run_report_phase_totals_are_recorded(corpus_dir):
+    from repro.service.report import build_run_report
+
+    report = batch(corpus_dir)
+    payload = build_run_report(report)
+    assert set(payload["phases"]) == {"probe_s", "check_s", "record_s"}
+    assert all(value >= 0.0 for value in payload["phases"].values())
+    assert payload["wall_s"] >= payload["phases"]["check_s"]
+
+
+def test_run_report_embeds_telemetry_histograms(corpus_dir):
+    from repro.service.report import build_run_report
+
+    obs.reset()
+    METRICS.enabled = True
+    try:
+        report = batch(corpus_dir)
+        payload = build_run_report(report, telemetry=METRICS.snapshot())
+    finally:
+        METRICS.enabled = False
+    histograms = payload["histograms"]
+    assert histograms["service.file.check"]["count"] == 2
+    assert "buckets" not in histograms["service.file.check"]  # summarised
+    assert payload["counters"]["service.files.checked"] == 2
+
+
+def test_progress_callback_fires_for_hits_and_fresh(tmp_path):
+    root = make_corpus(tmp_path, count=4)
+    cache = ResultCache(str(tmp_path / "cache"))
+    seen = []
+
+    def progress(done, total, result):
+        seen.append((done, total, result.display, result.from_cache))
+
+    run_batch(load_project([str(root)]), cache=cache, progress=progress)
+    assert [done for done, _, _, _ in seen] == [1, 2, 3, 4]
+    assert all(total == 4 for _, total, _, _ in seen)
+    assert all(not cached for _, _, _, cached in seen)
+
+    seen.clear()
+    run_batch(load_project([str(root)]), cache=cache, progress=progress)
+    assert [done for done, _, _, _ in seen] == [1, 2, 3, 4]
+    assert all(cached for _, _, _, cached in seen)
+
+
+@pytest.mark.parametrize("use", ["thread", "process"])
+def test_histograms_merge_across_worker_pools(tmp_path, use):
+    """Per-file latency histograms recorded inside pool workers land in
+    the coordinator's registry with nothing lost: one sample per file."""
+    root = make_corpus(tmp_path)
+    obs.reset()
+    METRICS.enabled = True
+    try:
+        run_batch(load_project([str(root)]), jobs=3, use=use)
+        merged = METRICS.histogram("service.file.check")
+    finally:
+        METRICS.enabled = False
+    assert merged is not None
+    assert merged["count"] == 6
+    assert sum(merged["buckets"].values()) == 6
+    assert 0.0 < merged["min_s"] <= merged["max_s"]
+    assert merged["p50_s"] <= merged["p99_s"]
