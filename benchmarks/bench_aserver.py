@@ -1,0 +1,232 @@
+"""Async check-server benchmarks: throughput under fan-in, closure cost.
+
+Two families for the ``tlp-aserve`` subsystem:
+
+* **S1 throughput** — an in-process :class:`AsyncCheckServer` on a
+  loopback TCP port, hit by 1, 8, and 32 concurrent clients issuing
+  hot ``check`` requests.  Measures requests/s through the whole stack
+  (framing, per-client queue, executor dispatch, hot-LRU lookup,
+  response write); the 8- and 32-client rows are the fan-in scaling
+  story and the ``aserver.rps.*`` regression ids.
+* **S2 invalidation** — a workspace of N members behind one shared
+  declaration prelude.  Re-checking after a one-member edit (its
+  dependency *closure*: that member; everyone else replays from the
+  content-addressed cache) is raced against a full forced re-check of
+  the corpus — the latency gap IS the subsystem's pitch, and both ends
+  are pinned by the ``aserver.recheck.closure`` / ``.full`` ids.
+
+Run standalone::
+
+    python benchmarks/bench_aserver.py [--quick] [--json OUT]
+
+or let ``benchmarks/summary.py`` pull the rows into the one-shot table
+(ids ``aserver.*`` land in ``BENCH_subtype.json`` for the CI gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.service.aserver import AsyncCheckServer, Workspace
+from repro.service.aserver.protocol import encode_line
+from repro.workloads import APPEND
+
+Row = Tuple[str, str]
+
+SHARED_DECLS = """\
+FUNC nil, cons.
+TYPE elist, nelist, list.
+elist >= nil.
+nelist(A) >= cons(A,list(A)).
+list(A) >= elist + nelist(A).
+PRED app(list(A),list(A),list(A)).
+"""
+
+MEMBER_CLAUSES = """\
+app(nil,L,L).
+app(cons(X,L),M,cons(X,N)) :- app(L,M,N).
+"""
+
+
+def fmt(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}µs"
+    if seconds < 1:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+# -- S1: request throughput under concurrent clients -------------------------
+
+
+async def _fan_in(client_count: int, requests_per_client: int) -> float:
+    """Wall seconds for ``client_count`` concurrent clients to push
+    ``requests_per_client`` hot checks each through one server."""
+    server = AsyncCheckServer()
+    _, port = await server.start_tcp()
+
+    async def warm() -> None:
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(encode_line({"id": 0, "op": "check", "text": APPEND}))
+        await writer.drain()
+        await reader.readline()
+        writer.close()
+
+    async def one_client(index: int) -> None:
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        for sequence in range(requests_per_client):
+            writer.write(
+                encode_line(
+                    {"id": sequence, "op": "check", "text": APPEND}
+                )
+            )
+        await writer.drain()
+        for _ in range(requests_per_client):
+            line = await reader.readline()
+            assert line, "server dropped a response"
+        writer.close()
+
+    try:
+        await warm()  # populate the hot LRU: measure dispatch, not checking
+        started = time.perf_counter()
+        await asyncio.gather(
+            *(one_client(index) for index in range(client_count))
+        )
+        return time.perf_counter() - started
+    finally:
+        await server.shutdown()
+
+
+# -- S2: closure re-check vs full re-check -----------------------------------
+
+
+def _build_corpus(root: Path, members: int) -> None:
+    (root / "decls.tlp").write_text(SHARED_DECLS)
+    member_dir = root / "members"
+    member_dir.mkdir()
+    for index in range(members):
+        (member_dir / f"m{index:03d}.tlp").write_text(
+            f"% member {index}\n{MEMBER_CLAUSES}"
+        )
+    (root / "tlp-project.json").write_text(
+        '{"name": "bench-aserver", "include": ["members"], '
+        '"shared": ["decls.tlp"]}\n'
+    )
+
+
+def _closure_vs_full(members: int, edits: int) -> Tuple[float, float, int]:
+    """(closure seconds/edit, full seconds/pass, member count)."""
+    with tempfile.TemporaryDirectory(prefix="tlp-bench-aserver-") as root:
+        root_path = Path(root)
+        _build_corpus(root_path, members)
+        workspace = Workspace([str(root_path)])
+        try:
+            workspace.check_all()  # cold pass: populate the cache
+            target = root_path / "members" / "m000.tlp"
+            closure_total = 0.0
+            for edit in range(edits):
+                target.write_text(
+                    f"% member 0, edit {edit}\n{MEMBER_CLAUSES}"
+                )
+                report = workspace.on_change([str(target)])
+                assert report.checked == report.closure
+                assert len(report.checked) == 1
+                assert report.cache_hits == members - 1
+                closure_total += report.wall_s
+            started = time.perf_counter()
+            full = workspace.check_all(force=True)
+            full_seconds = time.perf_counter() - started
+            assert full.cache_misses == members
+            return closure_total / edits, full_seconds, members
+        finally:
+            workspace.close()
+
+
+def aserver_measurements(
+    quick: bool = False,
+) -> Tuple[List[Row], List[Dict[str, object]]]:
+    """Run the async-server benchmarks once.
+
+    Returns human-readable ``(label, measured)`` rows and machine rows
+    (``{"id", "label", "ns_per_op"}``) for ``BENCH_subtype.json``.
+    """
+    rows: List[Row] = []
+    machine: List[Dict[str, object]] = []
+
+    requests_per_client = 20 if quick else 100
+    for client_count in (1, 8, 32):
+        wall = asyncio.run(_fan_in(client_count, requests_per_client))
+        total = client_count * requests_per_client
+        rows.append(
+            (
+                f"S1 aserver hot checks, {client_count} client"
+                f"{'s' if client_count > 1 else ''} × {requests_per_client}",
+                f"{fmt(wall)} ({total / wall:,.0f} req/s)",
+            )
+        )
+        machine.append(
+            {
+                "id": f"aserver.rps.{client_count}",
+                "label": f"aserver hot check, {client_count} concurrent clients",
+                "ns_per_op": wall * 1e9 / total,
+            }
+        )
+
+    members = 10 if quick else 50
+    edits = 2 if quick else 5
+    closure_seconds, full_seconds, members = _closure_vs_full(members, edits)
+    speedup = full_seconds / closure_seconds if closure_seconds else 0.0
+    rows.append(
+        (
+            f"S2 closure re-check, 1 of {members} members edited",
+            f"{fmt(closure_seconds)} vs {fmt(full_seconds)} full "
+            f"({speedup:.1f}x)",
+        )
+    )
+    machine.append(
+        {
+            "id": "aserver.recheck.closure",
+            "label": f"closure re-check, 1-member edit in {members}",
+            "ns_per_op": closure_seconds * 1e9,
+        }
+    )
+    machine.append(
+        {
+            "id": "aserver.recheck.full",
+            "label": f"forced full re-check of {members} members",
+            "ns_per_op": full_seconds * 1e9,
+        }
+    )
+    return rows, machine
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny CI-smoke workload sizes"
+    )
+    parser.add_argument(
+        "--json", metavar="OUT", default=None, help="write machine rows to OUT"
+    )
+    arguments = parser.parse_args(argv)
+    rows, machine = aserver_measurements(quick=arguments.quick)
+    width = max(len(label) for label, _ in rows) + 2
+    for label, value in rows:
+        print(label.ljust(width) + value)
+    if arguments.json is not None:
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump({"measurements": machine}, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {arguments.json}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

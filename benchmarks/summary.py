@@ -218,6 +218,13 @@ def build_rows(quick: bool = False) -> List[Row]:
     absint_rows, absint_machine_rows = absint_measurements(quick=quick)
     rows.extend(absint_rows)
     MEASUREMENTS.extend(absint_machine_rows)
+
+    # -- S1/S2: the async multi-client server ------------------------------
+    from bench_aserver import aserver_measurements
+
+    aserver_rows, aserver_machine_rows = aserver_measurements(quick=quick)
+    rows.extend(aserver_rows)
+    MEASUREMENTS.extend(aserver_machine_rows)
     return rows
 
 

@@ -1,9 +1,12 @@
-"""Whole-file type checker: frontend, diagnostics, CLI."""
+"""Whole-file type checker: frontend, diagnostics, cancellation, CLI."""
 
+from .cancel import CancelToken, CheckCancelled
 from .diagnostics import Diagnostic, DiagnosticBag, Severity
 from .frontend import CheckedModule, check_source, check_text
 
 __all__ = [
+    "CancelToken",
+    "CheckCancelled",
     "Diagnostic",
     "DiagnosticBag",
     "Severity",

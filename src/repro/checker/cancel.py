@@ -1,0 +1,64 @@
+"""Cooperative cancellation for in-flight checks.
+
+The Definition 16 pipeline is decidable and fast *per clause*, which is
+exactly the granularity an interactive front end wants to abort at: an
+editor that re-checks on every keystroke must be able to throw away the
+previous request the moment a newer one arrives, without waiting for a
+large module to finish.  A :class:`CancelToken` is handed to
+:func:`repro.checker.frontend.check_text`; the frontend calls
+:meth:`CancelToken.checkpoint` at every clause/query boundary, and a
+token cancelled from any thread makes the *next* checkpoint raise
+:class:`CheckCancelled` — the check stops within one clause of the
+cancel, whatever state the subtype engine is in.
+
+Tokens are thread-safe (the async check server cancels from the event
+loop thread while the check runs on an executor thread) and reusable
+only in the trivial sense: once cancelled, every later checkpoint
+raises.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+__all__ = ["CheckCancelled", "CancelToken"]
+
+
+class CheckCancelled(Exception):
+    """Raised at a clause-boundary checkpoint of a cancelled check."""
+
+
+class CancelToken:
+    """A one-way cancellation flag checked at clause boundaries.
+
+    ``checkpoints`` counts how many boundaries the guarded work crossed —
+    the observability hook the server's cancellation tests (and the
+    ``cancelled`` responses) use to show a check stopped *early*.
+    """
+
+    def __init__(self) -> None:
+        self._cancelled = threading.Event()
+        self.checkpoints = 0
+
+    def cancel(self) -> None:
+        """Request cancellation (safe from any thread, idempotent)."""
+        self._cancelled.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled.is_set()
+
+    def checkpoint(self) -> None:
+        """Mark a clause boundary; raise if cancellation was requested."""
+        self.checkpoints += 1
+        if self._cancelled.is_set():
+            raise CheckCancelled(
+                f"check cancelled at clause checkpoint {self.checkpoints}"
+            )
+
+
+def checkpoint(cancel: Optional[CancelToken]) -> None:
+    """``cancel.checkpoint()`` tolerant of the common ``None`` token."""
+    if cancel is not None:
+        cancel.checkpoint()

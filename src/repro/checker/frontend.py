@@ -53,9 +53,16 @@ from ..lang.lexer import LexError
 from ..lang.parser import ParseError, parse_file
 from ..lp.clause import Clause, Program, Query
 from ..terms.term import Struct, Term, subterms
+from .cancel import CancelToken, CheckCancelled, checkpoint
 from .diagnostics import DiagnosticBag
 
-__all__ = ["CheckedModule", "check_source", "check_text"]
+__all__ = [
+    "CheckedModule",
+    "CancelToken",
+    "CheckCancelled",
+    "check_source",
+    "check_text",
+]
 
 
 @dataclass
@@ -129,7 +136,9 @@ def _is_constraint_goal(goal: Struct) -> bool:
     return goal.functor == ":" and len(goal.args) == 2
 
 
-def check_source(source: SourceFile) -> CheckedModule:
+def check_source(
+    source: SourceFile, cancel: Optional[CancelToken] = None
+) -> CheckedModule:
     """Run the full pipeline over a parsed source file.
 
     With ``repro.obs`` enabled the whole run is timed
@@ -137,9 +146,15 @@ def check_source(source: SourceFile) -> CheckedModule:
     gets its own timing sample (``checker.clause_check`` /
     ``checker.query_check``) and trace span, so per-clause cost is
     visible in ``tlp-check --stats`` output.
+
+    ``cancel`` threads a :class:`CancelToken` through the pipeline: the
+    checker calls ``cancel.checkpoint()`` before every Definition 16
+    clause/query check (and every Section 7 mode check), so a token
+    cancelled mid-run raises :class:`CheckCancelled` within one clause
+    boundary of the request.
     """
     with METRICS.time("checker.check_source"):
-        module = _check_source(source)
+        module = _check_source(source, cancel)
     if METRICS.enabled:
         METRICS.inc("checker.modules_checked")
         if module.diagnostics.has_errors:
@@ -147,7 +162,9 @@ def check_source(source: SourceFile) -> CheckedModule:
     return module
 
 
-def _check_source(source: SourceFile) -> CheckedModule:
+def _check_source(
+    source: SourceFile, cancel: Optional[CancelToken] = None
+) -> CheckedModule:
     module = CheckedModule()
     bag = module.diagnostics
 
@@ -289,6 +306,7 @@ def _check_source(source: SourceFile) -> CheckedModule:
         module.moded_checker = moded
     clause_items = source.of_kind(ClauseDecl)
     for clause, item in zip(module.program, clause_items):
+        checkpoint(cancel)
         if any(_is_constraint_goal(goal) for goal in clause.body):
             continue  # constrained-model clause: checked dynamically
         detail = str(clause) if TRACER.enabled else ""
@@ -300,6 +318,7 @@ def _check_source(source: SourceFile) -> CheckedModule:
             bag.error(f"clause is not well-typed: {clause} — {report.reason}", item.position)
     query_items = source.of_kind(QueryDecl)
     for query, item in zip(module.queries, query_items):
+        checkpoint(cancel)
         if any(_is_constraint_goal(goal) for goal in query.goals):
             # A query with ``X : τ`` constraints opts into the
             # typed-unification execution model (Section 7): Definition 16
@@ -318,6 +337,7 @@ def _check_source(source: SourceFile) -> CheckedModule:
     if len(modes):
         mode_checker = ModeChecker(constraints, predicate_types, modes, engine=engine)
         for clause, item in zip(module.program, clause_items):
+            checkpoint(cancel)
             if any(_is_constraint_goal(goal) for goal in clause.body):
                 continue
             mode_report = mode_checker.check_clause(clause)
@@ -332,7 +352,7 @@ def _check_source(source: SourceFile) -> CheckedModule:
     return module
 
 
-def check_text(text: str) -> CheckedModule:
+def check_text(text: str, cancel: Optional[CancelToken] = None) -> CheckedModule:
     """Parse and check source ``text`` (parse errors become diagnostics)."""
     module = CheckedModule()
     try:
@@ -341,4 +361,5 @@ def check_text(text: str) -> CheckedModule:
     except (ParseError, LexError) as error:
         module.diagnostics.error(str(error))
         return module
-    return check_source(source)
+    checkpoint(cancel)
+    return check_source(source, cancel)

@@ -29,17 +29,27 @@ use, so one ``--stats`` table shows both caching layers.
 Writes are atomic (temp file + ``os.replace``) and a corrupt or
 foreign-version index is treated as empty rather than an error: the
 cache is a pure accelerator, never a source of truth.
+
+Concurrent writers are safe: :meth:`ResultCache.save` takes an
+exclusive lock file (``O_CREAT|O_EXCL``, broken when stale), re-reads
+the on-disk index, merges it under the in-memory entries (explicit
+invalidations win via tombstones), and atomically renames the merged
+index into place.  Two processes recording verdicts into the same
+cache directory — a batch run racing a daemon, or many ``tlp-aserve``
+workers — can interleave saves without corrupting the index or losing
+each other's entries.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from ..obs import METRICS, TRACER, CacheProbeEvent
 
@@ -55,6 +65,18 @@ __all__ = ["CHECKER_VERSION", "CachedResult", "ResultCache"]
 CHECKER_VERSION = "3"
 
 INDEX_NAME = "tlp-cache.json"
+LOCK_NAME = INDEX_NAME + ".lock"
+
+#: How long ``save`` waits for a competing writer before proceeding
+#: without the lock (atomic rename still prevents corruption), and the
+#: age after which an abandoned lock file is broken.
+LOCK_TIMEOUT_S = 5.0
+LOCK_STALE_S = 10.0
+
+#: How long persisted tombstones outlive their invalidation — long
+#: enough for every concurrent writer to adopt them at its next save,
+#: short enough that the index never accumulates dead weight.
+TOMBSTONE_TTL_S = 600.0
 
 
 @dataclass(frozen=True)
@@ -115,48 +137,163 @@ class ResultCache:
         self.misses = 0
         self._dirty = False
         self._entries: Dict[str, Dict[str, object]] = {}
+        #: key → invalidation time.  Tombstones are *persisted* in the
+        #: index and adopted by every writer: a tombstone kills any
+        #: entry whose ``checked_at`` predates it, so neither a foreign
+        #: writer's older on-disk image nor its still-in-memory copy can
+        #: resurrect an explicitly invalidated verdict.  A re-recorded
+        #: entry (fresh ``checked_at``) outlives the tombstone.
+        self._removed: Dict[str, float] = {}
+        #: Set by ``invalidate(None)``: the next save drops everything a
+        #: competing writer persisted too, not just our in-memory view.
+        self._cleared = False
         self._load()
 
     # -- persistence ---------------------------------------------------------
 
-    def _load(self) -> None:
+    def _read_disk(
+        self,
+    ) -> Tuple[Dict[str, Dict[str, object]], Dict[str, float]]:
+        """The on-disk index's ``(entries, tombstones)`` — both empty on
+        a corrupt, foreign-version, or missing index."""
         try:
             raw = json.loads(self.index_path.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            return
+            return {}, {}
         if not isinstance(raw, dict) or raw.get("version") != self.checker_version:
-            return  # foreign or pre-bump index: start cold
+            return {}, {}  # foreign or pre-bump index: treat as cold
         entries = raw.get("entries")
+        found: Dict[str, Dict[str, object]] = {}
         if isinstance(entries, dict):
             for key, payload in entries.items():
                 if isinstance(payload, dict):
-                    self._entries[key] = payload
+                    found[key] = payload
+        tombstones: Dict[str, float] = {}
+        raw_tombstones = raw.get("tombstones")
+        if isinstance(raw_tombstones, dict):
+            for key, stamp in raw_tombstones.items():
+                if isinstance(stamp, (int, float)):
+                    tombstones[str(key)] = float(stamp)
+        return found, tombstones
+
+    @staticmethod
+    def _checked_at(payload: Dict[str, object]) -> float:
+        try:
+            return float(payload.get("checked_at", 0.0))  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return 0.0
+
+    def _load(self) -> None:
+        entries, tombstones = self._read_disk()
+        self._entries.update(entries)
+        self._removed.update(tombstones)  # keep propagating invalidations
+
+    @contextlib.contextmanager
+    def _exclusive_lock(self) -> Iterator[bool]:
+        """Best-effort cross-process mutex around load-merge-rename.
+
+        Acquired via ``O_CREAT|O_EXCL``; a lock older than
+        :data:`LOCK_STALE_S` (a crashed writer) is broken.  On timeout we
+        *proceed without the lock* — the cache is an accelerator, and the
+        atomic rename below keeps the index uncorrupted even then; only
+        a lost update is possible.  Yields whether the lock was held.
+        """
+        lock_path = self.cache_dir / LOCK_NAME
+        deadline = time.monotonic() + LOCK_TIMEOUT_S
+        held = False
+        while True:
+            try:
+                descriptor = os.open(
+                    str(lock_path),
+                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                )
+                os.write(descriptor, str(os.getpid()).encode("ascii"))
+                os.close(descriptor)
+                held = True
+                break
+            except FileExistsError:
+                try:
+                    age = time.time() - lock_path.stat().st_mtime
+                except OSError:
+                    continue  # holder just released: retry immediately
+                if age > LOCK_STALE_S:
+                    with contextlib.suppress(OSError):
+                        lock_path.unlink()
+                    continue
+                if time.monotonic() > deadline:
+                    break
+                time.sleep(0.005)
+            except OSError:
+                break  # unwritable cache dir: fall back to lockless save
+        try:
+            yield held
+        finally:
+            if held:
+                with contextlib.suppress(OSError):
+                    lock_path.unlink()
 
     def save(self) -> None:
-        """Atomically persist the index (no-op when nothing changed)."""
+        """Persist the index: lock, merge with disk, atomic rename.
+
+        No-op when nothing changed.  The merge keeps entries a competing
+        writer recorded since our load (our entries win on key
+        collisions); keys this instance explicitly invalidated stay
+        dead via tombstones.
+        """
         if not self._dirty:
             return
         self.cache_dir.mkdir(parents=True, exist_ok=True)
-        payload = {"version": self.checker_version, "entries": self._entries}
-        handle = tempfile.NamedTemporaryFile(
-            "w",
-            encoding="utf-8",
-            dir=str(self.cache_dir),
-            prefix=".tlp-cache-",
-            suffix=".tmp",
-            delete=False,
-        )
-        try:
-            with handle:
-                json.dump(payload, handle, indent=1, sort_keys=True)
-                handle.write("\n")
-            os.replace(handle.name, self.index_path)
-        except BaseException:
+        with self._exclusive_lock():
+            disk_entries, disk_tombstones = self._read_disk()
+            for key, stamp in disk_tombstones.items():
+                if stamp > self._removed.get(key, 0.0):
+                    self._removed[key] = stamp
+            if not self._cleared:
+                for key, entry in disk_entries.items():
+                    if key in self._entries:
+                        continue  # ours wins: it is at least as fresh
+                    killed = self._removed.get(key)
+                    if killed is not None and self._checked_at(entry) <= killed:
+                        continue
+                    self._entries[key] = entry
+            # Adopted tombstones kill our own stale copies too (a foreign
+            # writer invalidated a verdict we still hold in memory).
+            for key, killed in self._removed.items():
+                entry = self._entries.get(key)
+                if entry is not None and self._checked_at(entry) <= killed:
+                    del self._entries[key]
+            cutoff = time.time() - TOMBSTONE_TTL_S
+            tombstones = {
+                key: stamp
+                for key, stamp in self._removed.items()
+                if stamp >= cutoff
+            }
+            payload = {
+                "version": self.checker_version,
+                "entries": self._entries,
+                "tombstones": tombstones,
+            }
+            handle = tempfile.NamedTemporaryFile(
+                "w",
+                encoding="utf-8",
+                dir=str(self.cache_dir),
+                prefix=".tlp-cache-",
+                suffix=".tmp",
+                delete=False,
+            )
             try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
+                with handle:
+                    json.dump(payload, handle, indent=1, sort_keys=True)
+                    handle.write("\n")
+                os.replace(handle.name, self.index_path)
+            except BaseException:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+                raise
+        self._removed = tombstones  # pruned, but kept for propagation
+        self._cleared = False
         self._dirty = False
 
     # -- the store -----------------------------------------------------------
@@ -212,9 +349,9 @@ class ResultCache:
             return CachedResult.from_json(payload)
         except (KeyError, TypeError, ValueError):
             # A malformed entry behaves like a miss (and is purged).
-            del self._entries[
-                self.key(file_digest, decls_digest, self.ruleset, self.infer)
-            ]
+            bad_key = self.key(file_digest, decls_digest, self.ruleset, self.infer)
+            del self._entries[bad_key]
+            self._removed[bad_key] = time.time()
             self._dirty = True
             return None
 
@@ -227,9 +364,9 @@ class ResultCache:
     ) -> None:
         payload = result.to_json()
         payload["path"] = display
-        self._entries[
-            self.key(file_digest, decls_digest, self.ruleset, self.infer)
-        ] = payload
+        key = self.key(file_digest, decls_digest, self.ruleset, self.infer)
+        self._entries[key] = payload
+        self._removed.pop(key, None)  # a re-recorded key is live again
         self._dirty = True
 
     def invalidate(self, display: Optional[str] = None) -> int:
@@ -239,9 +376,14 @@ class ResultCache:
         correctness — a changed file simply misses — but the daemon's
         ``invalidate`` op and operators clearing space both want it.
         """
+        now = time.time()
         if display is None:
             dropped = len(self._entries)
+            for key in self._entries:
+                self._removed[key] = now
             self._entries.clear()
+            self._cleared = True
+            self._dirty = True
         else:
             stale = [
                 key
@@ -250,6 +392,7 @@ class ResultCache:
             ]
             for key in stale:
                 del self._entries[key]
+                self._removed[key] = now
             dropped = len(stale)
         if dropped:
             self._dirty = True

@@ -37,6 +37,20 @@ lines for undeclared predicates, checker-validated where possible) and
 Malformed lines get an ``{"ok": false, "error": ...}`` response rather
 than killing the daemon.
 
+Verdict state is *content-addressed*: the hot LRU and the persistent
+cache are keyed by the SHA-256 of the checked text (never by path), and
+the path→digest stat cache that lets a repeat check skip re-reading an
+unchanged file is invalidated by any change to the file's
+``(mtime_ns, size)`` signature — a file edited on disk can never be
+served a stale verdict.
+
+On SIGTERM the daemon *drains*: the in-flight request's response is
+written, then the loop stops and ``CheckService.close()`` persists the
+result cache and flushes/closes every trace sink, so traces and metrics
+survive orderly restarts.  (``tlp-aserve`` — the asyncio multi-client
+server in :mod:`repro.service.aserver` — wraps this same service with
+concurrent transports, request cancellation, and an LSP adapter.)
+
 A worked session lives in ``docs/service.md``.
 """
 
@@ -45,7 +59,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
+import threading
 import time
 from collections import OrderedDict
 from pathlib import Path
@@ -53,6 +69,7 @@ from typing import Any, Dict, IO, List, Optional, Tuple
 
 from .. import obs
 from ..analysis import LintConfig, lint_text
+from ..checker.cancel import CancelToken, CheckCancelled
 from ..checker.diagnostics import Severity
 from ..checker.frontend import CheckedModule, check_text
 from ..obs import METRICS, TRACER, CacheProbeEvent
@@ -65,6 +82,10 @@ __all__ = ["CheckService", "serve", "start_metrics_server", "main"]
 #: the matcher/subtype memo tables grown while checking it).
 HOT_MODULE_LIMIT = 256
 
+#: Path → (stat signature, digest) entries kept so an unchanged file can
+#: be served from the hot LRU without re-reading its bytes.
+STAT_CACHE_LIMIT = 4096
+
 
 class CheckService:
     """The daemon's brain, independent of any transport."""
@@ -72,19 +93,43 @@ class CheckService:
     def __init__(self, cache_dir: Optional[str] = None) -> None:
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self._hot: "OrderedDict[str, Tuple[str, CheckedModule]]" = OrderedDict()
+        #: path → ((st_mtime_ns, st_size), digest) of the last read, so a
+        #: repeat ``check`` on an *unchanged* file skips the re-read while
+        #: a file whose bytes changed on disk can never be served stale:
+        #: the hot LRU and the persistent cache are keyed by content
+        #: digest, and the digest is only trusted while the stat
+        #: signature matches.
+        self._stat: "OrderedDict[str, Tuple[Tuple[int, int], str]]" = OrderedDict()
+        #: One lock around all hot/stat/cache state: requests may be
+        #: handled from many executor threads (the async server), and the
+        #: expensive work — ``check_text`` — runs outside it.
+        self._lock = threading.RLock()
         self.requests = 0
         self.checks = 0
         self.lints = 0
         self.infers = 0
         self.hot_hits = 0
         self.cache_hits = 0
+        self.cancellations = 0
         self.errors = 0
         self.started_at = time.time()
+        #: Set by the SIGTERM handler (or a transport): finish the
+        #: request in flight, then stop accepting new ones.
+        self.draining = False
+        #: True while ``handle`` is running a request (drain coordination).
+        self.busy = False
 
     # -- request dispatch ----------------------------------------------------
 
-    def handle(self, request: Any) -> Dict[str, Any]:
-        """One request object in, one response object out (never raises)."""
+    def handle(
+        self, request: Any, cancel: Optional[CancelToken] = None
+    ) -> Dict[str, Any]:
+        """One request object in, one response object out (never raises).
+
+        ``cancel`` (used by the async server) aborts an in-flight
+        ``check`` at its next clause-boundary checkpoint; the response is
+        then ``{"ok": false, "cancelled": true, ...}``.
+        """
         self.requests += 1
         if METRICS.enabled:
             METRICS.inc("service.daemon.requests")
@@ -93,7 +138,7 @@ class CheckService:
         op = request.get("op")
         try:
             if op == "check":
-                return self._op_check(request)
+                return self._op_check(request, cancel)
             if op == "lint":
                 return self._op_lint(request)
             if op == "infer":
@@ -109,6 +154,16 @@ class CheckService:
             if op == "shutdown":
                 return {"ok": True, "op": "shutdown", "bye": True}
             return self._error(op, f"unknown op {op!r}")
+        except CheckCancelled as cancelled:
+            self.cancellations += 1
+            if METRICS.enabled:
+                METRICS.inc("service.daemon.cancelled")
+            return {
+                "ok": False,
+                "op": op,
+                "cancelled": True,
+                "error": str(cancelled),
+            }
         except Exception as error:  # a bug must not take the daemon down
             return self._error(op, f"internal error: {error}")
 
@@ -118,27 +173,97 @@ class CheckService:
 
     # -- ops -----------------------------------------------------------------
 
-    def _op_check(self, request: Dict[str, Any]) -> Dict[str, Any]:
+    def _stat_digest(self, path: str) -> Optional[str]:
+        """The last-read digest of ``path`` iff its stat signature
+        (mtime_ns, size) is unchanged — the key that lets a repeat check
+        of an on-disk file hit the hot LRU without re-reading, while any
+        write to the file (new signature) forces a fresh read and
+        fingerprint.  Never consulted as a verdict source by itself: it
+        only *names* a content digest, and all verdict state is keyed by
+        that digest."""
+        try:
+            stat = os.stat(path)
+        except OSError:
+            return None
+        signature = (stat.st_mtime_ns, stat.st_size)
+        with self._lock:
+            entry = self._stat.get(str(path))
+            if entry is not None and entry[0] == signature:
+                self._stat.move_to_end(str(path))
+                return entry[1]
+        return None
+
+    def _record_stat(
+        self,
+        path: str,
+        before: Optional[Tuple[int, int]],
+        digest: str,
+    ) -> None:
+        """Remember ``path``'s stat signature for ``digest``.
+
+        ``before`` is the signature taken *before* the read; if the file
+        changed while we were reading it (signature moved), nothing is
+        recorded — the next check re-reads rather than trusting a
+        signature that may not describe the text we fingerprinted.
+        """
+        try:
+            stat = os.stat(path)
+        except OSError:
+            return
+        signature = (stat.st_mtime_ns, stat.st_size)
+        if before is not None and signature != before:
+            return
+        with self._lock:
+            self._stat[str(path)] = (signature, digest)
+            self._stat.move_to_end(str(path))
+            while len(self._stat) > STAT_CACHE_LIMIT:
+                self._stat.popitem(last=False)
+
+    def _read_and_fingerprint(
+        self, path: str
+    ) -> Tuple[Optional[str], Optional[str]]:
+        """Read ``path`` → (text, digest), recording the stat entry.
+        Returns ``(None, error_message)`` when the file is unreadable."""
+        try:
+            before_stat = os.stat(path)
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as error:
+            return None, f"{path}: cannot read: {error}"
+        digest = fingerprint(text)
+        self._record_stat(
+            path, (before_stat.st_mtime_ns, before_stat.st_size), digest
+        )
+        return text, digest
+
+    def _op_check(
+        self, request: Dict[str, Any], cancel: Optional[CancelToken] = None
+    ) -> Dict[str, Any]:
         path = request.get("path")
         text = request.get("text")
         if (path is None) == (text is None):
             return self._error("check", "check needs exactly one of 'path' or 'text'")
         display = str(path) if path is not None else "<text>"
         if path is not None:
-            try:
-                text = Path(path).read_text(encoding="utf-8")
-            except OSError as error:
-                return self._error("check", f"{path}: cannot read: {error}")
-        assert isinstance(text, str)
-        digest = fingerprint(text)
+            digest = self._stat_digest(str(path))
+            if digest is None:
+                text, read_error_or_digest = self._read_and_fingerprint(str(path))
+                if text is None:
+                    return self._error("check", read_error_or_digest or "")
+                digest = read_error_or_digest
+        else:
+            assert isinstance(text, str)
+            digest = fingerprint(text)
+        assert isinstance(digest, str)
         self.checks += 1
 
         started = time.perf_counter()
-        hot = self._hot.get(digest)
+        with self._lock:
+            hot = self._hot.get(digest)
+            if hot is not None:
+                self._hot.move_to_end(digest)
         if TRACER.enabled:
             TRACER.point(CacheProbeEvent, cache="service.hot_modules", hit=hot is not None)
         if hot is not None:
-            self._hot.move_to_end(digest)
             self.hot_hits += 1
             if METRICS.enabled:
                 METRICS.inc("service.daemon.hot_hits")
@@ -151,7 +276,8 @@ class CheckService:
             )
 
         if self.cache is not None:
-            cached = self.cache.get(digest, EMPTY_DECLS_DIGEST)
+            with self._lock:
+                cached = self.cache.get(digest, EMPTY_DECLS_DIGEST)
             if cached is not None:
                 self.cache_hits += 1
                 return self._check_response(
@@ -160,25 +286,36 @@ class CheckService:
                     source="cache", duration_s=time.perf_counter() - started,
                 )
 
-        module = check_text(text)
+        if text is None:
+            # The stat cache knew the digest but nothing warm holds it
+            # (fresh process, evicted entry): read the bytes now.
+            assert path is not None
+            text, fresh = self._read_and_fingerprint(str(path))
+            if text is None:
+                return self._error("check", fresh or "")
+            assert isinstance(fresh, str)
+            digest = fresh  # whatever is on disk *now* is what we check
+
+        module = check_text(text, cancel=cancel)
         duration = time.perf_counter() - started
         diagnostics = [str(d) for d in module.diagnostics]
-        self._remember(digest, display, module)
-        if self.cache is not None:
-            self.cache.put(
-                digest,
-                EMPTY_DECLS_DIGEST,
-                CachedResult(
-                    ok=module.ok,
-                    diagnostics=tuple(diagnostics),
-                    clauses=len(module.program),
-                    queries=len(module.queries),
-                    duration_s=duration,
-                    checked_at=ResultCache.now(),
-                ),
-                display=display,
-            )
-            self.cache.save()
+        with self._lock:
+            self._remember(digest, display, module)
+            if self.cache is not None:
+                self.cache.put(
+                    digest,
+                    EMPTY_DECLS_DIGEST,
+                    CachedResult(
+                        ok=module.ok,
+                        diagnostics=tuple(diagnostics),
+                        clauses=len(module.program),
+                        queries=len(module.queries),
+                        duration_s=duration,
+                        checked_at=ResultCache.now(),
+                    ),
+                    display=display,
+                )
+                self.cache.save()
         return self._check_response(
             display, digest, module.ok, diagnostics,
             len(module.program), len(module.queries),
@@ -322,8 +459,10 @@ class CheckService:
             "infers": self.infers,
             "hot_hits": self.hot_hits,
             "cache_hits": self.cache_hits,
+            "cancellations": self.cancellations,
             "errors": self.errors,
             "hot_modules": len(self._hot),
+            "stat_entries": len(self._stat),
             "uptime_s": time.time() - self.started_at,
         }
         if self.cache is not None:
@@ -402,22 +541,25 @@ class CheckService:
     def _op_invalidate(self, request: Dict[str, Any]) -> Dict[str, Any]:
         path = request.get("path")
         display = str(path) if path is not None else None
-        if display is None:
-            dropped_hot = len(self._hot)
-            self._hot.clear()
-        else:
-            stale = [
-                digest
-                for digest, (entry_display, _) in self._hot.items()
-                if entry_display == display
-            ]
-            for digest in stale:
-                del self._hot[digest]
-            dropped_hot = len(stale)
-        dropped_cached = 0
-        if self.cache is not None:
-            dropped_cached = self.cache.invalidate(display)
-            self.cache.save()
+        with self._lock:
+            if display is None:
+                dropped_hot = len(self._hot)
+                self._hot.clear()
+                self._stat.clear()
+            else:
+                stale = [
+                    digest
+                    for digest, (entry_display, _) in self._hot.items()
+                    if entry_display == display
+                ]
+                for digest in stale:
+                    del self._hot[digest]
+                dropped_hot = len(stale)
+                self._stat.pop(display, None)
+            dropped_cached = 0
+            if self.cache is not None:
+                dropped_cached = self.cache.invalidate(display)
+                self.cache.save()
         return {
             "ok": True,
             "op": "invalidate",
@@ -425,6 +567,18 @@ class CheckService:
             "dropped_hot": dropped_hot,
             "dropped_cached": dropped_cached,
         }
+
+    def close(self) -> None:
+        """Orderly teardown: persist the cache, flush/close trace sinks.
+
+        Called on every daemon exit path — the ``shutdown`` op, SIGTERM
+        drain, EOF on stdin, and the async server's graceful drain — so
+        traces and the persistent cache survive restarts.
+        """
+        with self._lock:
+            if self.cache is not None:
+                self.cache.save()
+        obs.TRACER.close_sinks()
 
 
 def start_metrics_server(service: CheckService, port: int):
@@ -476,7 +630,12 @@ def start_metrics_server(service: CheckService, port: int):
 
 
 def serve(service: CheckService, in_stream: IO[str], out_stream: IO[str]) -> int:
-    """The request loop: one JSON object per line, until shutdown/EOF."""
+    """The request loop: one JSON object per line, until shutdown/EOF.
+
+    ``service.draining`` (set by the SIGTERM handler, or an operator
+    embedding the service) stops the loop *after* the in-flight request's
+    response is written — orderly drain, never a half-written line.
+    """
     for line in in_stream:
         line = line.strip()
         if not line:
@@ -486,10 +645,16 @@ def serve(service: CheckService, in_stream: IO[str], out_stream: IO[str]) -> int
         except json.JSONDecodeError as error:
             response = service._error(None, f"malformed JSON: {error}")
         else:
-            response = service.handle(request)
+            service.busy = True
+            try:
+                response = service.handle(request)
+            finally:
+                service.busy = False
         out_stream.write(json.dumps(response) + "\n")
         out_stream.flush()
         if response.get("op") == "shutdown" and response.get("ok"):
+            break
+        if service.draining:
             break
     return 0
 
@@ -531,6 +696,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         obs.reset()
         METRICS.enabled = True
     service = CheckService(cache_dir=arguments.cache_dir)
+
+    def _on_sigterm(signum: int, frame: Any) -> None:
+        # Orderly restart contract: finish the request in flight (the
+        # serve loop breaks after its response is written), and if the
+        # loop is idle — blocked reading stdin — unwind immediately so
+        # the finally block persists the cache and closes trace sinks.
+        service.draining = True
+        print("tlp-serve: SIGTERM — draining", file=sys.stderr, flush=True)
+        if not service.busy:
+            raise SystemExit(0)
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        pass  # not on the main thread (embedded/test use): no handler
     metrics_server = None
     if arguments.metrics_port is not None:
         metrics_server = start_metrics_server(service, arguments.metrics_port)
@@ -552,9 +732,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if metrics_server is not None:
             metrics_server.shutdown()
             metrics_server.server_close()
-        # Flush/close any attached trace sinks so a trace file is intact
-        # even when the daemon dies mid-request (satellite contract).
-        obs.TRACER.close_sinks()
+        # Persist the cache and flush/close any attached trace sinks so
+        # state survives orderly restarts (shutdown op, SIGTERM) *and*
+        # mid-request deaths.
+        service.close()
         METRICS.enabled = was_enabled
 
 

@@ -1,0 +1,78 @@
+"""Cooperative cancellation: tokens, clause-boundary checkpoints."""
+
+import pytest
+
+from repro.checker import CancelToken, CheckCancelled
+from repro.checker.cancel import checkpoint
+from repro.checker.frontend import check_text
+from repro.workloads import APPEND
+from repro.workloads.generators import synthetic_list_program
+
+
+def test_token_starts_live_and_cancels_once():
+    token = CancelToken()
+    assert not token.cancelled
+    token.checkpoint()  # live token: a checkpoint is a no-op
+    token.cancel()
+    assert token.cancelled
+    token.cancel()  # idempotent
+    with pytest.raises(CheckCancelled):
+        token.checkpoint()
+
+
+def test_checkpoint_error_names_the_clause_boundary():
+    token = CancelToken()
+    token.checkpoint()
+    token.checkpoint()
+    token.cancel()
+    with pytest.raises(CheckCancelled, match="checkpoint 3"):
+        token.checkpoint()
+
+
+def test_module_helper_tolerates_absent_token():
+    checkpoint(None)  # must be a no-op, not an AttributeError
+    token = CancelToken()
+    token.cancel()
+    with pytest.raises(CheckCancelled):
+        checkpoint(token)
+
+
+def test_check_text_without_token_is_unaffected():
+    module = check_text(APPEND)
+    assert module.ok
+
+
+def test_check_text_with_live_token_completes_and_counts_checkpoints():
+    token = CancelToken()
+    module = check_text(APPEND, cancel=token)
+    assert module.ok
+    # One checkpoint after parse, then at least one per clause/query.
+    assert token.checkpoints >= 1 + len(module.program)
+
+
+def test_precancelled_check_stops_at_the_first_checkpoint():
+    token = CancelToken()
+    token.cancel()
+    with pytest.raises(CheckCancelled):
+        check_text(synthetic_list_program(50), cancel=token)
+    assert token.checkpoints == 1  # parsed, then stopped immediately
+
+
+def test_cancellation_mid_run_stops_within_one_clause():
+    text = synthetic_list_program(40)
+    baseline = CancelToken()
+    check_text(text, cancel=baseline)
+
+    trip_at = baseline.checkpoints // 2
+
+    class TrippingToken(CancelToken):
+        def checkpoint(self) -> None:
+            super().checkpoint()
+            if self.checkpoints == trip_at:
+                self.cancel()
+
+    token = TrippingToken()
+    with pytest.raises(CheckCancelled):
+        check_text(text, cancel=token)
+    # Stopped at the very next clause boundary after the trip.
+    assert token.checkpoints == trip_at + 1

@@ -1,0 +1,252 @@
+"""The asyncio multi-client server: ids, concurrency, cancel, drain."""
+
+import asyncio
+import json
+
+from repro import obs
+from repro.service.aserver import AsyncCheckServer
+from repro.service.aserver.protocol import encode_line
+from repro.workloads import APPEND
+from repro.workloads.generators import synthetic_list_program
+
+ILL = "FUNC nil.\nPRED p(nope).\np(nil).\n"
+
+
+async def _connect(port):
+    return await asyncio.open_connection("127.0.0.1", port)
+
+
+async def _send(writer, message):
+    writer.write(encode_line(message))
+    await writer.drain()
+
+
+async def _recv(reader, timeout=30.0):
+    line = await asyncio.wait_for(reader.readline(), timeout=timeout)
+    assert line, "server closed the connection unexpectedly"
+    return json.loads(line.decode("utf-8"))
+
+
+def _run(client_logic, **server_kwargs):
+    """Start a server on an ephemeral TCP port, run the client logic."""
+
+    async def runner():
+        server = AsyncCheckServer(**server_kwargs)
+        _, port = await server.start_tcp()
+        try:
+            return await client_logic(server, port)
+        finally:
+            await server.shutdown()
+
+    return asyncio.run(runner())
+
+
+def test_check_roundtrip_echoes_request_ids():
+    async def logic(server, port):
+        reader, writer = await _connect(port)
+        await _send(writer, {"id": "a", "op": "check", "text": APPEND})
+        await _send(writer, {"id": "b", "op": "check", "text": ILL})
+        first = await _recv(reader)
+        second = await _recv(reader)
+        by_id = {first["id"]: first, second["id"]: second}
+        assert by_id["a"]["ok"] and by_id["a"]["well_typed"]
+        assert by_id["b"]["ok"] and not by_id["b"]["well_typed"]
+        assert by_id["b"]["diagnostics"]
+        writer.close()
+
+    _run(logic)
+
+
+def test_unknown_op_and_malformed_json_answer_errors():
+    async def logic(server, port):
+        reader, writer = await _connect(port)
+        writer.write(b"this is not json\n")
+        await writer.drain()
+        response = await _recv(reader)
+        assert not response["ok"] and "malformed" in response["error"]
+        await _send(writer, {"id": 1, "op": "frobnicate"})
+        response = await _recv(reader)
+        assert not response["ok"] and response["id"] == 1
+        writer.close()
+
+    _run(logic)
+
+
+def test_eight_concurrent_clients_are_isolated():
+    async def one_client(port, index):
+        reader, writer = await _connect(port)
+        for sequence in range(3):
+            await _send(
+                writer,
+                {"id": f"c{index}-{sequence}", "op": "check", "text": APPEND},
+            )
+        responses = [await _recv(reader) for _ in range(3)]
+        writer.close()
+        return responses
+
+    async def logic(server, port):
+        results = await asyncio.gather(
+            *(one_client(port, index) for index in range(8))
+        )
+        for index, responses in enumerate(results):
+            assert [r["id"] for r in responses] == [
+                f"c{index}-{sequence}" for sequence in range(3)
+            ]
+            assert all(r["well_typed"] for r in responses)
+
+    _run(logic)
+
+
+def test_slow_client_does_not_block_fast_client():
+    slow_text = synthetic_list_program(300)
+
+    async def logic(server, port):
+        slow_reader, slow_writer = await _connect(port)
+        fast_reader, fast_writer = await _connect(port)
+        await _send(slow_writer, {"id": 1, "op": "check", "text": slow_text})
+        # The fast client's tiny check must complete while the slow
+        # one's is still in flight on another executor thread.
+        await _send(fast_writer, {"id": 2, "op": "check", "text": APPEND})
+        fast = await _recv(fast_reader, timeout=10.0)
+        assert fast["id"] == 2 and fast["well_typed"]
+        slow = await _recv(slow_reader)
+        assert slow["id"] == 1 and slow["well_typed"]
+        slow_writer.close()
+        fast_writer.close()
+
+    _run(logic)
+
+
+def test_cancel_aborts_in_flight_check():
+    slow_text = synthetic_list_program(800)
+
+    async def logic(server, port):
+        reader, writer = await _connect(port)
+        await _send(writer, {"id": 7, "op": "check", "text": slow_text})
+        await asyncio.sleep(0.05)  # let the check reach the executor
+        await _send(writer, {"op": "cancel", "target": 7, "id": 8})
+        ack = await _recv(reader)
+        assert ack["op"] == "cancel" and ack["found"] and ack["id"] == 8
+        outcome = await _recv(reader)
+        assert outcome["id"] == 7
+        assert outcome["cancelled"] and not outcome["ok"]
+        assert "checkpoint" in outcome["error"]
+        writer.close()
+
+    _run(logic)
+
+
+def test_cancel_of_queued_request_prevents_it_running():
+    slow_text = synthetic_list_program(300)
+
+    async def logic(server, port):
+        reader, writer = await _connect(port)
+        await _send(writer, {"id": 1, "op": "check", "text": slow_text})
+        await _send(writer, {"id": 2, "op": "check", "text": slow_text})
+        await _send(writer, {"op": "cancel", "target": 2})
+        ack = await _recv(reader)
+        assert ack["op"] == "cancel" and ack["found"]
+        first = await _recv(reader)
+        second = await _recv(reader)
+        assert first["id"] == 1
+        assert second["id"] == 2 and second["cancelled"]
+        writer.close()
+
+    _run(logic)
+
+
+def test_cancel_of_unknown_target_reports_not_found():
+    async def logic(server, port):
+        reader, writer = await _connect(port)
+        await _send(writer, {"op": "cancel", "target": "nope"})
+        ack = await _recv(reader)
+        assert ack["ok"] and not ack["found"]
+        writer.close()
+
+    _run(logic)
+
+
+def test_bounded_queue_survives_a_flood():
+    async def logic(server, port):
+        reader, writer = await _connect(port)
+        total = 40  # far beyond max_queue=2: the reader must pace us
+        for sequence in range(total):
+            await _send(writer, {"id": sequence, "op": "check", "text": APPEND})
+        responses = [await _recv(reader) for _ in range(total)]
+        assert [r["id"] for r in responses] == list(range(total))
+        assert all(r["well_typed"] for r in responses)
+        writer.close()
+
+    _run(logic, max_queue=2)
+
+
+def test_shutdown_op_drains_pending_work():
+    async def logic(server, port):
+        reader, writer = await _connect(port)
+        await _send(writer, {"id": 1, "op": "check", "text": APPEND})
+        await _send(writer, {"id": 2, "op": "check", "text": APPEND})
+        await _send(writer, {"id": 3, "op": "shutdown"})
+        first = await _recv(reader)
+        second = await _recv(reader)
+        bye = await _recv(reader)
+        assert first["id"] == 1 and first["well_typed"]
+        assert second["id"] == 2 and second["well_typed"]
+        assert bye["id"] == 3 and bye["bye"]
+        await asyncio.wait_for(server.wait_closed(), timeout=10.0)
+        # Post-drain the connection is closed out from under us.
+        trailing = await asyncio.wait_for(reader.readline(), timeout=10.0)
+        assert trailing == b""
+
+    _run(logic)
+
+
+def test_new_connections_rejected_while_draining():
+    async def logic(server, port):
+        reader, writer = await _connect(port)
+        await _send(writer, {"op": "shutdown"})
+        await _recv(reader)
+        await asyncio.wait_for(server.wait_closed(), timeout=10.0)
+        try:
+            await _connect(port)
+        except OSError:
+            pass  # listener is gone — the expected outcome
+        else:
+            raise AssertionError("drained server accepted a connection")
+
+    _run(logic)
+
+
+def test_stats_and_metrics_carry_aserver_telemetry():
+    async def logic(server, port):
+        obs.METRICS.enable()
+        reader, writer = await _connect(port)
+        await _send(writer, {"id": 1, "op": "check", "text": APPEND})
+        await _recv(reader)
+        await _send(writer, {"id": 2, "op": "stats"})
+        stats = await _recv(reader)
+        assert stats["ok"] and stats["aserver"]["clients"] == 1
+        assert stats["aserver"]["max_queue"] >= 1
+        await _send(writer, {"id": 3, "op": "metrics"})
+        metrics = await _recv(reader)
+        assert "aserver_clients" in metrics["body"]
+        assert "service_aserver_requests" in metrics["body"]
+        writer.close()
+
+    _run(logic)
+
+
+def test_client_disconnect_cancels_its_inflight_work():
+    slow_text = synthetic_list_program(800)
+
+    async def logic(server, port):
+        reader, writer = await _connect(port)
+        await _send(writer, {"id": 1, "op": "check", "text": slow_text})
+        await asyncio.sleep(0.05)
+        writer.close()  # vanish mid-check
+        for _ in range(100):
+            if server.service.cancellations:
+                break
+            await asyncio.sleep(0.05)
+        assert server.service.cancellations >= 1
+
+    _run(logic)

@@ -1,0 +1,169 @@
+"""Concurrent cache writers: the lock/merge/tombstone machinery.
+
+Many ``ResultCache`` instances (think: a batch run racing a daemon, or
+several ``tlp-aserve`` executor threads) interleave ``put``/``save`` on
+one cache directory.  The contract under test: the index never corrupts,
+no writer loses another writer's entries, and explicit invalidations
+stay dead through merges.
+"""
+
+import json
+import os
+import threading
+import time
+
+from repro.service.cache import (
+    LOCK_NAME,
+    LOCK_STALE_S,
+    CachedResult,
+    ResultCache,
+)
+
+
+def _result(tag):
+    return CachedResult(
+        ok=True,
+        diagnostics=(f"diag-{tag}",),
+        clauses=1,
+        queries=0,
+        duration_s=0.0,
+        checked_at=0.0,
+    )
+
+
+def _digest(tag):
+    return f"{tag:0>64}"
+
+
+def test_interleaved_writers_lose_no_entries(tmp_path):
+    writers, per_writer = 8, 20
+    errors = []
+
+    def hammer(writer_index):
+        try:
+            cache = ResultCache(str(tmp_path))
+            for sequence in range(per_writer):
+                tag = f"w{writer_index}s{sequence}"
+                cache.put(_digest(tag), _digest("d"), _result(tag), display=tag)
+                cache.save()  # save after every put: maximal contention
+        except Exception as error:  # pragma: no cover
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=hammer, args=(index,)) for index in range(writers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+
+    # The final index is valid JSON holding every writer's every entry.
+    survivor = ResultCache(str(tmp_path))
+    assert len(survivor) == writers * per_writer
+    for writer_index in range(writers):
+        for sequence in range(per_writer):
+            tag = f"w{writer_index}s{sequence}"
+            replayed = survivor.get(_digest(tag), _digest("d"))
+            assert replayed is not None
+            assert replayed.diagnostics == (f"diag-{tag}",)
+    # No lock file left behind.
+    assert not (tmp_path / LOCK_NAME).exists()
+
+
+def test_save_merges_a_foreign_writers_entries(tmp_path):
+    ours = ResultCache(str(tmp_path))
+    ours.put(_digest("a"), _digest("d"), _result("a"), display="a")
+    ours.save()
+
+    theirs = ResultCache(str(tmp_path))
+    theirs.put(_digest("b"), _digest("d"), _result("b"), display="b")
+    theirs.save()
+
+    # Our second save must not clobber the entry `theirs` added after
+    # our load.
+    ours.put(_digest("c"), _digest("d"), _result("c"), display="c")
+    ours.save()
+
+    final = ResultCache(str(tmp_path))
+    assert len(final) == 3
+    assert final.get(_digest("b"), _digest("d")) is not None
+
+
+def test_invalidation_tombstones_survive_the_merge(tmp_path):
+    ours = ResultCache(str(tmp_path))
+    ours.put(_digest("a"), _digest("d"), _result("a"), display="victim")
+    ours.save()
+
+    # A foreign writer loads an image that still contains the victim.
+    theirs = ResultCache(str(tmp_path))
+    theirs.put(_digest("b"), _digest("d"), _result("b"), display="other")
+
+    assert ours.invalidate("victim") == 1
+    ours.save()
+    theirs.save()  # must NOT resurrect the invalidated entry
+
+    final = ResultCache(str(tmp_path))
+    assert final.get(_digest("a"), _digest("d")) is None
+    assert final.get(_digest("b"), _digest("d")) is not None
+
+
+def test_invalidate_all_clears_foreign_entries_too(tmp_path):
+    ours = ResultCache(str(tmp_path))
+    ours.put(_digest("a"), _digest("d"), _result("a"), display="a")
+    ours.save()
+
+    theirs = ResultCache(str(tmp_path))
+    theirs.put(_digest("b"), _digest("d"), _result("b"), display="b")
+    theirs.save()
+
+    ours.invalidate(None)
+    ours.save()
+
+    final = ResultCache(str(tmp_path))
+    assert len(final) == 0
+
+
+def test_stale_lock_is_broken_not_waited_out(tmp_path):
+    tmp_path.mkdir(exist_ok=True)
+    lock = tmp_path / LOCK_NAME
+    lock.write_text("99999")
+    ancient = time.time() - (LOCK_STALE_S * 10)
+    os.utime(lock, (ancient, ancient))
+
+    cache = ResultCache(str(tmp_path))
+    cache.put(_digest("a"), _digest("d"), _result("a"), display="a")
+    started = time.monotonic()
+    cache.save()
+    assert time.monotonic() - started < LOCK_STALE_S
+    assert not lock.exists()
+    assert ResultCache(str(tmp_path)).get(_digest("a"), _digest("d")) is not None
+
+
+def test_index_stays_parseable_json_throughout(tmp_path):
+    stop = threading.Event()
+    parse_errors = []
+
+    def reader():
+        index = tmp_path / "tlp-cache.json"
+        while not stop.is_set():
+            if index.exists():
+                try:
+                    json.loads(index.read_text(encoding="utf-8"))
+                except json.JSONDecodeError as error:  # pragma: no cover
+                    parse_errors.append(error)
+            time.sleep(0.001)
+
+    watcher = threading.Thread(target=reader)
+    watcher.start()
+    try:
+        for writer_index in range(4):
+            cache = ResultCache(str(tmp_path))
+            for sequence in range(10):
+                tag = f"w{writer_index}s{sequence}"
+                cache.put(_digest(tag), _digest("d"), _result(tag), display=tag)
+                cache.save()
+    finally:
+        stop.set()
+        watcher.join()
+    assert parse_errors == []

@@ -288,3 +288,136 @@ def test_stats_op_carries_histograms_and_uptime():
     for summary in histograms.values():
         assert summary["count"] >= 1
         assert "p99_s" in summary
+
+
+# -- the path→digest stat cache (hot-LRU staleness regression) ---------------
+
+
+def test_edited_file_misses_hot_lru_and_gets_fresh_verdict(tmp_path):
+    """The staleness regression: a `check` on a path whose bytes changed
+    on disk must never replay the old verdict — verdict state is keyed
+    by content digest, and the digest is re-derived once the stat
+    signature moves."""
+    service = CheckService()
+    path = tmp_path / "m.tlp"
+    path.write_text(APPEND)
+    first = service.handle({"op": "check", "path": str(path)})
+    assert first["source"] == "checked" and first["well_typed"]
+
+    # Unchanged file: stat cache + hot LRU serve it without re-checking.
+    warm = service.handle({"op": "check", "path": str(path)})
+    assert warm["source"] == "hot" and warm["digest"] == first["digest"]
+
+    # Rewrite the file with different (ill-typed) bytes.
+    path.write_text(ILL_TYPED_EXAMPLES["query_two_contexts"])
+    os.utime(path)  # fresh mtime_ns even on coarse filesystem clocks
+    edited = service.handle({"op": "check", "path": str(path)})
+    assert edited["digest"] != first["digest"]
+    assert edited["source"] == "checked"
+    assert edited["well_typed"] is False
+
+
+def test_stat_cache_counts_and_invalidation(tmp_path):
+    service = CheckService()
+    path = tmp_path / "m.tlp"
+    path.write_text(APPEND)
+    service.handle({"op": "check", "path": str(path)})
+    stats = service.handle({"op": "stats"})["stats"]
+    assert stats["stat_entries"] == 1
+    service.handle({"op": "invalidate"})
+    stats = service.handle({"op": "stats"})["stats"]
+    assert stats["stat_entries"] == 0
+
+
+def test_same_content_under_two_paths_shares_hot_state(tmp_path):
+    service = CheckService()
+    first = tmp_path / "a.tlp"
+    second = tmp_path / "b.tlp"
+    first.write_text(APPEND)
+    second.write_text(APPEND)
+    cold = service.handle({"op": "check", "path": str(first)})
+    warm = service.handle({"op": "check", "path": str(second)})
+    assert cold["digest"] == warm["digest"]
+    assert warm["source"] == "hot"  # digest-keyed, not path-keyed
+
+
+# -- cancellation through the service --------------------------------------
+
+
+def test_handle_reports_cancellation_as_structured_response():
+    from repro.checker.cancel import CancelToken
+    from repro.workloads.generators import synthetic_list_program
+
+    service = CheckService()
+    token = CancelToken()
+    token.cancel()
+    response = service.handle(
+        {"op": "check", "text": synthetic_list_program(10)}, cancel=token
+    )
+    assert response["ok"] is False
+    assert response["cancelled"] is True
+    assert "checkpoint" in response["error"]
+    assert service.cancellations == 1
+
+
+# -- graceful drain ----------------------------------------------------------
+
+
+def test_serve_drains_when_draining_flag_set():
+    service = CheckService()
+    requests = io.StringIO(
+        json.dumps({"op": "check", "text": APPEND}) + "\n"
+        + json.dumps({"op": "stats"}) + "\n"
+    )
+    out = io.StringIO()
+    service.draining = True  # as the SIGTERM handler would set it
+    serve(service, requests, out)
+    responses = [json.loads(line) for line in out.getvalue().splitlines()]
+    # The in-flight request's response was written, then the loop stopped.
+    assert len(responses) == 1
+    assert responses[0]["op"] == "check" and responses[0]["ok"]
+
+
+def test_daemon_sigterm_drains_and_persists_cache(tmp_path):
+    """A real tlp-serve process: SIGTERM → drain message, clean exit,
+    persisted cache index."""
+    import signal as signal_module
+    import time as time_module
+
+    path = tmp_path / "append.tlp"
+    path.write_text(APPEND)
+    cache_dir = tmp_path / "cache"
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.service.daemon",
+            "--cache-dir",
+            str(cache_dir),
+        ],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        process.stdin.write(json.dumps({"op": "check", "path": str(path)}) + "\n")
+        process.stdin.flush()
+        response = json.loads(process.stdout.readline())
+        assert response["well_typed"] is True
+        process.send_signal(signal_module.SIGTERM)
+        for _ in range(100):
+            if process.poll() is not None:
+                break
+            time_module.sleep(0.1)
+        assert process.poll() == 0, "daemon did not exit cleanly on SIGTERM"
+    finally:
+        if process.poll() is None:
+            process.kill()
+        _, stderr = process.communicate(timeout=30)
+    assert "draining" in stderr
+    assert (cache_dir / "tlp-cache.json").exists()

@@ -1,0 +1,213 @@
+"""Dependency-closure invalidation: graph, on_change, watcher."""
+
+import asyncio
+import os
+
+from repro import obs
+from repro.service.aserver.workspace import StatWatcher, Workspace
+
+from .conftest import APPEND_CLAUSES, REVERSE_CLAUSES, SHARED_DECLS
+
+
+def _display(workspace, name):
+    for member in workspace.project.files:
+        if member.path.name == name:
+            return member.display
+    raise AssertionError(f"no member named {name}")
+
+
+def test_dependency_graph_members_and_shared(manifest_dir):
+    workspace = Workspace([str(manifest_dir)])
+    try:
+        graph = workspace.dependency_graph()
+        members = set(workspace.member_displays())
+        assert len(members) == 2
+        for display in members:
+            assert graph[display] == [display]
+        (shared_display,) = [d for d in graph if d not in members]
+        assert set(graph[shared_display]) == members
+    finally:
+        workspace.close()
+
+
+def test_closure_of_member_shared_manifest_and_unknown(manifest_dir):
+    workspace = Workspace([str(manifest_dir)])
+    try:
+        append = manifest_dir / "members" / "append.tlp"
+        assert workspace.closure_of(str(append)) == [
+            _display(workspace, "append.tlp")
+        ]
+        everyone = sorted(workspace.member_displays())
+        assert workspace.closure_of(str(manifest_dir / "decls.tlp")) == everyone
+        assert (
+            workspace.closure_of(str(manifest_dir / "tlp-project.json"))
+            == everyone
+        )
+        assert workspace.closure_of("/no/such/file.tlp") == []
+    finally:
+        workspace.close()
+
+
+def test_member_edit_rechecks_only_that_member(manifest_dir):
+    workspace = Workspace([str(manifest_dir)])
+    try:
+        first = workspace.check_all()
+        assert first.ok and first.cache_misses == 2
+        (manifest_dir / "members" / "append.tlp").write_text(
+            APPEND_CLAUSES + "\napp(nil,nil,nil).\n"
+        )
+        report = workspace.on_change()
+        append = _display(workspace, "append.tlp")
+        assert report.changed == [append]
+        assert report.closure == [append]
+        assert report.checked == [append]
+        assert not report.declarations_changed
+        assert report.cache_hits == 1  # reverse.tlp replayed
+        assert report.cache_misses == 1
+        assert report.ok
+    finally:
+        workspace.close()
+
+
+def test_shared_prelude_edit_rechecks_the_whole_corpus(manifest_dir):
+    workspace = Workspace([str(manifest_dir)])
+    try:
+        workspace.check_all()
+        (manifest_dir / "decls.tlp").write_text(
+            SHARED_DECLS + "PRED extra(list(A)).\n"
+        )
+        report = workspace.on_change([str(manifest_dir / "decls.tlp")])
+        assert report.declarations_changed
+        everyone = sorted(workspace.member_displays())
+        assert report.closure == everyone
+        assert report.checked == everyone
+        assert report.cache_hits == 0
+    finally:
+        workspace.close()
+
+
+def test_spurious_change_event_is_all_cache_hits(manifest_dir):
+    workspace = Workspace([str(manifest_dir)])
+    try:
+        workspace.check_all()
+        report = workspace.on_change(
+            [str(manifest_dir / "members" / "append.tlp")]
+        )
+        assert report.changed == []
+        assert report.checked == []
+        assert report.cache_hits == 2
+    finally:
+        workspace.close()
+
+
+def test_removed_member_leaves_the_corpus(manifest_dir):
+    workspace = Workspace([str(manifest_dir)])
+    try:
+        workspace.check_all()
+        reverse = _display(workspace, "reverse.tlp")
+        (manifest_dir / "members" / "reverse.tlp").unlink()
+        report = workspace.on_change()
+        assert report.removed == [reverse]
+        assert reverse not in workspace.results
+        assert len(workspace.results) == 1
+    finally:
+        workspace.close()
+
+
+def test_fifty_file_corpus_only_closure_misses_the_cache(tmp_path):
+    """The acceptance bar: edit 1 of 50 members, the other 49 must be
+    cache hits — asserted through the cache-probe telemetry counters."""
+    (tmp_path / "decls.tlp").write_text(SHARED_DECLS)
+    members = tmp_path / "members"
+    members.mkdir()
+    for index in range(50):
+        clauses = APPEND_CLAUSES if index % 2 else REVERSE_CLAUSES
+        (members / f"m{index:02d}.tlp").write_text(
+            f"% member {index}\n{clauses}"
+        )
+    (tmp_path / "tlp-project.json").write_text(
+        '{"name": "fifty", "include": ["members"], "shared": ["decls.tlp"]}\n'
+    )
+    workspace = Workspace([str(tmp_path)])
+    try:
+        cold = workspace.check_all()
+        assert cold.ok and cold.cache_misses == 50
+        (members / "m07.tlp").write_text(
+            f"% member 7 (edited)\n{APPEND_CLAUSES}"
+        )
+        obs.METRICS.enable()
+        report = workspace.on_change([str(members / "m07.tlp")])
+        probe_hits = obs.METRICS.counter("service.cache.hits")
+        probe_misses = obs.METRICS.counter("service.cache.misses")
+        assert report.changed == [_display(workspace, "m07.tlp")]
+        assert report.closure == report.checked == report.changed
+        assert report.cache_hits == probe_hits == 49
+        assert report.cache_misses == probe_misses == 1
+        assert obs.METRICS.counter("service.aserver.rechecks") == 1
+    finally:
+        workspace.close()
+
+
+def test_stat_watcher_sees_edits_additions_and_deletions(manifest_dir):
+    workspace = Workspace([str(manifest_dir)])
+    try:
+        watcher = StatWatcher(workspace)
+        assert watcher.poll_once() == []
+        append = manifest_dir / "members" / "append.tlp"
+        append.write_text(APPEND_CLAUSES + "\n% touched\n")
+        os.utime(append)  # ensure a fresh mtime_ns even on coarse clocks
+        assert watcher.poll_once() == [str(append)]
+        assert watcher.poll_once() == []
+        (manifest_dir / "members" / "reverse.tlp").unlink()
+        workspace.project = workspace.project  # watch list is re-derived
+        changed = watcher.poll_once()
+        assert str(manifest_dir / "members" / "reverse.tlp") in changed
+    finally:
+        workspace.close()
+
+
+def test_stat_watcher_drives_on_change(manifest_dir):
+    workspace = Workspace([str(manifest_dir)])
+    reports = []
+
+    async def scenario():
+        watcher = StatWatcher(workspace, interval_s=0.05)
+        task = asyncio.get_running_loop().create_task(
+            watcher.run(reports.append)
+        )
+        try:
+            (manifest_dir / "members" / "append.tlp").write_text(
+                APPEND_CLAUSES + "\napp(nil,nil,nil).\n"
+            )
+            for _ in range(100):
+                if reports:
+                    break
+                await asyncio.sleep(0.05)
+        finally:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+    try:
+        workspace.check_all()
+        asyncio.run(scenario())
+        assert reports, "watcher never fired"
+        append = _display(workspace, "append.tlp")
+        assert reports[0].changed == [append]
+        assert reports[0].checked == [append]
+    finally:
+        workspace.close()
+
+
+def test_workspace_without_explicit_cache_still_replays(corpus_dir):
+    workspace = Workspace([str(corpus_dir)])
+    try:
+        first = workspace.check_all()
+        assert first.cache_misses == len(first.results) > 0
+        second = workspace.check_all()
+        assert second.cache_misses == 0
+        assert second.cache_hits == len(first.results)
+    finally:
+        workspace.close()
