@@ -225,6 +225,13 @@ def build_rows(quick: bool = False) -> List[Row]:
     aserver_rows, aserver_machine_rows = aserver_measurements(quick=quick)
     rows.extend(aserver_rows)
     MEASUREMENTS.extend(aserver_machine_rows)
+
+    # -- M1-M3: declared modes and --typed-run subject reduction -----------
+    from bench_modes import modes_measurements
+
+    modes_rows, modes_machine_rows = modes_measurements(quick=quick)
+    rows.extend(modes_rows)
+    MEASUREMENTS.extend(modes_machine_rows)
     return rows
 
 

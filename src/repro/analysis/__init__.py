@@ -58,6 +58,7 @@ from .sarif import SARIF_SCHEMA_URI, SARIF_VERSION, to_sarif
 from . import constraints as _constraints  # noqa: F401  (registration)
 from . import clauses as _clauses  # noqa: F401  (registration)
 from . import flow as _flow  # noqa: F401  (registration)
+from . import modes as _modes  # noqa: F401  (registration)
 from .absint import rules as _absint_rules  # noqa: F401  (registration)
 
 __all__ = [

@@ -57,6 +57,10 @@ class LintContext:
     pred_decls: Dict[_Indicator, PredDecl] = field(default_factory=dict)
     pred_names: Dict[str, List[int]] = field(default_factory=dict)
     mode_decls: Dict[_Indicator, ModeDecl] = field(default_factory=dict)
+    #: Indicators whose entry in ``mode_decls`` was synthesized from the
+    #: §7 inline form ``PRED p(OUT nat).`` — fix-its that rewrite the
+    #: declaration must rewrite the PRED line, not emit a MODE line.
+    inline_mode_decls: Set[_Indicator] = field(default_factory=set)
     arities: Dict[str, Set[int]] = field(default_factory=dict)
     constraint_items: List[ConstraintDecl] = field(default_factory=list)
     clause_items: List[ClauseDecl] = field(default_factory=list)
@@ -88,6 +92,14 @@ class LintContext:
                 ctx.pred_names.setdefault(item.head.functor, []).append(
                     len(item.head.args)
                 )
+                if item.modes is not None:
+                    # Inline modes are sugar for a MODE declaration; the
+                    # synthesized item points at the PRED line.
+                    if indicator not in ctx.mode_decls:
+                        ctx.mode_decls[indicator] = ModeDecl(
+                            item.head.functor, item.modes, item.position
+                        )
+                        ctx.inline_mode_decls.add(indicator)
             elif isinstance(item, ModeDecl):
                 ctx.mode_decls.setdefault((item.name, len(item.modes)), item)
             elif isinstance(item, ConstraintDecl):

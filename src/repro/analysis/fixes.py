@@ -1,0 +1,105 @@
+"""Applying machine fix-its to source text.
+
+The LSP adapter translates :class:`~repro.checker.diagnostics.FixIt`
+objects into workspace edits (``repro.service.aserver.lsp``); this
+module is the same semantics for plain text, so tests, CI gates, and
+``tlp-lint --fix``-style tooling can apply a fix-it and re-lint without
+a language client in the loop:
+
+* a fix-it whose position carries a **span** replaces exactly that
+  range with its replacement text;
+* a fix-it with replacement text but no span is applied only when the
+  replacement is a complete declaration line (``FUNC``/``TYPE``/
+  ``PRED``/``MODE``/constraint) — it is inserted on a fresh line above
+  its anchor (the fix-it's position, falling back to the diagnostic's);
+* anything else is advisory: the description carries the suggestion and
+  :func:`apply_fixits` skips it.
+
+Overlapping edits are resolved first-wins (in diagnostic order); edits
+are applied bottom-up so earlier spans stay valid.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..checker.diagnostics import Diagnostic, FixIt
+from ..lang.ast import Position
+
+__all__ = [
+    "is_machine_applicable",
+    "edit_for",
+    "apply_fixits",
+]
+
+_DECLARATION_KEYWORDS = ("FUNC", "TYPE", "PRED", "MODE")
+
+
+def _offset(text: str, line: int, column: int) -> Optional[int]:
+    """Absolute offset of 1-based ``line``/``column``, or None when out
+    of range (a stale fix-it against edited text)."""
+    lines = text.split("\n")
+    if not 1 <= line <= len(lines):
+        return None
+    base = sum(len(lines[i]) + 1 for i in range(line - 1))
+    # Column may point one past the end of the line (exclusive ends).
+    if column - 1 > len(lines[line - 1]):
+        return None
+    return base + column - 1
+
+
+def edit_for(
+    text: str, diagnostic: Diagnostic, fixit: FixIt
+) -> Optional[Tuple[int, int, str]]:
+    """The ``(start, end, replacement)`` edit for one fix-it, or None
+    when it is advisory (mirrors the LSP adapter's ``_fixit_edit``)."""
+    replacement = fixit.replacement
+    if not replacement:
+        return None
+    position = fixit.position
+    if position is not None and position.has_span:
+        start = _offset(text, position.line, position.column)
+        end = _offset(text, position.end_line, position.end_column)
+        if start is None or end is None or end < start:
+            return None
+        return start, end, replacement
+    stripped = replacement.strip()
+    if not (stripped.endswith(".") and stripped.startswith(_DECLARATION_KEYWORDS)):
+        return None  # not a declaration line: nowhere safe to splice it
+    anchor: Optional[Position] = position or diagnostic.position
+    line = anchor.line if anchor is not None else 1
+    start = _offset(text, line, 1)
+    if start is None:
+        start = len(text)
+    return start, start, replacement.rstrip("\n") + "\n"
+
+
+def is_machine_applicable(text: str, diagnostic: Diagnostic, fixit: FixIt) -> bool:
+    """True iff :func:`apply_fixits` would actually edit ``text``."""
+    return edit_for(text, diagnostic, fixit) is not None
+
+
+def apply_fixits(text: str, diagnostics: Iterable[Diagnostic]) -> str:
+    """Apply every machine-applicable fix-it of ``diagnostics``.
+
+    Overlaps resolve first-wins in diagnostic order, so when two
+    findings rewrite the same item only the first rewrite lands (the
+    second becomes stale and is expected to clear on re-lint).
+    """
+    edits: List[Tuple[int, int, str]] = []
+    for diagnostic in diagnostics:
+        for fixit in diagnostic.fixits:
+            edit = edit_for(text, diagnostic, fixit)
+            if edit is None:
+                continue
+            start, end, _ = edit
+            if any(
+                (start < e and b < end) or (start == b and end == e)
+                for b, e, _ in edits
+            ):
+                continue  # overlap (or same-point duplicate): first wins
+            edits.append(edit)
+    out = text
+    for start, end, replacement in sorted(edits, key=lambda e: (e[0], e[1]), reverse=True):
+        out = out[:start] + replacement + out[end:]
+    return out

@@ -57,10 +57,19 @@ def _declared_types(ctx: LintContext, atom: Struct) -> Optional[Tuple[Term, ...]
 class ModeInference:
     """IN/OUT positions per predicate: declared when present, otherwise
     inferred by the boundness least fixpoint described in the module
-    docstring."""
+    docstring.
 
-    def __init__(self, ctx: LintContext) -> None:
+    With ``use_declared=False`` the inference ignores ``MODE``
+    declarations for predicates *defined in the file* and reports what
+    the dataflow alone supports — the "pure" producer sets the TLP503/
+    TLP505 declaration-vs-dataflow rules compare declarations against.
+    Declaration-only predicates keep their declared modes either way
+    (there are no clauses to infer from).
+    """
+
+    def __init__(self, ctx: LintContext, use_declared: bool = True) -> None:
         self.ctx = ctx
+        self.use_declared = use_declared
         self.defined: Dict[_Indicator, List[ClauseDecl]] = {}
         for clause in ctx.clause_items:
             self.defined.setdefault(clause.head.indicator, []).append(clause)
@@ -76,6 +85,8 @@ class ModeInference:
         self._solve()
 
     def _declared_out(self, indicator: _Indicator) -> Optional[Set[int]]:
+        if not self.use_declared and indicator in self.defined:
+            return None
         mode = self.ctx.mode_decls.get(indicator)
         if mode is None:
             return None
@@ -170,6 +181,15 @@ def _check_flow(
                     continue  # sub→super: the safe direction
                 if not engine.more_general(sigma, tau):
                     continue  # incomparable: a typing problem, not a flow one
+                if (
+                    producer.indicator in ctx.mode_decls
+                    and atom.indicator in ctx.mode_decls
+                ):
+                    # Both endpoints carry explicit MODE declarations:
+                    # the flow is judged by the declared direction, and
+                    # any violation is TLP502's (with its structured
+                    # filter-insertion fix-it), not a TLP301 heuristic.
+                    continue
                 key = (var.name, position, pretty(atom))
                 if key in reported:
                     continue

@@ -23,7 +23,12 @@ Code space:
 * ``TLP2xx`` — clause/query analyses;
 * ``TLP3xx`` — dataflow (mode / information-flow) analyses;
 * ``TLP4xx`` — interprocedural success-set analyses (abstract
-  interpretation over the call graph, ``repro.analysis.absint``).
+  interpretation over the call graph, ``repro.analysis.absint``);
+* ``TLP5xx`` — declared-mode analyses (well-modedness and ill-moded
+  call sites under ``MODE`` declarations, ``repro.analysis.modes``);
+* ``TLP590`` — reserved: dynamic subject-reduction violations reported
+  by ``--typed-run`` (``repro.core.typed_run``), outside the static
+  rule registry on purpose.
 """
 
 from __future__ import annotations
@@ -48,7 +53,9 @@ __all__ = [
 #: Bumped on any change to a rule's semantics or message wording; part
 #: of the rule-set fingerprint (and hence of batch cache keys).
 #: "2": the TLP4xx success-set family + inference-backed TLP201 fix-its.
-ANALYZER_VERSION = "2"
+#: "3": the TLP5xx declared-mode family + TLP301 deferring to declared
+#: modes when both flow endpoints carry them.
+ANALYZER_VERSION = "3"
 
 #: Code attached to lexer/parser failures reported through the linter.
 SYNTAX_ERROR_CODE = "TLP001"

@@ -64,6 +64,18 @@ def _build_argument_parser() -> argparse.ArgumentParser:
         help="execute the queries of well-typed files through the typed interpreter",
     )
     parser.add_argument(
+        "--typed-run",
+        action="store_true",
+        help=(
+            "execute queries in the mode-checked configuration, asserting "
+            "Theorem 6 subject reduction at every resolution step; a query "
+            "aborts at its first ill-typed resolvent with a TLP590 "
+            "diagnostic (runs even on statically rejected files — the "
+            "dynamic witness for the static verdict; takes precedence "
+            "over --run)"
+        ),
+    )
+    parser.add_argument(
         "--max-answers",
         type=int,
         default=10,
@@ -217,6 +229,54 @@ def _run_queries(module, max_answers: int, depth_limit: int) -> int:
     return violations
 
 
+def _typed_run_queries(path: str, module, arguments) -> int:
+    """Execute queries via :class:`~repro.core.typed_run.TypedRunner`,
+    asserting subject reduction per step.  Returns the number of aborted
+    queries; each violation prints as a span-carrying TLP590 diagnostic
+    anchored at the query's source position."""
+    from ..core.typed_run import TYPED_RUN_CODE, TypedRunner
+    from .diagnostics import Diagnostic, Severity
+
+    checker = module.moded_checker or module.checker
+    if checker is None:
+        return 0
+    runner = TypedRunner(checker, module.program)
+    aborted = 0
+    for index, query in enumerate(module.queries):
+        if _has_constraint_goal(query.goals):
+            continue  # ':' queries live in the constrained execution model
+        print(f"?- {', '.join(pretty(g) for g in query.goals)}.")
+        result = runner.run(
+            query,
+            max_answers=arguments.max_answers,
+            depth_limit=arguments.depth_limit,
+        )
+        if not result.answers:
+            print("   no.")
+        for answer in result.answers:
+            _print_answer(answer)
+        if result.violation is not None:
+            aborted += 1
+            position = (
+                module.query_positions[index]
+                if index < len(module.query_positions)
+                else None
+            )
+            diagnostic = Diagnostic(
+                Severity.ERROR,
+                result.violation.render(),
+                position,
+                code=TYPED_RUN_CODE,
+            )
+            print(f"{path}:{diagnostic}")
+        else:
+            print(
+                f"   subject reduction held across {result.steps} "
+                f"resolvent(s)."
+            )
+    return aborted
+
+
 def _print_answer(answer) -> None:
     if len(answer) == 0:
         print("   yes.")
@@ -364,7 +424,11 @@ def _check_files(arguments) -> int:
     files = _expand_files(arguments)
     if files is None:
         return 2
-    if (arguments.jobs > 1 or arguments.cache_dir) and not arguments.run:
+    if (
+        (arguments.jobs > 1 or arguments.cache_dir)
+        and not arguments.run
+        and not arguments.typed_run
+    ):
         return _check_files_batched(arguments, files)
     multi = len(files) > 1
     exit_code = 0
@@ -411,7 +475,7 @@ def _check_files(arguments) -> int:
                         f"{path}: {witnesses} typing witnesses verified "
                         f"respectful"
                     )
-                if arguments.run and module.queries:
+                if arguments.run and not arguments.typed_run and module.queries:
                     violations = _run_queries(
                         module, arguments.max_answers, arguments.depth_limit
                     )
@@ -424,6 +488,19 @@ def _check_files(arguments) -> int:
                         f"({len(module.diagnostics)} diagnostics)"
                     )
                 exit_code = 1
+            # --typed-run executes whenever the pipeline built a checker
+            # (restrictions held), even for statically rejected files:
+            # the per-step re-check is the dynamic witness for the
+            # static verdict, and an ill-moded program is expected to
+            # abort at its first violating resolvent.
+            if (
+                arguments.typed_run
+                and module.checker is not None
+                and module.queries
+            ):
+                aborted = _typed_run_queries(path, module, arguments)
+                if aborted:
+                    exit_code = 1
     return exit_code
 
 

@@ -44,6 +44,7 @@ from ..lang.ast import (
     ConstraintDecl,
     FuncDecl,
     ModeDecl,
+    Position,
     PredDecl,
     QueryDecl,
     SourceFile,
@@ -78,6 +79,12 @@ class CheckedModule:
     queries: List[Query] = field(default_factory=list)
     checker: Optional[WellTypedChecker] = None
     moded_checker: Optional[ModedWellTypedChecker] = None
+    #: Source positions parallel to ``program`` / ``queries`` — the
+    #: spans typed execution (``--typed-run``) anchors its abort
+    #: diagnostics to.  Entries are ``None`` for programmatically built
+    #: modules.
+    clause_positions: List[Optional["Position"]] = field(default_factory=list)
+    query_positions: List[Optional["Position"]] = field(default_factory=list)
     #: One subtype engine for the whole module: every pipeline stage that
     #: issues ``⪰_C`` goals (moded checking, mode analysis, witness audits,
     #: typed/constrained execution) shares this instance, so its ground
@@ -206,7 +213,11 @@ def _check_source(
             bag.error(str(error), item.position)
     module.constraints = constraints
 
-    # Step 2c: predicate types and modes.
+    # Step 2c: predicate types and modes.  The Section 7 inline form
+    # ``PRED p(OUT nat).`` is sugar for ``PRED`` + ``MODE``: the inline
+    # tuple is declared into the same ModeEnv, so a conflicting
+    # standalone ``MODE`` line (either order) is a positioned error.
+    modes = ModeEnv()
     predicate_types = PredicateTypeEnv(constraints)
     for item in source.of_kind(PredDecl):
         assert isinstance(item, PredDecl)
@@ -214,9 +225,13 @@ def _check_source(
             predicate_types.declare(item.head)
         except DeclarationError as error:
             bag.error(str(error), item.position)
+        if item.modes is not None:
+            try:
+                modes.declare(item.head.functor, item.modes)
+            except DeclarationError as error:
+                bag.error(str(error), item.position)
     module.predicate_types = predicate_types
 
-    modes = ModeEnv()
     for item in source.of_kind(ModeDecl):
         assert isinstance(item, ModeDecl)
         try:
@@ -247,6 +262,7 @@ def _check_source(
                     ok = False
         if ok:
             module.program.add(Clause(item.head, item.body))
+            module.clause_positions.append(item.position)
     for item in source.of_kind(QueryDecl):
         assert isinstance(item, QueryDecl)
         ok = True
@@ -270,6 +286,7 @@ def _check_source(
                     ok = False
         if ok:
             module.queries.append(Query(item.body))
+            module.query_positions.append(item.position)
 
     # Step 3: restrictions.
     offenders = non_uniform_constraints(constraints)

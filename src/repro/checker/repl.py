@@ -45,6 +45,7 @@ _HELP = """commands:
   :types  TERM             declared constructors able to type a ground term
   :why  <goal>, ...        explain the query's well-typedness check
   :lint [CODE,...]         run the static analyzer (optionally disabling rules)
+  :modes                   declared modes + per-clause well-modedness verdicts
   :infer                   inferred success sets + reconstructed PRED lines
   :stats [on|off|reset]    telemetry: show the metrics table / toggle / zero
   :profile [on|off|reset]  span profiler: show self/cumulative table / toggle
@@ -103,6 +104,8 @@ class Repl:
             return self._why(rest)
         if command == ":lint":
             return self._lint(rest)
+        if command == ":modes":
+            return self._modes(rest)
         if command == ":infer":
             return self._infer(rest)
         if command == ":stats":
@@ -131,6 +134,38 @@ class Repl:
         out.append(
             f"{len(report.errors)} error(s), {len(report.warnings)} warning(s)"
         )
+        return out
+
+    def _modes(self, rest: str) -> List[str]:
+        """``:modes``: the Section 7 mode environment plus each clause's
+        moded-well-typedness verdict (strict or directional)."""
+        if rest:
+            return ["usage: :modes (no arguments)"]
+        modes = self.module.modes
+        if modes is None or not len(modes):
+            return [
+                "no MODE declarations in the loaded module "
+                "(strict Definition 16 applies everywhere)"
+            ]
+        from ..lang.render import render_modes
+
+        out = render_modes(modes).splitlines()
+        moded = self.module.moded_checker
+        if moded is None:
+            return out
+        out.append("")
+        for clause in self.module.program:
+            if any(
+                goal.functor == ":" and len(goal.args) == 2
+                for goal in clause.body
+            ):
+                out.append(f"{clause}  --  constrained (checked dynamically)")
+                continue
+            report = moded.check_clause(clause)
+            if report.well_typed:
+                out.append(f"{clause}  --  well-moded via {report.via}")
+            else:
+                out.append(f"{clause}  --  NOT well-moded: {report.reason}")
         return out
 
     def _infer(self, rest: str) -> List[str]:

@@ -32,6 +32,12 @@ from .semantics import GeneralTypeSemantics, TypeSemantics, herbrand_universe
 from .subtype import SubtypeEngine, SubtypeStats
 from .subtype_sld import NaiveSubtypeProver, NaiveVerdict
 from .typed_resolution import TypedExecutionError, TypedExecutionResult, TypedInterpreter
+from .typed_run import (
+    TYPED_RUN_CODE,
+    SubjectReductionViolation,
+    TypedRunResult,
+    TypedRunner,
+)
 from .typing import (
     in_agreement,
     is_respectful_typing,
@@ -91,6 +97,10 @@ __all__ = [
     "ProgramReport",
     "AtomCheck",
     "TypedInterpreter",
+    "TYPED_RUN_CODE",
+    "SubjectReductionViolation",
+    "TypedRunResult",
+    "TypedRunner",
     "TypedExecutionResult",
     "TypedExecutionError",
     # extensions

@@ -42,7 +42,16 @@ from .declarations import ConstraintSet, DeclarationError
 from .predicate_types import PredicateTypeEnv
 from .subtype import SubtypeEngine
 
-__all__ = ["IN", "OUT", "ModeEnv", "ModeViolation", "ModeChecker", "ModeReport"]
+__all__ = [
+    "IN",
+    "OUT",
+    "FLOW",
+    "UNPRODUCED",
+    "ModeEnv",
+    "ModeViolation",
+    "ModeChecker",
+    "ModeReport",
+]
 
 IN = "IN"
 OUT = "OUT"
@@ -78,14 +87,33 @@ class ModeEnv:
         return len(self._modes)
 
 
+#: :attr:`ModeViolation.kind` values.
+FLOW = "flow"  # produced at a type that does not flow into the consumer
+UNPRODUCED = "unproduced"  # consumed before any production
+
+
 @dataclass
 class ModeViolation:
-    """One direction-safety failure."""
+    """One direction-safety failure.
+
+    Beyond the human-readable ``reason``, the violation carries the
+    structured facts tooling needs to *repair* the program: the failure
+    ``kind``, the production type ``produced_type`` / consumer type
+    ``consumer_type`` of a :data:`FLOW` failure (the filter predicate to
+    insert is ``produced_type``→``consumer_type``), and whether the
+    consuming occurrence is the clause head's ``OUT`` epilogue
+    (``at_head``) or a body goal.  ``TLP502``'s machine-applicable
+    fix-its are generated from exactly these fields.
+    """
 
     atom: Struct
     position: int  # 0-based argument position
     variable: Var
     reason: str
+    kind: str = FLOW  # FLOW | UNPRODUCED
+    produced_type: Optional[Term] = None  # σ of a FLOW failure
+    consumer_type: Optional[Term] = None  # τ of a FLOW failure
+    at_head: bool = False  # consumer is the head's OUT epilogue
 
     def __str__(self) -> str:
         return (
@@ -157,7 +185,10 @@ class ModeChecker:
         for position, (arg, arg_type) in enumerate(zip(clause.head.args, declared.args)):
             mode = head_modes[position] if head_modes else IN
             if mode == OUT:
-                self._consume(clause.head, position, arg, arg_type, produced, report)
+                self._consume(
+                    clause.head, position, arg, arg_type, produced, report,
+                    at_head=True,
+                )
         return report
 
     def check_program(self, program: Program) -> List[Tuple[Clause, ModeReport]]:
@@ -194,6 +225,7 @@ class ModeChecker:
         arg_type: Term,
         produced: Dict[Var, List[Term]],
         report: ModeReport,
+        at_head: bool = False,
     ) -> None:
         for var in variables_of(arg):
             productions = produced.get(var)
@@ -204,6 +236,9 @@ class ModeChecker:
                         position,
                         var,
                         "consumed in an IN position before being produced",
+                        kind=UNPRODUCED,
+                        consumer_type=arg_type,
+                        at_head=at_head,
                     )
                 )
                 continue
@@ -216,5 +251,9 @@ class ModeChecker:
                             var,
                             f"produced at type {pretty(sigma)}, which does not "
                             f"flow into consumer type {pretty(arg_type)}",
+                            kind=FLOW,
+                            produced_type=sigma,
+                            consumer_type=arg_type,
+                            at_head=at_head,
                         )
                     )

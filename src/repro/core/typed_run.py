@@ -1,0 +1,187 @@
+"""``--typed-run``: subject reduction asserted per resolution step.
+
+Theorem 6 (Consistency) promises that every resolvent of a well-typed
+query against a well-typed program stays well-typed.  For the Section 7
+moded extension the corresponding guarantee is Theorem 6 of
+Smaus–Fages–Deransart ("Using Modes to Ensure Subject Reduction for
+Typed Logic Programs with Subtyping"): a well-*moded* program keeps its
+resolvents well-typed even when information widens sub→supertype
+through mode declarations.
+
+:class:`TypedRunner` is the dynamic witness for both: it drives the
+stock SLD engine and re-checks **every** resolvent through the module's
+checker — :class:`~repro.core.moded_welltyped.ModedWellTypedChecker`
+when ``MODE`` declarations are present, the strict Definition 16
+:class:`~repro.core.welltyped.WellTypedChecker` otherwise.  Unlike
+:class:`~repro.core.typed_resolution.TypedInterpreter` (the experiment
+harness, which *collects* violations), the runner **aborts** at the
+first violated resolvent: the recorded
+:class:`SubjectReductionViolation` carries the step index, the
+offending resolvent, and the checker's reason, and the CLI renders it
+as a span-carrying diagnostic under :data:`TYPED_RUN_CODE`.
+
+Telemetry rides under ``typed_run.*`` (steps, violations, queries,
+answers, aborts, and the ``typed_run.query`` timer) and every step
+emits a :class:`~repro.obs.events.SubjectReductionEvent` when tracing
+is on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from ..lp.clause import Program, Query
+from ..lp.database import Database
+from ..lp.resolution import SLDEngine
+from ..obs import METRICS, TRACER, SubjectReductionEvent
+from ..terms.pretty import pretty
+from ..terms.substitution import Substitution
+from ..terms.term import Struct
+from .moded_welltyped import ModedClauseReport, ModedWellTypedChecker
+from .welltyped import WellTypedChecker
+
+__all__ = [
+    "TYPED_RUN_CODE",
+    "SubjectReductionViolation",
+    "TypedRunResult",
+    "TypedRunner",
+]
+
+#: Stable diagnostic code for a dynamic subject-reduction violation —
+#: outside the registered TLP5xx *static* rule family on purpose: the
+#: verdict comes from execution, not from a lint pass.
+TYPED_RUN_CODE = "TLP590"
+
+
+@dataclass(frozen=True)
+class SubjectReductionViolation:
+    """The first resolvent that failed its per-step re-check."""
+
+    step: int  # 1-based resolution step within the query
+    goals: Tuple[Struct, ...]  # the offending resolvent
+    reason: str  # the checker's rejection reason
+    via: Optional[str] = None  # "strict" | "directional" (moded checker only)
+
+    def render(self) -> str:
+        resolvent = ", ".join(pretty(goal) for goal in self.goals)
+        return (
+            f"subject reduction violated at resolution step {self.step}: "
+            f"resolvent `{resolvent}` is not well-typed — {self.reason}"
+        )
+
+
+@dataclass
+class TypedRunResult:
+    """Answers plus the per-step evidence for one query."""
+
+    query: Query
+    answers: List[Substitution] = field(default_factory=list)
+    steps: int = 0
+    violation: Optional[SubjectReductionViolation] = None
+
+    @property
+    def ok(self) -> bool:
+        """True iff every resolvent passed its subject-reduction check."""
+        return self.violation is None
+
+    @property
+    def aborted(self) -> bool:
+        return self.violation is not None
+
+
+class _Abort(Exception):
+    """Internal: unwinds the SLD engine at the first violated resolvent."""
+
+    def __init__(self, violation: SubjectReductionViolation) -> None:
+        super().__init__(violation.reason)
+        self.violation = violation
+
+
+class TypedRunner:
+    """SLD execution in the mode-checked configuration of Theorem 6.
+
+    ``checker`` is whatever the frontend built for the module: the moded
+    checker for files with ``MODE`` declarations (so widening clauses
+    like ``nat2int(X, X)`` do not trip false alarms), the strict
+    Definition 16 checker otherwise.  Both expose ``check_resolvent``.
+    """
+
+    def __init__(
+        self,
+        checker: Union[WellTypedChecker, ModedWellTypedChecker],
+        program: Program,
+        first_arg_indexing: bool = True,
+    ) -> None:
+        self.checker = checker
+        self.database = Database(program, first_arg_indexing=first_arg_indexing)
+
+    def run(
+        self,
+        query: Query,
+        max_answers: Optional[int] = None,
+        depth_limit: Optional[int] = None,
+        abort_on_violation: bool = True,
+    ) -> TypedRunResult:
+        """Execute ``query``, asserting subject reduction at every step.
+
+        With ``abort_on_violation`` (the default) the run stops at the
+        first ill-typed resolvent and the result records it; otherwise
+        the first violation is still recorded but execution continues —
+        useful for measuring how far an ill-moded program runs.
+        """
+        result = TypedRunResult(query)
+
+        def on_resolvent(goals: Tuple[Struct, ...]) -> None:
+            result.steps += 1
+            if METRICS.enabled:
+                METRICS.inc("typed_run.steps")
+            if not goals:
+                return  # the empty clause: success, trivially well-typed
+            report = self.checker.check_resolvent(goals)
+            via = report.via if isinstance(report, ModedClauseReport) else "strict"
+            if TRACER.enabled:
+                TRACER.point(
+                    SubjectReductionEvent,
+                    step=result.steps,
+                    size=len(goals),
+                    well_typed=bool(report.well_typed),
+                    via=via,
+                    reason=None if report.well_typed else report.reason,
+                )
+            if report.well_typed:
+                return
+            violation = SubjectReductionViolation(
+                step=result.steps,
+                goals=goals,
+                reason=report.reason or "unknown",
+                via=via,
+            )
+            if METRICS.enabled:
+                METRICS.inc("typed_run.violations")
+            if result.violation is None:
+                result.violation = violation
+            if abort_on_violation:
+                raise _Abort(violation)
+
+        engine = SLDEngine(self.database, on_resolvent=on_resolvent)
+        if METRICS.enabled:
+            METRICS.inc("typed_run.queries")
+        detail = (
+            ", ".join(pretty(goal) for goal in query.goals)
+            if TRACER.enabled
+            else ""
+        )
+        with METRICS.time("typed_run.query"), TRACER.span("typed_run", detail):
+            try:
+                for answer in engine.solve(query.goals, depth_limit=depth_limit):
+                    result.answers.append(answer)
+                    if max_answers is not None and len(result.answers) >= max_answers:
+                        break
+            except _Abort:
+                if METRICS.enabled:
+                    METRICS.inc("typed_run.aborts")
+        if METRICS.enabled:
+            METRICS.inc("typed_run.answers", len(result.answers))
+            METRICS.gauge_max("typed_run.max_steps_per_query", result.steps)
+        return result

@@ -91,10 +91,17 @@ class ConstraintDecl:
 
 @dataclass(frozen=True)
 class PredDecl:
-    """``PRED p(τ1, ..., τn).`` — a predicate type (Definition 14)."""
+    """``PRED p(τ1, ..., τn).`` — a predicate type (Definition 14).
+
+    The Section 7 inline form ``PRED p(OUT nat).`` / ``PRED q(IN int).``
+    (the paper's own concrete syntax for the modes sketch) attaches one
+    ``IN``/``OUT`` keyword per argument position; ``modes`` is then a
+    tuple parallel to ``head.args``, and ``None`` for the plain form.
+    """
 
     head: Struct
     position: Position
+    modes: Optional[Tuple[str, ...]] = None
 
 
 @dataclass(frozen=True)

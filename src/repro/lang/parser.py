@@ -7,7 +7,7 @@ Grammar (items end with ``.``):
    file        := item* EOF
    item        := 'FUNC' namelist '.'
                 | 'TYPE' namelist '.'
-                | 'PRED' atom '.'
+                | 'PRED' name ( '(' predarg (',' predarg)* ')' )? '.'
                 | 'MODE' name '(' mode (',' mode)* ')' '.'
                 | ':-' atoms '.'                     (query)
                 | union '>=' union '.'               (subtype constraint)
@@ -19,7 +19,14 @@ Grammar (items end with ``.``):
    primary     := variable
                 | atom
                 | '(' union ')'
+   predarg     := mode? union                        (§7 inline modes)
    mode        := 'IN' | 'OUT'
+
+``predarg`` is the paper's Section 7 surface form ``PRED p(OUT nat).``:
+an optional ``IN``/``OUT`` keyword before each argument type.  Either
+every argument carries a mode or none does — a partial annotation is a
+parse error.  The annotated form is sugar for the plain ``PRED`` plus a
+``MODE`` declaration.
 
 ``union`` builds the predefined binary ``+`` type constructor; it is
 accepted in every term position (the core layer rejects ``+`` where it is
@@ -29,7 +36,7 @@ a union or a variable head is a parse error.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..terms.term import Struct, Term, Var
 from ..terms.pretty import UNION_TYPE
@@ -199,9 +206,9 @@ class _Parser:
                 return TypeDecl(names, self._span(token))
             if token.text == "PRED":
                 self.advance()
-                head = self.atom()
+                head, inline_modes = self.pred_head()
                 self.expect(TokenKind.DOT, "'.'")
-                return PredDecl(head, self._span(token))
+                return PredDecl(head, self._span(token), inline_modes)
             if token.text == "MODE":
                 self.advance()
                 name = self.expect(TokenKind.NAME, "a predicate name").text
@@ -233,6 +240,40 @@ class _Parser:
             body = self.query_goals()
         self.expect(TokenKind.DOT, "'.'")
         return ClauseDecl(lhs, body, self._span(token))
+
+    def pred_head(self) -> Tuple[Struct, Optional[Tuple[str, ...]]]:
+        """A ``PRED`` declaration head, with optional §7 inline modes.
+
+        ``PRED p(OUT nat, IN int).`` returns ``(p(nat, int),
+        ("OUT", "IN"))``; the plain form returns ``(head, None)``.
+        Mixing annotated and unannotated positions is a parse error.
+        """
+        anchor = self.current
+        name = self.expect(TokenKind.NAME, "a predicate name").text
+        if not self.accept(TokenKind.LPAREN):
+            return Struct(name, ()), None
+        args: List[Term] = []
+        modes: List[Optional[str]] = []
+        while True:
+            if self.check(TokenKind.KEYWORD, "IN") or self.check(
+                TokenKind.KEYWORD, "OUT"
+            ):
+                modes.append(self.advance().text)
+            else:
+                modes.append(None)
+            args.append(self.union())
+            if not self.accept(TokenKind.COMMA):
+                break
+        self.expect(TokenKind.RPAREN, "')'")
+        annotated = sum(1 for mode in modes if mode is not None)
+        if annotated == 0:
+            return Struct(name, tuple(args)), None
+        if annotated != len(modes):
+            raise ParseError(
+                "either every PRED argument carries an IN/OUT mode or none does",
+                anchor,
+            )
+        return Struct(name, tuple(args)), tuple(modes)  # type: ignore[arg-type]
 
     def mode(self) -> str:
         token = self.current

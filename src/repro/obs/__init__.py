@@ -43,6 +43,7 @@ from .events import (
     MatchCallEvent,
     PhaseEvent,
     ResolventCheckEvent,
+    SubjectReductionEvent,
     SldStepEvent,
     SubtypeGoalEvent,
     TraceEvent,
@@ -99,6 +100,7 @@ __all__ = [
     "SldStepEvent",
     "MatchCallEvent",
     "ResolventCheckEvent",
+    "SubjectReductionEvent",
     "CacheProbeEvent",
     "PhaseEvent",
 ]

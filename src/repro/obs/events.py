@@ -33,6 +33,7 @@ __all__ = [
     "SldStepEvent",
     "MatchCallEvent",
     "ResolventCheckEvent",
+    "SubjectReductionEvent",
     "CacheProbeEvent",
     "PhaseEvent",
 ]
@@ -106,6 +107,26 @@ class ResolventCheckEvent(TraceEvent):
 
     size: int = 0
     well_typed: bool = True
+    reason: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SubjectReductionEvent(TraceEvent):
+    """One ``--typed-run`` per-step subject-reduction assertion.
+
+    Emitted by :class:`~repro.core.typed_run.TypedRunner` for every
+    resolution step: ``step`` is the 1-based step index within the
+    query, ``via`` records which checker judged the resolvent
+    (``strict`` Definition 16 or the ``directional`` moded fallback),
+    and a failed assertion carries the checker's ``reason``.
+    """
+
+    kind: ClassVar[str] = "typed_run_step"
+
+    step: int = 0
+    size: int = 0
+    well_typed: bool = True
+    via: Optional[str] = None
     reason: Optional[str] = None
 
 

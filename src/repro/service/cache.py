@@ -62,7 +62,10 @@ __all__ = ["CHECKER_VERSION", "CachedResult", "ResultCache"]
 #: "3": cached records may hold inferred ``PRED`` declarations from the
 #: success-set analysis (``--infer``) — pre-inference indexes must not
 #: replay.
-CHECKER_VERSION = "3"
+#: "4": the §7 inline ``PRED p(OUT nat).`` form changes frontend
+#: verdicts, and the TLP5xx mode rules change lint findings — pre-mode
+#: indexes must not replay.
+CHECKER_VERSION = "4"
 
 INDEX_NAME = "tlp-cache.json"
 LOCK_NAME = INDEX_NAME + ".lock"

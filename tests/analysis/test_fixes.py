@@ -1,0 +1,77 @@
+"""Applying machine fix-its to plain text (repro.analysis.fixes)."""
+
+from repro.analysis.fixes import apply_fixits, edit_for, is_machine_applicable
+from repro.checker.diagnostics import Diagnostic, FixIt, Severity
+from repro.lang.ast import Position
+
+
+def span(line, column, end_line, end_column):
+    return Position(line, column, end_line=end_line, end_column=end_column)
+
+
+def diagnostic(fixits, position=None):
+    return Diagnostic(
+        Severity.WARNING, "test finding", position or span(1, 1, 1, 2),
+        code="TLP999", fixits=tuple(fixits),
+    )
+
+
+TEXT = "FUNC nil.\nPRED p(t).\np(nil).\n"
+
+
+def test_span_fixit_replaces_exactly_its_range():
+    fixit = FixIt("rename", "q", span(3, 1, 3, 2))
+    assert apply_fixits(TEXT, [diagnostic([fixit])]) == (
+        "FUNC nil.\nPRED p(t).\nq(nil).\n"
+    )
+
+
+def test_declaration_fixit_inserts_above_its_anchor():
+    fixit = FixIt("declare t", "TYPE t.", Position(2, 1))
+    fixed = apply_fixits(TEXT, [diagnostic([fixit])])
+    assert fixed == "FUNC nil.\nTYPE t.\nPRED p(t).\np(nil).\n"
+
+
+def test_declaration_fixit_falls_back_to_the_diagnostic_position():
+    fixit = FixIt("declare t", "TYPE t.")
+    fixed = apply_fixits(TEXT, [diagnostic([fixit], position=span(1, 1, 1, 5))])
+    assert fixed.startswith("TYPE t.\nFUNC nil.")
+
+
+def test_advisory_fixit_without_replacement_is_skipped():
+    fixit = FixIt("think about it")
+    assert not is_machine_applicable(TEXT, diagnostic([fixit]), fixit)
+    assert apply_fixits(TEXT, [diagnostic([fixit])]) == TEXT
+
+
+def test_spanless_non_declaration_replacement_is_advisory():
+    # Nowhere safe to splice a bare term without a span.
+    fixit = FixIt("use q", "q(nil)")
+    assert edit_for(TEXT, diagnostic([fixit]), fixit) is None
+
+
+def test_stale_fixit_beyond_the_text_is_skipped():
+    fixit = FixIt("rename", "q", span(99, 1, 99, 2))
+    assert edit_for(TEXT, diagnostic([fixit]), fixit) is None
+
+
+def test_overlapping_edits_resolve_first_wins():
+    first = FixIt("rename to q", "q", span(3, 1, 3, 2))
+    second = FixIt("rewrite the clause", "r(nil).", span(3, 1, 3, 8))
+    fixed = apply_fixits(
+        TEXT, [diagnostic([first]), diagnostic([second])]
+    )
+    assert "q(nil)." in fixed and "r(nil)." not in fixed
+
+
+def test_same_point_duplicate_insert_applies_once():
+    fixit = FixIt("declare t", "TYPE t.", Position(2, 1))
+    fixed = apply_fixits(TEXT, [diagnostic([fixit]), diagnostic([fixit])])
+    assert fixed.count("TYPE t.") == 1
+
+
+def test_disjoint_edits_apply_bottom_up_without_offset_drift():
+    early = FixIt("rename p", "q", span(2, 6, 2, 7))
+    late = FixIt("rename call", "q", span(3, 1, 3, 2))
+    fixed = apply_fixits(TEXT, [diagnostic([early]), diagnostic([late])])
+    assert fixed == "FUNC nil.\nPRED q(t).\nq(nil).\n"

@@ -146,3 +146,57 @@ app(cons(X,L),M,cons(X,N)) :- app(L,M,N).
 :- app(cons(nil,nil), nil, R).
 """
     assert tlp301(text) == []
+
+
+# -- explicit MODE declarations are ground truth ------------------------------
+
+PRODUCES_INT = INT_NAT + "makeint(zero).\nmakeint(negsucc(zero)).\n"
+DANGEROUS = ":- makeint(X), usenat(X).\n"
+
+
+def test_unmoded_supertype_flow_still_fires_tlp301():
+    assert len(tlp301(PRODUCES_INT + DANGEROUS)) == 1
+
+
+def test_declared_in_overrides_the_inferred_out():
+    # Inference says makeint's position is OUT (its facts ground it),
+    # but the explicit declaration claims IN — the declaration wins, so
+    # the TLP301 heuristic sees no producer.  (TLP502 then reports the
+    # consumption-before-production under the declared regime.)
+    text = PRODUCES_INT + "MODE makeint(IN).\n" + DANGEROUS
+    assert tlp301(text) == []
+
+
+def test_both_endpoints_moded_defers_to_tlp502():
+    text = (
+        PRODUCES_INT
+        + "MODE makeint(OUT).\nMODE usenat(IN).\n"
+        + DANGEROUS
+    )
+    assert tlp301(text) == []
+    codes = [d.code for d in lint_text(text).diagnostics]
+    assert "TLP502" in codes
+
+
+def test_single_moded_endpoint_keeps_the_heuristic():
+    # Only the consumer declares a mode: the suppression needs both
+    # flow endpoints declared, so the heuristic finding stays.
+    text = PRODUCES_INT + "MODE usenat(IN).\n" + DANGEROUS
+    assert len(tlp301(text)) == 1
+
+
+def test_pure_inference_ignores_declarations_for_defined_predicates():
+    from repro.analysis.context import LintContext
+    from repro.lang.parser import parse_file
+
+    from repro.terms.term import Struct, Var
+
+    text = PRODUCES_INT + "MODE makeint(IN).\n"
+    ctx = LintContext.build(parse_file(text))
+    declared = ModeInference(ctx)
+    pure = ModeInference(ctx, use_declared=False)
+    atom = Struct("makeint", (Var("X"),))
+    # With declarations honored the IN claim wins over the dataflow;
+    # the pure view still sees the facts grounding the position.
+    assert declared.producer_positions(atom) == set()
+    assert pure.producer_positions(atom) == {0}

@@ -25,6 +25,7 @@ def test_default_registry_has_all_builtin_rules():
         "TLP201", "TLP202", "TLP203", "TLP204",
         "TLP301",
         "TLP401", "TLP402", "TLP403", "TLP404",
+        "TLP501", "TLP502", "TLP503", "TLP504", "TLP505",
     ]
 
 

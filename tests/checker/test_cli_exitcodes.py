@@ -173,3 +173,47 @@ def test_trace_to_unwritable_path_exits_two(tmp_path):
     completed = tlp_check(f"--trace={tmp_path}/no/such/dir/t.jsonl", ARITHMETIC)
     assert completed.returncode == 2
     assert "cannot write trace" in completed.stderr
+
+
+# -- --typed-run: dynamic subject reduction -----------------------------------
+
+MODES_EXAMPLE = str(REPO_ROOT / "examples" / "programs" / "modes.tlp")
+
+ILL_MODED = """\
+TYPE nat, int.
+FUNC 0, pred.
+int >= nat.
+nat >= 0.
+int >= pred(int).
+PRED makeint(int).
+MODE makeint(OUT).
+makeint(pred(0)).
+PRED usenat(nat).
+MODE usenat(IN).
+usenat(0).
+:- makeint(X), usenat(X).
+"""
+
+
+def test_typed_run_well_moded_exits_zero():
+    result = tlp_check("--typed-run", MODES_EXAMPLE)
+    assert result.returncode == 0
+    assert "subject reduction held" in result.stdout
+    assert "TLP590" not in result.stdout
+
+
+def test_typed_run_ill_moded_aborts_with_spanned_tlp590(write):
+    path = write("ill.tlp", ILL_MODED)
+    result = tlp_check("--typed-run", path)
+    assert result.returncode == 1
+    assert "TLP590" in result.stdout
+    assert "subject reduction violated at resolution step 1" in result.stdout
+    # The diagnostic anchors to the query's span (line 12).
+    assert f"{path}:12:1" in result.stdout
+
+
+def test_typed_run_takes_precedence_over_run(write):
+    path = write("ill.tlp", ILL_MODED)
+    result = tlp_check("--typed-run", "--run", path)
+    assert result.returncode == 1
+    assert "TLP590" in result.stdout

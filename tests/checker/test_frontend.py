@@ -233,3 +233,51 @@ nat2int(X, X).
 """
     module = check_text(source)
     assert module.ok, module.diagnostics.render()
+
+
+def test_inline_pred_modes_thread_into_the_mode_environment():
+    source = """
+FUNC 0, succ, pred.
+TYPE nat, unnat, int.
+nat >= 0 + succ(nat).
+unnat >= 0 + pred(unnat).
+int >= nat + unnat.
+PRED nat2int(IN nat, OUT int).
+nat2int(X, X).
+"""
+    module = check_text(source)
+    assert module.ok, module.diagnostics.render()
+    assert module.modes is not None
+    assert dict(module.modes.items())[("nat2int", 2)] == ("IN", "OUT")
+    assert module.moded_checker is not None
+
+
+def test_conflicting_inline_and_standalone_modes_rejected():
+    source = """
+FUNC 0.
+TYPE nat.
+nat >= 0.
+PRED p(IN nat).
+MODE p(OUT).
+p(0).
+"""
+    module = check_text(source)
+    assert not module.ok
+    assert "p" in module.diagnostics.render()
+
+
+def test_clause_and_query_positions_are_recorded():
+    source = """\
+FUNC nil.
+TYPE t.
+t >= nil.
+PRED p(t).
+p(nil).
+:- p(nil).
+"""
+    module = check_text(source)
+    assert module.ok
+    assert len(module.clause_positions) == len(module.program)
+    assert len(module.query_positions) == len(module.queries)
+    assert module.clause_positions[0].line == 5
+    assert module.query_positions[0].line == 6

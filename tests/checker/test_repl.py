@@ -145,3 +145,52 @@ def test_profile_command_cycle():
     assert "(no spans profiled)" in text  # after :profile reset
     assert out[-1] == "profiler off"
     assert not obs.TRACER.enabled
+
+
+MODED_SOURCE = """\
+TYPE nat, int.
+FUNC 0, succ, pred.
+int >= nat.
+nat >= 0 + succ(nat).
+int >= pred(int).
+PRED produce(nat).
+MODE produce(OUT).
+produce(succ(0)).
+PRED nat2int(nat, int).
+MODE nat2int(IN, OUT).
+nat2int(X, X).
+"""
+
+
+def test_modes_command_lists_declarations_and_verdicts():
+    out = run_session(MODED_SOURCE, [":modes"])
+    assert any("produce(OUT)" in line for line in out)
+    assert any("nat2int(IN, OUT)" in line for line in out)
+    # The plain fact passes strictly; the widening echo clause needs
+    # the directional fallback.
+    assert any(
+        "produce(succ(0))" in line and "well-moded via strict" in line
+        for line in out
+    )
+    assert any(
+        "nat2int(X, X)" in line and "well-moded via directional" in line
+        for line in out
+    )
+
+
+def test_modes_command_without_declarations():
+    out = run_session(APPEND, [":modes"])
+    assert out == [
+        "no MODE declarations in the loaded module "
+        "(strict Definition 16 applies everywhere)"
+    ]
+
+
+def test_modes_command_rejects_arguments():
+    out = run_session(MODED_SOURCE, [":modes produce"])
+    assert out == ["usage: :modes (no arguments)"]
+
+
+def test_help_mentions_modes():
+    out = run_session(APPEND, [":help"])
+    assert any(":modes" in line for line in out)

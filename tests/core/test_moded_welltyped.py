@@ -145,3 +145,62 @@ def test_check_program(setting):
     program = Program([clause("nat2int(X, X)."), clause("app(nil, L, L).")])
     results = checker.check_program(program)
     assert all(report.well_typed for _, report in results)
+
+
+# -- _solve_commitments directly ---------------------------------------------
+
+
+def commitments(setting, equations=(), covers=(), rigid=()):
+    from repro.lang import parse_term as T
+    from repro.terms import Var
+
+    checker = checker_for(setting)
+    to_pairs = lambda pairs: [(Var(n), T(t)) for n, t in pairs]
+    return checker._solve_commitments(
+        to_pairs(equations), to_pairs(covers), {Var(n) for n in rigid}
+    )
+
+
+def test_solve_commitments_unifies_shape_equations(setting):
+    from repro.lang import parse_term as T
+    from repro.terms import Var
+
+    solution = commitments(setting, equations=[("X", "nat")])
+    assert solution is not None
+    assert solution.apply(Var("X")) == T("nat")
+
+
+def test_solve_commitments_conflicting_equations_fail(setting):
+    assert commitments(setting, equations=[("X", "nat"), ("X", "int")]) is None
+
+
+def test_solve_commitments_rejects_covers_on_rigid_variables(setting):
+    # A rigid (head-committed) variable may not be re-inferred from
+    # body cover constraints.
+    assert commitments(setting, covers=[("X", "nat")], rigid=["X"]) is None
+
+
+def test_solve_commitments_infers_a_common_cover_type(setting):
+    from repro.terms import Var
+
+    cset, _, _ = setting
+    from repro.core import SubtypeEngine
+
+    solution = commitments(setting, covers=[("X", "nat"), ("X", "int")])
+    assert solution is not None
+    committed = solution.apply(Var("X"))
+    engine = SubtypeEngine(cset)
+    from repro.lang import parse_term as T
+
+    # The inferred commitment covers both demanded types.
+    assert engine.more_general(committed, T("nat"))
+    assert engine.more_general(committed, T("int"))
+
+
+def test_solve_commitments_bound_cover_is_skipped(setting):
+    # An equation binds X first; the cover on the now-bound variable is
+    # checked by the flow conditions instead, so solving still succeeds.
+    solution = commitments(
+        setting, equations=[("X", "nat")], covers=[("X", "int")]
+    )
+    assert solution is not None

@@ -168,3 +168,63 @@ def test_mode_env_conflict():
     with pytest.raises(DeclarationError):
         modes.declare("p", [OUT])
     modes.declare("p", [IN])  # identical re-declaration is fine
+
+
+# -- edge cases: non-variable arguments --------------------------------------
+
+
+def test_ground_argument_in_in_position_is_fine(setting):
+    cset, predicate_types, modes = setting
+    modes.declare("q", [IN])
+    checker = checker_for(setting)
+    report = checker.check_query(query(":- q(pred(zero))."))
+    assert report.ok
+
+
+def test_compound_out_argument_produces_its_variables(setting):
+    # gen(succ(X)) in an OUT position binds X; the later IN consumption
+    # sees a production, not an unproduced variable.
+    cset, predicate_types, modes = setting
+    modes.declare("gen", [OUT])
+    modes.declare("use", [IN])
+    checker = checker_for(setting)
+    report = checker.check_query(query(":- gen(succ(X)), use(X)."))
+    assert report.ok, [str(v) for v in report.violations]
+
+
+# -- edge cases: repeated variables ------------------------------------------
+
+
+def test_repeated_variable_in_two_in_positions_unproduced(setting):
+    cset, predicate_types, modes = setting
+    modes.declare("plus", [IN, IN, OUT])
+    checker = checker_for(setting)
+    report = checker.check_query(query(":- plus(X, X, Y)."))
+    assert not report.ok
+    # Both IN occurrences are reported, each as an unproduced consumption.
+    assert len(report.violations) == 2
+    assert all(v.kind == "unproduced" for v in report.violations)
+    assert {v.position for v in report.violations} == {0, 1}
+
+
+def test_repeated_variable_after_production_is_fine(setting):
+    cset, predicate_types, modes = setting
+    modes.declare("gen", [OUT])
+    modes.declare("plus", [IN, IN, OUT])
+    checker = checker_for(setting)
+    report = checker.check_query(query(":- gen(X), plus(X, X, Y)."))
+    assert report.ok, [str(v) for v in report.violations]
+
+
+def test_violation_objects_carry_structured_fields(setting):
+    cset, predicate_types, modes = setting
+    modes.declare("q", [OUT])
+    modes.declare("p", [IN])
+    checker = checker_for(setting)
+    report = checker.check_query(query(":- q(X), p(X)."))
+    assert not report.ok
+    violation = report.violations[0]
+    assert violation.kind == "flow"
+    assert violation.position == 0
+    assert violation.at_head is False
+    assert str(violation.produced_type) != str(violation.consumer_type)

@@ -214,3 +214,34 @@ def test_of_kind_helper():
     source = parse_file("FUNC a.\nTYPE t.\nt >= a.")
     assert len(source.of_kind(FuncDecl)) == 1
     assert len(source.of_kind(ConstraintDecl)) == 1
+
+
+# -- Section 7 inline PRED modes ---------------------------------------------
+
+
+def test_pred_inline_modes_parse():
+    source = parse_file("PRED p(OUT nat, IN int).\n")
+    (pred,) = source.items
+    assert isinstance(pred, PredDecl)
+    assert pred.modes == ("OUT", "IN")
+    assert [str(arg) for arg in pred.head.args] == ["nat", "int"]
+
+
+def test_plain_pred_has_no_modes():
+    source = parse_file("PRED p(nat).\n")
+    (pred,) = source.items
+    assert pred.modes is None
+
+
+def test_pred_inline_modes_all_or_nothing():
+    with pytest.raises(ParseError, match="every PRED argument"):
+        parse_file("PRED p(OUT nat, int).\n")
+    with pytest.raises(ParseError, match="every PRED argument"):
+        parse_file("PRED p(nat, IN int).\n")
+
+
+def test_pred_inline_modes_compose_with_parametric_types():
+    source = parse_file("PRED app(IN list(A), IN list(A), OUT list(A)).\n")
+    (pred,) = source.items
+    assert pred.modes == ("IN", "IN", "OUT")
+    assert str(pred.head.args[2]) == "list(A)"

@@ -29,9 +29,9 @@ def make_project(tmp_path, text=CLEAN_WITH_SINGLETON):
 
 
 def test_checker_version_is_bumped():
-    # Records gained inferred declaration lines (--infer): version "2"
-    # indexes (and the pre-lint "1") must not replay into this build.
-    assert CHECKER_VERSION == "3"
+    # Inline PRED modes + the TLP5xx rules change verdicts: version "3"
+    # indexes (and older) must not replay into this build.
+    assert CHECKER_VERSION == "4"
 
 
 def test_lint_findings_ride_in_results_and_cache(tmp_path):
@@ -173,3 +173,31 @@ def test_daemon_stats_count_lints():
     service.handle({"op": "lint", "text": CLEAN_WITH_SINGLETON})
     stats = service.handle({"op": "stats"})["stats"]
     assert stats["lints"] == 1
+
+
+ILL_MODED_QUERY = """\
+TYPE nat, int.
+FUNC 0, pred.
+int >= nat.
+nat >= 0.
+int >= pred(int).
+PRED makeint(int).
+MODE makeint(OUT).
+makeint(0).
+PRED usenat(nat).
+MODE usenat(IN).
+usenat(0).
+:- makeint(X), usenat(X).
+"""
+
+
+def test_daemon_lint_reports_mode_findings_with_fixits():
+    service = CheckService()
+    response = service.handle({"op": "lint", "text": ILL_MODED_QUERY})
+    assert response["ok"]
+    moded = [f for f in response["findings"] if f["code"] == "TLP502"]
+    assert len(moded) == 1
+    finding = moded[0]
+    assert finding["severity"] == "error"
+    assert finding["line"] == 12
+    assert any("filter goal" in fixit for fixit in finding["fixits"])

@@ -283,3 +283,91 @@ def test_well_typed_document_publishes_no_errors():
         await session.notify("exit")
 
     _run(scenario)
+
+
+#: Declared modes with an ill-moded query: ``makeint`` produces at int
+#: but ``usenat`` consumes at nat, so TLP502 fires with a machine
+#: fix-it that inserts the ``int2nat`` filter goal.
+ILL_MODED = """\
+TYPE nat, int.
+FUNC 0, s, pred.
+int >= nat.
+nat >= 0 + s(nat).
+int >= pred(int).
+PRED int2nat(int, nat).
+MODE int2nat(IN, OUT).
+int2nat(0, 0).
+int2nat(s(X), s(Y)) :- int2nat(X, Y).
+PRED makeint(int).
+MODE makeint(OUT).
+makeint(0).
+PRED usenat(nat).
+MODE usenat(IN).
+usenat(0).
+:- makeint(X), usenat(X).
+"""
+
+
+def _apply_span_edit(text, edit):
+    """Apply one LSP text edit (0-based positions) to a document."""
+    lines = text.split("\n")
+
+    def offset(position):
+        return (
+            sum(len(line) + 1 for line in lines[: position["line"]])
+            + position["character"]
+        )
+
+    start = offset(edit["range"]["start"])
+    end = offset(edit["range"]["end"])
+    return text[:start] + edit["newText"] + text[end:]
+
+
+def test_tlp502_quickfix_inserts_filter_and_resolves_the_finding():
+    async def scenario(session):
+        await _handshake(session)
+        await session.notify(
+            "textDocument/didOpen",
+            {"textDocument": {"uri": URI, "version": 1, "text": ILL_MODED}},
+        )
+        published = await session.wait_notification(
+            "textDocument/publishDiagnostics"
+        )
+        target = next(
+            d for d in published["params"]["diagnostics"]
+            if d.get("code") == "TLP502"
+        )
+        assert target["severity"] == 1  # ill-moded calls are errors
+        response = await session.request(
+            "textDocument/codeAction",
+            {
+                "textDocument": {"uri": URI},
+                "range": target["range"],
+                "context": {"diagnostics": [target], "only": ["quickfix"]},
+            },
+        )
+        action = next(
+            a for a in response["result"] if "filter goal" in a["title"]
+        )
+        (edit,) = action["edit"]["changes"][URI]
+        assert "int2nat(X, X_nat)" in edit["newText"]
+        fixed = _apply_span_edit(ILL_MODED, edit)
+        assert "usenat(X_nat)" in fixed
+        await session.notify(
+            "textDocument/didChange",
+            {
+                "textDocument": {"uri": URI, "version": 2},
+                "contentChanges": [{"text": fixed}],
+            },
+        )
+        republished = await session.wait_notification(
+            "textDocument/publishDiagnostics"
+        )
+        remaining = [
+            d for d in republished["params"]["diagnostics"]
+            if str(d.get("code", "")).startswith("TLP5")
+        ]
+        assert remaining == [], f"quickfix left mode findings: {remaining}"
+        await session.notify("exit")
+
+    _run(scenario)
