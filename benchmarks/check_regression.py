@@ -25,6 +25,19 @@ observable symptom of a broken fingerprint, a silently bumped checker
 version, or a cache that stopped persisting.  Both modes compose: give
 baseline+current *and* ``--run-report`` and the exit status is the
 conjunction.
+
+Speedup mode — enforce that one row in the *current* file beats another
+by at least a factor (repeatable)::
+
+    python benchmarks/check_regression.py baseline.json current.json \
+        --min-speedup automata.member.nat.256:automata.member.nat.256.fallback:3.0
+
+reads ``fast_id:slow_id:factor`` and fails unless
+``slow_ns >= factor * fast_ns`` *within the current measurement*.  This
+is how the tree-automata win is gated: the committed baseline already
+has the automaton on, so a plain regression check could never notice the
+fast path silently degrading into the fallback — comparing the enabled
+row against the ``.fallback`` row of the same run can.
 """
 
 from __future__ import annotations
@@ -92,6 +105,46 @@ def check_run_report(path: str, min_hit_rate: float) -> int:
     return 0
 
 
+def check_speedups(rows: Dict[str, float], specs: List[str]) -> int:
+    """Enforce ``fast_id:slow_id:factor`` floors within one measurement set."""
+    status = 0
+    for spec in specs:
+        try:
+            fast_id, slow_id, factor_text = spec.rsplit(":", 2)
+            factor = float(factor_text)
+        except ValueError:
+            print(
+                f"--min-speedup {spec!r}: expected fast_id:slow_id:factor",
+                file=sys.stderr,
+            )
+            status = 1
+            continue
+        missing = [i for i in (fast_id, slow_id) if i not in rows]
+        if missing:
+            print(
+                f"--min-speedup {spec!r}: id(s) missing from current file: "
+                f"{', '.join(missing)}",
+                file=sys.stderr,
+            )
+            status = 1
+            continue
+        speedup = rows[slow_id] / rows[fast_id] if rows[fast_id] else float("inf")
+        if speedup < factor:
+            print(
+                f"{fast_id} only {speedup:.2f}x faster than {slow_id} "
+                f"({fmt_ns(rows[fast_id])} vs {fmt_ns(rows[slow_id])}); "
+                f"floor is {factor:.1f}x",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print(
+                f"{fast_id} is {speedup:.2f}x faster than {slow_id} "
+                f"(floor {factor:.1f}x)"
+            )
+    return status
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -121,12 +174,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             "(default 0.99)"
         ),
     )
+    parser.add_argument(
+        "--min-speedup",
+        metavar="FAST:SLOW:FACTOR",
+        action="append",
+        default=[],
+        help=(
+            "require measurement FAST to be at least FACTOR times faster "
+            "than SLOW within the current file (repeatable)"
+        ),
+    )
     arguments = parser.parse_args(argv)
 
     if (arguments.baseline is None) != (arguments.current is None):
         parser.error("give both baseline and current, or neither")
     if arguments.baseline is None and arguments.run_report is None:
         parser.error("nothing to check: give baseline+current or --run-report")
+    if arguments.min_speedup and arguments.current is None:
+        parser.error("--min-speedup needs a current measurement file")
 
     report_status = 0
     if arguments.run_report is not None:
@@ -164,6 +229,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     for identifier in sorted(set(current) - set(baseline)):
         print(f"{identifier.ljust(width)}  (new — no baseline, skipped)")
 
+    speedup_status = 0
+    if arguments.min_speedup:
+        print()
+        speedup_status = check_speedups(current, arguments.min_speedup)
+
     if regressions:
         print(
             f"\n{len(regressions)} measurement(s) regressed beyond "
@@ -172,7 +242,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 1
     print(f"\nall {len(common)} common measurements within {arguments.factor:.1f}x")
-    return report_status
+    return report_status or speedup_status
 
 
 if __name__ == "__main__":

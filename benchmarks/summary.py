@@ -232,6 +232,13 @@ def build_rows(quick: bool = False) -> List[Row]:
     modes_rows, modes_machine_rows = modes_measurements(quick=quick)
     rows.extend(modes_rows)
     MEASUREMENTS.extend(modes_machine_rows)
+
+    # -- TA1-TA3: compiled tree automata -----------------------------------
+    from bench_automata import automata_measurements
+
+    ta_rows, ta_machine_rows = automata_measurements(quick=quick)
+    rows.extend(ta_rows)
+    MEASUREMENTS.extend(ta_machine_rows)
     return rows
 
 
@@ -282,6 +289,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             handle.write("\n")
         print(f"\nwrote {arguments.json}", file=sys.stderr)
 
+        from repro.core.automata import AUTOMATA
         from repro.core.shared_memo import SHARED_MEMO
         from repro.terms import intern_stats
 
@@ -301,6 +309,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "hit_rate": round(stats.hit_rate, 4),
             },
             "shared_memo": SHARED_MEMO.stats(),
+            "automata": AUTOMATA.stats(),
         }
         with open(BENCH_SUBTYPE_PATH, "w", encoding="utf-8") as handle:
             json.dump(bench, handle, indent=2, ensure_ascii=False)

@@ -131,6 +131,15 @@ def _build_argument_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--no-automata",
+        action="store_true",
+        help=(
+            "disable the compiled tree automata for ground subtype/match "
+            "queries; every goal runs the template-expansion path "
+            "(seed behaviour)"
+        ),
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -506,6 +515,7 @@ def _check_files(arguments) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point (also installed as the ``tlp-check`` console script)."""
+    from ..core.automata import AUTOMATA
     from ..core.shared_memo import SHARED_MEMO
     from ..terms.term import set_interning
 
@@ -516,6 +526,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     intern_before = set_interning(False) if arguments.no_intern else None
     memo_before = (
         SHARED_MEMO.set_enabled(False) if arguments.no_shared_memo else None
+    )
+    automata_before = (
+        AUTOMATA.set_enabled(False) if arguments.no_automata else None
     )
     try:
         observed = (
@@ -614,6 +627,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             set_interning(intern_before)
         if memo_before is not None:
             SHARED_MEMO.set_enabled(memo_before)
+        if automata_before is not None:
+            AUTOMATA.set_enabled(automata_before)
 
 
 if __name__ == "__main__":

@@ -39,8 +39,9 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from ..obs import METRICS, TRACER, CacheProbeEvent, MatchCallEvent
 from ..terms.pretty import pretty
-from ..terms.substitution import Substitution
+from ..terms.substitution import EMPTY_SUBSTITUTION, Substitution
 from ..terms.term import Struct, Term, Var
+from .automata import AUTOMATA
 from .declarations import ConstraintSet
 from .recursion import ensure_recursion_capacity
 from .restrictions import validate_restrictions
@@ -96,6 +97,7 @@ class Matcher:
         constraints: ConstraintSet,
         validate: bool = True,
         memoize: bool = True,
+        automata: bool = True,
     ) -> None:
         if validate:
             validate_restrictions(constraints)
@@ -103,6 +105,10 @@ class Matcher:
         self.symbols = constraints.symbols
         self.memoize = memoize
         self._memo: Dict[Tuple[Term, Term], MatchResult] = {}
+        #: Compiled tree automaton: ground (τ, t) pairs — where a typing
+        #: is necessarily empty — are answered by its three-valued table
+        #: walk; everything else keeps the clause-by-clause evaluation.
+        self._automaton = AUTOMATA.automaton_for(constraints) if automata else None
 
     def match(self, type_term: Term, term: Term) -> MatchResult:
         """``match(τ, t)`` per Definition 13."""
@@ -154,9 +160,24 @@ class Matcher:
                     CacheProbeEvent, cache="match.memo", hit=cached is not None
                 )
             if cached is None:
-                cached = self._match_struct(type_term, term)
+                cached = self._match_resolved(type_term, term)
                 self._memo[key] = cached
             return cached
+        return self._match_resolved(type_term, term)
+
+    def _match_resolved(self, type_term: Struct, term: Struct) -> MatchResult:
+        """Dispatch a struct/struct pair: automaton table walk when both
+        sides are ground (a respectful typing of a ground term is the
+        empty substitution, so only the verdict needs computing), else
+        the clause 3/4 evaluation."""
+        automaton = self._automaton
+        if automaton is not None and type_term.ground and term.ground:
+            verdict = automaton.match_ground(type_term, term)
+            if METRICS.enabled:
+                METRICS.inc("subtype.automaton.match_hits")
+            if verdict == "typing":
+                return EMPTY_SUBSTITUTION
+            return MATCH_FAIL if verdict == "fail" else MATCH_BOTTOM
         return self._match_struct(type_term, term)
 
     def _match_struct(self, type_term: Struct, term: Struct) -> MatchResult:

@@ -86,6 +86,10 @@ class SharedSubtypeMemo:
         The batch runner passes the result cache's ``CHECKER_VERSION``
         combined with whatever rulesets feed verdicts, mirroring the
         persistent cache's invalidation discipline.
+
+        The compiled-automata store rides the same fence: every caller
+        that versions the memo implicitly versions the automata, so a
+        checker upgrade can never serve pre-upgrade compiled tables.
         """
         with self._lock:
             if self._version != tag:
@@ -93,6 +97,9 @@ class SharedSubtypeMemo:
                     self.invalidations += 1
                 self._tables.clear()
                 self._version = tag
+        from .automata import AUTOMATA
+
+        AUTOMATA.ensure_version(tag)
 
     def table_for(
         self, constraints: ConstraintSet

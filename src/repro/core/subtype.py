@@ -29,6 +29,15 @@ the naive prover pin down exactly the regime where both agree.
 
 Ground subgoals are memoised per engine (ablation A1 measures the effect).
 
+Ground goals additionally ride the compiled tree automaton of
+``repro.core.automata`` when one exists for this constraint set (uniform
+and guarded; the process-wide ``AUTOMATA`` store compiles once per
+fingerprint): membership and ground-subtype queries become table walks
+over interned node ids, with this module's AND-OR evaluation as the
+automatic fallback (``--no-automata`` / non-uniform sets / refused
+roots).  Verdicts are identical by construction and pinned by the
+differential suite.
+
 Observability: every public ``holds`` query is mirrored into
 ``repro.obs`` when telemetry is enabled — a ``subtype.goals`` counter,
 per-goal work deltas (substitution steps, constraint expansions, memo
@@ -50,6 +59,7 @@ from ..obs import METRICS, TRACER, CacheProbeEvent, PhaseEvent, SubtypeGoalEvent
 from ..terms.freeze import freeze
 from ..terms.pretty import pretty
 from ..terms.term import Struct, Term, Var
+from .automata import AUTOMATA
 from .declarations import ConstraintSet
 from .recursion import ensure_recursion_capacity
 from .restrictions import validate_restrictions
@@ -66,6 +76,11 @@ class SubtypeStats:
     variable_bindings: int = 0
     memo_hits: int = 0
     memo_entries: int = 0
+    #: ground goals answered by the compiled tree automaton.
+    automaton_hits: int = 0
+    #: ground goals that wanted the automaton but fell back to the
+    #: AND-OR walk (store disabled mid-flight, non-uniform set, ...).
+    automaton_fallbacks: int = 0
 
 
 class SubtypeEngine:
@@ -77,6 +92,7 @@ class SubtypeEngine:
         memoize: bool = True,
         validate: bool = True,
         shared_memo: "object" = None,
+        automata: bool = True,
     ) -> None:
         if validate:
             validate_restrictions(constraints)
@@ -99,6 +115,12 @@ class SubtypeEngine:
                 self._memo_shared = True
         self._bindings: Dict[Var, Term] = {}
         self._trail: List[Var] = []
+        #: Compiled tree automaton for ground goals (None for non-uniform
+        #: or unguarded sets, or when the store/flag disables it).  The
+        #: ``_automaton_requested`` flag distinguishes "opted out" from
+        #: "wanted one but none exists" so the fallback counter is exact.
+        self._automaton = AUTOMATA.automaton_for(constraints) if automata else None
+        self._automaton_requested = automata and AUTOMATA.enabled
 
     # -- public queries ------------------------------------------------------
 
@@ -117,6 +139,8 @@ class SubtypeEngine:
             stats.memo_hits,
             stats.memo_entries,
             stats.variable_bindings,
+            stats.automaton_hits,
+            stats.automaton_fallbacks,
         )
         handle = TRACER.begin() if TRACER.enabled else None
         start = time.perf_counter()
@@ -140,6 +164,12 @@ class SubtypeEngine:
             bindings = stats.variable_bindings - before[4]
             if bindings:
                 METRICS.inc("subtype.variable_bindings", bindings)
+            automaton_hits = stats.automaton_hits - before[5]
+            if automaton_hits:
+                METRICS.inc("subtype.automaton.hits", automaton_hits)
+            automaton_fallbacks = stats.automaton_fallbacks - before[6]
+            if automaton_fallbacks:
+                METRICS.inc("subtype.automaton.fallbacks", automaton_fallbacks)
             if self._memo_shared:
                 # Mirror the memo traffic under the shared-memo namespace so
                 # cross-engine reuse is visible separately from per-engine
@@ -175,10 +205,34 @@ class SubtypeEngine:
             and subtype.ground
         ):
             # Variable-free goals — the membership/frozen-comparison case,
-            # where terms can be arbitrarily deep — are decided with an
+            # where terms can be arbitrarily deep — are decided by the
+            # compiled tree automaton when one exists, else with an
             # explicit-stack AND-OR evaluation: recursive generators would
             # consume C stack per nesting level and cannot survive terms
             # tens of thousands of symbols deep.
+            automaton = self._automaton
+            if automaton is not None:
+                if supertype == subtype:
+                    return True
+                memo = self._memo if self.memoize else {}
+                root = (supertype, subtype)
+                cached = memo.get(root)
+                if TRACER.enabled:
+                    TRACER.point(
+                        CacheProbeEvent,
+                        cache="subtype.ground_memo",
+                        hit=cached is not None,
+                    )
+                if cached is not None:
+                    self.stats.memo_hits += 1
+                    return cached
+                verdict = automaton.holds(supertype, subtype)
+                self.stats.automaton_hits += 1
+                memo[root] = verdict
+                self.stats.memo_entries += 1
+                return verdict
+            if self._automaton_requested:
+                self.stats.automaton_fallbacks += 1
             return self._holds_ground(supertype, subtype)
         ensure_recursion_capacity(supertype, subtype)
         self._bindings.clear()
@@ -426,10 +480,17 @@ class SubtypeEngine:
                     if cached:
                         yield
                     return
-                found = False
-                for _ in self._prove_struct(resolved_sup, resolved_sub):
-                    found = True
-                    break
+                automaton = self._automaton
+                if automaton is not None:
+                    found = automaton.holds(resolved_sup, resolved_sub)
+                    self.stats.automaton_hits += 1
+                else:
+                    if self._automaton_requested:
+                        self.stats.automaton_fallbacks += 1
+                    found = False
+                    for _ in self._prove_struct(resolved_sup, resolved_sub):
+                        found = True
+                        break
                 self._memo[key] = found
                 self.stats.memo_entries += 1
                 if found:

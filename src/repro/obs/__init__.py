@@ -173,6 +173,17 @@ def publish_runtime_gauges() -> None:
     METRICS.gauge("subtype.shared_memo.size", memo["entries"])
     METRICS.gauge("subtype.shared_memo.attachments", memo["attachments"])
     METRICS.gauge("subtype.shared_memo.evictions", memo["evictions"])
+    from ..core.automata import AUTOMATA
+
+    automata = AUTOMATA.stats()
+    METRICS.gauge("subtype.automaton.enabled", automata["enabled"])
+    METRICS.gauge("subtype.automaton.scopes", automata["scopes"])
+    METRICS.gauge("subtype.automaton.states", automata["states"])
+    METRICS.gauge("subtype.automaton.transitions", automata["transitions"])
+    METRICS.gauge("subtype.automaton.cache_entries", automata["cache_entries"])
+    METRICS.gauge("subtype.automaton.compiled", automata["compiles"])
+    METRICS.gauge("subtype.automaton.attachments", automata["attachments"])
+    METRICS.gauge("subtype.automaton.refusals", automata["refusals"])
 
 
 def runtime_stats_lines() -> "list[str]":
@@ -208,7 +219,22 @@ def runtime_stats_lines() -> "list[str]":
         )
     else:
         memo_line = "shared subtype memo: disabled (--no-shared-memo)"
-    return [intern_line, memo_line]
+    from ..core.automata import AUTOMATA
+
+    automata = AUTOMATA.stats()
+    if automata["enabled"]:
+        hits = METRICS.counter("subtype.automaton.hits")
+        fallbacks = METRICS.counter("subtype.automaton.fallbacks")
+        queries = hits + fallbacks
+        rate = f", hit rate {hits / queries:.1%}" if queries else ""
+        automata_line = (
+            f"tree automata: {automata['scopes']} compiled scope(s), "
+            f"{automata['states']} state(s), {automata['transitions']} "
+            f"transition(s), {automata['attachments']} attachment(s){rate}"
+        )
+    else:
+        automata_line = "tree automata: disabled (--no-automata)"
+    return [intern_line, memo_line, automata_line]
 
 
 def trace_to_memory() -> MemorySink:

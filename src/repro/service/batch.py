@@ -136,6 +136,15 @@ def _build_argument_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--no-automata",
+        action="store_true",
+        help=(
+            "disable the compiled tree automata for ground subtype/match "
+            "queries; every goal runs the template-expansion path "
+            "(seed behaviour)"
+        ),
+    )
+    parser.add_argument(
         "--json",
         default=None,
         metavar="OUT",
@@ -300,6 +309,7 @@ def _run(arguments) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point (installed as the ``tlp-batch`` console script)."""
+    from ..core.automata import AUTOMATA
     from ..core.shared_memo import SHARED_MEMO
     from ..terms.term import set_interning
 
@@ -312,6 +322,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     intern_before = set_interning(False) if arguments.no_intern else None
     memo_before = (
         SHARED_MEMO.set_enabled(False) if arguments.no_shared_memo else None
+    )
+    automata_before = (
+        AUTOMATA.set_enabled(False) if arguments.no_automata else None
     )
     try:
         if not arguments.stats:
@@ -333,6 +346,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             set_interning(intern_before)
         if memo_before is not None:
             SHARED_MEMO.set_enabled(memo_before)
+        if automata_before is not None:
+            AUTOMATA.set_enabled(automata_before)
 
 
 if __name__ == "__main__":

@@ -65,7 +65,10 @@ __all__ = ["CHECKER_VERSION", "CachedResult", "ResultCache"]
 #: "4": the §7 inline ``PRED p(OUT nat).`` form changes frontend
 #: verdicts, and the TLP5xx mode rules change lint findings — pre-mode
 #: indexes must not replay.
-CHECKER_VERSION = "4"
+#: "5": ground subtype/match queries run on compiled tree automata and
+#: their spilled tables live alongside the cache — pre-automata indexes,
+#: memo tables, and spills must not replay.
+CHECKER_VERSION = "5"
 
 INDEX_NAME = "tlp-cache.json"
 LOCK_NAME = INDEX_NAME + ".lock"

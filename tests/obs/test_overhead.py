@@ -34,9 +34,11 @@ def _best_time(callable_, calls=CALLS_PER_ROUND):
 )
 def test_disabled_overhead_below_five_percent():
     assert not obs.enabled()  # conftest guarantees this
-    # memoize=False so every call performs the full ground AND-OR
-    # evaluation — realistic per-call work, nothing amortised away.
-    engine = SubtypeEngine(paper_universe(), memoize=False)
+    # memoize=False and automata=False so every call performs the full
+    # ground AND-OR evaluation — realistic per-call work, nothing
+    # amortised away (the automaton would answer from its pair table in
+    # ~µs, leaving nothing to measure the flag check against).
+    engine = SubtypeEngine(paper_universe(), memoize=False, automata=False)
     nat = T("nat")
     term = deep_nat(400)
     assert engine.holds(nat, term) is True  # warm-up + correctness
