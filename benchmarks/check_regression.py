@@ -38,6 +38,17 @@ is how the tree-automata win is gated: the committed baseline already
 has the automaton on, so a plain regression check could never notice the
 fast path silently degrading into the fallback — comparing the enabled
 row against the ``.fallback`` row of the same run can.
+
+Overhead mode — the dual ceiling (repeatable)::
+
+    python benchmarks/check_regression.py baseline.json current.json \
+        --max-overhead polytypes.lint.corpus:polytypes.lint.corpus.nosolver:1.1
+
+reads ``with_id:base_id:factor`` and fails when
+``with_ns > factor * base_ns`` within the current measurement.  This
+gates features that must stay within noise of their own off-switch: the
+TLP6xx solver's activation gate keeps monomorphic lint runs at most
+1.1x the solver-disabled time.
 """
 
 from __future__ import annotations
@@ -103,6 +114,52 @@ def check_run_report(path: str, min_hit_rate: float) -> int:
         return 1
     print(f"cache hit rate {hit_rate:.1%} >= floor {min_hit_rate:.1%}")
     return 0
+
+
+def check_overheads(rows: Dict[str, float], specs: List[str]) -> int:
+    """Enforce ``with_id:base_id:factor`` ceilings within one measurement
+    set: fail when ``with_ns > factor * base_ns``.
+
+    The dual of :func:`check_speedups` — an *upper* bound on a ratio —
+    for features that must stay within noise of their own off-switch
+    (e.g. the TLP6xx solver on the monomorphic lint corpus).
+    """
+    status = 0
+    for spec in specs:
+        try:
+            with_id, base_id, factor_text = spec.rsplit(":", 2)
+            factor = float(factor_text)
+        except ValueError:
+            print(
+                f"--max-overhead {spec!r}: expected with_id:base_id:factor",
+                file=sys.stderr,
+            )
+            status = 1
+            continue
+        missing = [i for i in (with_id, base_id) if i not in rows]
+        if missing:
+            print(
+                f"--max-overhead {spec!r}: id(s) missing from current file: "
+                f"{', '.join(missing)}",
+                file=sys.stderr,
+            )
+            status = 1
+            continue
+        ratio = rows[with_id] / rows[base_id] if rows[base_id] else float("inf")
+        if ratio > factor:
+            print(
+                f"{with_id} is {ratio:.2f}x of {base_id} "
+                f"({fmt_ns(rows[with_id])} vs {fmt_ns(rows[base_id])}); "
+                f"ceiling is {factor:.2f}x",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print(
+                f"{with_id} is {ratio:.2f}x of {base_id} "
+                f"(ceiling {factor:.2f}x)"
+            )
+    return status
 
 
 def check_speedups(rows: Dict[str, float], specs: List[str]) -> int:
@@ -184,6 +241,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             "than SLOW within the current file (repeatable)"
         ),
     )
+    parser.add_argument(
+        "--max-overhead",
+        metavar="WITH:BASE:FACTOR",
+        action="append",
+        default=[],
+        help=(
+            "require measurement WITH to be at most FACTOR times BASE "
+            "within the current file (repeatable)"
+        ),
+    )
     arguments = parser.parse_args(argv)
 
     if (arguments.baseline is None) != (arguments.current is None):
@@ -192,6 +259,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("nothing to check: give baseline+current or --run-report")
     if arguments.min_speedup and arguments.current is None:
         parser.error("--min-speedup needs a current measurement file")
+    if arguments.max_overhead and arguments.current is None:
+        parser.error("--max-overhead needs a current measurement file")
 
     report_status = 0
     if arguments.run_report is not None:
@@ -233,6 +302,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if arguments.min_speedup:
         print()
         speedup_status = check_speedups(current, arguments.min_speedup)
+    overhead_status = 0
+    if arguments.max_overhead:
+        print()
+        overhead_status = check_overheads(current, arguments.max_overhead)
 
     if regressions:
         print(
@@ -242,7 +315,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 1
     print(f"\nall {len(common)} common measurements within {arguments.factor:.1f}x")
-    return report_status or speedup_status
+    return report_status or speedup_status or overhead_status
 
 
 if __name__ == "__main__":

@@ -239,6 +239,13 @@ def build_rows(quick: bool = False) -> List[Row]:
     ta_rows, ta_machine_rows = automata_measurements(quick=quick)
     rows.extend(ta_rows)
     MEASUREMENTS.extend(ta_machine_rows)
+
+    # -- P1-P4: polymorphic subtype-constraint solver ----------------------
+    from bench_polytypes import polytypes_measurements
+
+    poly_rows, poly_machine_rows = polytypes_measurements(quick=quick)
+    rows.extend(poly_rows)
+    MEASUREMENTS.extend(poly_machine_rows)
     return rows
 
 

@@ -60,6 +60,7 @@ from . import clauses as _clauses  # noqa: F401  (registration)
 from . import flow as _flow  # noqa: F401  (registration)
 from . import modes as _modes  # noqa: F401  (registration)
 from .absint import rules as _absint_rules  # noqa: F401  (registration)
+from .polytypes import rules as _polytypes_rules  # noqa: F401  (registration)
 
 __all__ = [
     "ANALYZER_VERSION",

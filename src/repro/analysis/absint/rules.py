@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from ...checker.diagnostics import FixIt, Severity
 from ...terms.pretty import pretty
+from ...terms.term import variables_of
 from ..context import LintContext
 from ..registry import register
 from .reconstruct import render_declaration
@@ -98,6 +99,11 @@ def check_loose_declarations(ctx: LintContext) -> None:
     if inference is None:
         return
     for indicator in sorted(inference.success):
+        decl = ctx.pred_decls.get(indicator)
+        if decl is not None and any(variables_of(arg) for arg in decl.head.args):
+            # Polymorphic declarations are universally quantified — the
+            # "tighter" monomorphic reading is the TLP6xx rules' call.
+            continue
         verdict, details = inference.compare_with_declaration(indicator)
         if verdict != "loose":
             continue
@@ -131,6 +137,9 @@ def check_incompatible_declarations(ctx: LintContext) -> None:
     if inference is None:
         return
     for indicator in sorted(inference.success):
+        decl = ctx.pred_decls.get(indicator)
+        if decl is not None and any(variables_of(arg) for arg in decl.head.args):
+            continue  # polymorphic declaration: the TLP6xx rules' call
         verdict, details = inference.compare_with_declaration(indicator)
         if verdict != "incompatible":
             continue

@@ -20,6 +20,7 @@ from collections import Counter
 from typing import Dict, Set, Tuple
 
 from ..checker.diagnostics import FixIt, Severity
+from ..core.builtins import is_builtin_indicator
 from ..lang.ast import ClauseDecl, QueryDecl
 from ..terms.pretty import pretty
 from ..terms.term import Struct, Term, Var, subterms, variables_of
@@ -41,6 +42,8 @@ def check_undeclared_predicates(ctx: LintContext) -> None:
         indicator = goal.indicator
         if indicator in ctx.pred_decls or indicator in reported:
             continue
+        if is_builtin_indicator(*indicator):
+            continue  # built-in constraint predicates carry their own signatures
         if goal.functor in ctx.pred_names:
             continue  # declared at another arity: TLP202's business
         reported.add(indicator)

@@ -24,7 +24,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..checker.diagnostics import FixIt, Severity
-from ..lang.ast import ConstraintDecl, FuncDecl, ModeDecl, PredDecl, TypeDecl
+from ..core.builtins import is_builtin_goal, numeric_type_name
+from ..lang.ast import ClauseDecl, ConstraintDecl, FuncDecl, ModeDecl, PredDecl, TypeDecl
 from ..terms.pretty import UNION_TYPE, pretty
 from ..terms.term import Struct, Term, Var, subterms
 from .context import LintContext
@@ -267,6 +268,18 @@ def check_unreachable(ctx: LintContext) -> None:
         )
         edges.setdefault(constructor, set()).update(targets - {UNION_TYPE})
     roots = _pred_referenced_constructors(ctx)
+    if any(
+        is_builtin_goal(goal) and goal.indicator not in ctx.pred_decls
+        for item in ctx.clause_items + ctx.query_items
+        for goal in (
+            item.body if not isinstance(item, ClauseDecl) else (item.head,) + item.body
+        )
+    ):
+        # Built-in constraint goals range over the numeric type even
+        # when no PRED declaration mentions it.
+        numeric = numeric_type_name(ctx.type_decls)
+        if numeric is not None:
+            roots.add(numeric)
     for query in ctx.query_items:
         for goal in query.body:
             if goal.functor == ":" and len(goal.args) == 2:

@@ -37,6 +37,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..checker.diagnostics import FixIt, Severity
+from ..core.builtins import BUILTIN_MODES, is_builtin_indicator
 from ..lang.ast import ClauseDecl, QueryDecl
 from ..terms.pretty import pretty
 from ..terms.term import Struct, Term, Var, variables_of
@@ -89,6 +90,17 @@ class ModeInference:
             return None
         mode = self.ctx.mode_decls.get(indicator)
         if mode is None:
+            # Built-in constraint predicates carry fixed modes ('X is E'
+            # produces X; comparisons consume) unless the file shadows
+            # them with its own declarations.
+            name, arity = indicator
+            if (
+                is_builtin_indicator(name, arity)
+                and indicator not in self.ctx.pred_decls
+            ):
+                return {
+                    i for i, m in enumerate(BUILTIN_MODES[name]) if m == OUT
+                }
             return None
         return {i for i, m in enumerate(mode.modes) if m == OUT}
 
@@ -172,9 +184,13 @@ def _check_flow(
     reported: Set[Tuple[str, int, str]] = set()
 
     def produce(var: Var, sigma: Term, atom: Struct, position: int) -> None:
+        if variables_of(sigma):
+            return  # polymorphic position: the TLP6xx solver's territory
         produced.setdefault(var, []).append((sigma, atom, position))
 
     def consume(atom: Struct, position: int, arg: Term, tau: Term) -> None:
+        if variables_of(tau):
+            return  # polymorphic position: the TLP6xx solver's territory
         for var in variables_of(arg):
             for sigma, producer, producer_pos in produced.get(var, []):
                 if engine.more_general(tau, sigma):

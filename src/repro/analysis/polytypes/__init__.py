@@ -1,0 +1,39 @@
+"""Polymorphic subtype-constraint solving: the ``TLP6xx`` lint family.
+
+The package splits into the solver proper (:mod:`.solver` — constraint
+graphs over type variables, Tarjan cycle collapse, arc consistency
+against the finite candidate ground-type set, unsatisfiability
+witnesses) and the lint rules that drive it (:mod:`.rules` —
+``TLP601``–``TLP605``, constraint collection from clauses and queries,
+fix-its).  Importing :mod:`.rules` registers the rules.
+"""
+
+from .solver import (
+    Bound,
+    ConstraintGraph,
+    Edge,
+    Node,
+    Solution,
+    Witness,
+    ground_types_in,
+)
+
+__all__ = [
+    "Bound",
+    "ConstraintGraph",
+    "Edge",
+    "Node",
+    "Solution",
+    "Witness",
+    "ground_types_in",
+    "solve_text",
+]
+
+
+def solve_text(text, path="<text>"):
+    """Lazy re-export of :func:`.rules.solve_text` (importing the rules
+    module registers the TLP6xx rules as a side effect, which the
+    solver-only API should not force)."""
+    from .rules import solve_text as _solve_text
+
+    return _solve_text(text, path=path)

@@ -1,0 +1,500 @@
+"""The polymorphic subtype-constraint solver (after Fages & Coquery).
+
+The paper's Definition 16 checks each clause with per-position ``match``
+against *ground* declared types.  Typed constraint logic programs
+generalize this: ``PRED`` declarations may carry type variables
+(``PRED sel(A, A).``) and built-in constraint predicates come with
+declared numeric signatures, so clause checking produces a set of
+subtype *inequalities* — ``τ ⊑ α``, ``α ⊑ τ``, ``α ⊑ β`` — instead of a
+per-position yes/no.  This module closes such a set over a constraint
+graph:
+
+* **Nodes** stand for type variables: use-site instances of declaration
+  variables (renamed apart per atom occurrence), the *rigid* declaration
+  variables of a clause head (universally quantified — a clause must be
+  well-typed for **every** instantiation), and one node per program
+  variable (the type of its value set).
+* **Bounds** against the ground lattice: producers contribute lower
+  bounds (``σ ⊑ α`` — values up to ``σ`` flow in), consumers contribute
+  upper bounds (``α ⊑ τ`` — every value must fit ``τ``), and ground
+  argument terms contribute membership constraints (``t ∈ M[[α]]``).
+* **Edges** ``α ⊑ β`` link nodes; cycles collapse to equality classes
+  (Tarjan SCC) before propagation.
+* **Solving** is bound intersection against the finite set of *candidate
+  ground types* (every ground type the program mentions): each node's
+  domain starts as the candidates satisfying its own bounds, then arc
+  consistency prunes along edges to a fixpoint.  An empty domain is an
+  unsatisfiability **witness** carrying every bound that contributed,
+  with provenance (atom, argument position, produced/consumed) so the
+  lint layer can report spans and build fix-its.
+
+On a variable-free (monomorphic) program every constraint is ground, so
+the solver degenerates to exactly the engine's ``⪰_C`` verdicts and
+``match`` membership — the differential the tests pin.
+
+Ground-ground constraints between same-constructor applications
+decompose pointwise (uniform polymorphism makes constructor arguments
+covariant); everything else is answered by the
+:class:`~repro.core.subtype.SubtypeEngine` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...terms.pretty import pretty
+from ...terms.term import Struct, Term, variables_of
+
+__all__ = [
+    "Bound",
+    "ConstraintGraph",
+    "Node",
+    "Solution",
+    "Witness",
+    "ground_types_in",
+]
+
+LOWER = "lower"  # σ ⊑ α : produced values reach the variable
+UPPER = "upper"  # α ⊑ τ : consumed values must fit the type
+MEMBER = "member"  # t ∈ M[[α]] : a ground argument term inhabits the type
+
+
+def ground_types_in(term: Term, is_type_name) -> List[Struct]:
+    """Every subterm of ``term`` that is a *ground type*: a variable-free
+    term whose every constructor is a declared type name."""
+
+    found: List[Struct] = []
+
+    def is_ground_type(candidate: Term) -> bool:
+        if not isinstance(candidate, Struct) or not is_type_name(candidate.functor):
+            return False
+        return all(is_ground_type(arg) for arg in candidate.args)
+
+    def walk(candidate: Term) -> None:
+        if not isinstance(candidate, Struct):
+            return
+        if is_ground_type(candidate):
+            found.append(candidate)
+        for arg in candidate.args:
+            walk(arg)
+
+    walk(term)
+    return found
+
+
+@dataclass(frozen=True)
+class Bound:
+    """One collected constraint endpoint, with provenance for witnesses."""
+
+    kind: str  # LOWER | UPPER | MEMBER
+    type: Optional[Term] = None  # the ground type (LOWER/UPPER)
+    term: Optional[Term] = None  # the ground object term (MEMBER)
+    origin: str = ""  # human-readable provenance
+    builtin: bool = False  # contributed by a built-in signature
+    atom: Optional[Struct] = None  # the goal that contributed the bound
+    position: Optional[int] = None  # its 0-based argument position
+
+    def describe(self) -> str:
+        if self.kind == LOWER:
+            return f"{pretty(self.type)} ⊑ it ({self.origin})"
+        if self.kind == UPPER:
+            return f"it ⊑ {pretty(self.type)} ({self.origin})"
+        return f"{pretty(self.term)} ∈ it ({self.origin})"
+
+
+@dataclass
+class Node:
+    """One type variable of the constraint graph."""
+
+    key: str  # stable identity ("var X", "type A", "type A#2")
+    display: str  # name shown in diagnostics ("X", "A")
+    rigid: bool = False  # universally quantified (clause-head decl var)
+    bounds: List[Bound] = field(default_factory=list)
+    domain: Optional[Tuple[Term, ...]] = None  # set by solve()
+
+
+@dataclass(frozen=True)
+class Edge:
+    """``lower ⊑ upper`` between two nodes."""
+
+    lower: str
+    upper: str
+    origin: str = ""
+    builtin: bool = False
+
+
+@dataclass(frozen=True)
+class Witness:
+    """One unsatisfiable node: its bounds cannot be met by any candidate."""
+
+    node: Node
+    bounds: Tuple[Bound, ...]
+    builtin: bool  # any contributing constraint came from a built-in
+    reason: str
+
+    def describe_bounds(self) -> str:
+        return "; ".join(bound.describe() for bound in self.bounds)
+
+
+@dataclass
+class Solution:
+    """The solved graph: final domains, equality classes, witnesses."""
+
+    nodes: Dict[str, Node]
+    candidates: Tuple[Term, ...]
+    witnesses: List[Witness]
+    equalities: List[Tuple[str, ...]]  # collapsed cycles (len > 1)
+
+    @property
+    def satisfiable(self) -> bool:
+        return not self.witnesses
+
+    def domain_of(self, key: str) -> Tuple[Term, ...]:
+        node = self.nodes.get(key)
+        return node.domain if node is not None and node.domain is not None else ()
+
+    def committed(self, key: str) -> bool:
+        """True iff solving shrank the node's domain below the full
+        candidate set — for a rigid variable, the clause does not work
+        for every instantiation."""
+        node = self.nodes.get(key)
+        if node is None or node.domain is None:
+            return False
+        return len(node.domain) < len(self.candidates)
+
+
+class ConstraintGraph:
+    """Collect subtype constraints, then :meth:`solve` them."""
+
+    def __init__(self, engine, candidates: Sequence[Term]) -> None:
+        self.engine = engine
+        self.candidates: Tuple[Term, ...] = tuple(candidates)
+        self.nodes: Dict[str, Node] = {}
+        self.edges: List[Edge] = []
+        self.witnesses: List[Witness] = []
+
+    # -- construction --------------------------------------------------------
+
+    def node(self, key: str, display: str = "", rigid: bool = False) -> Node:
+        found = self.nodes.get(key)
+        if found is None:
+            found = Node(key, display or key, rigid)
+            self.nodes[key] = found
+        return found
+
+    def add_lower(
+        self,
+        key: str,
+        tau: Term,
+        origin: str,
+        builtin: bool = False,
+        atom: Optional[Struct] = None,
+        position: Optional[int] = None,
+    ) -> None:
+        self.node(key).bounds.append(
+            Bound(LOWER, type=tau, origin=origin, builtin=builtin, atom=atom, position=position)
+        )
+
+    def add_upper(
+        self,
+        key: str,
+        tau: Term,
+        origin: str,
+        builtin: bool = False,
+        atom: Optional[Struct] = None,
+        position: Optional[int] = None,
+    ) -> None:
+        self.node(key).bounds.append(
+            Bound(UPPER, type=tau, origin=origin, builtin=builtin, atom=atom, position=position)
+        )
+
+    def add_member(
+        self,
+        key: str,
+        term: Term,
+        origin: str,
+        builtin: bool = False,
+        atom: Optional[Struct] = None,
+        position: Optional[int] = None,
+    ) -> None:
+        self.node(key).bounds.append(
+            Bound(MEMBER, term=term, origin=origin, builtin=builtin, atom=atom, position=position)
+        )
+
+    def add_edge(self, lower_key: str, upper_key: str, origin: str, builtin: bool = False) -> None:
+        self.node(lower_key)
+        self.node(upper_key)
+        self.edges.append(Edge(lower_key, upper_key, origin, builtin))
+
+    def add_ground(
+        self, sub: Term, sup: Term, origin: str, builtin: bool = False
+    ) -> None:
+        """A ground-ground constraint ``sub ⊑ sup``: decompose
+        same-constructor applications pointwise, ask the engine for the
+        rest, record a witness on refutation."""
+        if (
+            isinstance(sub, Struct)
+            and isinstance(sup, Struct)
+            and sub.functor == sup.functor
+            and len(sub.args) == len(sup.args)
+            and sub.args
+        ):
+            for left, right in zip(sub.args, sup.args):
+                self.add_ground(left, right, origin, builtin)
+            return
+        if not self.engine.holds(sup, sub):
+            ghost = Node(f"ground {pretty(sub)}", pretty(sub))
+            bound = Bound(UPPER, type=sup, origin=origin, builtin=builtin)
+            ghost.bounds.append(Bound(LOWER, type=sub, origin=origin, builtin=builtin))
+            ghost.bounds.append(bound)
+            self.witnesses.append(
+                Witness(
+                    ghost,
+                    tuple(ghost.bounds),
+                    builtin,
+                    f"{pretty(sub)} ⊑ {pretty(sup)} does not hold in the "
+                    f"declared lattice ({origin})",
+                )
+            )
+
+    def check_member(
+        self, tau: Term, term: Term, origin: str, builtin: bool = False
+    ) -> bool:
+        """A ground membership constraint ``term ∈ M[[τ]]``; records a
+        witness (and returns False) when it fails."""
+        if not variables_of(term) and self.engine.contains(tau, term):
+            return True
+        ghost = Node(f"ground {pretty(term)}", pretty(term))
+        ghost.bounds.append(Bound(MEMBER, term=term, origin=origin, builtin=builtin))
+        ghost.bounds.append(Bound(UPPER, type=tau, origin=origin, builtin=builtin))
+        self.witnesses.append(
+            Witness(
+                ghost,
+                tuple(ghost.bounds),
+                builtin,
+                f"term {pretty(term)} is not a member of {pretty(tau)} ({origin})",
+            )
+        )
+        return False
+
+    # -- solving -------------------------------------------------------------
+
+    def _collapse_cycles(self) -> Tuple[Dict[str, str], List[Tuple[str, ...]]]:
+        """Tarjan SCC over the edge relation: every cycle ``α ⊑ … ⊑ α``
+        forces equality, so members share one representative node."""
+        graph: Dict[str, List[str]] = {key: [] for key in self.nodes}
+        for edge in self.edges:
+            if edge.lower in graph and edge.upper in graph:
+                graph[edge.lower].append(edge.upper)
+        index: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Dict[str, bool] = {}
+        stack: List[str] = []
+        counter = [0]
+        components: List[List[str]] = []
+
+        def strongconnect(root: str) -> None:
+            # Iterative Tarjan: (node, child iterator) frames.
+            work = [(root, iter(graph[root]))]
+            index[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack[root] = True
+            while work:
+                node, children = work[-1]
+                advanced = False
+                for child in children:
+                    if child not in index:
+                        index[child] = low[child] = counter[0]
+                        counter[0] += 1
+                        stack.append(child)
+                        on_stack[child] = True
+                        work.append((child, iter(graph[child])))
+                        advanced = True
+                        break
+                    if on_stack.get(child):
+                        low[node] = min(low[node], index[child])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = False
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(component)
+
+        for key in graph:
+            if key not in index:
+                strongconnect(key)
+
+        representative: Dict[str, str] = {}
+        equalities: List[Tuple[str, ...]] = []
+        for component in components:
+            ordered = sorted(component)
+            rep = ordered[0]
+            for member in ordered:
+                representative[member] = rep
+            if len(ordered) > 1:
+                equalities.append(tuple(ordered))
+        return representative, equalities
+
+    def solve(self) -> Solution:
+        representative, equalities = self._collapse_cycles()
+
+        # Merge cycle members into their representative.
+        merged: Dict[str, Node] = {}
+        for key, node in self.nodes.items():
+            rep = representative.get(key, key)
+            target = merged.get(rep)
+            if target is None:
+                target = Node(rep, node.display, node.rigid)
+                merged[rep] = target
+            target.bounds.extend(node.bounds)
+            target.rigid = target.rigid or node.rigid
+            if key == rep:
+                target.display = node.display
+        edges = {
+            (representative.get(e.lower, e.lower), representative.get(e.upper, e.upper), e.builtin)
+            for e in self.edges
+        }
+        edges = {(low, up, b) for (low, up, b) in edges if low != up}
+
+        holds = self.engine.holds
+        contains = self.engine.contains
+
+        def admits(gamma: Term, node: Node) -> bool:
+            for bound in node.bounds:
+                if bound.kind == LOWER and not holds(gamma, bound.type):
+                    return False
+                if bound.kind == UPPER and not holds(bound.type, gamma):
+                    return False
+                if bound.kind == MEMBER and not contains(gamma, bound.term):
+                    return False
+            return True
+
+        domains: Dict[str, List[Term]] = {
+            key: [gamma for gamma in self.candidates if admits(gamma, node)]
+            for key, node in merged.items()
+        }
+
+        # Arc consistency over ``lower ⊑ upper`` edges, to a fixpoint.
+        changed = True
+        while changed:
+            changed = False
+            for low_key, up_key, _ in edges:
+                low_dom = domains.get(low_key)
+                up_dom = domains.get(up_key)
+                if low_dom is None or up_dom is None:
+                    continue
+                kept = [g for g in low_dom if any(holds(d, g) for d in up_dom)]
+                if len(kept) != len(low_dom):
+                    domains[low_key] = kept
+                    changed = True
+                kept = [d for d in up_dom if any(holds(d, g) for g in domains[low_key])]
+                if len(kept) != len(up_dom):
+                    domains[up_key] = kept
+                    changed = True
+
+        for key, node in merged.items():
+            node.domain = tuple(domains[key])
+
+        witnesses = list(self.witnesses)
+        # The pruning runs both directions along every edge, so one
+        # unsatisfiable conflict empties its entire edge-connected
+        # component.  Emit ONE witness per component, pooling the member
+        # nodes' own bounds — the report then shows the actual conflict
+        # (e.g. incomparable lower bounds meeting on a shared type
+        # variable) rather than whichever node it surfaced on.
+        if self.candidates:
+            witnesses.extend(self._component_witnesses(merged, edges))
+
+        # Expose solved domains on the original (pre-merge) nodes too.
+        for key, node in self.nodes.items():
+            rep = representative.get(key, key)
+            node.domain = merged[rep].domain
+            node.bounds = merged[rep].bounds
+
+        return Solution(dict(self.nodes), self.candidates, witnesses, equalities)
+
+    def _component_witnesses(self, merged, edges) -> List[Witness]:
+        empty = {
+            key
+            for key, node in merged.items()
+            if not node.domain
+            and (node.bounds or any(key in (low, up) for (low, up, _) in edges))
+        }
+        neighbours: Dict[str, List[str]] = {key: [] for key in empty}
+        for low, up, _ in edges:
+            if low in empty and up in empty:
+                neighbours[low].append(up)
+                neighbours[up].append(low)
+        witnesses: List[Witness] = []
+        seen: set = set()
+        for start in sorted(empty):
+            if start in seen:
+                continue
+            component: List[str] = []
+            frontier = [start]
+            while frontier:
+                key = frontier.pop()
+                if key in seen:
+                    continue
+                seen.add(key)
+                component.append(key)
+                frontier.extend(neighbours[key])
+            component.sort()
+            pooled: List[Bound] = []
+            for key in component:
+                pooled.extend(merged[key].bounds)
+            if not pooled:
+                continue  # no constraint ever touched it; nothing to report
+            # Surface the witness on the most-constrained node (ties
+            # break on the sorted key, for determinism).
+            rep = sorted(component, key=lambda k: (-len(merged[k].bounds), k))[0]
+            node = merged[rep]
+            builtin = any(bound.builtin for bound in pooled) or any(
+                b for (low, up, b) in edges if low in component or up in component
+            )
+            witnesses.append(
+                Witness(
+                    node,
+                    tuple(pooled),
+                    builtin,
+                    f"no type in the declared lattice satisfies the bounds "
+                    f"on {node.display}",
+                )
+            )
+        return witnesses
+
+    # -- principal bounds ----------------------------------------------------
+
+    def principal_bound(self, solution: Solution, key: str) -> Optional[Term]:
+        """The *most general* type in the node's solved domain — the
+        maximum under ``⪰_C`` when one exists (it powers declaration
+        rewrites); None for empty or maximum-free domains."""
+        domain = solution.domain_of(key)
+        if not domain:
+            return None
+        for gamma in domain:
+            if all(self.engine.holds(gamma, other) for other in domain):
+                return gamma
+        return None
+
+    def minimal_bound(self, solution: Solution, key: str) -> Optional[Term]:
+        """The *least* type in the node's solved domain (the principal
+        narrowing target for filter insertions), when one exists."""
+        domain = solution.domain_of(key)
+        if not domain:
+            return None
+        for gamma in domain:
+            if all(self.engine.holds(other, gamma) for other in domain):
+                return gamma
+        return None

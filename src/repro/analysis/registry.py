@@ -28,7 +28,10 @@ Code space:
   call sites under ``MODE`` declarations, ``repro.analysis.modes``);
 * ``TLP590`` — reserved: dynamic subject-reduction violations reported
   by ``--typed-run`` (``repro.core.typed_run``), outside the static
-  rule registry on purpose.
+  rule registry on purpose;
+* ``TLP6xx`` — typed-CLP analyses (polymorphic subtype-constraint
+  solving and built-in constraint signatures,
+  ``repro.analysis.polytypes``).
 """
 
 from __future__ import annotations
@@ -55,7 +58,10 @@ __all__ = [
 #: "2": the TLP4xx success-set family + inference-backed TLP201 fix-its.
 #: "3": the TLP5xx declared-mode family + TLP301 deferring to declared
 #: modes when both flow endpoints carry them.
-ANALYZER_VERSION = "3"
+#: "4": the TLP6xx typed-CLP family (polymorphic constraint solving,
+#: built-in signatures); TLP201/TLP104/TLP301 made polymorphism- and
+#: built-in-aware.
+ANALYZER_VERSION = "4"
 
 #: Code attached to lexer/parser failures reported through the linter.
 SYNTAX_ERROR_CODE = "TLP001"

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from ..core.builtins import BUILTIN_MODES, builtin_heads, is_builtin_goal
 from ..core.declarations import ConstraintSet, DeclarationError, SubtypeConstraint, SymbolTable
 from ..obs import METRICS, TRACER
 from ..core.moded_welltyped import ModedWellTypedChecker
@@ -239,6 +240,27 @@ def _check_source(
         except DeclarationError as error:
             bag.error(str(error), item.position)
     module.modes = modes
+
+    # Step 2c-bis: built-in constraint predicate signatures (typed-CLP
+    # extension).  Injected only when the source actually calls a
+    # built-in, so the paper's pure fragment is checked byte-for-byte as
+    # before.  A user declaration for a built-in indicator wins (the
+    # lint layer reports the shadowing); built-in modes join the ModeEnv
+    # only when the program is already moded, so unmoded files never
+    # flip into the directional fallback.
+    builtin_used = any(
+        is_builtin_goal(goal)
+        for item in source.items
+        if isinstance(item, (ClauseDecl, QueryDecl))
+        for goal in item.body
+    )
+    if builtin_used:
+        for head in builtin_heads(symbols.type_constructors):
+            if predicate_types.has_type_for(head):
+                continue
+            predicate_types.declare(head)
+            if len(modes) and modes.modes_of(head) is None:
+                modes.declare(head.functor, BUILTIN_MODES[head.functor])
 
     # Step 2d: clauses and queries (object-level syntax checks).
     for item in source.of_kind(ClauseDecl):

@@ -47,6 +47,7 @@ _HELP = """commands:
   :lint [CODE,...]         run the static analyzer (optionally disabling rules)
   :modes                   declared modes + per-clause well-modedness verdicts
   :infer                   inferred success sets + reconstructed PRED lines
+  :solve                   polymorphic subtype-constraint graphs, solved
   :stats [on|off|reset]    telemetry: show the metrics table / toggle / zero
   :profile [on|off|reset]  span profiler: show self/cumulative table / toggle
   :help                    this message
@@ -108,6 +109,8 @@ class Repl:
             return self._modes(rest)
         if command == ":infer":
             return self._infer(rest)
+        if command == ":solve":
+            return self._solve(rest)
         if command == ":stats":
             return self._stats(rest)
         if command == ":profile":
@@ -189,6 +192,39 @@ class Repl:
             out.append("reconstructed declarations:")
             out.extend(f"  {line}" for line in declarations)
         return out or ["no predicates to analyze"]
+
+    def _solve(self, rest: str) -> List[str]:
+        """``:solve``: render the TLP6xx solver's constraint graphs — per
+        polymorphic/built-in clause or query, the solved type-variable
+        domains and any unsatisfiability witnesses."""
+        if rest:
+            return ["usage: :solve (no arguments)"]
+        if self.source_text is None:
+            return ["no source text available to analyze"]
+        from ..analysis.polytypes import solve_text
+
+        solved = solve_text(self.source_text)
+        if solved is None:
+            return [
+                "nothing to solve: no polymorphic declarations or built-in "
+                "constraint goals in the loaded module"
+            ]
+        out = ["candidate ground types: " + ", ".join(solved["candidates"])]
+        for item in solved["items"]:
+            verdict = "satisfiable" if item["satisfiable"] else "UNSATISFIABLE"
+            out.append(f"{item['item']}  --  {verdict}")
+            for node in item["nodes"]:
+                kind = "type var" if node["rigid"] else "var"
+                domain = ", ".join(node["domain"]) or "(empty)"
+                out.append(f"  {kind} {node['display']}: {{{domain}}}")
+            for group in item["equalities"]:
+                out.append("  forced equal: " + " = ".join(group))
+            for witness in item["witnesses"]:
+                source = " (built-in signature involved)" if witness["builtin"] else ""
+                out.append(f"  witness on {witness['node']}{source}:")
+                for bound in witness["bounds"]:
+                    out.append(f"    {bound}")
+        return out
 
     def _stats(self, rest: str) -> List[str]:
         if rest == "on":

@@ -1,5 +1,14 @@
 """The paper's type system: declarations, subtyping, match, well-typedness."""
 
+from .builtins import (
+    BUILTIN_MODES,
+    BUILTIN_PREDICATES,
+    builtin_heads,
+    is_builtin_goal,
+    is_builtin_indicator,
+    numeric_type_name,
+    uses_builtin_goals,
+)
 from .constraint_match import ConstraintMatcher, ConstraintMatchResult, ShapeEquation
 from .declarations import (
     ConstraintSet,
@@ -48,6 +57,14 @@ from .typing import (
 from .welltyped import AtomCheck, ClauseReport, ProgramReport, WellTypedChecker
 
 __all__ = [
+    # built-in constraint predicates (typed-CLP extension)
+    "BUILTIN_MODES",
+    "BUILTIN_PREDICATES",
+    "builtin_heads",
+    "is_builtin_goal",
+    "is_builtin_indicator",
+    "numeric_type_name",
+    "uses_builtin_goals",
     # declarations
     "SymbolTable",
     "SymbolKind",

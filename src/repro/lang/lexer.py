@@ -8,7 +8,9 @@ The token language covers everything appearing in the paper:
   function symbol in the paper);
 * variables (uppercase- or underscore-initial identifiers);
 * punctuation ``( ) , .`` and the operators ``:-`` ``>=`` ``+`` ``:``
-  (the last for Section 7's typed-unification constraints ``X : nat``);
+  (the last for Section 7's typed-unification constraints ``X : nat``),
+  plus the built-in constraint comparators ``<`` ``=<`` ``=:=`` of the
+  typed-CLP extension (Fages & Coquery);
 * ``%`` line comments.
 
 Keywords are spelled in all caps in the paper, which collides with the
@@ -42,6 +44,9 @@ class TokenKind:
     GEQ = "GEQ"  # >=
     PLUS = "PLUS"
     COLON = "COLON"  # type constraints in queries: X : nat
+    LT = "LT"  # <   (built-in comparison goal)
+    LEQ = "LEQ"  # =<  (built-in comparison goal)
+    EQARITH = "EQARITH"  # =:= (built-in arithmetic equality goal)
     EOF = "EOF"
 
 
@@ -163,6 +168,21 @@ def iter_tokens(text: str) -> Iterator[Token]:
             yield Token(TokenKind.GEQ, ">=", start_line, start_col, line, start_col + 2)
             i += 2
             col += 2
+            continue
+        if text.startswith("=:=", i):
+            yield Token(TokenKind.EQARITH, "=:=", start_line, start_col, line, start_col + 3)
+            i += 3
+            col += 3
+            continue
+        if text.startswith("=<", i):
+            yield Token(TokenKind.LEQ, "=<", start_line, start_col, line, start_col + 2)
+            i += 2
+            col += 2
+            continue
+        if ch == "<":
+            yield Token(TokenKind.LT, "<", start_line, start_col, line, start_col + 1)
+            i += 1
+            col += 1
             continue
         if _is_name_start(ch) or _is_variable_start(ch):
             j = i

@@ -163,16 +163,33 @@ class _Parser:
             out.append(self.atom())
         return tuple(out)
 
-    def query_goal(self) -> Struct:
-        """An atom or a Section 7 type constraint ``term : type``.
+    #: Infix built-in constraint goals of the typed-CLP extension: the
+    #: token kind → goal functor map for ``X < Y``, ``X =< Y``, ``X =:= Y``.
+    _BUILTIN_GOAL_TOKENS = {
+        TokenKind.LT: "<",
+        TokenKind.LEQ: "=<",
+        TokenKind.EQARITH: "=:=",
+    }
 
-        Constraints travel as ``':'(term, type)`` structs; they are only
-        legal in queries — clause bodies use :meth:`atoms`.
+    def query_goal(self) -> Struct:
+        """An atom, a Section 7 type constraint ``term : type``, or an
+        infix built-in constraint goal ``term < term`` / ``term =< term``
+        / ``term =:= term`` / ``term is term``.
+
+        Constraints travel as ``':'(term, type)`` structs; built-in goals
+        travel as ordinary ``'<'(lhs, rhs)``-style structs so downstream
+        passes treat them like any other atom.
         """
         lhs = self.union()
         if self.accept(TokenKind.COLON):
             rhs = self.union()
             return Struct(":", (lhs, rhs))
+        for kind, functor in self._BUILTIN_GOAL_TOKENS.items():
+            if self.accept(kind):
+                return Struct(functor, (lhs, self.union()))
+        if self.check(TokenKind.NAME, "is"):
+            self.advance()
+            return Struct("is", (lhs, self.union()))
         if not isinstance(lhs, Struct) or lhs.functor == UNION_TYPE:
             raise ParseError("expected an atom or a ':' type constraint", self.current)
         return lhs

@@ -68,7 +68,10 @@ __all__ = ["CHECKER_VERSION", "CachedResult", "ResultCache"]
 #: "5": ground subtype/match queries run on compiled tree automata and
 #: their spilled tables live alongside the cache — pre-automata indexes,
 #: memo tables, and spills must not replay.
-CHECKER_VERSION = "5"
+#: "6": built-in constraint predicates get declared signatures in the
+#: frontend and the TLP6xx polymorphic-constraint rules change lint
+#: findings — pre-typed-CLP indexes must not replay.
+CHECKER_VERSION = "6"
 
 INDEX_NAME = "tlp-cache.json"
 LOCK_NAME = INDEX_NAME + ".lock"

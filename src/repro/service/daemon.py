@@ -16,6 +16,7 @@ line, one response object per line, in order.  Requests::
     {"op": "lint", "path": "examples/programs/append.tlp"}
     {"op": "lint", "text": "FUNC nil. ...", "disable": "TLP203"}
     {"op": "infer", "path": "examples/programs/append.tlp"}
+    {"op": "solve", "path": "examples/corpus/lint/polytypes.tlp"}
     {"op": "stats"}
     {"op": "metrics"}                     # Prometheus text exposition
     {"op": "health"}                      # uptime, LRU occupancy, caches
@@ -33,9 +34,13 @@ static analyzer's findings as structured objects (``code``, ``severity``,
 counts and the rule-set ``fingerprint``.  An ``infer`` response carries
 the success-set analysis: ``"declarations"`` (reconstructed ``PRED``
 lines for undeclared predicates, checker-validated where possible) and
-``"success_sets"`` (the rendered per-predicate inferred types).
-Malformed lines get an ``{"ok": false, "error": ...}`` response rather
-than killing the daemon.
+``"success_sets"`` (the rendered per-predicate inferred types).  A
+``solve`` response carries the polymorphic subtype-constraint solver's
+view of the file: the candidate ground-type lattice and, per clause or
+query that involves a polymorphic declaration or a built-in constraint
+predicate, the solved type-variable domains, forced equalities, and
+unsatisfiability witnesses.  Malformed lines get an
+``{"ok": false, "error": ...}`` response rather than killing the daemon.
 
 Verdict state is *content-addressed*: the hot LRU and the persistent
 cache are keyed by the SHA-256 of the checked text (never by path), and
@@ -115,6 +120,7 @@ class CheckService:
         self.checks = 0
         self.lints = 0
         self.infers = 0
+        self.solves = 0
         self.hot_hits = 0
         self.cache_hits = 0
         self.cancellations = 0
@@ -150,6 +156,8 @@ class CheckService:
                 return self._op_lint(request)
             if op == "infer":
                 return self._op_infer(request)
+            if op == "solve":
+                return self._op_solve(request)
             if op == "stats":
                 return self._op_stats()
             if op == "metrics":
@@ -458,12 +466,54 @@ class CheckService:
             "duration_s": time.perf_counter() - started,
         }
 
+    def _op_solve(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        path = request.get("path")
+        text = request.get("text")
+        if (path is None) == (text is None):
+            return self._error("solve", "solve needs exactly one of 'path' or 'text'")
+        display = str(path) if path is not None else "<text>"
+        if path is not None:
+            try:
+                text = Path(path).read_text(encoding="utf-8")
+            except OSError as error:
+                return self._error("solve", f"{path}: cannot read: {error}")
+        assert isinstance(text, str)
+        from ..analysis.polytypes import solve_text
+        from ..core.declarations import DeclarationError
+        from ..lang.lexer import LexError
+        from ..lang.parser import ParseError
+
+        self.solves += 1
+        if METRICS.enabled:
+            METRICS.inc("service.daemon.solves")
+        started = time.perf_counter()
+        try:
+            solved = solve_text(text, path=display)
+        except (LexError, ParseError, DeclarationError) as error:
+            return self._error("solve", f"{display}: {error}")
+        if solved is None:
+            return self._error(
+                "solve",
+                f"{display}: no polymorphic declarations or built-in "
+                f"constraint goals (nothing for the subtype solver to do)",
+            )
+        return {
+            "ok": True,
+            "op": "solve",
+            "path": display,
+            "digest": fingerprint(text),
+            "candidates": solved["candidates"],
+            "items": solved["items"],
+            "duration_s": time.perf_counter() - started,
+        }
+
     def _op_stats(self) -> Dict[str, Any]:
         stats: Dict[str, Any] = {
             "requests": self.requests,
             "checks": self.checks,
             "lints": self.lints,
             "infers": self.infers,
+            "solves": self.solves,
             "hot_hits": self.hot_hits,
             "cache_hits": self.cache_hits,
             "cancellations": self.cancellations,

@@ -17,6 +17,9 @@ __all__ = ["pretty", "pretty_args", "UNION_TYPE"]
 
 UNION_TYPE = "+"
 
+#: Built-in constraint goal functors rendered infix (2-ary only).
+_BUILTIN_GOALS = frozenset({"<", "=<", "=:=", "is"})
+
 #: Renderings at most this long are cached on the node (``Struct._pretty``).
 #: The bound keeps deep terms from pinning O(depth²) characters: a
 #: 50k-deep ``succ`` tower would otherwise cache every suffix of its own
@@ -50,6 +53,10 @@ def _render(term: Struct) -> str:
     if term.functor == ":" and len(term.args) == 2:
         # Typed-unification constraints display infix too.
         return f"{pretty(term.args[0])} : {pretty(term.args[1])}"
+    if term.functor in _BUILTIN_GOALS and len(term.args) == 2:
+        # Built-in constraint goals (typed-CLP extension) display infix so
+        # rewritten clauses and queries re-parse.
+        return f"{pretty(term.args[0])} {term.functor} {pretty(term.args[1])}"
     if term.functor == UNION_TYPE and len(term.args) == 2:
         left, right = term.args
         left_str = pretty(left)

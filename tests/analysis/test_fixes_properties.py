@@ -1,0 +1,127 @@
+"""Property tests for :mod:`repro.analysis.fixes`.
+
+Two algebraic facts the fix-it gates in CI rely on:
+
+* **non-overlapping edits commute** — a set of span fix-its whose ranges
+  are pairwise disjoint produces the same text whatever order the
+  diagnostics arrive in (the bottom-up application order is a pure
+  implementation detail);
+* **overlapping edits resolve first-wins** — when two fix-its claim the
+  same range, the earlier diagnostic's replacement lands and the later
+  one is dropped entirely (its edit must not partially apply).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fixes import apply_fixits, edit_for, is_machine_applicable
+from repro.checker.diagnostics import Diagnostic, FixIt, Severity
+from repro.lang.ast import Position
+
+_ALPHABET = "abcdefgh"
+
+
+def span_diagnostic(start: int, end: int, replacement: str) -> Diagnostic:
+    """A warning whose single fix-it replaces [start, end) of line 1
+    (offsets are 0-based here; positions are 1-based)."""
+    position = Position(1, start + 1, end_line=1, end_column=end + 1)
+    return Diagnostic(
+        severity=Severity.WARNING,
+        message=f"replace [{start}, {end})",
+        position=position,
+        code="TLP999",
+        fixits=(FixIt(f"-> {replacement!r}", replacement, position),),
+    )
+
+
+@st.composite
+def disjoint_edit_sets(draw):
+    """One-line text plus span fix-its over pairwise-disjoint,
+    non-touching ranges (strictly increasing boundary points, so no two
+    edits share even an insertion point)."""
+    text = draw(st.text(alphabet=_ALPHABET, min_size=4, max_size=60))
+    # 2*pairs unique boundary points must fit in [0, len(text)].
+    pairs = draw(st.integers(min_value=1, max_value=min(4, (len(text) + 1) // 2)))
+    boundaries = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(text)),
+            min_size=2 * pairs,
+            max_size=2 * pairs,
+            unique=True,
+        ).map(sorted)
+    )
+    diagnostics = []
+    for index in range(pairs):
+        start, end = boundaries[2 * index], boundaries[2 * index + 1]
+        # An empty replacement makes a fix-it advisory (edit_for returns
+        # None), so machine edits always carry at least one character.
+        replacement = draw(
+            st.text(alphabet=_ALPHABET.upper(), min_size=1, max_size=5)
+        )
+        diagnostics.append(span_diagnostic(start, end, replacement))
+    return text, diagnostics
+
+
+@settings(max_examples=60, deadline=None)
+@given(disjoint_edit_sets(), st.randoms())
+def test_non_overlapping_fixits_commute(case, rng):
+    text, diagnostics = case
+    baseline = apply_fixits(text, diagnostics)
+    shuffled = list(diagnostics)
+    rng.shuffle(shuffled)
+    assert apply_fixits(text, shuffled) == baseline
+
+
+@settings(max_examples=60, deadline=None)
+@given(disjoint_edit_sets())
+def test_non_overlapping_fixits_match_manual_splice(case):
+    text, diagnostics = case
+    edits = sorted(
+        edit_for(text, d, d.fixits[0]) for d in diagnostics
+    )
+    expected, cursor = [], 0
+    for start, end, replacement in edits:
+        expected.append(text[cursor:start])
+        expected.append(replacement)
+        cursor = end
+    expected.append(text[cursor:])
+    assert apply_fixits(text, diagnostics) == "".join(expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.text(alphabet=_ALPHABET, min_size=2, max_size=40),
+    st.data(),
+)
+def test_overlapping_fixits_are_first_wins(text, data):
+    start = data.draw(st.integers(min_value=0, max_value=len(text) - 1))
+    end = data.draw(st.integers(min_value=start + 1, max_value=len(text)))
+    first = span_diagnostic(start, end, "FIRST")
+    second = span_diagnostic(start, end, "SECOND")
+    assert apply_fixits(text, [first, second]) == apply_fixits(text, [first])
+    assert apply_fixits(text, [second, first]) == apply_fixits(text, [second])
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.text(alphabet=_ALPHABET, min_size=4, max_size=40), st.data())
+def test_partially_overlapping_fixits_drop_the_later_edit(text, data):
+    # Ranges that merely intersect (not necessarily equal) still resolve
+    # first-wins: the second edit is skipped whole, never spliced.
+    a = data.draw(st.integers(min_value=0, max_value=len(text) - 2))
+    b = data.draw(st.integers(min_value=a + 1, max_value=len(text) - 1))
+    c = data.draw(st.integers(min_value=b + 1, max_value=len(text)))
+    first = span_diagnostic(a, c, "FIRST")  # [a, c) covers [b, c)
+    second = span_diagnostic(b, c, "SECOND")
+    assert apply_fixits(text, [first, second]) == apply_fixits(text, [first])
+
+
+def test_advisory_fixits_never_edit():
+    text = "PRED p(t).\n"
+    advisory = Diagnostic(
+        severity=Severity.WARNING,
+        message="advisory only",
+        position=Position(1, 1),
+        fixits=(FixIt("rename the predicate"),),
+    )
+    assert not is_machine_applicable(text, advisory, advisory.fixits[0])
+    assert apply_fixits(text, [advisory]) == text

@@ -1,0 +1,75 @@
+"""``tlp-lint``'s seed-behaviour escape hatches: ``--no-automata``,
+``--no-intern``, ``--no-shared-memo`` — parity with the other entry
+points (tests/service/test_automata_flags.py): findings byte-identical
+with and without each flag, process-wide state restored on exit."""
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.core.automata import AUTOMATA
+from repro.core.shared_memo import SHARED_MEMO
+from repro.workloads import APPEND
+
+POLY_CORPUS = "examples/corpus/lint/polytypes.tlp"
+
+FLAGS = ("--no-automata", "--no-intern", "--no-shared-memo")
+
+
+@pytest.fixture()
+def append_file(tmp_path):
+    path = tmp_path / "append.tlp"
+    path.write_text(APPEND)
+    return str(path)
+
+
+@pytest.mark.parametrize("flag", FLAGS)
+def test_flag_output_is_byte_identical(append_file, capsys, flag):
+    baseline_code = main([append_file])
+    baseline = capsys.readouterr().out
+    assert main([append_file, flag]) == baseline_code
+    assert capsys.readouterr().out == baseline
+
+
+@pytest.mark.parametrize("flag", FLAGS)
+def test_flag_parity_on_the_polytypes_corpus(capsys, flag):
+    # The solver leans on the subtype engine the hardest — its findings
+    # must not depend on automata/interning/memo availability.
+    baseline_code = main([POLY_CORPUS])
+    baseline = capsys.readouterr().out
+    assert "TLP601" in baseline
+    assert main([POLY_CORPUS, flag]) == baseline_code
+    assert capsys.readouterr().out == baseline
+
+
+def test_all_flags_together_restore_process_state(append_file, capsys):
+    automata_before = AUTOMATA.enabled
+    memo_before = SHARED_MEMO.enabled
+    assert main([append_file, *FLAGS]) == 0
+    capsys.readouterr()
+    assert AUTOMATA.enabled == automata_before
+    assert SHARED_MEMO.enabled == memo_before
+
+
+def test_flags_restore_state_even_on_usage_error(capsys):
+    automata_before = AUTOMATA.enabled
+    # No input files: exit code 2 via the error path.
+    assert main(["--no-automata"]) == 2
+    capsys.readouterr()
+    assert AUTOMATA.enabled == automata_before
+
+
+def test_flags_disable_state_during_the_run(append_file, monkeypatch, capsys):
+    observed = {}
+    from repro.analysis import cli as cli_module
+
+    original = cli_module._run
+
+    def spy(arguments):
+        observed["automata"] = AUTOMATA.enabled
+        observed["memo"] = SHARED_MEMO.enabled
+        return original(arguments)
+
+    monkeypatch.setattr(cli_module, "_run", spy)
+    assert main([append_file, "--no-automata", "--no-shared-memo"]) == 0
+    capsys.readouterr()
+    assert observed == {"automata": False, "memo": False}

@@ -1,0 +1,216 @@
+"""The TLP6xx typed-CLP rule family end-to-end: the seeded corpus's
+exact finding set, machine fix-its and their re-lint round trips, the
+``solve_text`` service API, and the family's telemetry counters."""
+
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.analysis import LintConfig, lint_text
+from repro.analysis.fixes import apply_fixits, is_machine_applicable
+from repro.analysis.polytypes import solve_text
+
+CORPUS = (
+    Path(__file__).resolve().parents[2]
+    / "examples"
+    / "corpus"
+    / "lint"
+    / "polytypes.tlp"
+)
+
+TLP6XX = ("TLP601", "TLP602", "TLP603", "TLP604", "TLP605")
+
+
+@pytest.fixture(scope="module")
+def corpus_text():
+    return CORPUS.read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def corpus_report(corpus_text):
+    return lint_text(corpus_text, path=str(CORPUS))
+
+
+def tlp6(report):
+    return [d for d in report.diagnostics if d.code in TLP6XX]
+
+
+# -- the seeded corpus --------------------------------------------------------
+
+
+def test_corpus_finding_set_is_exactly_the_seeded_one(corpus_report):
+    found = sorted(
+        (d.code, d.position.line) for d in tlp6(corpus_report)
+    )
+    assert found == [
+        ("TLP601", 23),
+        ("TLP602", 27),
+        ("TLP603", 31),
+        ("TLP604", 34),
+        ("TLP605", 38),
+    ]
+
+
+def test_corpus_severities(corpus_report):
+    severity = {d.code: d.severity for d in tlp6(corpus_report)}
+    assert severity == {
+        "TLP601": "error",
+        "TLP602": "error",
+        "TLP603": "error",
+        "TLP604": "warning",
+        "TLP605": "warning",
+    }
+
+
+def test_corpus_produces_no_other_new_family_noise(corpus_report):
+    # The corpus is engineered so TLP6xx are the only error-severity
+    # findings: the monomorphic rules must not double-report the
+    # polymorphic defects.
+    errors = [d.code for d in corpus_report.diagnostics if d.severity == "error"]
+    assert sorted(errors) == ["TLP601", "TLP602", "TLP603"]
+
+
+def test_tlp601_message_carries_both_conflicting_bounds(corpus_report):
+    [d] = [d for d in tlp6(corpus_report) if d.code == "TLP601"]
+    assert "nat ⊑ it" in d.message and "list(nat) ⊑ it" in d.message
+
+
+def test_tlp602_blames_the_builtin_signature(corpus_report):
+    [d] = [d for d in tlp6(corpus_report) if d.code == "TLP602"]
+    assert "built-in" in d.message
+    assert "int" in d.fixits[0].description
+
+
+def test_tlp603_fix_declares_the_principal_instance(corpus_text, corpus_report):
+    [d] = [d for d in tlp6(corpus_report) if d.code == "TLP603"]
+    assert any(
+        "PRED id(int, int)." in (f.replacement or "") for f in d.fixits
+    )
+    assert all(is_machine_applicable(corpus_text, d, f) for f in d.fixits)
+
+
+def test_tlp604_fix_pins_the_clause_principal(corpus_text, corpus_report):
+    [d] = [d for d in tlp6(corpus_report) if d.code == "TLP604"]
+    assert any(
+        "PRED anyp(int, nat)." in (f.replacement or "") for f in d.fixits
+    )
+    assert all(is_machine_applicable(corpus_text, d, f) for f in d.fixits)
+
+
+def test_tlp605_fix_comments_the_shadowing_declaration_out(
+    corpus_text, corpus_report
+):
+    [d] = [d for d in tlp6(corpus_report) if d.code == "TLP605"]
+    [fixit] = d.fixits
+    assert fixit.replacement == "% PRED is(nat, nat)."
+    assert is_machine_applicable(corpus_text, d, fixit)
+
+
+def test_corpus_machine_fixes_round_trip(corpus_text, corpus_report):
+    # Apply every machine-applicable TLP6xx fix, re-lint: the fixed
+    # findings clear; TLP601/TLP602 (advisory in the corpus — their
+    # repair needs a filter predicate the file does not declare) stay.
+    fixed = apply_fixits(corpus_text, tlp6(corpus_report))
+    assert fixed != corpus_text
+    residue = sorted(
+        {d.code for d in lint_text(fixed).diagnostics if d.code in TLP6XX}
+    )
+    assert residue == ["TLP601", "TLP602"]
+
+
+# -- the TLP601 filter fix-it -------------------------------------------------
+
+
+FILTERABLE = """\
+TYPE nat, int.
+FUNC 0, s, pred, int2nat.
+int >= nat.
+nat >= 0 + s(nat).
+int >= pred(int).
+PRED makeint(int).
+MODE makeint(OUT).
+makeint(0).
+PRED usenat(nat).
+PRED sel(A, A).
+sel(X, X).
+:- makeint(X), sel(X, X), usenat(X).
+"""
+
+
+def test_tlp601_filter_fix_rewrites_the_consumer():
+    report = lint_text(FILTERABLE)
+    [d] = [x for x in report.diagnostics if x.code == "TLP601"]
+    [fixit] = [f for f in d.fixits if f.replacement]
+    assert (
+        fixit.replacement
+        == ":- makeint(X), sel(X, X), int2nat(X, X_nat), usenat(X_nat)."
+    )
+    assert is_machine_applicable(FILTERABLE, d, fixit)
+    fixed = apply_fixits(FILTERABLE, [d])
+    assert "int2nat(X, X_nat), usenat(X_nat)" in fixed
+    assert not any(
+        x.code == "TLP601" for x in lint_text(fixed).diagnostics
+    )
+
+
+# -- disabling ----------------------------------------------------------------
+
+
+def test_family_respects_disable(corpus_text):
+    config = LintConfig(disabled=frozenset(TLP6XX))
+    report = lint_text(corpus_text, config=config)
+    assert not tlp6(report)
+
+
+# -- solve_text ---------------------------------------------------------------
+
+
+def test_solve_text_reports_items_and_witnesses(corpus_text):
+    solved = solve_text(corpus_text, path=str(CORPUS))
+    assert solved is not None
+    assert solved["candidates"] == ["int", "list(nat)", "nat"]
+    by_line = {item["line"]: item for item in solved["items"]}
+    assert by_line[23]["satisfiable"] is False
+    assert by_line[23]["witnesses"]
+    assert by_line[27]["satisfiable"] is False
+    assert by_line[27]["witnesses"][0]["builtin"] is True
+    assert by_line[31]["satisfiable"] is True
+    # The committed rigid variable's solved domain is visible.
+    [rigid] = [n for n in by_line[31]["nodes"] if n["rigid"]]
+    assert sorted(rigid["domain"]) == ["int", "nat"]
+
+
+def test_solve_text_declines_the_monomorphic_fragment():
+    assert solve_text("TYPE t.\nFUNC a.\nt >= a.\nPRED p(t).\np(a).\n") is None
+
+
+def test_solve_text_propagates_parse_errors():
+    from repro.lang.parser import ParseError
+
+    with pytest.raises(ParseError):
+        solve_text("PRED p(")
+
+
+# -- telemetry ----------------------------------------------------------------
+
+
+def test_polytypes_telemetry_counters(corpus_text):
+    was_enabled = obs.METRICS.enabled
+    obs.reset()
+    obs.METRICS.enabled = True
+    try:
+        lint_text(corpus_text)
+        snapshot = obs.METRICS.snapshot()
+    finally:
+        obs.METRICS.enabled = was_enabled
+    counters = snapshot["counters"]
+    assert counters.get("analysis.polytypes.files") == 1
+    assert counters.get("analysis.polytypes.owners", 0) > 0
+    assert counters.get("analysis.polytypes.witnesses", 0) >= 2
+    assert "analysis.polytypes.build" in snapshot["timers"]
+    assert "analysis.polytypes.solve" in snapshot["timers"]
+    # Every timed span also lands in the log-bucket histograms, so the
+    # Prometheus exposition carries solve-time percentiles.
+    assert "analysis.polytypes.build" in snapshot["histograms"]
+    assert "analysis.polytypes.solve" in snapshot["histograms"]

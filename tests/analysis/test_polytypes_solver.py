@@ -1,0 +1,242 @@
+"""Unit tests for the polymorphic subtype-constraint solver
+(:mod:`repro.analysis.polytypes.solver`): domain narrowing, arc
+consistency along variable-variable edges, cycle collapse to equality,
+unsatisfiability witnesses, and principal bounds."""
+
+import pytest
+
+from repro.analysis.polytypes.solver import (
+    LOWER,
+    MEMBER,
+    UPPER,
+    ConstraintGraph,
+    ground_types_in,
+)
+from repro.core.subtype import SubtypeEngine
+from repro.lang.parser import parse_file
+from repro.terms.pretty import pretty
+from repro.terms.term import Struct, Var
+
+LATTICE = """\
+TYPE nat, int, list.
+FUNC 0, s, pred, nil, cons.
+int >= nat.
+nat >= 0 + s(nat).
+int >= s(int) + pred(int).
+list(A) >= nil + cons(A, list(A)).
+"""
+
+
+def atom(name):
+    return Struct(name, ())
+
+
+NAT = atom("nat")
+INT = atom("int")
+LIST_NAT = Struct("list", (NAT,))
+LIST_INT = Struct("list", (INT,))
+CANDIDATES = (NAT, INT, LIST_NAT, LIST_INT)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    from repro.analysis.context import LintContext
+
+    built = LintContext.build(parse_file(LATTICE)).engine
+    assert built is not None
+    return built
+
+
+def domains(solution, key):
+    return sorted(pretty(gamma) for gamma in solution.domain_of(key))
+
+
+# -- ground_types_in ----------------------------------------------------------
+
+
+def test_ground_types_in_collects_variable_free_type_subterms():
+    is_type = {"nat", "int", "list"}.__contains__
+    term = Struct("p", (Struct("list", (Var("A"),)), LIST_NAT, INT))
+    found = [pretty(g) for g in ground_types_in(term, is_type)]
+    # list(A) carries a variable; list(nat) is ground and contributes
+    # both itself and its nat argument.
+    assert found == ["list(nat)", "nat", "int"]
+
+
+def test_ground_types_in_ignores_constructor_terms():
+    is_type = {"nat"}.__contains__
+    term = Struct("s", (Struct("0", ()),))
+    assert ground_types_in(term, is_type) == []
+
+
+# -- domains and bounds -------------------------------------------------------
+
+
+def test_unconstrained_node_keeps_the_full_candidate_set(engine):
+    graph = ConstraintGraph(engine, CANDIDATES)
+    graph.node("var X", "X")
+    solution = graph.solve()
+    assert domains(solution, "var X") == ["int", "list(int)", "list(nat)", "nat"]
+    assert solution.satisfiable and not solution.committed("var X")
+
+
+def test_lower_bound_keeps_supertypes_only(engine):
+    graph = ConstraintGraph(engine, CANDIDATES)
+    graph.add_lower("var X", NAT, "test")
+    solution = graph.solve()
+    assert domains(solution, "var X") == ["int", "nat"]
+
+
+def test_upper_bound_keeps_subtypes_only(engine):
+    graph = ConstraintGraph(engine, CANDIDATES)
+    graph.add_upper("var X", INT, "test")
+    solution = graph.solve()
+    assert domains(solution, "var X") == ["int", "nat"]
+    graph = ConstraintGraph(engine, CANDIDATES)
+    graph.add_upper("var X", NAT, "test")
+    assert domains(graph.solve(), "var X") == ["nat"]
+
+
+def test_member_bound_keeps_inhabited_types(engine):
+    graph = ConstraintGraph(engine, CANDIDATES)
+    graph.add_member("var X", Struct("pred", (Struct("0", ()),)), "test")
+    solution = graph.solve()
+    assert domains(solution, "var X") == ["int"]
+
+
+def test_conflicting_bounds_produce_a_witness(engine):
+    graph = ConstraintGraph(engine, CANDIDATES)
+    graph.node("var X", "X")
+    graph.add_lower("var X", LIST_NAT, "produced a list")
+    graph.add_upper("var X", NAT, "consumed as nat")
+    solution = graph.solve()
+    assert not solution.satisfiable
+    [witness] = solution.witnesses
+    assert witness.node.display == "X"
+    described = witness.describe_bounds()
+    assert "list(nat) ⊑ it" in described and "it ⊑ nat" in described
+
+
+# -- edges (variable ⊑ variable) ---------------------------------------------
+
+
+def test_edge_propagates_upper_bound_downward(engine):
+    graph = ConstraintGraph(engine, CANDIDATES)
+    graph.add_edge("var X", "var Y", "X flows into Y")
+    graph.add_upper("var Y", NAT, "Y consumed as nat")
+    solution = graph.solve()
+    assert domains(solution, "var X") == ["nat"]
+
+
+def test_edge_propagates_lower_bound_upward(engine):
+    graph = ConstraintGraph(engine, CANDIDATES)
+    graph.add_edge("var X", "var Y", "X flows into Y")
+    graph.add_lower("var X", LIST_NAT, "X produced as list(nat)")
+    solution = graph.solve()
+    assert domains(solution, "var Y") == ["list(int)", "list(nat)"]
+
+
+def test_incomparable_lower_bounds_meet_in_one_component_witness(engine):
+    # nat ⊑ X, X ⊑ Y, list(nat) ⊑ Y: no candidate is above both nat and
+    # list(nat), and the conflict must surface exactly once even though
+    # emptiness floods both nodes of the component.
+    graph = ConstraintGraph(engine, CANDIDATES)
+    graph.add_lower("var X", NAT, "nat into X")
+    graph.add_edge("var X", "var Y", "X into Y")
+    graph.add_lower("var Y", LIST_NAT, "list into Y")
+    solution = graph.solve()
+    assert not solution.satisfiable
+    assert len(solution.witnesses) == 1
+    described = solution.witnesses[0].describe_bounds()
+    assert "nat ⊑ it" in described and "list(nat) ⊑ it" in described
+
+
+def test_witness_marks_builtin_when_a_builtin_bound_contributes(engine):
+    graph = ConstraintGraph(engine, CANDIDATES)
+    graph.add_lower("var X", LIST_NAT, "user bound")
+    graph.add_upper("var X", INT, "=< signature", builtin=True)
+    solution = graph.solve()
+    [witness] = solution.witnesses
+    assert witness.builtin
+
+
+# -- cycles -------------------------------------------------------------------
+
+
+def test_cycle_collapses_to_equality(engine):
+    graph = ConstraintGraph(engine, CANDIDATES)
+    graph.add_edge("var X", "var Y", "X into Y")
+    graph.add_edge("var Y", "var X", "Y into X")
+    graph.add_upper("var Y", NAT, "Y consumed as nat")
+    solution = graph.solve()
+    assert solution.equalities == [("var X", "var Y")]
+    # The shared domain lands on both original nodes.
+    assert domains(solution, "var X") == ["nat"]
+    assert domains(solution, "var Y") == ["nat"]
+
+
+def test_three_cycle_via_tarjan(engine):
+    graph = ConstraintGraph(engine, CANDIDATES)
+    graph.add_edge("var X", "var Y", "")
+    graph.add_edge("var Y", "var Z", "")
+    graph.add_edge("var Z", "var X", "")
+    graph.add_lower("var Z", NAT, "")
+    solution = graph.solve()
+    assert solution.equalities == [("var X", "var Y", "var Z")]
+    for key in ("var X", "var Y", "var Z"):
+        assert domains(solution, key) == ["int", "nat"]
+
+
+def test_deep_chain_does_not_recurse(engine):
+    # A 600-node cycle: the iterative Tarjan must not hit the Python
+    # recursion limit.
+    graph = ConstraintGraph(engine, CANDIDATES)
+    size = 600
+    for index in range(size):
+        graph.add_edge(f"var V{index}", f"var V{(index + 1) % size}", "")
+    solution = graph.solve()
+    assert len(solution.equalities) == 1
+    assert len(solution.equalities[0]) == size
+
+
+# -- ground-ground constraints ------------------------------------------------
+
+
+def test_add_ground_decomposes_pointwise(engine):
+    graph = ConstraintGraph(engine, CANDIDATES)
+    graph.add_ground(LIST_NAT, LIST_INT, "covariant list")
+    assert graph.witnesses == []
+    graph.add_ground(LIST_INT, LIST_NAT, "contravariant use")
+    assert len(graph.witnesses) == 1
+    assert "int ⊑ nat" in graph.witnesses[0].reason
+
+
+# -- principal bounds ---------------------------------------------------------
+
+
+def test_principal_and_minimal_bounds(engine):
+    graph = ConstraintGraph(engine, CANDIDATES)
+    graph.add_lower("var X", NAT, "")
+    solution = graph.solve()
+    # domain {nat, int}: int is the maximum, nat the minimum.
+    assert pretty(graph.principal_bound(solution, "var X")) == "int"
+    assert pretty(graph.minimal_bound(solution, "var X")) == "nat"
+
+
+def test_principal_bound_absent_for_incomparable_domains(engine):
+    graph = ConstraintGraph(engine, CANDIDATES)
+    graph.node("var X", "X")
+    solution = graph.solve()
+    # Full candidate set {nat, int, list(nat), list(int)} has no
+    # maximum (int and list(int) are incomparable) and no minimum.
+    assert graph.principal_bound(solution, "var X") is None
+    assert graph.minimal_bound(solution, "var X") is None
+
+
+def test_committed_tracks_strict_narrowing(engine):
+    graph = ConstraintGraph(engine, CANDIDATES)
+    graph.add_lower("var X", NAT, "")
+    graph.node("var Y", "Y")
+    solution = graph.solve()
+    assert solution.committed("var X")
+    assert not solution.committed("var Y")

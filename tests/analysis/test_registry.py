@@ -26,6 +26,7 @@ def test_default_registry_has_all_builtin_rules():
         "TLP301",
         "TLP401", "TLP402", "TLP403", "TLP404",
         "TLP501", "TLP502", "TLP503", "TLP504", "TLP505",
+        "TLP601", "TLP602", "TLP603", "TLP604", "TLP605",
     ]
 
 

@@ -194,3 +194,31 @@ def test_modes_command_rejects_arguments():
 def test_help_mentions_modes():
     out = run_session(APPEND, [":help"])
     assert any(":modes" in line for line in out)
+
+
+# -- :solve -------------------------------------------------------------------
+
+
+def test_solve_command_renders_polymorphic_constraint_graphs():
+    out = run_session(APPEND, [":solve"])
+    assert any(line.startswith("candidate ground types:") for line in out)
+    assert any("satisfiable" in line for line in out)
+    assert any(line.strip().startswith("type var A:") for line in out)
+
+
+def test_solve_command_without_polymorphism():
+    out = run_session(NATURALS_ARITHMETIC, [":solve"])
+    assert out == [
+        "nothing to solve: no polymorphic declarations or built-in "
+        "constraint goals in the loaded module"
+    ]
+
+
+def test_solve_command_rejects_arguments():
+    out = run_session(APPEND, [":solve app"])
+    assert out == ["usage: :solve (no arguments)"]
+
+
+def test_help_mentions_solve():
+    out = run_session(APPEND, [":help"])
+    assert any(":solve" in line for line in out)

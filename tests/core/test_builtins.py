@@ -1,0 +1,131 @@
+"""Built-in constraint predicates of the typed-CLP extension
+(``repro.core.builtins``): the surface syntax (`<`, ``=<``, ``=:=``,
+``is``), the pretty-printer round trip, and the frontend's conditional
+signature injection."""
+
+import pytest
+
+from repro.checker import check_text
+from repro.core.builtins import (
+    BUILTIN_MODES,
+    BUILTIN_PREDICATES,
+    builtin_heads,
+    is_builtin_goal,
+    is_builtin_indicator,
+    numeric_type_name,
+)
+from repro.lang.parser import parse_file
+from repro.terms import Struct, Var
+from repro.terms.pretty import pretty
+
+INT = Struct("int", ())
+NAT = Struct("nat", ())
+ZERO = Struct("0", ())
+
+PRELUDE = """\
+TYPE nat, int.
+FUNC 0, s.
+int >= nat.
+nat >= 0 + s(nat).
+"""
+
+
+# -- surface syntax ----------------------------------------------------------
+
+
+def test_infix_builtin_goals_parse_in_clause_bodies():
+    source = parse_file(
+        PRELUDE
+        + "PRED p(int).\n"
+        + "p(X) :- X < s(0), X =< s(0), X =:= 0, Y is X, p(Y).\n"
+    )
+    clause = source.items[-1]
+    assert [goal.functor for goal in clause.body] == ["<", "=<", "=:=", "is", "p"]
+    assert clause.body[0] == Struct("<", (Var("X"), Struct("s", (ZERO,))))
+    assert clause.body[3] == Struct("is", (Var("Y"), Var("X")))
+
+
+def test_infix_builtin_goals_parse_in_queries():
+    source = parse_file(":- X is 0, X < s(0).")
+    query = source.items[0]
+    assert query.body == (
+        Struct("is", (Var("X"), ZERO)),
+        Struct("<", (Var("X"), Struct("s", (ZERO,)))),
+    )
+
+
+@pytest.mark.parametrize("functor", sorted(BUILTIN_PREDICATES))
+def test_pretty_builtin_goals_reparse(functor):
+    goal = Struct(functor, (Var("X"), Struct("s", (ZERO,))))
+    rendered = pretty(goal)
+    assert rendered == f"X {functor} s(0)"
+    reparsed = parse_file(f":- {rendered}.").items[0].body[0]
+    assert reparsed == goal
+
+
+# -- the signature table -----------------------------------------------------
+
+
+def test_builtin_indicators():
+    assert all(is_builtin_indicator(name, 2) for name in ("<", "=<", "=:=", "is"))
+    assert not is_builtin_indicator("<", 1)
+    assert not is_builtin_indicator("app", 3)
+    assert is_builtin_goal(Struct("is", (Var("X"), ZERO)))
+    assert not is_builtin_goal(Struct("is", (Var("X"),)))
+
+
+def test_numeric_type_prefers_int_over_nat():
+    assert numeric_type_name(["nat", "int", "list"]) == "int"
+    assert numeric_type_name(["nat", "list"]) == "nat"
+    assert numeric_type_name(["list", "tree"]) is None
+
+
+def test_builtin_heads_range_over_the_numeric_type():
+    heads = builtin_heads(["nat", "int"])
+    assert {head.functor for head in heads} == set(BUILTIN_PREDICATES)
+    assert all(head.args == (INT, INT) for head in heads)
+    assert builtin_heads(["list"]) == ()
+
+
+# -- frontend injection ------------------------------------------------------
+
+
+def test_signatures_injected_only_when_a_builtin_is_called():
+    probe = Struct("is", (Var("X"), Var("Y")))
+    used = check_text(PRELUDE + "PRED p(int).\np(X) :- Y is X, p(Y).\n")
+    assert used.ok, used.diagnostics.render()
+    assert used.predicate_types.has_type_for(probe)
+    assert used.predicate_types.type_of(probe) == Struct("is", (INT, INT))
+    unused = check_text(PRELUDE + "PRED p(int).\np(0).\n")
+    assert unused.ok
+    assert not unused.predicate_types.has_type_for(probe)
+
+
+def test_signatures_use_nat_when_int_is_undeclared():
+    module = check_text(
+        "TYPE nat.\nFUNC 0, s.\nnat >= 0 + s(nat).\n"
+        "PRED p(nat).\np(X) :- X < s(0).\n"
+    )
+    assert module.ok, module.diagnostics.render()
+    probe = Struct("<", (Var("X"), Var("Y")))
+    assert module.predicate_types.type_of(probe) == Struct("<", (NAT, NAT))
+
+
+def test_user_declaration_wins_over_the_injected_signature():
+    module = check_text(
+        PRELUDE + "PRED is(nat, nat).\nPRED p(nat).\np(X) :- X is 0.\n"
+    )
+    probe = Struct("is", (Var("X"), Var("Y")))
+    assert module.predicate_types.type_of(probe) == Struct("is", (NAT, NAT))
+
+
+def test_builtin_modes_join_only_already_moded_programs():
+    moded = check_text(
+        PRELUDE
+        + "PRED p(int).\nMODE p(IN).\np(X) :- Y is X, p(Y).\n"
+    )
+    assert moded.modes.modes_of(Struct("is", (Var("X"), Var("Y")))) == tuple(
+        BUILTIN_MODES["is"]
+    )
+    unmoded = check_text(PRELUDE + "PRED p(int).\np(X) :- Y is X, p(Y).\n")
+    assert len(unmoded.modes) == 0

@@ -29,10 +29,10 @@ def make_project(tmp_path, text=CLEAN_WITH_SINGLETON):
 
 
 def test_checker_version_is_bumped():
-    # Compiled tree automata answer ground subtype/match queries and
-    # spill alongside the cache: version "4" indexes (and older) must
-    # not replay into this build.
-    assert CHECKER_VERSION == "5"
+    # Built-in constraint signatures and the TLP6xx polymorphic rules
+    # change frontend verdicts and lint findings: version "5" indexes
+    # (and older) must not replay into this build.
+    assert CHECKER_VERSION == "6"
 
 
 def test_lint_findings_ride_in_results_and_cache(tmp_path):
